@@ -1,0 +1,9 @@
+// Figure 5: Precision-at-K of key attribute scoring, five gold domains.
+#include "bench/key_accuracy.h"
+
+int main() {
+  egp::bench::RunKeyAccuracyBench(
+      egp::bench::AccuracyMetric::kPrecision,
+      "Figure 5: Precision-at-K of key attribute scoring");
+  return 0;
+}

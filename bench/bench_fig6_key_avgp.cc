@@ -1,0 +1,9 @@
+// Figure 6: Average Precision of key attribute scoring, five gold domains.
+#include "bench/key_accuracy.h"
+
+int main() {
+  egp::bench::RunKeyAccuracyBench(
+      egp::bench::AccuracyMetric::kAveragePrecision,
+      "Figure 6: Average Precision of key attribute scoring");
+  return 0;
+}

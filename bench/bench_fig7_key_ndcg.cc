@@ -1,0 +1,9 @@
+// Figure 7: nDCG-at-K of key attribute scoring, five gold domains.
+#include "bench/key_accuracy.h"
+
+int main() {
+  egp::bench::RunKeyAccuracyBench(
+      egp::bench::AccuracyMetric::kNdcg,
+      "Figure 7: nDCG of key attribute scoring");
+  return 0;
+}

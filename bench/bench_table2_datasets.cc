@@ -1,0 +1,59 @@
+// Table 2: sizes of entity / schema graphs for the seven domains.
+//
+// Schema sizes must match the paper exactly; entity-graph sizes are the
+// scaled synthetic substitutes (scale factor printed per row). Pass
+// --gold to also dump the embedded Table 10 gold standard.
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "graph/graph_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace egp;
+  const bool show_gold = argc > 1 && std::strcmp(argv[1], "--gold") == 0;
+
+  bench::PrintHeader("Table 2: sizes of entity/schema graphs");
+  bench::PrintRow("domain", {"entities", "edges", "K(paper)", "|Es|(paper)",
+                             "K(ours)", "|Es|(ours)", "scale"});
+  for (const DomainSpec& spec : AllDomainSpecs()) {
+    const GeneratedDomain& domain = bench::Domain(spec.name);
+    bench::PrintRow(
+        spec.name,
+        {StrFormat("%zu", domain.graph.num_entities()),
+         StrFormat("%zu", domain.graph.num_edges()),
+         StrFormat("%u", spec.num_types), StrFormat("%u", spec.num_rel_types),
+         StrFormat("%zu", domain.schema.num_types()),
+         StrFormat("%zu", domain.schema.num_edges()),
+         StrFormat("%g", spec.default_scale)});
+  }
+
+  bench::PrintHeader("Schema graph structure (paper: film diameter 7, "
+                     "average path length 3-4)");
+  bench::PrintRow("domain", {"components", "diameter", "avg path",
+                             "self loops", "parallel"});
+  for (const DomainSpec& spec : AllDomainSpecs()) {
+    const GeneratedDomain& domain = bench::Domain(spec.name);
+    const SchemaGraphStats stats = ComputeSchemaGraphStats(domain.schema);
+    bench::PrintRow(spec.name,
+                    {StrFormat("%llu", (unsigned long long)stats.num_components),
+                     StrFormat("%u", stats.diameter),
+                     bench::FormatDouble(stats.average_path_length, 2),
+                     StrFormat("%llu", (unsigned long long)stats.self_loops),
+                     StrFormat("%llu",
+                               (unsigned long long)stats.parallel_edge_pairs)});
+  }
+
+  if (show_gold) {
+    bench::PrintHeader("Table 10: embedded Freebase gold standard");
+    for (const DomainSpec* spec : GoldDomainSpecs()) {
+      std::printf("\ndomain=%s\n", spec->name.c_str());
+      for (const GoldTable& table : spec->gold.tables) {
+        std::printf("  %-22s %s\n", table.key.c_str(),
+                    Join(table.nonkeys, ", ").c_str());
+      }
+    }
+  }
+  return 0;
+}

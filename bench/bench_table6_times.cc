@@ -1,0 +1,59 @@
+// Table 6 + Figures 10-14: time spent per existence-test question.
+//
+// Prints, per domain, the boxplot five-number summary of simulated
+// per-question times for each approach (Figs. 10-14) and the approaches
+// sorted ascending by median (Table 6).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "eval/user_study.h"
+
+int main() {
+  using namespace egp;
+  bench::PrintHeader(
+      "Figures 10-14: per-question time boxplots (seconds, simulated)");
+  const UserStudyOptions options;
+
+  for (size_t d = 0; d < kNumStudyDomains; ++d) {
+    std::printf("\ndomain=%s\n", UserStudyDomains()[d].c_str());
+    bench::PrintRow("approach", {"min", "q1", "median", "q3", "max"}, 12, 8);
+    std::array<std::vector<double>, kNumApproaches> times;
+    for (const Approach a : AllApproaches()) {
+      const SimulatedResponses responses = SimulateCell(a, d, options);
+      times[static_cast<size_t>(a)] = responses.seconds;
+      const FiveNumberSummary s = Summarize(responses.seconds);
+      bench::PrintRow(ApproachName(a),
+                      {bench::FormatDouble(s.min, 1),
+                       bench::FormatDouble(s.q1, 1),
+                       bench::FormatDouble(s.median, 1),
+                       bench::FormatDouble(s.q3, 1),
+                       bench::FormatDouble(s.max, 1)},
+                      12, 8);
+    }
+    const auto order = SortApproachesByMedianTime(times);
+    std::string row = "Table 6 row, simulated (" + UserStudyDomains()[d] +
+                      "):";
+    for (const Approach a : order) {
+      row += " ";
+      row += ApproachName(a);
+    }
+    std::printf("%s\n", row.c_str());
+    // The exact ordering from the embedded medians (noise-free).
+    std::array<std::vector<double>, kNumApproaches> exact;
+    for (const Approach a : AllApproaches()) {
+      exact[static_cast<size_t>(a)] = {PaperTimeMedianSeconds(a, d)};
+    }
+    const auto paper_order = SortApproachesByMedianTime(exact);
+    row = "Table 6 row, paper     (" + UserStudyDomains()[d] + "):";
+    for (const Approach a : paper_order) {
+      row += " ";
+      row += ApproachName(a);
+    }
+    std::printf("%s\n", row.c_str());
+  }
+  std::printf(
+      "\nExpected shape (paper Table 6): Tight is fastest in 3 of 5 domains "
+      "and second in a fourth; Graph and YPS09 are generally slowest.\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Shared driver for the Figs. 5–7 key-attribute accuracy experiments:
+// rank candidate key types per measure, score against the Table 10 gold
+// standard, print one series per measure for K = 1..20.
+#ifndef EGP_BENCH_KEY_ACCURACY_H_
+#define EGP_BENCH_KEY_ACCURACY_H_
+
+namespace egp {
+namespace bench {
+
+enum class AccuracyMetric { kPrecision, kAveragePrecision, kNdcg };
+
+/// Prints the full figure (5 domains × 4 series × K=1..20).
+void RunKeyAccuracyBench(AccuracyMetric metric, const char* title);
+
+}  // namespace bench
+}  // namespace egp
+
+#endif  // EGP_BENCH_KEY_ACCURACY_H_

@@ -1,0 +1,44 @@
+#include "bench/ztest_tables.h"
+
+#include <array>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "eval/user_study.h"
+
+namespace egp {
+namespace bench {
+
+void PrintZTestTable(size_t domain_index) {
+  std::printf("\ndomain=%s (column approach A vs row approach B; "
+              "* marks p < 0.1)\n",
+              UserStudyDomains()[domain_index].c_str());
+  std::array<StudyCell, kNumApproaches> cells;
+  for (size_t a = 0; a < kNumApproaches; ++a) {
+    cells[a] = PaperConversion(static_cast<Approach>(a), domain_index);
+  }
+  const ZMatrix matrix = PairwiseZTests(cells);
+
+  std::vector<std::string> header;
+  for (size_t col = 1; col < kNumApproaches; ++col) {
+    header.push_back(ApproachName(static_cast<Approach>(col)));
+  }
+  PrintRow("", header, 10, 16);
+  for (size_t row = 0; row + 1 < kNumApproaches; ++row) {
+    std::vector<std::string> line;
+    for (size_t col = 1; col < kNumApproaches; ++col) {
+      if (col <= row) {
+        line.push_back("");
+        continue;
+      }
+      const ZTestResult& r = matrix[row][col];
+      line.push_back(StrFormat("z=%+.2f p=%.4f%s", r.z, r.p,
+                               r.Significant(0.1) ? "*" : ""));
+    }
+    PrintRow(ApproachName(static_cast<Approach>(row)), line, 10, 16);
+  }
+}
+
+}  // namespace bench
+}  // namespace egp

@@ -1,0 +1,18 @@
+// Shared driver for the pairwise conversion-rate z-test tables (7, 13-16).
+#ifndef EGP_BENCH_ZTEST_TABLES_H_
+#define EGP_BENCH_ZTEST_TABLES_H_
+
+#include <cstddef>
+
+namespace egp {
+namespace bench {
+
+/// Prints the full pairwise z/p matrix for one domain, computed exactly
+/// from the embedded Table 5 sample sizes and conversion rates, plus the
+/// significance verdict at α = 0.1 (the paper's light/dark cell shading).
+void PrintZTestTable(size_t domain_index);
+
+}  // namespace bench
+}  // namespace egp
+
+#endif  // EGP_BENCH_ZTEST_TABLES_H_

@@ -1,0 +1,124 @@
+// Domain explorer: generate one of the seven Freebase-like domains and
+// discover previews under user-chosen constraints.
+//
+//   domain_explorer [domain] [k] [n] [tight|diverse <d>]
+//   domain_explorer film 5 10 tight 2
+//
+// Prints the schema statistics, the top key attributes under both
+// measures, and the discovered preview with sampled tuples.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/discoverer.h"
+#include "core/tuple_sampler.h"
+#include "datagen/generator.h"
+#include "graph/graph_stats.h"
+#include "io/preview_renderer.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: domain_explorer [domain] [k] [n] [tight|diverse d]\n"
+               "domains: books film music tv people basketball "
+               "architecture\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace egp;
+  const std::string domain_name = argc > 1 ? argv[1] : "film";
+  const uint32_t k = argc > 2 ? std::atoi(argv[2]) : 5;
+  const uint32_t n = argc > 3 ? std::atoi(argv[3]) : 10;
+  DistanceConstraint distance;
+  if (argc > 5) {
+    const uint32_t d = std::atoi(argv[5]);
+    if (std::strcmp(argv[4], "tight") == 0) {
+      distance = DistanceConstraint::Tight(d);
+    } else if (std::strcmp(argv[4], "diverse") == 0) {
+      distance = DistanceConstraint::Diverse(d);
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  auto domain = GenerateDomainByName(domain_name, GeneratorOptions{});
+  if (!domain.ok()) {
+    std::fprintf(stderr, "%s\n", domain.status().ToString().c_str());
+    Usage();
+    return 2;
+  }
+
+  const EntityGraphStats graph_stats = ComputeEntityGraphStats(domain->graph);
+  const SchemaGraphStats schema_stats = ComputeSchemaGraphStats(domain->schema);
+  std::printf("domain=%s: %llu entities, %llu relationships; schema %llu "
+              "types / %llu relationship types, diameter %u, avg path %.2f\n\n",
+              domain_name.c_str(),
+              (unsigned long long)graph_stats.num_entities,
+              (unsigned long long)graph_stats.num_edges,
+              (unsigned long long)schema_stats.num_types,
+              (unsigned long long)schema_stats.num_rel_types,
+              schema_stats.diameter, schema_stats.average_path_length);
+
+  // Top-10 key attributes under each measure.
+  for (KeyMeasure measure : {KeyMeasure::kCoverage, KeyMeasure::kRandomWalk}) {
+    PreparedSchemaOptions options;
+    options.key_measure = measure;
+    auto prepared = PreparedSchema::Create(domain->schema, options);
+    if (!prepared.ok()) continue;
+    std::vector<std::pair<double, TypeId>> scored;
+    for (TypeId t = 0; t < prepared->num_types(); ++t) {
+      scored.emplace_back(prepared->KeyScore(t), t);
+    }
+    std::sort(scored.rbegin(), scored.rend());
+    std::printf("top key attributes by %s:\n", KeyMeasureName(measure));
+    for (size_t i = 0; i < 10 && i < scored.size(); ++i) {
+      std::printf("  %2zu. %-28s %.6g\n", i + 1,
+                  domain->schema.TypeName(scored[i].second).c_str(),
+                  scored[i].first);
+    }
+    std::printf("\n");
+  }
+
+  // Discover and render the requested preview.
+  auto prepared =
+      PreparedSchema::Create(domain->schema, PreparedSchemaOptions{});
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  PreviewDiscoverer discoverer(std::move(prepared).value());
+  DiscoveryOptions options;
+  options.size = {k, n};
+  options.distance = distance;
+  auto preview = discoverer.Discover(options);
+  if (!preview.ok()) {
+    std::fprintf(stderr, "discovery failed: %s\n",
+                 preview.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("optimal preview (k=%u, n=%u%s), score %.6g:\n%s\n", k, n,
+              distance.mode == DistanceMode::kNone
+                  ? ""
+                  : (distance.mode == DistanceMode::kTight ? ", tight"
+                                                           : ", diverse"),
+              preview->Score(discoverer.prepared()),
+              DescribePreview(*preview, discoverer.prepared()).c_str());
+
+  TupleSamplerOptions sampler;
+  sampler.rows_per_table = 3;
+  auto materialized = MaterializePreview(domain->graph, discoverer.prepared(),
+                                         *preview, sampler);
+  if (materialized.ok()) {
+    RenderOptions render;
+    render.max_cell_width = 30;
+    std::printf("%s", RenderPreview(domain->graph, *materialized, render)
+                          .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "baseline/kcenter.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace egp {
+
+KCenterResult WeightedKCenter(const std::vector<double>& distance,
+                              const std::vector<double>& weight, size_t n,
+                              size_t k) {
+  EGP_CHECK_EQ(distance.size(), n * n);
+  EGP_CHECK_EQ(weight.size(), n);
+  EGP_CHECK(k >= 1) << "k must be positive";
+  k = std::min(k, n);
+
+  KCenterResult result;
+  result.cluster_of.assign(n, 0);
+
+  // Seed: the most important item.
+  size_t seed = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (weight[i] > weight[seed]) seed = i;
+  }
+  result.centers.push_back(static_cast<TypeId>(seed));
+
+  std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
+  auto absorb = [&](size_t center_index) {
+    const TypeId c = result.centers[center_index];
+    for (size_t i = 0; i < n; ++i) {
+      const double d = distance[c * n + i];
+      if (d < nearest[i]) {
+        nearest[i] = d;
+        result.cluster_of[i] = static_cast<uint32_t>(center_index);
+      }
+    }
+  };
+  absorb(0);
+
+  while (result.centers.size() < k) {
+    // Promote the item with the largest weighted distance to any centre.
+    size_t best = n;
+    double best_score = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (nearest[i] == 0.0) continue;  // already a centre (dist to self)
+      const double score = weight[i] * nearest[i];
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best == n) break;  // fewer than k distinct items
+    result.centers.push_back(static_cast<TypeId>(best));
+    absorb(result.centers.size() - 1);
+  }
+  return result;
+}
+
+}  // namespace egp

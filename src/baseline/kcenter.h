@@ -1,0 +1,31 @@
+// Weighted k-center clustering over the join graph (YPS09 step 3).
+//
+// Greedy 2-approximation: seed with the most important table, then
+// repeatedly promote the table with the largest weighted distance to its
+// nearest centre (weight = importance), finally assign every table to its
+// closest centre. Distances are shortest paths over the join graph with
+// edge length 1 / (1 + join strength), so strongly joined tables cluster.
+#ifndef EGP_BASELINE_KCENTER_H_
+#define EGP_BASELINE_KCENTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/ids.h"
+
+namespace egp {
+
+struct KCenterResult {
+  std::vector<TypeId> centers;       // cluster representatives, seed first
+  std::vector<uint32_t> cluster_of;  // per item: index into centers
+};
+
+/// `distance` is a row-major n×n symmetric matrix (use a large finite
+/// value for unreachable pairs); `weight` is the per-item importance.
+KCenterResult WeightedKCenter(const std::vector<double>& distance,
+                              const std::vector<double>& weight, size_t n,
+                              size_t k);
+
+}  // namespace egp
+
+#endif  // EGP_BASELINE_KCENTER_H_

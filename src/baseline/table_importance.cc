@@ -1,0 +1,91 @@
+#include "baseline/table_importance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace egp {
+
+std::vector<double> ComputeTableImportance(
+    const std::vector<RelationalTable>& tables, const SchemaGraph& schema,
+    const ImportanceOptions& options) {
+  const size_t n = schema.num_types();
+  EGP_CHECK_EQ(tables.size(), n);
+  if (n == 0) return {};
+
+  // Join-strength weights: for every schema edge, both endpoint tables
+  // gain a transition toward each other weighted by the join column's
+  // entropy (plus a small floor so degenerate columns still connect).
+  std::vector<double> weight(n * n, 0.0);
+  for (const RelationalTable& table : tables) {
+    for (const RelationalColumn& column : table.columns) {
+      const SchemaEdge& e = schema.Edge(column.schema_edge);
+      const TypeId other =
+          column.direction == Direction::kOutgoing ? e.dst : e.src;
+      weight[table.type * n + other] += column.entropy + 1e-3;
+    }
+  }
+
+  // Restart vector proportional to information content.
+  std::vector<double> restart(n, 0.0);
+  double restart_total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    restart[i] = std::max(tables[i].information_content, 0.0) + 1e-9;
+    restart_total += restart[i];
+  }
+  for (double& r : restart) r /= restart_total;
+
+  // Row-normalize transitions; rows with no joins restart deterministically.
+  std::vector<double> transition(n * n, 0.0);
+  std::vector<bool> dangling(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (size_t j = 0; j < n; ++j) row += weight[i * n + j];
+    if (row <= 0.0) {
+      dangling[i] = true;
+      continue;
+    }
+    for (size_t j = 0; j < n; ++j) transition[i * n + j] = weight[i * n + j] / row;
+  }
+
+  std::vector<double> pi = restart;
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      if (dangling[i]) {
+        dangling_mass += pi[i];
+        continue;
+      }
+      const double share = options.damping * pi[i];
+      const double* row = &transition[i * n];
+      for (size_t j = 0; j < n; ++j) next[j] += share * row[j];
+    }
+    const double teleport =
+        (1.0 - options.damping) + options.damping * dangling_mass;
+    for (size_t j = 0; j < n; ++j) next[j] += teleport * restart[j];
+    double delta = 0.0;
+    for (size_t j = 0; j < n; ++j) delta += std::fabs(next[j] - pi[j]);
+    pi.swap(next);
+    if (delta < options.tolerance) break;
+  }
+
+  double total = std::accumulate(pi.begin(), pi.end(), 0.0);
+  for (double& p : pi) p /= total;
+  return pi;
+}
+
+std::vector<TypeId> RankByImportance(const std::vector<double>& importance) {
+  std::vector<TypeId> order(importance.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&importance](TypeId a, TypeId b) {
+    if (importance[a] != importance[b]) return importance[a] > importance[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace egp

@@ -1,0 +1,37 @@
+// YPS09 table importance: information content diffused over the join
+// graph by a random walk (the measure adapted for entity graphs in
+// §6.1.1; conceptually the same family as the paper's random-walk key
+// scoring, which is why the comparison is meaningful).
+//
+// Transition probability from table T to joined table T' is proportional
+// to the entropy of the join column connecting them (information
+// transferred through the join); a damping factor restarts the walk at a
+// table with probability proportional to its information content.
+#ifndef EGP_BASELINE_TABLE_IMPORTANCE_H_
+#define EGP_BASELINE_TABLE_IMPORTANCE_H_
+
+#include <vector>
+
+#include "baseline/relational_view.h"
+#include "graph/schema_graph.h"
+
+namespace egp {
+
+struct ImportanceOptions {
+  double damping = 0.85;
+  int max_iterations = 300;
+  double tolerance = 1e-12;
+};
+
+/// Stationary importance per entity type (aligned with SchemaGraph type
+/// ids); sums to 1.
+std::vector<double> ComputeTableImportance(
+    const std::vector<RelationalTable>& tables, const SchemaGraph& schema,
+    const ImportanceOptions& options = {});
+
+/// Types ranked by descending importance (ties by id).
+std::vector<TypeId> RankByImportance(const std::vector<double>& importance);
+
+}  // namespace egp
+
+#endif  // EGP_BASELINE_TABLE_IMPORTANCE_H_

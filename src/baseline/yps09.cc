@@ -1,0 +1,74 @@
+#include "baseline/yps09.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace egp {
+namespace {
+
+/// All-pairs shortest paths over the join graph with edge length
+/// 1 / (1 + join strength). Dijkstra from each source (K is small).
+std::vector<double> JoinDistances(const std::vector<RelationalTable>& tables,
+                                  const SchemaGraph& schema) {
+  const size_t n = schema.num_types();
+  // Symmetric edge lengths from per-column join strengths.
+  std::vector<std::vector<std::pair<size_t, double>>> adjacency(n);
+  for (const RelationalTable& table : tables) {
+    for (const RelationalColumn& column : table.columns) {
+      const SchemaEdge& e = schema.Edge(column.schema_edge);
+      const TypeId other =
+          column.direction == Direction::kOutgoing ? e.dst : e.src;
+      if (other == table.type) continue;  // self-loop: no clustering effect
+      const double length = 1.0 / (1.0 + column.entropy);
+      adjacency[table.type].emplace_back(other, length);
+      adjacency[other].emplace_back(table.type, length);
+    }
+  }
+
+  constexpr double kFar = 1e9;  // finite so k-center still separates comps
+  std::vector<double> dist(n * n, kFar);
+  for (size_t source = 0; source < n; ++source) {
+    double* row = &dist[source * n];
+    row[source] = 0.0;
+    using Item = std::pair<double, size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+    frontier.emplace(0.0, source);
+    while (!frontier.empty()) {
+      const auto [d, u] = frontier.top();
+      frontier.pop();
+      if (d > row[u]) continue;
+      for (const auto& [v, length] : adjacency[u]) {
+        const double nd = d + length;
+        if (nd < row[v]) {
+          row[v] = nd;
+          frontier.emplace(nd, v);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+Result<Yps09Summary> RunYps09(const EntityGraph& graph,
+                              const SchemaGraph& schema,
+                              const Yps09Options& options) {
+  if (schema.num_types() == 0) {
+    return Status::InvalidArgument("empty schema graph");
+  }
+  Yps09Summary summary;
+  summary.tables = BuildRelationalView(graph, schema);
+  summary.importance =
+      ComputeTableImportance(summary.tables, schema, options.importance);
+  summary.ranked = RankByImportance(summary.importance);
+
+  const std::vector<double> distances = JoinDistances(summary.tables, schema);
+  summary.clustering =
+      WeightedKCenter(distances, summary.importance, schema.num_types(),
+                      options.num_clusters);
+  return summary;
+}
+
+}  // namespace egp

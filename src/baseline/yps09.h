@@ -1,0 +1,37 @@
+// YPS09 baseline facade: relational view → importance → k-center summary.
+//
+// Used two ways in the evaluation: (a) the importance ranking competes
+// with the paper's key-attribute scoring (Figs. 5–7, Table 4); (b) the
+// k cluster centres form the "YPS09" schema summary presented to user-
+// study participants (each centre shown with all its columns).
+#ifndef EGP_BASELINE_YPS09_H_
+#define EGP_BASELINE_YPS09_H_
+
+#include <vector>
+
+#include "baseline/kcenter.h"
+#include "baseline/relational_view.h"
+#include "baseline/table_importance.h"
+#include "common/result.h"
+
+namespace egp {
+
+struct Yps09Options {
+  size_t num_clusters = 6;
+  ImportanceOptions importance;
+};
+
+struct Yps09Summary {
+  std::vector<RelationalTable> tables;   // indexed by TypeId
+  std::vector<double> importance;        // per type
+  std::vector<TypeId> ranked;            // by descending importance
+  KCenterResult clustering;              // summary = clustering.centers
+};
+
+Result<Yps09Summary> RunYps09(const EntityGraph& graph,
+                              const SchemaGraph& schema,
+                              const Yps09Options& options = {});
+
+}  // namespace egp
+
+#endif  // EGP_BASELINE_YPS09_H_

@@ -1,0 +1,79 @@
+// EGP_CHECK / EGP_DCHECK: fatal invariant assertions with streamed context.
+#ifndef EGP_COMMON_CHECK_H_
+#define EGP_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace egp {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the EGP_CHECK macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed check-failure expression into void so it can sit in
+/// the unused arm of the ?: below (glog's LogMessageVoidify trick).
+struct Voidify {
+  // Lvalue overload: the stream after `<<` chaining; rvalue: bare temporary.
+  void operator&(CheckFailureStream&) {}
+  void operator&(CheckFailureStream&&) {}
+};
+
+}  // namespace internal
+}  // namespace egp
+
+/// Fatal assertion. Supports streaming extra context:
+///   EGP_CHECK(x > 0) << "x was " << x;
+#define EGP_CHECK(condition)             \
+  (condition) ? (void)0                  \
+              : ::egp::internal::Voidify() & \
+                    ::egp::internal::CheckFailureStream(#condition, __FILE__, \
+                                                        __LINE__)
+
+// Binary-comparison checks print both operands on failure (statement form;
+// no extra streaming).
+#define EGP_CHECK_OP_(lhs, rhs, op)                                        \
+  do {                                                                     \
+    const auto& _egp_l = (lhs);                                            \
+    const auto& _egp_r = (rhs);                                            \
+    if (!(_egp_l op _egp_r)) {                                             \
+      ::egp::internal::CheckFailureStream(#lhs " " #op " " #rhs, __FILE__, \
+                                          __LINE__)                        \
+          << "(" << _egp_l << " vs " << _egp_r << ")";                     \
+    }                                                                      \
+  } while (false)
+
+#define EGP_CHECK_EQ(lhs, rhs) EGP_CHECK_OP_(lhs, rhs, ==)
+#define EGP_CHECK_NE(lhs, rhs) EGP_CHECK_OP_(lhs, rhs, !=)
+#define EGP_CHECK_LT(lhs, rhs) EGP_CHECK_OP_(lhs, rhs, <)
+#define EGP_CHECK_LE(lhs, rhs) EGP_CHECK_OP_(lhs, rhs, <=)
+#define EGP_CHECK_GT(lhs, rhs) EGP_CHECK_OP_(lhs, rhs, >)
+#define EGP_CHECK_GE(lhs, rhs) EGP_CHECK_OP_(lhs, rhs, >=)
+
+#ifdef NDEBUG
+#define EGP_DCHECK(condition) EGP_CHECK(true || (condition))
+#else
+#define EGP_DCHECK(condition) EGP_CHECK(condition)
+#endif
+
+#endif  // EGP_COMMON_CHECK_H_

@@ -1,0 +1,42 @@
+// Minimal leveled logger writing to stderr.
+#ifndef EGP_COMMON_LOGGING_H_
+#define EGP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace egp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement; flushes its line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace egp
+
+#define EGP_LOG(level)                                               \
+  ::egp::internal::LogMessage(::egp::LogLevel::k##level, __FILE__, \
+                              __LINE__)
+
+#endif  // EGP_COMMON_LOGGING_H_

@@ -1,0 +1,43 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+namespace egp {
+namespace {
+
+double EntropyWithLog(const std::vector<uint64_t>& counts,
+                      double (*log_fn)(double)) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  const double dtotal = static_cast<double>(total);
+  for (uint64_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / dtotal;
+    h += p * log_fn(1.0 / p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double EntropyLog10(const std::vector<uint64_t>& counts) {
+  return EntropyWithLog(counts, [](double x) { return std::log10(x); });
+}
+
+double EntropyLog2(const std::vector<uint64_t>& counts) {
+  return EntropyWithLog(counts, [](double x) { return std::log2(x); });
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double NormalSf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+double Log2OrZero(double x) { return x <= 0.0 ? 0.0 : std::log2(x); }
+
+bool ApproxEqual(double a, double b, double tol) {
+  return std::fabs(a - b) <= tol;
+}
+
+}  // namespace egp

@@ -1,0 +1,34 @@
+// Numeric helpers: entropy, logs, normal distribution.
+#ifndef EGP_COMMON_MATH_UTIL_H_
+#define EGP_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace egp {
+
+/// Shannon entropy in base-10 logs over a histogram of counts, matching the
+/// paper's worked example (S_ent(Director) = 0.45 uses log10):
+///   H = sum_j (n_j / N) * log10(N / n_j),  N = sum_j n_j.
+/// Zero counts are ignored; an empty or single-group histogram has H = 0.
+double EntropyLog10(const std::vector<uint64_t>& counts);
+
+/// Shannon entropy in bits (base-2), used by the YPS09 baseline's
+/// information-content measure.
+double EntropyLog2(const std::vector<uint64_t>& counts);
+
+/// Standard normal CDF Phi(z).
+double NormalCdf(double z);
+
+/// Two-sided survival helpers: P(Z > z) for the standard normal.
+double NormalSf(double z);
+
+/// log2 that maps 0 to 0 (convenience for x*log2(x) terms).
+double Log2OrZero(double x);
+
+/// True if |a - b| <= tol.
+bool ApproxEqual(double a, double b, double tol = 1e-9);
+
+}  // namespace egp
+
+#endif  // EGP_COMMON_MATH_UTIL_H_

@@ -1,0 +1,69 @@
+// Result<T>: a value or a Status, for fallible functions with a payload.
+#ifndef EGP_COMMON_RESULT_H_
+#define EGP_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace egp {
+
+/// Holds either a T (status OK) or an error Status. Accessing the value of
+/// an errored Result aborts — callers must check ok() first, mirroring
+/// absl::StatusOr semantics without exceptions.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
+  // conversions so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    EGP_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EGP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    EGP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    EGP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds.
+};
+
+}  // namespace egp
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error Status to the caller.
+#define EGP_ASSIGN_OR_RETURN(lhs, expr)            \
+  EGP_ASSIGN_OR_RETURN_IMPL_(                      \
+      EGP_CONCAT_(_egp_result_, __LINE__), lhs, expr)
+
+#define EGP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define EGP_CONCAT_(a, b) EGP_CONCAT_IMPL_(a, b)
+#define EGP_CONCAT_IMPL_(a, b) a##b
+
+#endif  // EGP_COMMON_RESULT_H_

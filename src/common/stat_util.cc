@@ -1,0 +1,55 @@
+#include "common/stat_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace egp {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return acc / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Quantile(std::vector<double> values, double q) {
+  EGP_CHECK(!values.empty()) << "Quantile of empty sample";
+  EGP_CHECK(q >= 0.0 && q <= 1.0) << "quantile out of range: " << q;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Median(const std::vector<double>& values) {
+  return Quantile(values, 0.5);
+}
+
+FiveNumberSummary Summarize(const std::vector<double>& values) {
+  FiveNumberSummary s;
+  if (values.empty()) return s;
+  s.min = Quantile(values, 0.0);
+  s.q1 = Quantile(values, 0.25);
+  s.median = Quantile(values, 0.5);
+  s.q3 = Quantile(values, 0.75);
+  s.max = Quantile(values, 1.0);
+  return s;
+}
+
+}  // namespace egp

@@ -1,0 +1,27 @@
+// Descriptive statistics for experiment reporting (boxplots, medians, ...).
+#ifndef EGP_COMMON_STAT_UTIL_H_
+#define EGP_COMMON_STAT_UTIL_H_
+
+#include <vector>
+
+namespace egp {
+
+double Mean(const std::vector<double>& values);
+double Variance(const std::vector<double>& values);  // population variance
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolation quantile, q in [0,1]. values need not be sorted.
+double Quantile(std::vector<double> values, double q);
+
+double Median(const std::vector<double>& values);
+
+/// min, Q1, median, Q3, max — the boxplot five-number summary used for
+/// Figs. 10–14.
+struct FiveNumberSummary {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+FiveNumberSummary Summarize(const std::vector<double>& values);
+
+}  // namespace egp
+
+#endif  // EGP_COMMON_STAT_UTIL_H_

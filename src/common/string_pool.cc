@@ -1,0 +1,27 @@
+#include "common/string_pool.h"
+
+#include "common/check.h"
+
+namespace egp {
+
+uint32_t StringPool::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(name);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+std::optional<uint32_t> StringPool::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& StringPool::Get(uint32_t id) const {
+  EGP_CHECK(id < strings_.size()) << "StringPool id out of range: " << id;
+  return strings_[id];
+}
+
+}  // namespace egp

@@ -1,0 +1,41 @@
+// StringPool: bidirectional string <-> dense id interning.
+//
+// Entity, type and relationship-type names are interned once; the rest of
+// the library works with dense 32-bit ids.
+#ifndef EGP_COMMON_STRING_POOL_H_
+#define EGP_COMMON_STRING_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace egp {
+
+class StringPool {
+ public:
+  /// Returns the id for `name`, inserting it if new. Ids are dense and
+  /// assigned in first-seen order.
+  uint32_t Intern(std::string_view name);
+
+  /// Returns the id for `name` if present.
+  std::optional<uint32_t> Find(std::string_view name) const;
+
+  /// Returns the interned string for an id; id must be valid.
+  const std::string& Get(uint32_t id) const;
+
+  size_t size() const { return strings_.size(); }
+  bool empty() const { return strings_.empty(); }
+
+ private:
+  // deque: element addresses are stable, so the string_view keys in index_
+  // remain valid as the pool grows.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
+
+}  // namespace egp
+
+#endif  // EGP_COMMON_STRING_POOL_H_

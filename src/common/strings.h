@@ -1,0 +1,33 @@
+// Small string helpers shared across the library.
+#ifndef EGP_COMMON_STRINGS_H_
+#define EGP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace egp {
+
+/// Splits on a single delimiter character; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items,
+                 std::string_view separator);
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace egp
+
+#endif  // EGP_COMMON_STRINGS_H_

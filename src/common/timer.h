@@ -1,0 +1,28 @@
+// Wall-clock timer for the performance experiments (Figs. 8–9).
+#ifndef EGP_COMMON_TIMER_H_
+#define EGP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace egp {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace egp
+
+#endif  // EGP_COMMON_TIMER_H_

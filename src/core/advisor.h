@@ -1,0 +1,49 @@
+// Constraint advisor: suggests (k, n) and distance constraints.
+//
+// §2/§4 leave k, n, d to the user or "automatically suggested based on
+// the size of a display space"; §8 lists parameter suggestion as future
+// work. This module implements that direction with transparent
+// heuristics:
+//   * k from the vertical display budget (each table costs a header block
+//     plus its sample rows), clamped to the eligible-type count;
+//   * n from the horizontal budget (columns that fit at a nominal cell
+//     width) spread over k tables;
+//   * tight d around half the schema's average path length — §6.2 shows
+//     constraints near the diameter are vacuous ("setting d=6 ... will
+//     make most previews tight. It is unnecessary to enforce such a
+//     distance constraint");
+//   * diverse d just above the average path length, capped below the
+//     diameter so feasibility is likely.
+#ifndef EGP_CORE_ADVISOR_H_
+#define EGP_CORE_ADVISOR_H_
+
+#include <string>
+
+#include "core/candidates.h"
+#include "core/constraints.h"
+
+namespace egp {
+
+/// Display space available for the preview, in character cells.
+struct DisplayBudget {
+  uint32_t width_chars = 120;
+  uint32_t height_rows = 40;
+  /// Nominal rendered width of one column and height of one table block
+  /// (header + rule + sample rows); used as the unit costs.
+  uint32_t column_width = 16;
+  uint32_t rows_per_table = 7;
+};
+
+struct ConstraintSuggestion {
+  SizeConstraint size;
+  uint32_t tight_d = 1;    // for DistanceConstraint::Tight
+  uint32_t diverse_d = 2;  // for DistanceConstraint::Diverse
+  std::string rationale;   // human-readable explanation
+};
+
+ConstraintSuggestion SuggestConstraints(const PreparedSchema& prepared,
+                                        const DisplayBudget& budget = {});
+
+}  // namespace egp
+
+#endif  // EGP_CORE_ADVISOR_H_

@@ -1,0 +1,151 @@
+#include "core/beam_search.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "core/compose.h"
+
+namespace egp {
+namespace {
+
+struct Partial {
+  std::vector<TypeId> keys;  // strictly increasing
+  double score = 0.0;        // optimistic ComposePreviewScore
+};
+
+}  // namespace
+
+namespace {
+
+Result<Preview> BeamSearchAttempt(const PreparedSchema& prepared,
+                                  const SizeConstraint& size,
+                                  const DistanceConstraint& distance,
+                                  const BeamSearchOptions& options,
+                                  DiscoveryStats* stats) {
+  const uint32_t k = size.k;
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (size.n < k) {
+    return Status::InvalidArgument(
+        StrFormat("n=%u < k=%u: every table needs one non-key attribute",
+                  size.n, k));
+  }
+  if (options.beam_width == 0) {
+    return Status::InvalidArgument("beam_width must be positive");
+  }
+
+  std::vector<TypeId> eligible;
+  for (TypeId t = 0; t < prepared.num_types(); ++t) {
+    if (prepared.Eligible(t)) eligible.push_back(t);
+  }
+  if (eligible.size() < k) {
+    return Status::NotFound(StrFormat(
+        "only %zu eligible key types, need k=%u", eligible.size(), k));
+  }
+
+  DiscoveryStats local_stats;
+  const SchemaDistanceMatrix& dist = prepared.distances();
+
+  // Level 1: all singletons (sorted by score, trimmed to the beam).
+  std::vector<Partial> beam;
+  for (TypeId t : eligible) {
+    Partial partial;
+    partial.keys = {t};
+    partial.score = ComposePreviewScore(prepared, partial.keys, size.n);
+    ++local_stats.subsets_enumerated;
+    beam.push_back(std::move(partial));
+  }
+  auto trim = [&options](std::vector<Partial>* level) {
+    std::sort(level->begin(), level->end(),
+              [](const Partial& a, const Partial& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.keys < b.keys;  // deterministic tie-break
+              });
+    if (level->size() > options.beam_width) {
+      level->resize(options.beam_width);
+    }
+  };
+  // Level 1 is kept untrimmed: under sparse constraints (e.g. diverse
+  // with large d) the feasible sets often avoid the highest-scoring
+  // types, and trimming singletons would lose feasibility entirely. The
+  // beam narrows from level 2 on.
+  std::sort(beam.begin(), beam.end(), [](const Partial& a, const Partial& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.keys < b.keys;
+  });
+
+  std::set<std::vector<TypeId>> seen;
+  for (uint32_t level = 2; level <= k; ++level) {
+    std::vector<Partial> next;
+    seen.clear();
+    for (const Partial& partial : beam) {
+      // Extend with every compatible type; canonical (sorted) key sets
+      // deduplicate extensions reached from different beam entries.
+      for (TypeId t : eligible) {
+        if (std::binary_search(partial.keys.begin(), partial.keys.end(), t)) {
+          continue;
+        }
+        bool satisfies = true;
+        for (TypeId existing : partial.keys) {
+          if (!distance.SatisfiedBy(dist.Distance(existing, t))) {
+            satisfies = false;
+            break;
+          }
+        }
+        if (!satisfies) continue;
+        Partial extended;
+        extended.keys = partial.keys;
+        extended.keys.insert(
+            std::lower_bound(extended.keys.begin(), extended.keys.end(), t),
+            t);
+        if (!seen.insert(extended.keys).second) continue;
+        extended.score =
+            ComposePreviewScore(prepared, extended.keys, size.n);
+        ++local_stats.subsets_enumerated;
+        next.push_back(std::move(extended));
+      }
+    }
+    if (next.empty()) {
+      if (stats != nullptr) *stats = local_stats;
+      return Status::NotFound(
+          "beam search found no k-subset satisfying the constraint");
+    }
+    trim(&next);
+    beam = std::move(next);
+  }
+
+  local_stats.subsets_scored = local_stats.subsets_enumerated;
+  if (stats != nullptr) *stats = local_stats;
+  return ComposePreview(prepared, beam.front().keys, size.n);
+}
+
+}  // namespace
+
+Result<Preview> BeamSearchDiscover(const PreparedSchema& prepared,
+                                   const SizeConstraint& size,
+                                   const DistanceConstraint& distance,
+                                   const BeamSearchOptions& options,
+                                   DiscoveryStats* stats) {
+  BeamSearchOptions attempt = options;
+  DiscoveryStats accumulated;
+  for (;;) {
+    DiscoveryStats local;
+    auto preview = BeamSearchAttempt(prepared, size, distance, attempt,
+                                     &local);
+    accumulated.subsets_enumerated += local.subsets_enumerated;
+    accumulated.subsets_scored += local.subsets_scored;
+    const bool dead_end =
+        !preview.ok() && preview.status().code() == StatusCode::kNotFound &&
+        local.subsets_enumerated > 0;
+    if (!dead_end || attempt.beam_width >= options.max_beam_width) {
+      if (stats != nullptr) *stats = accumulated;
+      return preview;
+    }
+    // Widen and retry: rare feasible sets under sparse constraints tend
+    // to avoid the highest-scoring types the narrow beam keeps.
+    attempt.beam_width = std::min(options.max_beam_width,
+                                  attempt.beam_width * 4);
+  }
+}
+
+}  // namespace egp

@@ -1,0 +1,41 @@
+// Brute-force optimal preview discovery (Alg. 1).
+//
+// Enumerates every k-subset of eligible key types, filters by the pairwise
+// distance constraint, and scores each subset's best preview (Theorem 3).
+// Exponential in k; kept as the correctness oracle and the baseline of the
+// Fig. 8/9 performance experiments.
+#ifndef EGP_CORE_BRUTE_FORCE_H_
+#define EGP_CORE_BRUTE_FORCE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/compose.h"
+#include "core/constraints.h"
+#include "core/preview.h"
+
+namespace egp {
+
+/// Instrumentation shared by the discovery algorithms.
+struct DiscoveryStats {
+  uint64_t subsets_enumerated = 0;  // complete k-subsets examined
+  uint64_t subsets_scored = 0;      // subsets passing the distance filter
+  bool truncated = false;           // stopped early by max_subsets
+};
+
+struct BruteForceOptions {
+  /// Stop after enumerating this many subsets (0 = unlimited). When hit,
+  /// the best preview so far is returned and stats->truncated is set; used
+  /// by the benchmark harness to extrapolate infeasible configurations.
+  uint64_t max_subsets = 0;
+};
+
+Result<Preview> BruteForceDiscover(const PreparedSchema& prepared,
+                                   const SizeConstraint& size,
+                                   const DistanceConstraint& distance,
+                                   const BruteForceOptions& options = {},
+                                   DiscoveryStats* stats = nullptr);
+
+}  // namespace egp
+
+#endif  // EGP_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,89 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace egp {
+
+const char* KeyMeasureName(KeyMeasure m) {
+  return m == KeyMeasure::kCoverage ? "Coverage" : "RandomWalk";
+}
+
+const char* NonKeyMeasureName(NonKeyMeasure m) {
+  return m == NonKeyMeasure::kCoverage ? "Coverage" : "Entropy";
+}
+
+Result<PreparedSchema> PreparedSchema::Create(
+    SchemaGraph schema, const PreparedSchemaOptions& options,
+    const EntityGraph* graph) {
+  PreparedSchema prepared;
+  prepared.options_ = options;
+
+  // Key-attribute scores.
+  switch (options.key_measure) {
+    case KeyMeasure::kCoverage:
+      prepared.key_scores_ = ComputeKeyCoverage(schema);
+      break;
+    case KeyMeasure::kRandomWalk:
+      prepared.key_scores_ = ComputeKeyRandomWalk(schema, options.walk);
+      break;
+  }
+
+  // Non-key attribute scores per schema edge and direction.
+  NonKeyScores nonkey;
+  switch (options.nonkey_measure) {
+    case NonKeyMeasure::kCoverage:
+      nonkey = ComputeNonKeyCoverage(schema);
+      break;
+    case NonKeyMeasure::kEntropy: {
+      if (graph == nullptr) {
+        return Status::InvalidArgument(
+            "entropy non-key scoring requires the entity graph");
+      }
+      EGP_ASSIGN_OR_RETURN(nonkey, ComputeNonKeyEntropy(*graph, schema));
+      break;
+    }
+  }
+
+  // Γτ per type: every incident edge contributes the direction(s) in which
+  // τ is an endpoint; a self-loop contributes both directions.
+  const size_t num_types = schema.num_types();
+  prepared.candidates_.resize(num_types);
+  for (uint32_t index = 0; index < schema.num_edges(); ++index) {
+    const SchemaEdge& e = schema.Edge(index);
+    prepared.candidates_[e.src].sorted.push_back(
+        NonKeyCandidate{index, Direction::kOutgoing, nonkey.outgoing[index]});
+    prepared.candidates_[e.dst].sorted.push_back(
+        NonKeyCandidate{index, Direction::kIncoming, nonkey.incoming[index]});
+  }
+  for (TypeId t = 0; t < num_types; ++t) {
+    auto& cands = prepared.candidates_[t].sorted;
+    std::sort(cands.begin(), cands.end(),
+              [](const NonKeyCandidate& a, const NonKeyCandidate& b) {
+                if (a.score != b.score) return a.score > b.score;
+                if (a.schema_edge != b.schema_edge) {
+                  return a.schema_edge < b.schema_edge;
+                }
+                return a.direction < b.direction;
+              });
+    auto& prefix = prepared.candidates_[t].prefix;
+    prefix.resize(cands.size() + 1);
+    prefix[0] = 0.0;
+    for (size_t m = 0; m < cands.size(); ++m) {
+      prefix[m + 1] = prefix[m] + cands[m].score;
+    }
+  }
+
+  prepared.distances_ = std::make_shared<SchemaDistanceMatrix>(schema);
+  prepared.schema_ = std::move(schema);
+  return prepared;
+}
+
+size_t PreparedSchema::TotalCandidates() const {
+  size_t total = 0;
+  for (const TypeCandidates& c : candidates_) total += c.size();
+  return total;
+}
+
+}  // namespace egp

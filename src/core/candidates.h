@@ -1,0 +1,97 @@
+// PreparedSchema: everything discovery algorithms need, computed once.
+//
+// Mirrors the paper's cost model (§5): "Both the schema graph and the
+// scoring measures ... are computed before optimal preview discovery."
+// Holds the chosen key-attribute scores, the per-type candidate non-key
+// attribute lists Γτ sorted by score with prefix sums, and the all-pairs
+// type distance matrix.
+#ifndef EGP_CORE_CANDIDATES_H_
+#define EGP_CORE_CANDIDATES_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/key_scoring.h"
+#include "core/nonkey_scoring.h"
+#include "graph/schema_distance.h"
+#include "graph/schema_graph.h"
+
+namespace egp {
+
+enum class KeyMeasure : uint8_t { kCoverage = 0, kRandomWalk };
+enum class NonKeyMeasure : uint8_t { kCoverage = 0, kEntropy };
+
+const char* KeyMeasureName(KeyMeasure m);
+const char* NonKeyMeasureName(NonKeyMeasure m);
+
+/// A candidate non-key attribute of some table: a schema edge used in a
+/// specific direction relative to the table's key type. A self-loop edge
+/// yields one candidate per direction.
+struct NonKeyCandidate {
+  uint32_t schema_edge;
+  Direction direction;
+  double score;
+};
+
+/// Γτ: candidates of one key type, sorted by score descending (ties broken
+/// by edge index then direction for determinism), with prefix sums so the
+/// best m-subset score is O(1) (Theorem 3: optimal tables take the top-m).
+struct TypeCandidates {
+  std::vector<NonKeyCandidate> sorted;
+  std::vector<double> prefix;  // prefix[m] = sum of top-m scores; prefix[0]=0
+
+  size_t size() const { return sorted.size(); }
+  double TopSum(size_t m) const { return prefix[m]; }
+};
+
+struct PreparedSchemaOptions {
+  KeyMeasure key_measure = KeyMeasure::kCoverage;
+  NonKeyMeasure nonkey_measure = NonKeyMeasure::kCoverage;
+  RandomWalkOptions walk;
+};
+
+class PreparedSchema {
+ public:
+  /// Builds from a schema graph (and the entity graph when entropy scoring
+  /// is requested). Owns a copy of the schema graph.
+  static Result<PreparedSchema> Create(SchemaGraph schema,
+                                       const PreparedSchemaOptions& options,
+                                       const EntityGraph* graph = nullptr);
+
+  const SchemaGraph& schema() const { return schema_; }
+  const PreparedSchemaOptions& options() const { return options_; }
+  const SchemaDistanceMatrix& distances() const { return *distances_; }
+
+  size_t num_types() const { return schema_.num_types(); }
+
+  /// S(τ).
+  double KeyScore(TypeId t) const { return key_scores_[t]; }
+  /// Γτ, sorted.
+  const TypeCandidates& Candidates(TypeId t) const { return candidates_[t]; }
+  /// S(τ) · Σ top-m non-key scores — the score of the best m-attribute
+  /// table keyed on τ (Eq. 2 + Theorem 3).
+  double TableScore(TypeId t, size_t m) const {
+    return key_scores_[t] * candidates_[t].TopSum(m);
+  }
+  /// Whether τ can key a table at all (≥1 candidate; Def. 1 requires at
+  /// least one non-key attribute).
+  bool Eligible(TypeId t) const { return !candidates_[t].sorted.empty(); }
+
+  /// N in the paper's complexity analysis: total candidate count over all
+  /// types (= 2|Es| counting both directions).
+  size_t TotalCandidates() const;
+
+ private:
+  PreparedSchema() = default;
+
+  SchemaGraph schema_;
+  PreparedSchemaOptions options_;
+  std::vector<double> key_scores_;
+  std::vector<TypeCandidates> candidates_;
+  std::shared_ptr<const SchemaDistanceMatrix> distances_;
+};
+
+}  // namespace egp
+
+#endif  // EGP_CORE_CANDIDATES_H_

@@ -1,0 +1,51 @@
+// Constraint definitions for the optimization problems of §4.
+#ifndef EGP_CORE_CONSTRAINTS_H_
+#define EGP_CORE_CONSTRAINTS_H_
+
+#include <cstdint>
+
+#include "graph/schema_distance.h"
+
+namespace egp {
+
+/// (k, n): k preview tables, at most n non-key attributes in total (Def. 2).
+struct SizeConstraint {
+  uint32_t k = 0;
+  uint32_t n = 0;
+};
+
+/// Distance constraint selecting tight (pairwise dist ≤ d), diverse
+/// (pairwise dist ≥ d) or unconstrained (concise) previews.
+enum class DistanceMode : uint8_t { kNone = 0, kTight, kDiverse };
+
+struct DistanceConstraint {
+  DistanceMode mode = DistanceMode::kNone;
+  uint32_t d = 0;
+
+  static DistanceConstraint None() { return {DistanceMode::kNone, 0}; }
+  static DistanceConstraint Tight(uint32_t d) {
+    return {DistanceMode::kTight, d};
+  }
+  static DistanceConstraint Diverse(uint32_t d) {
+    return {DistanceMode::kDiverse, d};
+  }
+
+  /// Whether a pair of key types at (possibly unreachable) `distance`
+  /// satisfies the constraint. Unreachable pairs fail tight constraints and
+  /// satisfy diverse ones.
+  bool SatisfiedBy(uint32_t distance) const {
+    switch (mode) {
+      case DistanceMode::kNone:
+        return true;
+      case DistanceMode::kTight:
+        return distance != SchemaDistanceMatrix::kUnreachable && distance <= d;
+      case DistanceMode::kDiverse:
+        return distance == SchemaDistanceMatrix::kUnreachable || distance >= d;
+    }
+    return true;
+  }
+};
+
+}  // namespace egp
+
+#endif  // EGP_CORE_CONSTRAINTS_H_

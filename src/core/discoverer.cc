@@ -1,0 +1,47 @@
+#include "core/discoverer.h"
+
+namespace egp {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAuto:
+      return "Auto";
+    case Algorithm::kBruteForce:
+      return "BruteForce";
+    case Algorithm::kDynamicProgramming:
+      return "DynamicProgramming";
+    case Algorithm::kApriori:
+      return "Apriori";
+  }
+  return "?";
+}
+
+Result<Preview> PreviewDiscoverer::Discover(const DiscoveryOptions& options,
+                                            DiscoveryStats* stats) const {
+  Algorithm algorithm = options.algorithm;
+  if (algorithm == Algorithm::kAuto) {
+    algorithm = options.distance.mode == DistanceMode::kNone
+                    ? Algorithm::kDynamicProgramming
+                    : Algorithm::kApriori;
+  }
+  switch (algorithm) {
+    case Algorithm::kBruteForce:
+      return BruteForceDiscover(prepared_, options.size, options.distance,
+                                BruteForceOptions{}, stats);
+    case Algorithm::kDynamicProgramming:
+      if (options.distance.mode != DistanceMode::kNone) {
+        return Status::InvalidArgument(
+            "the dynamic-programming algorithm only solves the concise "
+            "space; distance constraints lack its optimal substructure");
+      }
+      return DynamicProgrammingDiscover(prepared_, options.size);
+    case Algorithm::kApriori:
+      return AprioriDiscover(prepared_, options.size, options.distance,
+                             AprioriOptions{}, stats);
+    case Algorithm::kAuto:
+      break;
+  }
+  return Status::Internal("unreachable algorithm dispatch");
+}
+
+}  // namespace egp

@@ -1,0 +1,53 @@
+// PreviewDiscoverer: the library's front door for optimal preview discovery.
+//
+// Wraps a PreparedSchema and dispatches to the right algorithm for the
+// requested constraint space: DP for concise previews, Apriori for
+// tight/diverse, brute force on demand (oracle/benchmarks).
+#ifndef EGP_CORE_DISCOVERER_H_
+#define EGP_CORE_DISCOVERER_H_
+
+#include "common/result.h"
+#include "core/apriori.h"
+#include "core/brute_force.h"
+#include "core/constraints.h"
+#include "core/dynamic_programming.h"
+#include "core/preview.h"
+
+namespace egp {
+
+enum class Algorithm : uint8_t {
+  kAuto = 0,
+  kBruteForce,
+  kDynamicProgramming,
+  kApriori,
+};
+
+const char* AlgorithmName(Algorithm a);
+
+struct DiscoveryOptions {
+  SizeConstraint size;
+  DistanceConstraint distance;
+  Algorithm algorithm = Algorithm::kAuto;
+};
+
+class PreviewDiscoverer {
+ public:
+  explicit PreviewDiscoverer(PreparedSchema prepared)
+      : prepared_(std::move(prepared)) {}
+
+  const PreparedSchema& prepared() const { return prepared_; }
+
+  /// Finds an optimal preview in the requested space. With kAuto,
+  /// selects DP for concise and Apriori for tight/diverse previews.
+  /// DP cannot honour distance constraints (§5.2) and returns
+  /// InvalidArgument if asked to.
+  Result<Preview> Discover(const DiscoveryOptions& options,
+                           DiscoveryStats* stats = nullptr) const;
+
+ private:
+  PreparedSchema prepared_;
+};
+
+}  // namespace egp
+
+#endif  // EGP_CORE_DISCOVERER_H_

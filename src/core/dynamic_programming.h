@@ -1,0 +1,23 @@
+// Dynamic-programming optimal *concise* preview discovery (Alg. 2).
+//
+// Popt(i, j, x): best preview with exactly i tables and exactly j non-key
+// attributes drawn from the first x entity types. Either type x is skipped,
+// or it contributes a table with its top-m candidates (Theorem 3). The
+// distance-constrained spaces have no such optimal substructure (§5.2), so
+// this algorithm is only exposed for DistanceMode::kNone.
+// Complexity O(K·k·n²) after the one-off candidate sort.
+#ifndef EGP_CORE_DYNAMIC_PROGRAMMING_H_
+#define EGP_CORE_DYNAMIC_PROGRAMMING_H_
+
+#include "common/result.h"
+#include "core/constraints.h"
+#include "core/preview.h"
+
+namespace egp {
+
+Result<Preview> DynamicProgrammingDiscover(const PreparedSchema& prepared,
+                                           const SizeConstraint& size);
+
+}  // namespace egp
+
+#endif  // EGP_CORE_DYNAMIC_PROGRAMMING_H_

@@ -1,0 +1,114 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace egp {
+
+IncrementalSchemaStats::IncrementalSchemaStats(const SchemaGraph& schema)
+    : schema_(&schema) {
+  type_counts_.resize(schema.num_types());
+  for (TypeId t = 0; t < schema.num_types(); ++t) {
+    type_counts_[t] = schema.TypeEntityCount(t);
+  }
+  edge_counts_.resize(schema.num_edges());
+  for (uint32_t e = 0; e < schema.num_edges(); ++e) {
+    edge_counts_[e] = schema.Edge(e).edge_count;
+  }
+  dirty_.assign(schema.num_types(), false);
+}
+
+Status IncrementalSchemaStats::Apply(const GraphUpdate& update) {
+  switch (update.kind) {
+    case GraphUpdate::Kind::kAddEntity:
+    case GraphUpdate::Kind::kRemoveEntity: {
+      if (update.type >= type_counts_.size()) {
+        return Status::InvalidArgument("unknown type in update");
+      }
+      if (update.kind == GraphUpdate::Kind::kRemoveEntity) {
+        if (type_counts_[update.type] == 0) {
+          return Status::FailedPrecondition(StrFormat(
+              "type '%s' has no entities to remove",
+              schema_->TypeName(update.type).c_str()));
+        }
+        --type_counts_[update.type];
+      } else {
+        ++type_counts_[update.type];
+      }
+      dirty_[update.type] = true;
+      break;
+    }
+    case GraphUpdate::Kind::kAddEdge:
+    case GraphUpdate::Kind::kRemoveEdge: {
+      if (update.schema_edge >= edge_counts_.size()) {
+        return Status::InvalidArgument("unknown schema edge in update");
+      }
+      if (update.kind == GraphUpdate::Kind::kRemoveEdge) {
+        if (edge_counts_[update.schema_edge] == 0) {
+          return Status::FailedPrecondition(
+              "relationship type has no edges to remove");
+        }
+        --edge_counts_[update.schema_edge];
+      } else {
+        ++edge_counts_[update.schema_edge];
+      }
+      const SchemaEdge& edge = schema_->Edge(update.schema_edge);
+      dirty_[edge.src] = true;
+      dirty_[edge.dst] = true;
+      break;
+    }
+  }
+  ++total_updates_;
+  return Status::OK();
+}
+
+Status IncrementalSchemaStats::ApplyAll(
+    const std::vector<GraphUpdate>& updates) {
+  for (const GraphUpdate& update : updates) {
+    EGP_RETURN_IF_ERROR(Apply(update));
+  }
+  return Status::OK();
+}
+
+uint64_t IncrementalSchemaStats::TypeEntityCount(TypeId type) const {
+  EGP_CHECK(type < type_counts_.size()) << "bad type id";
+  return type_counts_[type];
+}
+
+uint64_t IncrementalSchemaStats::EdgeCount(uint32_t schema_edge) const {
+  EGP_CHECK(schema_edge < edge_counts_.size()) << "bad schema edge";
+  return edge_counts_[schema_edge];
+}
+
+std::vector<TypeId> IncrementalSchemaStats::DirtyTypes() const {
+  std::vector<TypeId> dirty;
+  for (TypeId t = 0; t < dirty_.size(); ++t) {
+    if (dirty_[t]) dirty.push_back(t);
+  }
+  return dirty;
+}
+
+bool IncrementalSchemaStats::IsDirty(TypeId type) const {
+  EGP_CHECK(type < dirty_.size()) << "bad type id";
+  return dirty_[type];
+}
+
+void IncrementalSchemaStats::ClearDirty() {
+  std::fill(dirty_.begin(), dirty_.end(), false);
+}
+
+SchemaGraph IncrementalSchemaStats::ToSchemaGraph() const {
+  SchemaGraph out;
+  for (TypeId t = 0; t < schema_->num_types(); ++t) {
+    out.AddType(schema_->TypeName(t), type_counts_[t]);
+  }
+  for (uint32_t e = 0; e < schema_->num_edges(); ++e) {
+    const SchemaEdge& edge = schema_->Edge(e);
+    out.AddEdge(schema_->SurfaceName(edge), edge.src, edge.dst,
+                edge_counts_[e]);
+  }
+  return out;
+}
+
+}  // namespace egp

@@ -1,0 +1,88 @@
+// Incremental schema-statistics maintenance.
+//
+// §5 notes that the schema graph and scoring measures "can be
+// incrementally updated when the underlying entity graph is updated"
+// (while optimal previews cannot). This module implements that claim: it
+// maintains the statistics scoring depends on — per-type entity counts
+// and per-relationship-type edge counts — under a stream of data-graph
+// updates, tracks which types' candidate lists are dirty, and rebuilds a
+// SchemaGraph (for re-preparation) without touching the entity graph.
+#ifndef EGP_CORE_INCREMENTAL_H_
+#define EGP_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/schema_graph.h"
+
+namespace egp {
+
+/// One data-graph change, expressed at the schema level (the statistics
+/// are oblivious to entity identity; only type/relationship-type
+/// membership counts matter for scoring).
+struct GraphUpdate {
+  enum class Kind : uint8_t {
+    kAddEntity = 0,     // an entity gained membership in `type`
+    kRemoveEntity,      // an entity lost membership in `type`
+    kAddEdge,           // a relationship of `schema_edge`'s type appeared
+    kRemoveEdge,        // one disappeared
+  };
+  Kind kind;
+  TypeId type = kInvalidId;        // for entity updates
+  uint32_t schema_edge = kInvalidId;  // for edge updates (schema edge index)
+
+  static GraphUpdate AddEntity(TypeId type) {
+    return {Kind::kAddEntity, type, kInvalidId};
+  }
+  static GraphUpdate RemoveEntity(TypeId type) {
+    return {Kind::kRemoveEntity, type, kInvalidId};
+  }
+  static GraphUpdate AddEdge(uint32_t schema_edge) {
+    return {Kind::kAddEdge, kInvalidId, schema_edge};
+  }
+  static GraphUpdate RemoveEdge(uint32_t schema_edge) {
+    return {Kind::kRemoveEdge, kInvalidId, schema_edge};
+  }
+};
+
+class IncrementalSchemaStats {
+ public:
+  /// Snapshots the counts of `schema`. The schema's structure (type and
+  /// edge sets) is fixed; only counts evolve.
+  explicit IncrementalSchemaStats(const SchemaGraph& schema);
+
+  /// Applies one update. Fails on unknown ids or if a count would go
+  /// negative; failed updates change nothing.
+  Status Apply(const GraphUpdate& update);
+
+  /// Applies a batch; stops at the first failure (earlier updates stay
+  /// applied — callers wanting atomicity should validate first).
+  Status ApplyAll(const std::vector<GraphUpdate>& updates);
+
+  uint64_t TypeEntityCount(TypeId type) const;
+  uint64_t EdgeCount(uint32_t schema_edge) const;
+  uint64_t total_updates() const { return total_updates_; }
+
+  /// Types whose key score or candidate list may have changed since the
+  /// last ClearDirty(): the endpoint types of updated edges and the types
+  /// with membership changes. Sorted, deduplicated.
+  std::vector<TypeId> DirtyTypes() const;
+  bool IsDirty(TypeId type) const;
+  void ClearDirty();
+
+  /// Rebuilds a SchemaGraph with the current counts (same structure and
+  /// names); feed it to PreparedSchema::Create to refresh scores.
+  SchemaGraph ToSchemaGraph() const;
+
+ private:
+  const SchemaGraph* schema_;  // structure + names (not owned)
+  std::vector<uint64_t> type_counts_;
+  std::vector<uint64_t> edge_counts_;
+  std::vector<bool> dirty_;
+  uint64_t total_updates_ = 0;
+};
+
+}  // namespace egp
+
+#endif  // EGP_CORE_INCREMENTAL_H_

@@ -1,0 +1,87 @@
+#include "core/key_scoring.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace egp {
+
+std::vector<double> ComputeKeyCoverage(const SchemaGraph& schema) {
+  std::vector<double> scores(schema.num_types());
+  for (TypeId t = 0; t < schema.num_types(); ++t) {
+    scores[t] = static_cast<double>(schema.TypeEntityCount(t));
+  }
+  return scores;
+}
+
+std::vector<double> ComputeKeyRandomWalk(const SchemaGraph& schema,
+                                         const RandomWalkOptions& options) {
+  const size_t n = schema.num_types();
+  if (n == 0) return {};
+  if (n == 1) return {1.0};
+
+  // Undirected pairwise weights w_ij: total relationship count between the
+  // two types in either direction. Self-loops contribute to w_ii.
+  std::vector<double> weights(n * n, 0.0);
+  for (const SchemaEdge& e : schema.edges()) {
+    const double w = static_cast<double>(e.edge_count);
+    weights[e.src * n + e.dst] += w;
+    if (e.src != e.dst) weights[e.dst * n + e.src] += w;
+  }
+
+  // Row-stochastic transition matrix with smoothing between every ordered
+  // pair (isolated types become uniform jumpers).
+  std::vector<double> transition(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      transition[i * n + j] = weights[i * n + j] + options.smoothing;
+      row_sum += transition[i * n + j];
+    }
+    EGP_CHECK(row_sum > 0.0) << "zero transition row";
+    for (size_t j = 0; j < n; ++j) transition[i * n + j] /= row_sum;
+  }
+
+  // Lazy power iteration: π ← ½(πM + π). The lazy walk has the same
+  // stationary distribution as M but is aperiodic, so the iteration also
+  // converges on (near-)bipartite schema graphs where plain π ← πM
+  // oscillates with period 2.
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double p = pi[i];
+      if (p == 0.0) continue;
+      const double* row = &transition[i * n];
+      for (size_t j = 0; j < n; ++j) next[j] += p * row[j];
+    }
+    double delta = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      next[j] = 0.5 * (next[j] + pi[j]);
+      delta += std::fabs(next[j] - pi[j]);
+    }
+    pi.swap(next);
+    if (delta < options.tolerance) break;
+  }
+
+  // Normalize defensively against floating-point drift.
+  double total = 0.0;
+  for (double p : pi) total += p;
+  for (double& p : pi) p /= total;
+  return pi;
+}
+
+double TransitionProbability(const SchemaGraph& schema, TypeId from,
+                             TypeId to) {
+  double weight_to = 0.0;
+  double weight_total = 0.0;
+  for (TypeId other = 0; other < schema.num_types(); ++other) {
+    const double w = static_cast<double>(schema.PairWeight(from, other));
+    weight_total += w;
+    if (other == to) weight_to = w;
+  }
+  return weight_total == 0.0 ? 0.0 : weight_to / weight_total;
+}
+
+}  // namespace egp

@@ -1,0 +1,39 @@
+// Key-attribute scoring measures (§3.2).
+//
+// S_cov(τ): number of entities of type τ.
+// S_walk(τ): stationary probability of τ under a random walk over the
+//   undirected type graph weighted by relationship counts, smoothed with a
+//   small probability (default 1e-5) between every ordered pair of types so
+//   the walk converges on disconnected schema graphs (§6 setup).
+#ifndef EGP_CORE_KEY_SCORING_H_
+#define EGP_CORE_KEY_SCORING_H_
+
+#include <vector>
+
+#include "graph/schema_graph.h"
+
+namespace egp {
+
+/// Coverage scores for every type: S_cov(τ_i) = entity count of τ_i.
+std::vector<double> ComputeKeyCoverage(const SchemaGraph& schema);
+
+struct RandomWalkOptions {
+  /// Smoothing probability mass added between every ordered pair of types
+  /// (including self), as in the paper's experimental setup.
+  double smoothing = 1e-5;
+  /// Power-iteration stop conditions.
+  int max_iterations = 500;
+  double tolerance = 1e-12;
+};
+
+/// Stationary distribution π of the smoothed random walk; sums to 1.
+std::vector<double> ComputeKeyRandomWalk(const SchemaGraph& schema,
+                                         const RandomWalkOptions& options = {});
+
+/// The transition probability M_ij from the paper's running example
+/// (unsmoothed): w_ij / Σ_k w_ik, or 0 if τ_i has no incident weight.
+double TransitionProbability(const SchemaGraph& schema, TypeId from, TypeId to);
+
+}  // namespace egp
+
+#endif  // EGP_CORE_KEY_SCORING_H_

@@ -1,0 +1,130 @@
+#include "core/nonkey_scoring.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "common/math_util.h"
+
+namespace egp {
+namespace {
+
+/// Batched entropy for one relationship type and direction. A single pass
+/// over the type's edge list (instead of scanning every key entity's full
+/// adjacency) collects (key, value) pairs; sorting groups them into
+/// per-tuple value-set spans in an arena, and a second sort over the
+/// spans counts set-equality classes — no per-tuple allocations.
+/// O(E log E) in the relationship's edge count.
+double RelationshipEntropyFast(const EntityGraph& graph, RelTypeId rel_type,
+                               Direction direction) {
+  const auto& edge_ids = graph.EdgesOfRelType(rel_type);
+  std::vector<std::pair<EntityId, EntityId>> pairs;
+  pairs.reserve(edge_ids.size());
+  for (EdgeId id : edge_ids) {
+    const EdgeRecord& e = graph.Edge(id);
+    if (direction == Direction::kOutgoing) {
+      pairs.emplace_back(e.src, e.dst);
+    } else {
+      pairs.emplace_back(e.dst, e.src);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  // Value-set spans per key tuple, over the sorted pair arena.
+  struct Span {
+    size_t begin;
+    size_t end;
+  };
+  std::vector<Span> spans;
+  for (size_t i = 0; i < pairs.size();) {
+    size_t j = i + 1;
+    while (j < pairs.size() && pairs[j].first == pairs[i].first) ++j;
+    spans.push_back(Span{i, j});
+    i = j;
+  }
+
+  // Group by value-set equality: order spans lexicographically by their
+  // value sequences, then count equal runs.
+  auto span_less = [&pairs](const Span& a, const Span& b) {
+    return std::lexicographical_compare(
+        pairs.begin() + a.begin, pairs.begin() + a.end,
+        pairs.begin() + b.begin, pairs.begin() + b.end,
+        [](const auto& x, const auto& y) { return x.second < y.second; });
+  };
+  auto span_equal = [&pairs](const Span& a, const Span& b) {
+    return a.end - a.begin == b.end - b.begin &&
+           std::equal(pairs.begin() + a.begin, pairs.begin() + a.end,
+                      pairs.begin() + b.begin,
+                      [](const auto& x, const auto& y) {
+                        return x.second == y.second;
+                      });
+  };
+  std::sort(spans.begin(), spans.end(), span_less);
+
+  std::vector<uint64_t> counts;
+  for (size_t i = 0; i < spans.size();) {
+    size_t j = i + 1;
+    while (j < spans.size() && span_equal(spans[i], spans[j])) ++j;
+    counts.push_back(j - i);
+    i = j;
+  }
+  return EntropyLog10(counts);
+}
+
+}  // namespace
+
+NonKeyScores ComputeNonKeyCoverage(const SchemaGraph& schema) {
+  NonKeyScores scores;
+  scores.outgoing.resize(schema.num_edges());
+  scores.incoming.resize(schema.num_edges());
+  for (uint32_t i = 0; i < schema.num_edges(); ++i) {
+    const double support = static_cast<double>(schema.Edge(i).edge_count);
+    scores.outgoing[i] = support;
+    scores.incoming[i] = support;
+  }
+  return scores;
+}
+
+double RelationshipEntropy(const EntityGraph& graph, RelTypeId rel_type,
+                           Direction direction) {
+  const RelTypeInfo& info = graph.RelType(rel_type);
+  const TypeId key_type =
+      direction == Direction::kOutgoing ? info.src_type : info.dst_type;
+
+  // Group tuples by their full value set (multi-valued cells are equal iff
+  // equal as sets; NeighborSet returns sorted, deduplicated vectors).
+  std::map<std::vector<EntityId>, uint64_t> groups;
+  for (EntityId e : graph.EntitiesOfType(key_type)) {
+    std::vector<EntityId> value_set = graph.NeighborSet(e, rel_type, direction);
+    if (value_set.empty()) continue;  // |t.γ| counts non-empty tuples only.
+    ++groups[std::move(value_set)];
+  }
+  std::vector<uint64_t> counts;
+  counts.reserve(groups.size());
+  for (const auto& [values, count] : groups) counts.push_back(count);
+  return EntropyLog10(counts);
+}
+
+Result<NonKeyScores> ComputeNonKeyEntropy(const EntityGraph& graph,
+                                          const SchemaGraph& schema) {
+  NonKeyScores scores;
+  scores.outgoing.resize(schema.num_edges());
+  scores.incoming.resize(schema.num_edges());
+  for (uint32_t i = 0; i < schema.num_edges(); ++i) {
+    const RelTypeId rel_type = schema.RelTypeOfEdge(i);
+    if (rel_type == kInvalidId) {
+      return Status::FailedPrecondition(
+          "entropy scoring requires a schema graph derived from the entity "
+          "graph (schema edge lacks relationship-type mapping)");
+    }
+    scores.outgoing[i] =
+        RelationshipEntropyFast(graph, rel_type, Direction::kOutgoing);
+    scores.incoming[i] =
+        RelationshipEntropyFast(graph, rel_type, Direction::kIncoming);
+  }
+  return scores;
+}
+
+}  // namespace egp

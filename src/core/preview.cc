@@ -1,0 +1,120 @@
+#include "core/preview.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace egp {
+
+double PreviewTable::Score(const PreparedSchema& prepared) const {
+  double nonkey_sum = 0.0;
+  for (const NonKeyCandidate& c : nonkeys) nonkey_sum += c.score;
+  return prepared.KeyScore(key) * nonkey_sum;
+}
+
+double Preview::Score(const PreparedSchema& prepared) const {
+  double total = 0.0;
+  for (const PreviewTable& t : tables) total += t.Score(prepared);
+  return total;
+}
+
+size_t Preview::TotalNonKeys() const {
+  size_t total = 0;
+  for (const PreviewTable& t : tables) total += t.nonkeys.size();
+  return total;
+}
+
+std::vector<TypeId> Preview::Keys() const {
+  std::vector<TypeId> keys;
+  keys.reserve(tables.size());
+  for (const PreviewTable& t : tables) keys.push_back(t.key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+Status ValidatePreview(const Preview& preview, const PreparedSchema& prepared,
+                       const SizeConstraint& size,
+                       const DistanceConstraint& distance) {
+  const SchemaGraph& schema = prepared.schema();
+  if (preview.tables.size() != size.k) {
+    return Status::FailedPrecondition(
+        StrFormat("preview has %zu tables, expected k=%u",
+                  preview.tables.size(), size.k));
+  }
+  if (preview.TotalNonKeys() > size.n) {
+    return Status::FailedPrecondition(
+        StrFormat("preview has %zu non-key attributes, allowed n=%u",
+                  preview.TotalNonKeys(), size.n));
+  }
+  std::set<TypeId> seen_keys;
+  for (const PreviewTable& table : preview.tables) {
+    if (table.key >= schema.num_types()) {
+      return Status::FailedPrecondition("table key type out of range");
+    }
+    if (!seen_keys.insert(table.key).second) {
+      return Status::FailedPrecondition(StrFormat(
+          "duplicate key attribute '%s'", schema.TypeName(table.key).c_str()));
+    }
+    if (table.nonkeys.empty()) {
+      return Status::FailedPrecondition(
+          StrFormat("table '%s' has no non-key attribute",
+                    schema.TypeName(table.key).c_str()));
+    }
+    std::set<std::pair<uint32_t, Direction>> seen_attrs;
+    for (const NonKeyCandidate& c : table.nonkeys) {
+      if (c.schema_edge >= schema.num_edges()) {
+        return Status::FailedPrecondition("non-key schema edge out of range");
+      }
+      const SchemaEdge& e = schema.Edge(c.schema_edge);
+      const TypeId anchor =
+          c.direction == Direction::kOutgoing ? e.src : e.dst;
+      if (anchor != table.key) {
+        return Status::FailedPrecondition(StrFormat(
+            "non-key attribute '%s' (%s) is not incident on key '%s' in the "
+            "claimed direction",
+            schema.SurfaceName(e).c_str(), DirectionName(c.direction),
+            schema.TypeName(table.key).c_str()));
+      }
+      if (!seen_attrs.insert({c.schema_edge, c.direction}).second) {
+        return Status::FailedPrecondition(
+            StrFormat("duplicate non-key attribute in table '%s'",
+                      schema.TypeName(table.key).c_str()));
+      }
+    }
+  }
+  for (size_t i = 0; i < preview.tables.size(); ++i) {
+    for (size_t j = i + 1; j < preview.tables.size(); ++j) {
+      const uint32_t dist = prepared.distances().Distance(
+          preview.tables[i].key, preview.tables[j].key);
+      if (!distance.SatisfiedBy(dist)) {
+        return Status::FailedPrecondition(StrFormat(
+            "tables '%s' and '%s' violate the distance constraint (dist=%u)",
+            schema.TypeName(preview.tables[i].key).c_str(),
+            schema.TypeName(preview.tables[j].key).c_str(), dist));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string DescribePreview(const Preview& preview,
+                            const PreparedSchema& prepared) {
+  const SchemaGraph& schema = prepared.schema();
+  std::ostringstream out;
+  for (const PreviewTable& table : preview.tables) {
+    out << schema.TypeName(table.key) << ":";
+    for (const NonKeyCandidate& c : table.nonkeys) {
+      const SchemaEdge& e = schema.Edge(c.schema_edge);
+      const TypeId other = c.direction == Direction::kOutgoing ? e.dst : e.src;
+      out << " " << schema.SurfaceName(e) << "("
+          << DirectionName(c.direction) << "->" << schema.TypeName(other)
+          << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace egp

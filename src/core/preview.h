@@ -1,0 +1,51 @@
+// Preview and PreviewTable (Def. 1) plus scoring (Eq. 1–2) and validation.
+#ifndef EGP_CORE_PREVIEW_H_
+#define EGP_CORE_PREVIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/candidates.h"
+#include "core/constraints.h"
+
+namespace egp {
+
+/// One preview table: a key entity type plus chosen non-key attributes
+/// (each a schema edge used in a direction). Corresponds to a star-shaped
+/// subgraph of the schema graph centred on `key`.
+struct PreviewTable {
+  TypeId key = kInvalidId;
+  std::vector<NonKeyCandidate> nonkeys;
+
+  /// S(T) = S(τ) · Σ Sτ(γ) (Eq. 2).
+  double Score(const PreparedSchema& prepared) const;
+};
+
+/// A preview: a set of preview tables with pairwise-distinct keys.
+struct Preview {
+  std::vector<PreviewTable> tables;
+
+  /// S(P) = Σ S(T) (Eq. 1).
+  double Score(const PreparedSchema& prepared) const;
+
+  size_t TotalNonKeys() const;
+  /// Sorted list of key types (for comparisons in tests).
+  std::vector<TypeId> Keys() const;
+};
+
+/// Checks Def. 1/2 structural validity: k tables with distinct keys, every
+/// table has ≥1 non-key attribute drawn from edges incident on its key in
+/// the correct direction, ≤ n non-keys in total, and the pairwise distance
+/// constraint holds.
+Status ValidatePreview(const Preview& preview, const PreparedSchema& prepared,
+                       const SizeConstraint& size,
+                       const DistanceConstraint& distance);
+
+/// Human-readable one-line-per-table description (type / attribute names).
+std::string DescribePreview(const Preview& preview,
+                            const PreparedSchema& prepared);
+
+}  // namespace egp
+
+#endif  // EGP_CORE_PREVIEW_H_

@@ -1,0 +1,74 @@
+// Tuple sampling: materializes a few display rows per preview table.
+//
+// The paper shows "a few randomly sampled tuples in each preview table"
+// (§1/§2) and leaves representative-tuple selection to future work; we
+// provide the random strategy plus a frequency-weighted extension that
+// prefers entities with more non-empty attribute cells.
+#ifndef EGP_CORE_TUPLE_SAMPLER_H_
+#define EGP_CORE_TUPLE_SAMPLER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/preview.h"
+#include "graph/entity_graph.h"
+
+namespace egp {
+
+/// One rendered cell: the set of neighbour entities (possibly empty).
+struct MaterializedCell {
+  std::vector<EntityId> values;
+};
+
+struct MaterializedRow {
+  EntityId key;
+  std::vector<MaterializedCell> cells;  // parallel to columns
+};
+
+struct MaterializedColumn {
+  std::string name;        // relationship surface name
+  std::string target;      // other endpoint type name(s), comma-joined
+  Direction direction;
+  /// Usually one relationship type; several when multi-way merging folds
+  /// same-surface attributes into one column (Appendix B: "presenting
+  /// values for all participating entity types").
+  std::vector<RelTypeId> rel_types;
+};
+
+struct MaterializedTable {
+  TypeId key_type;
+  std::string key_name;
+  std::vector<MaterializedColumn> columns;
+  std::vector<MaterializedRow> rows;
+  uint64_t total_tuples = 0;  // |T.τ|, before sampling
+};
+
+struct MaterializedPreview {
+  std::vector<MaterializedTable> tables;
+};
+
+enum class SamplingStrategy : uint8_t {
+  kRandom = 0,           // the paper's approach
+  kFrequencyWeighted,    // prefer rows with more non-empty cells (extension)
+};
+
+struct TupleSamplerOptions {
+  size_t rows_per_table = 4;
+  uint64_t seed = 42;
+  SamplingStrategy strategy = SamplingStrategy::kRandom;
+  /// Folds a table's non-key attributes that share surface name and
+  /// direction into one multi-way column (e.g. the paper's "Performances
+  /// (FILM ACTOR, FILM CHARACTER)"); cells union the value sets.
+  bool merge_multiway_columns = false;
+};
+
+/// Requires the preview's PreparedSchema to be derived from `graph` so
+/// schema edges map back to relationship types.
+Result<MaterializedPreview> MaterializePreview(
+    const EntityGraph& graph, const PreparedSchema& prepared,
+    const Preview& preview, const TupleSamplerOptions& options = {});
+
+}  // namespace egp
+
+#endif  // EGP_CORE_TUPLE_SAMPLER_H_

@@ -1,0 +1,196 @@
+#include "datagen/domain_spec.h"
+
+namespace egp {
+namespace {
+
+DomainSpec Books() {
+  DomainSpec spec;
+  spec.name = "books";
+  spec.paper_entities = 6'000'000;
+  spec.paper_edges = 15'000'000;
+  spec.num_types = 91;
+  spec.num_rel_types = 201;
+  spec.default_scale = 0.001;
+  spec.gold.tables = {
+      {"BOOK", {"Characters", "Genre", "Editions"}},
+      {"BOOK EDITION", {"Publication Date", "Publisher", "Credited To"}},
+      {"SHORT STORY", {"Genre", "Characters"}},
+      {"POEM", {"Characters", "Meter", "Verse Form"}},
+      {"SHORT NON-FICTION", {"Mode Of Writing", "Verse Form"}},
+      {"AUTHOR",
+       {"Series Written (Or Contributed To)", "Works Edited",
+        "Works Written"}},
+  };
+  spec.gold_coverage_ranks = {0, 1, 2, 3, 5, 11};
+  spec.gold_nonkey_strength = 1.0;
+  spec.expert_pattern = {0, 5, -1, -2, -3, -4};  // Tables 22/23, books row
+  spec.num_decoys = 5;
+  spec.decoy_bias = 0.35;
+  spec.seed = 101;
+  return spec;
+}
+
+DomainSpec Film() {
+  DomainSpec spec;
+  spec.name = "film";
+  spec.paper_entities = 2'000'000;
+  spec.paper_edges = 18'000'000;
+  spec.num_types = 63;
+  spec.num_rel_types = 136;
+  spec.default_scale = 0.001;
+  spec.gold.tables = {
+      {"FILM", {"Directed By", "Tagline", "Initial Release Date"}},
+      {"FILM ACTOR", {"Film Performances"}},
+      {"FILM GENRE", {"Films Of This Genre"}},
+      {"FILM DIRECTOR", {"Films Directed"}},
+      {"FILM PRODUCER", {"Films Executive Produced", "Films Produced"}},
+      {"FILM WRITER", {"Film Writing Credits"}},
+  };
+  spec.gold_coverage_ranks = {0, 1, 2, 4, 6, 9};
+  // Film is the paper's weak domain for non-key MRR (Table 3: 0.2/0.25);
+  // bury the curated attributes mid-list.
+  spec.gold_nonkey_strength = 0.3;
+  spec.expert_pattern = {0, -1, 3, 4, -2, -3};
+  spec.num_decoys = 5;
+  spec.decoy_bias = 0.35;
+  spec.seed = 102;
+  return spec;
+}
+
+DomainSpec Music() {
+  DomainSpec spec;
+  spec.name = "music";
+  spec.paper_entities = 27'000'000;
+  spec.paper_edges = 187'000'000;
+  spec.num_types = 69;
+  spec.num_rel_types = 176;
+  spec.default_scale = 0.001;
+  spec.gold.tables = {
+      {"COMPOSITION", {"Includes", "Lyricist", "Composer"}},
+      {"CONCERT", {"Venue", "Start Date", "Concert Tour"}},
+      {"MUSIC VIDEO", {"Song", "Initial Release Date", "Artist"}},
+      {"MUSICAL ALBUM", {"Release Type", "Initial Release Date", "Artist"}},
+      {"MUSICAL ARTIST",
+       {"Albums", "Place Musical Career Began", "Musical Genres"}},
+      {"MUSICAL RECORDING", {"Length", "Featured Artists", "Recorded By"}},
+  };
+  spec.gold_coverage_ranks = {0, 1, 2, 3, 4, 8};
+  spec.gold_nonkey_strength = 0.95;
+  spec.expert_pattern = {0, 1, 2, 3, -1, 4};
+  spec.num_decoys = 3;
+  spec.decoy_bias = 0.12;
+  spec.seed = 103;
+  return spec;
+}
+
+DomainSpec Tv() {
+  DomainSpec spec;
+  spec.name = "tv";
+  spec.paper_entities = 2'000'000;
+  spec.paper_edges = 17'000'000;
+  spec.num_types = 59;
+  spec.num_rel_types = 177;
+  spec.default_scale = 0.001;
+  spec.gold.tables = {
+      {"TV PROGRAM",
+       {"Program Creator", "Air Date Of First Episode",
+        "Air Date Of Final Episode"}},
+      {"TV ACTOR", {"Starring TV Roles"}},
+      {"TV CHARACTER", {"Programs In Which This Was A Regular Character"}},
+      {"TV WRITER", {"TV Programs (Recurring Writer)"}},
+      {"TV PRODUCER", {"TV Programs Produced"}},
+      {"TV DIRECTOR", {"TV Episodes Directed", "TV Segments Directed"}},
+  };
+  spec.gold_coverage_ranks = {0, 1, 2, 3, 4, 7};
+  spec.gold_nonkey_strength = 1.0;
+  spec.expert_pattern = {0, 1, -1, 2, -2, -3};
+  spec.num_decoys = 5;
+  spec.decoy_bias = 0.35;
+  spec.seed = 104;
+  return spec;
+}
+
+DomainSpec People() {
+  DomainSpec spec;
+  spec.name = "people";
+  spec.paper_entities = 3'000'000;
+  spec.paper_edges = 17'000'000;
+  spec.num_types = 45;
+  spec.num_rel_types = 78;
+  spec.default_scale = 0.001;
+  spec.gold.tables = {
+      {"PERSON", {"Profession", "Country Of Nationality", "Date Of Birth"}},
+      {"DECEASED PERSON", {"Cause Of Death", "Place Of Death",
+                           "Date Of Death"}},
+      {"CAUSE OF DEATH",
+       {"People Who Died This Way", "Includes Causes Of Death",
+        "Parent Cause Of Death"}},
+      {"ETHNICITY",
+       {"Geographic Distribution", "Includes Group(S)",
+        "Included In Group(S)"}},
+      {"PROFESSION",
+       {"Specializations", "Specialization Of",
+        "People With This Profession"}},
+      {"PROFESSIONAL FIELD", {"Professions In This Field"}},
+  };
+  // People is the weakest domain for key-attribute accuracy (Table 4 PCC
+  // ~0.3); spread the gold types down the popularity ranking.
+  spec.gold_coverage_ranks = {0, 2, 5, 9, 13, 17};
+  spec.gold_nonkey_strength = 0.95;
+  spec.expert_pattern = {0, -1, 1, 4, -2, -3};
+  spec.num_decoys = 4;
+  spec.decoy_bias = 0.30;
+  spec.seed = 105;
+  return spec;
+}
+
+DomainSpec Basketball() {
+  DomainSpec spec;
+  spec.name = "basketball";
+  spec.paper_entities = 19'000;
+  spec.paper_edges = 557'000;
+  spec.num_types = 6;
+  spec.num_rel_types = 21;
+  spec.default_scale = 0.1;
+  spec.gold_coverage_ranks = {};  // no gold standard for this domain
+  spec.seed = 106;
+  return spec;
+}
+
+DomainSpec Architecture() {
+  DomainSpec spec;
+  spec.name = "architecture";
+  spec.paper_entities = 133'000;
+  spec.paper_edges = 432'000;
+  spec.num_types = 23;
+  spec.num_rel_types = 48;
+  spec.default_scale = 0.1;
+  spec.gold_coverage_ranks = {};
+  spec.seed = 107;
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<DomainSpec>& AllDomainSpecs() {
+  static const std::vector<DomainSpec>* specs = new std::vector<DomainSpec>{
+      Books(), Film(), Music(), Tv(), People(), Basketball(), Architecture()};
+  return *specs;
+}
+
+std::vector<const DomainSpec*> GoldDomainSpecs() {
+  std::vector<const DomainSpec*> gold;
+  for (const DomainSpec& spec : AllDomainSpecs()) {
+    if (!spec.gold.tables.empty()) gold.push_back(&spec);
+  }
+  return gold;
+}
+
+const DomainSpec* FindDomainSpec(std::string_view name) {
+  for (const DomainSpec& spec : AllDomainSpecs()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace egp

@@ -1,0 +1,74 @@
+// Embedded specifications of the paper's seven Freebase domains (§6,
+// Table 2), including the gold standard (Table 10) and the calibration
+// knobs that let the synthetic generator reproduce the relative-rank
+// structure the accuracy experiments depend on.
+#ifndef EGP_DATAGEN_DOMAIN_SPEC_H_
+#define EGP_DATAGEN_DOMAIN_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datagen/gold_standard.h"
+
+namespace egp {
+
+struct DomainSpec {
+  std::string name;
+
+  // Table 2, full Freebase scale.
+  uint64_t paper_entities = 0;
+  uint64_t paper_edges = 0;
+  // Table 2, schema graph — matched exactly by the generator.
+  uint32_t num_types = 0;      // K
+  uint32_t num_rel_types = 0;  // |Es|
+
+  /// Default down-scale factor for entity/edge counts (schema size is
+  /// never scaled). See DESIGN.md §2 for why this preserves behaviour.
+  double default_scale = 1.0;
+
+  GoldStandard gold;
+
+  // --- Calibration --------------------------------------------------------
+  /// Popularity ranks (0-based) assigned to the six gold key types, in
+  /// Table 10 order. Chosen so the coverage ranking reproduces the Fig. 5
+  /// P@K shape (e.g. ~0.55–0.6 P@10 in strong domains).
+  std::vector<uint32_t> gold_coverage_ranks;
+  /// Multiplier applied to gold non-key attribute edge counts relative to
+  /// the strongest competing attribute of the same key type. > 1 ranks the
+  /// gold attributes at the top (high MRR); < 1 buries them (film).
+  double gold_nonkey_strength = 1.5;
+  /// Probability that a filler relationship type attaches one endpoint to
+  /// a gold key type (drives random-walk centrality of gold types).
+  double gold_hub_bias = 0.4;
+  /// "Decoy" types: schema-wide but unpopular auxiliary types that attract
+  /// information-content measures (YPS09) without attracting coverage —
+  /// the mismatch behind the Fig. 5-7 gap. decoy_bias is the probability a
+  /// filler relationship type anchors on a decoy.
+  uint32_t num_decoys = 0;
+  double decoy_bias = 0.0;
+  /// Fraction of entities that receive a second entity type.
+  double multi_type_fraction = 0.03;
+
+  /// Expert key list pattern, reconstructed from Tables 22–23. Entry >= 0
+  /// selects the gold table of that index; entry < 0 selects auxiliary
+  /// (non-gold) type number -(entry)-1. Resolved to names by the generator.
+  std::vector<int> expert_pattern;
+
+  uint64_t seed = 1;
+};
+
+/// All seven domains: books, film, music, tv, people, basketball,
+/// architecture.
+const std::vector<DomainSpec>& AllDomainSpecs();
+
+/// The five gold-standard domains used by the accuracy experiments.
+std::vector<const DomainSpec*> GoldDomainSpecs();
+
+/// Lookup by name; nullptr if unknown.
+const DomainSpec* FindDomainSpec(std::string_view name);
+
+}  // namespace egp
+
+#endif  // EGP_DATAGEN_DOMAIN_SPEC_H_

@@ -1,0 +1,438 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "graph/entity_graph_builder.h"
+
+namespace egp {
+namespace {
+
+std::string Upper(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Lower-cased, dash-joined entity-name stem for a type.
+std::string NameStem(std::string_view type_name) {
+  std::string out;
+  for (char c : type_name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!out.empty() && out.back() != '-') {
+      out += '-';
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
+/// Zipf-shares n units over `count` ranks with the given exponent,
+/// guaranteeing at least min_each per rank.
+std::vector<uint64_t> ZipfAllocate(uint64_t n, size_t count, double exponent,
+                                   uint64_t min_each) {
+  std::vector<uint64_t> out(count, min_each);
+  if (count == 0) return out;
+  double total_weight = 0.0;
+  std::vector<double> weight(count);
+  for (size_t i = 0; i < count; ++i) {
+    weight[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    total_weight += weight[i];
+  }
+  const uint64_t base = min_each * count;
+  const uint64_t spread = n > base ? n - base : 0;
+  for (size_t i = 0; i < count; ++i) {
+    out[i] += static_cast<uint64_t>(
+        std::llround(static_cast<double>(spread) * weight[i] / total_weight));
+  }
+  return out;
+}
+
+/// Cache of ZipfDistributions keyed by (size) so endpoint sampling reuses
+/// the CDF across relationship types touching same-sized member lists.
+class ZipfCache {
+ public:
+  explicit ZipfCache(double exponent) : exponent_(exponent) {}
+  const ZipfDistribution& Get(size_t n) {
+    auto it = cache_.find(n);
+    if (it == cache_.end()) {
+      it = cache_.emplace(n, ZipfDistribution(n, exponent_)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  double exponent_;
+  std::map<size_t, ZipfDistribution> cache_;
+};
+
+}  // namespace
+
+Result<GeneratedDomain> GenerateDomain(const DomainSpec& spec,
+                                       const GeneratorOptions& options) {
+  const double scale = options.scale > 0 ? options.scale : spec.default_scale;
+  const uint64_t seed = options.seed != 0 ? options.seed : spec.seed;
+  Rng rng(seed);
+
+  const size_t num_gold = spec.gold.tables.size();
+  const uint32_t K = spec.num_types;
+  const uint32_t R = spec.num_rel_types;
+  if (K < num_gold) {
+    return Status::InvalidArgument("spec has more gold tables than types");
+  }
+  if (!spec.gold_coverage_ranks.empty() &&
+      spec.gold_coverage_ranks.size() != num_gold) {
+    return Status::InvalidArgument(
+        "gold_coverage_ranks must match gold table count");
+  }
+
+  EntityGraphBuilder builder;
+
+  // ---- 1. Entity types ----------------------------------------------------
+  std::vector<std::string> type_names;
+  type_names.reserve(K);
+  for (const GoldTable& table : spec.gold.tables) {
+    type_names.push_back(table.key);
+  }
+  const std::string domain_upper = Upper(spec.name);
+  for (uint32_t i = static_cast<uint32_t>(num_gold); i < K; ++i) {
+    type_names.push_back(
+        StrFormat("%s AUX %02u", domain_upper.c_str(), i - static_cast<uint32_t>(num_gold)));
+  }
+  std::vector<TypeId> types(K);
+  for (uint32_t i = 0; i < K; ++i) {
+    types[i] = builder.AddEntityType(type_names[i]);
+  }
+
+  // ---- 2. Popularity ranks and sizes --------------------------------------
+  // rank_of[i] = popularity rank (0 = largest) of type index i.
+  std::vector<uint32_t> rank_of(K, kInvalidId);
+  std::vector<bool> rank_taken(K, false);
+  for (size_t g = 0; g < spec.gold_coverage_ranks.size(); ++g) {
+    const uint32_t rank = spec.gold_coverage_ranks[g];
+    EGP_CHECK(rank < K) << "gold rank out of range";
+    EGP_CHECK(!rank_taken[rank]) << "duplicate gold rank";
+    rank_of[g] = rank;
+    rank_taken[rank] = true;
+  }
+  std::vector<uint32_t> free_ranks;
+  for (uint32_t r = 0; r < K; ++r) {
+    if (!rank_taken[r]) free_ranks.push_back(r);
+  }
+  rng.Shuffle(&free_ranks);
+  size_t next_free = 0;
+  for (uint32_t i = 0; i < K; ++i) {
+    if (rank_of[i] == kInvalidId) rank_of[i] = free_ranks[next_free++];
+  }
+
+  const uint64_t target_entities = static_cast<uint64_t>(
+      std::llround(static_cast<double>(spec.paper_entities) * scale));
+  const std::vector<uint64_t> size_by_rank = ZipfAllocate(
+      target_entities, K, options.type_size_zipf, options.min_type_size);
+
+  std::vector<std::vector<EntityId>> members(K);
+  for (uint32_t i = 0; i < K; ++i) {
+    const uint64_t size = size_by_rank[rank_of[i]];
+    const std::string stem = NameStem(type_names[i]);
+    members[i].reserve(size);
+    for (uint64_t j = 0; j < size; ++j) {
+      const EntityId e = builder.AddEntity(
+          StrFormat("%s-%llu", stem.c_str(),
+                    static_cast<unsigned long long>(j)));
+      builder.AddEntityToType(e, types[i]);
+      members[i].push_back(e);
+    }
+  }
+
+  // ---- 3. Multi-typing ------------------------------------------------------
+  if (spec.multi_type_fraction > 0 && K > 1) {
+    const uint64_t total = builder.num_entities();
+    const uint64_t promotions = static_cast<uint64_t>(
+        std::llround(static_cast<double>(total) * spec.multi_type_fraction));
+    for (uint64_t p = 0; p < promotions; ++p) {
+      const uint32_t from = static_cast<uint32_t>(rng.NextBounded(K));
+      uint32_t to = static_cast<uint32_t>(rng.NextBounded(K));
+      if (to == from) to = (to + 1) % K;
+      if (members[from].empty()) continue;
+      const EntityId e =
+          members[from][rng.NextBounded(members[from].size())];
+      if (builder.TypesOf(e).size() > 1) continue;  // at most double-typed
+      builder.AddEntityToType(e, types[to]);
+      members[to].push_back(e);
+    }
+  }
+
+  // ---- 4. Relationship types ------------------------------------------------
+  struct PlannedRel {
+    std::string surface;
+    uint32_t src;     // type index
+    uint32_t dst;     // type index
+    bool is_gold;
+    size_t gold_table;  // valid if is_gold
+    size_t gold_pos;    // position within the gold table's attribute list
+  };
+  std::vector<PlannedRel> planned;
+  planned.reserve(R);
+
+  std::vector<uint32_t> degree(K, 0);  // schema degree, for attachment bias
+  auto touch = [&](uint32_t a, uint32_t b) {
+    ++degree[a];
+    ++degree[b];
+  };
+
+  // 4a. Gold non-key attributes, anchored on their key types. In weak
+  // domains (strength < 1, i.e. film) the curated attributes point at
+  // unpopular target types, so their value distributions carry little
+  // entropy and both measures bury them (Table 3).
+  std::vector<uint32_t> unpopular_types;
+  for (uint32_t i = 0; i < K; ++i) {
+    if (rank_of[i] + 12 >= K) unpopular_types.push_back(i);
+  }
+  for (size_t g = 0; g < num_gold; ++g) {
+    const GoldTable& table = spec.gold.tables[g];
+    for (size_t a = 0; a < table.nonkeys.size(); ++a) {
+      uint32_t target;
+      if (spec.gold_nonkey_strength < 1.0 && !unpopular_types.empty()) {
+        target = unpopular_types[rng.NextBounded(unpopular_types.size())];
+      } else {
+        target = static_cast<uint32_t>(rng.NextBounded(K));
+      }
+      if (target == g) target = (target + 1) % K;
+      planned.push_back(PlannedRel{table.nonkeys[a], static_cast<uint32_t>(g),
+                                   target, true, g, a});
+      touch(static_cast<uint32_t>(g), target);
+    }
+  }
+  if (planned.size() > R) {
+    return Status::InvalidArgument(
+        "spec.num_rel_types too small for the gold standard");
+  }
+
+  // 4b. Connectivity: attach every untouched type to a touched one.
+  std::vector<uint32_t> touched_list;
+  std::vector<bool> touched(K, false);
+  for (const PlannedRel& rel : planned) {
+    for (uint32_t endpoint : {rel.src, rel.dst}) {
+      if (!touched[endpoint]) {
+        touched[endpoint] = true;
+        touched_list.push_back(endpoint);
+      }
+    }
+  }
+  if (touched_list.empty()) {
+    touched[0] = true;
+    touched_list.push_back(0);
+  }
+  uint32_t assoc_counter = 0;
+  for (uint32_t i = 0; i < K; ++i) {
+    if (touched[i]) continue;
+    if (planned.size() >= R) {
+      return Status::InvalidArgument(
+          "spec.num_rel_types too small to connect every type");
+    }
+    const uint32_t anchor =
+        touched_list[rng.NextBounded(touched_list.size())];
+    const bool outward = rng.NextBernoulli(0.5);
+    planned.push_back(PlannedRel{
+        StrFormat("Assoc %03u", assoc_counter++),
+        outward ? i : anchor, outward ? anchor : i, false, 0, 0});
+    touch(i, anchor);
+    touched[i] = true;
+    touched_list.push_back(i);
+  }
+
+  // Decoy types (see DomainSpec): the least-popular auxiliary types get a
+  // disproportionate share of schema width, so information-content
+  // measures (YPS09) chase them while coverage does not.
+  std::vector<uint32_t> decoys;
+  if (spec.num_decoys > 0 && K > num_gold) {
+    std::vector<uint32_t> aux_by_rank;
+    for (uint32_t i = static_cast<uint32_t>(num_gold); i < K; ++i) {
+      aux_by_rank.push_back(i);
+    }
+    std::sort(aux_by_rank.begin(), aux_by_rank.end(),
+              [&rank_of](uint32_t a, uint32_t b) {
+                return rank_of[a] > rank_of[b];  // least popular first
+              });
+    for (uint32_t i = 0; i < spec.num_decoys && i < aux_by_rank.size(); ++i) {
+      decoys.push_back(aux_by_rank[i]);
+    }
+  }
+
+  // 4c. Preferential-attachment fillers (gold types get a hub bias; decoy
+  // types soak up schema width).
+  uint32_t link_counter = 0;
+  while (planned.size() < R) {
+    uint32_t src;
+    const double roll = rng.NextDouble();
+    if (num_gold > 0 && roll < spec.gold_hub_bias) {
+      src = static_cast<uint32_t>(rng.NextBounded(num_gold));
+    } else if (!decoys.empty() &&
+               roll < spec.gold_hub_bias + spec.decoy_bias) {
+      src = decoys[rng.NextBounded(decoys.size())];
+    } else {
+      std::vector<double> weights(K);
+      for (uint32_t i = 0; i < K; ++i) weights[i] = degree[i] + 1.0;
+      src = static_cast<uint32_t>(rng.NextWeighted(weights));
+    }
+    std::vector<double> weights(K);
+    for (uint32_t i = 0; i < K; ++i) weights[i] = degree[i] + 1.0;
+    uint32_t dst = static_cast<uint32_t>(rng.NextWeighted(weights));
+    // Allow occasional self-loops (real schemas have them, e.g. episode
+    // successor relationships) but keep them rare.
+    if (dst == src && !rng.NextBernoulli(0.15)) dst = (dst + 1) % K;
+    planned.push_back(PlannedRel{StrFormat("Link %03u", link_counter++), src,
+                                 dst, false, 0, 0});
+    touch(src, dst);
+  }
+
+  // ---- 5. Edge counts ---------------------------------------------------------
+  const uint64_t target_edges = static_cast<uint64_t>(
+      std::llround(static_cast<double>(spec.paper_edges) * scale));
+  std::vector<uint32_t> rel_rank(R);
+  for (uint32_t i = 0; i < R; ++i) rel_rank[i] = i;
+  rng.Shuffle(&rel_rank);
+  const std::vector<uint64_t> count_by_rank =
+      ZipfAllocate(target_edges, R, options.rel_count_zipf, 1);
+  std::vector<uint64_t> rel_count(R);
+  for (uint32_t i = 0; i < R; ++i) rel_count[i] = count_by_rank[rel_rank[i]];
+
+  // Gold overrides: position each gold attribute relative to the strongest
+  // competing attribute of its key type.
+  for (size_t g = 0; g < num_gold; ++g) {
+    uint64_t max_competitor = 1;
+    for (uint32_t i = 0; i < R; ++i) {
+      const PlannedRel& rel = planned[i];
+      if (rel.is_gold && rel.gold_table == g) continue;
+      if (rel.src == g || rel.dst == g) {
+        max_competitor = std::max(max_competitor, rel_count[i]);
+      }
+    }
+    for (uint32_t i = 0; i < R; ++i) {
+      const PlannedRel& rel = planned[i];
+      if (!rel.is_gold || rel.gold_table != g) continue;
+      const double slot_decay = 1.0 - 0.08 * static_cast<double>(rel.gold_pos);
+      // Jitter keeps the curated attributes *near* their configured rank
+      // instead of deterministically at it, so MRR lands between 0.5 and
+      // 1.0 in strong domains, as in Table 3.
+      const double jitter = 0.75 + 0.5 * rng.NextDouble();
+      const double count = spec.gold_nonkey_strength * slot_decay * jitter *
+                           static_cast<double>(max_competitor);
+      rel_count[i] = std::max<uint64_t>(1, static_cast<uint64_t>(count));
+    }
+  }
+
+  // Boost the relationship mass around gold types so their random-walk
+  // centrality matches their popularity (Fig. 5's premise). The boost is
+  // uniform across a gold type's incident relationships, so within-type
+  // candidate orderings (Table 3 MRR) are unchanged.
+  for (uint32_t i = 0; i < R; ++i) {
+    if (planned[i].src < num_gold || planned[i].dst < num_gold) {
+      rel_count[i] = static_cast<uint64_t>(
+          std::llround(static_cast<double>(rel_count[i]) * 1.5));
+    }
+  }
+
+  // Renormalize so the gold overrides do not inflate the total edge count
+  // away from the Table 2 target (a uniform scale preserves all relative
+  // orderings, including gold-vs-competitor).
+  {
+    uint64_t total = 0;
+    for (uint64_t c : rel_count) total += c;
+    if (total > 0 && target_edges > 0) {
+      const double factor =
+          static_cast<double>(target_edges) / static_cast<double>(total);
+      for (uint64_t& c : rel_count) {
+        c = std::max<uint64_t>(
+            1, static_cast<uint64_t>(std::llround(
+                   static_cast<double>(c) * factor)));
+      }
+    }
+  }
+
+  // ---- 6. Edge instances ---------------------------------------------------
+  std::vector<RelTypeId> rel_ids(R);
+  for (uint32_t i = 0; i < R; ++i) {
+    rel_ids[i] = builder.AddRelationshipType(planned[i].surface,
+                                             types[planned[i].src],
+                                             types[planned[i].dst]);
+  }
+  ZipfCache endpoint_cache(options.endpoint_zipf);
+  for (uint32_t i = 0; i < R; ++i) {
+    const std::vector<EntityId>& src_members = members[planned[i].src];
+    const std::vector<EntityId>& dst_members = members[planned[i].dst];
+    const uint64_t capacity =
+        static_cast<uint64_t>(src_members.size()) * dst_members.size();
+    const uint64_t count = std::min(rel_count[i], capacity);
+    const ZipfDistribution& src_dist = endpoint_cache.Get(src_members.size());
+    const ZipfDistribution& dst_dist = endpoint_cache.Get(dst_members.size());
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(count * 2);
+    for (uint64_t c = 0; c < count; ++c) {
+      EntityId src = 0, dst = 0;
+      bool fresh = false;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        src = src_members[src_dist.Sample(&rng)];
+        dst = dst_members[dst_dist.Sample(&rng)];
+        const uint64_t key =
+            (static_cast<uint64_t>(src) << 32) | static_cast<uint64_t>(dst);
+        if (seen.insert(key).second) {
+          fresh = true;
+          break;
+        }
+      }
+      if (!fresh) continue;  // saturated pocket of the pair space
+      EGP_RETURN_IF_ERROR(builder.AddEdge(src, rel_ids[i], dst));
+    }
+  }
+
+  // ---- Assemble -------------------------------------------------------------
+  GeneratedDomain out;
+  out.name = spec.name;
+  EGP_ASSIGN_OR_RETURN(out.graph, builder.Build());
+  out.schema = SchemaGraph::FromEntityGraph(out.graph);
+  out.gold = spec.gold;
+
+  // Resolve the expert pattern: shared slots name gold keys; expert-only
+  // slots name the most popular non-gold types (plausible expert picks).
+  if (!spec.expert_pattern.empty()) {
+    std::vector<std::pair<uint64_t, std::string>> aux_by_size;
+    for (uint32_t i = static_cast<uint32_t>(num_gold); i < K; ++i) {
+      aux_by_size.emplace_back(out.graph.TypeEntityCount(types[i]),
+                               type_names[i]);
+    }
+    std::sort(aux_by_size.begin(), aux_by_size.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    out.gold.expert_keys.clear();
+    for (int entry : spec.expert_pattern) {
+      if (entry >= 0) {
+        out.gold.expert_keys.push_back(
+            spec.gold.tables[static_cast<size_t>(entry)].key);
+      } else {
+        const size_t aux_index = static_cast<size_t>(-entry - 1);
+        EGP_CHECK(aux_index < aux_by_size.size())
+            << "expert pattern needs more aux types";
+        out.gold.expert_keys.push_back(aux_by_size[aux_index].second);
+      }
+    }
+  }
+  return out;
+}
+
+Result<GeneratedDomain> GenerateDomainByName(std::string_view name,
+                                             const GeneratorOptions& options) {
+  const DomainSpec* spec = FindDomainSpec(name);
+  if (spec == nullptr) {
+    return Status::NotFound("unknown domain: " + std::string(name));
+  }
+  return GenerateDomain(*spec, options);
+}
+
+}  // namespace egp

@@ -1,0 +1,38 @@
+// Gold-standard structures for the accuracy experiments (§6.1).
+//
+// The "Freebase" gold standard (Table 10) gives, per domain, 6 key entity
+// types and up to 3 curated non-key attributes each. The "Experts" lists
+// are reconstructed from the published cross-agreement numbers (Tables
+// 22–23), which fully determine how the two 6-item lists overlap.
+#ifndef EGP_DATAGEN_GOLD_STANDARD_H_
+#define EGP_DATAGEN_GOLD_STANDARD_H_
+
+#include <string>
+#include <vector>
+
+namespace egp {
+
+/// One gold-standard table: a key entity type and its curated non-key
+/// attribute surface names.
+struct GoldTable {
+  std::string key;
+  std::vector<std::string> nonkeys;
+};
+
+struct GoldStandard {
+  /// Table 10 rows, in published order (position = Freebase rank).
+  std::vector<GoldTable> tables;
+  /// The consolidated expert key-attribute list (6 type names, ranked).
+  std::vector<std::string> expert_keys;
+
+  std::vector<std::string> KeyNames() const {
+    std::vector<std::string> names;
+    names.reserve(tables.size());
+    for (const GoldTable& t : tables) names.push_back(t.key);
+    return names;
+  }
+};
+
+}  // namespace egp
+
+#endif  // EGP_DATAGEN_GOLD_STANDARD_H_

@@ -1,0 +1,95 @@
+#include "datagen/paper_example.h"
+
+#include "common/check.h"
+#include "graph/entity_graph_builder.h"
+
+namespace egp {
+
+EntityGraph BuildPaperExampleGraph() {
+  EntityGraphBuilder b;
+
+  const TypeId film = b.AddEntityType("FILM");
+  const TypeId actor = b.AddEntityType("FILM ACTOR");
+  const TypeId producer = b.AddEntityType("FILM PRODUCER");
+  const TypeId director = b.AddEntityType("FILM DIRECTOR");
+  const TypeId genre = b.AddEntityType("FILM GENRE");
+  const TypeId award = b.AddEntityType("AWARD");
+
+  const EntityId mib = b.AddEntity("Men in Black");
+  const EntityId mib2 = b.AddEntity("Men in Black II");
+  const EntityId hancock = b.AddEntity("Hancock");
+  const EntityId irobot = b.AddEntity("I, Robot");
+  const EntityId will = b.AddEntity("Will Smith");
+  const EntityId tommy = b.AddEntity("Tommy Lee Jones");
+  const EntityId barry = b.AddEntity("Barry Sonnenfeld");
+  const EntityId peter = b.AddEntity("Peter Berg");
+  const EntityId alex = b.AddEntity("Alex Proyas");
+  const EntityId action = b.AddEntity("Action Film");
+  const EntityId scifi = b.AddEntity("Science Fiction");
+  const EntityId saturn = b.AddEntity("Saturn Award");
+  const EntityId academy = b.AddEntity("Academy Award");
+  const EntityId razzie = b.AddEntity("Razzie Award");
+
+  for (EntityId f : {mib, mib2, hancock, irobot}) b.AddEntityToType(f, film);
+  for (EntityId a : {will, tommy}) b.AddEntityToType(a, actor);
+  b.AddEntityToType(will, producer);  // Will Smith is multi-typed (§2)
+  for (EntityId d : {barry, peter, alex}) b.AddEntityToType(d, director);
+  for (EntityId g : {action, scifi}) b.AddEntityToType(g, genre);
+  for (EntityId w : {saturn, academy, razzie}) b.AddEntityToType(w, award);
+
+  const RelTypeId actor_rel = b.AddRelationshipType("Actor", actor, film);
+  const RelTypeId director_rel =
+      b.AddRelationshipType("Director", director, film);
+  const RelTypeId genres_rel = b.AddRelationshipType("Genres", film, genre);
+  const RelTypeId producer_rel =
+      b.AddRelationshipType("Producer", producer, film);
+  const RelTypeId exec_rel =
+      b.AddRelationshipType("Executive Producer", producer, film);
+  // Two distinct relationship types share the surface name "Award
+  // Winners" (§2's running point about surface-name collisions).
+  const RelTypeId actor_award_rel =
+      b.AddRelationshipType("Award Winners", actor, award);
+  const RelTypeId director_award_rel =
+      b.AddRelationshipType("Award Winners", director, award);
+
+  auto add = [&b](EntityId src, RelTypeId rel, EntityId dst) {
+    EGP_CHECK(b.AddEdge(src, rel, dst).ok());
+  };
+
+  // 6 Actor edges → w(FILM, FILM ACTOR) = 6.
+  add(will, actor_rel, mib);
+  add(will, actor_rel, mib2);
+  add(will, actor_rel, hancock);
+  add(will, actor_rel, irobot);
+  add(tommy, actor_rel, mib);
+  add(tommy, actor_rel, mib2);
+  // 4 Director edges → w(FILM, FILM DIRECTOR) = 4; value histogram
+  // {Barry:2, Peter:1, Alex:1} gives S_ent = 0.45.
+  add(barry, director_rel, mib);
+  add(barry, director_rel, mib2);
+  add(peter, director_rel, hancock);
+  add(alex, director_rel, irobot);
+  // 5 Genres edges → w(FILM, FILM GENRE) = 5; value-set histogram
+  // {{Action, SciFi}:2, {Action}:1} gives S_ent = 0.28 (Hancock empty).
+  add(mib, genres_rel, action);
+  add(mib, genres_rel, scifi);
+  add(mib2, genres_rel, action);
+  add(mib2, genres_rel, scifi);
+  add(irobot, genres_rel, action);
+  // 3 producer-side edges → w(FILM, FILM PRODUCER) = 3, including the
+  // Actor + Executive Producer double edge Will → I, Robot.
+  add(will, producer_rel, hancock);
+  add(will, producer_rel, mib2);
+  add(will, exec_rel, irobot);
+  // Award Winners: Will → Saturn, Tommy → Academy (actor variant);
+  // Barry → Razzie (director variant).
+  add(will, actor_award_rel, saturn);
+  add(tommy, actor_award_rel, academy);
+  add(barry, director_award_rel, razzie);
+
+  auto result = b.Build();
+  EGP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace egp

@@ -1,0 +1,26 @@
+// The paper's running example: the Fig. 1 entity graph, reconstructed so
+// every worked number in §2–§4 holds exactly:
+//   * S_cov(FILM) = 4
+//   * w(FILM, FILM GENRE)=5, w(FILM, FILM ACTOR)=6, w(FILM, FILM
+//     DIRECTOR)=4, w(FILM, FILM PRODUCER)=3 → M(FILM→GENRE)=0.28,
+//     M(FILM→PRODUCER)=0.17
+//   * S_cov^FILM(Director)=4, S_cov^FILM(Genres)=5
+//   * S_ent^FILM(Director)=0.45, S_ent^FILM(Genres)=0.28 (base-10 logs)
+//   * dist(FILM, FILM ACTOR)=1, dist(FILM, AWARD)=2
+//   * optimal concise preview (k=2, n=6, coverage/coverage) scores 84
+//   * optimal diverse preview (k=2, n=6, d=2) = {FILM×5 attrs, AWARD×1},
+//     score 78
+#ifndef EGP_DATAGEN_PAPER_EXAMPLE_H_
+#define EGP_DATAGEN_PAPER_EXAMPLE_H_
+
+#include "graph/entity_graph.h"
+
+namespace egp {
+
+/// Builds the Fig. 1 graph: 14 entities, 6 types, 7 relationship types,
+/// 21 relationship instances.
+EntityGraph BuildPaperExampleGraph();
+
+}  // namespace egp
+
+#endif  // EGP_DATAGEN_PAPER_EXAMPLE_H_

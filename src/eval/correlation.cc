@@ -1,0 +1,34 @@
+#include "eval/correlation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace egp {
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  EGP_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n == 0) return 0.0;
+  double ex = 0, ey = 0, exy = 0, exx = 0, eyy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ex += x[i];
+    ey += y[i];
+    exy += x[i] * y[i];
+    exx += x[i] * x[i];
+    eyy += y[i] * y[i];
+  }
+  const double dn = static_cast<double>(n);
+  ex /= dn;
+  ey /= dn;
+  exy /= dn;
+  exx /= dn;
+  eyy /= dn;
+  const double var_x = exx - ex * ex;
+  const double var_y = eyy - ey * ey;
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return (exy - ex * ey) / (std::sqrt(var_x) * std::sqrt(var_y));
+}
+
+}  // namespace egp

@@ -1,0 +1,17 @@
+// Pearson Correlation Coefficient (Eq. 4, §6.1.3).
+#ifndef EGP_EVAL_CORRELATION_H_
+#define EGP_EVAL_CORRELATION_H_
+
+#include <vector>
+
+namespace egp {
+
+/// PCC between two equal-length samples; 0 if either variance is zero.
+/// Cohen's interpretation bands (§6.1.3): [0.5,1] strong, [0.3,0.5)
+/// medium, [0.1,0.3) small positive correlation.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace egp
+
+#endif  // EGP_EVAL_CORRELATION_H_

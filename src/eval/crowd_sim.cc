@@ -1,0 +1,65 @@
+#include "eval/crowd_sim.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "eval/correlation.h"
+
+namespace egp {
+
+std::vector<PairJudgment> SimulateCrowd(
+    const std::vector<double>& latent_utility, const CrowdSimOptions& options,
+    Rng* rng) {
+  EGP_CHECK(latent_utility.size() >= 2) << "need at least two items";
+  std::vector<PairJudgment> judgments;
+  judgments.reserve(options.num_pairs);
+  for (size_t p = 0; p < options.num_pairs; ++p) {
+    PairJudgment judgment;
+    judgment.a = rng->NextBounded(latent_utility.size());
+    do {
+      judgment.b = rng->NextBounded(latent_utility.size());
+    } while (judgment.b == judgment.a);
+    const bool a_truly_better =
+        latent_utility[judgment.a] >= latent_utility[judgment.b];
+    for (int w = 0; w < options.workers_per_pair; ++w) {
+      if (!rng->NextBernoulli(options.screening_pass_rate)) continue;
+      const bool votes_for_truth = rng->NextBernoulli(options.worker_fidelity);
+      const bool votes_a = a_truly_better == votes_for_truth;
+      if (votes_a) {
+        ++judgment.votes_a;
+      } else {
+        ++judgment.votes_b;
+      }
+    }
+    judgments.push_back(judgment);
+  }
+  return judgments;
+}
+
+double CrowdRankingPcc(const std::vector<PairJudgment>& judgments,
+                       const std::vector<double>& scores) {
+  // Convert scores to ranking positions (0 = best).
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  std::vector<double> position(scores.size());
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    position[order[rank]] = static_cast<double>(rank);
+  }
+
+  std::vector<double> x, y;
+  x.reserve(judgments.size());
+  y.reserve(judgments.size());
+  for (const PairJudgment& j : judgments) {
+    // Larger X ⇔ the measure ranks a above b; larger Y ⇔ workers favour a.
+    x.push_back(position[j.b] - position[j.a]);
+    y.push_back(static_cast<double>(j.votes_a - j.votes_b));
+  }
+  return PearsonCorrelation(x, y);
+}
+
+}  // namespace egp

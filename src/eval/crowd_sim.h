@@ -1,0 +1,51 @@
+// Crowd (AMT) simulator for the §6.1.3 PCC experiment.
+//
+// The paper collected 1,000 pairwise importance judgments per domain
+// (50 random pairs × 20 workers, after screening). We cannot rerun
+// humans; instead workers are simulated against a latent utility per item
+// (the synthetic domains' popularity), with per-worker fidelity noise and
+// a screening pass-rate. The analysis pipeline downstream — the X/Y lists
+// and PCC of Eq. 4 — is exactly the paper's.
+#ifndef EGP_EVAL_CROWD_SIM_H_
+#define EGP_EVAL_CROWD_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace egp {
+
+struct PairJudgment {
+  size_t a = 0;      // item indices
+  size_t b = 0;
+  int votes_a = 0;   // screened workers preferring a
+  int votes_b = 0;
+};
+
+struct CrowdSimOptions {
+  size_t num_pairs = 50;
+  int workers_per_pair = 20;
+  /// Probability a screened worker prefers the truly-more-important item.
+  double worker_fidelity = 0.85;
+  /// Probability a worker passes the screening questions (§6.1.3: failed
+  /// screenings are discarded).
+  double screening_pass_rate = 0.9;
+};
+
+/// Samples pairs of distinct items and collects simulated votes.
+/// `latent_utility[i]` is item i's true importance.
+std::vector<PairJudgment> SimulateCrowd(
+    const std::vector<double>& latent_utility, const CrowdSimOptions& options,
+    Rng* rng);
+
+/// The paper's correlation protocol: X_i = rank(b_i) − rank(a_i) under the
+/// scoring measure (positions, 0-based; larger X means a ranked better),
+/// Y_i = votes_a − votes_b. Returns PCC(X, Y). `scores[i]` is the measure's
+/// score for item i (higher = better).
+double CrowdRankingPcc(const std::vector<PairJudgment>& judgments,
+                       const std::vector<double>& scores);
+
+}  // namespace egp
+
+#endif  // EGP_EVAL_CROWD_SIM_H_

@@ -1,0 +1,30 @@
+#include "eval/hypothesis.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace egp {
+
+ZTestResult TwoProportionOneTailedZTest(double c_a, size_t n_a, double c_b,
+                                        size_t n_b) {
+  EGP_CHECK(n_a > 0 && n_b > 0) << "empty sample";
+  const double na = static_cast<double>(n_a);
+  const double nb = static_cast<double>(n_b);
+  const double pooled = (c_a * na + c_b * nb) / (na + nb);
+  const double se =
+      std::sqrt(pooled * (1.0 - pooled) * (1.0 / na + 1.0 / nb));
+  ZTestResult result;
+  if (se == 0.0) {
+    result.z = 0.0;
+    result.p = 1.0;
+    return result;
+  }
+  result.z = (c_a - c_b) / se;
+  // Right-tailed for positive z, left-tailed for negative (§6.3.1).
+  result.p = result.z >= 0.0 ? NormalSf(result.z) : NormalCdf(result.z);
+  return result;
+}
+
+}  // namespace egp

@@ -1,0 +1,28 @@
+// Two-proportion one-tailed z-test (§6.3.1, Tables 7 and 13–16).
+//
+// Given observed conversion rates c_a, c_b with sample sizes n_a, n_b,
+// tests H0: p_a ≤ p_b (resp. ≥) against Ha: p_a > p_b (resp. <) using the
+// pooled-proportion z statistic; the tail follows the sign of z, exactly
+// as the paper describes.
+#ifndef EGP_EVAL_HYPOTHESIS_H_
+#define EGP_EVAL_HYPOTHESIS_H_
+
+#include <cstddef>
+
+namespace egp {
+
+struct ZTestResult {
+  double z = 0.0;
+  double p = 1.0;
+  /// True if p < alpha, i.e. the difference is statistically significant.
+  bool Significant(double alpha = 0.1) const { return p < alpha; }
+};
+
+/// z for (A − B) with pooled standard error; right-tailed p when z > 0,
+/// left-tailed otherwise.
+ZTestResult TwoProportionOneTailedZTest(double c_a, size_t n_a, double c_b,
+                                        size_t n_b);
+
+}  // namespace egp
+
+#endif  // EGP_EVAL_HYPOTHESIS_H_

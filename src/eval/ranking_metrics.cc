@@ -1,0 +1,81 @@
+#include "eval/ranking_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace egp {
+
+double PrecisionAtK(const std::vector<std::string>& ranked,
+                    const GroundTruth& truth, size_t k) {
+  if (k == 0) return 0.0;
+  size_t hits = 0;
+  const size_t limit = std::min(k, ranked.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (truth.count(ranked[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double OptimalPrecisionAtK(size_t truth_size, size_t k) {
+  if (k == 0) return 0.0;
+  return static_cast<double>(std::min(truth_size, k)) /
+         static_cast<double>(k);
+}
+
+double AveragePrecisionAtK(const std::vector<std::string>& ranked,
+                           const GroundTruth& truth, size_t k) {
+  if (truth.empty()) return 0.0;
+  double sum = 0.0;
+  size_t hits = 0;
+  const size_t limit = std::min(k, ranked.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (truth.count(ranked[i]) > 0) {
+      ++hits;
+      // P@(i+1) × rel_{i+1}, rel = 1 here.
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+double OptimalAveragePrecisionAtK(size_t truth_size, size_t k) {
+  if (truth_size == 0) return 0.0;
+  // Ideal ranking puts all ground-truth items first: P@i = 1 for i ≤ |GT|.
+  const size_t hits = std::min(truth_size, k);
+  return static_cast<double>(hits) / static_cast<double>(truth_size);
+}
+
+double NdcgAtK(const std::vector<std::string>& ranked,
+               const GroundTruth& truth, size_t k) {
+  auto dcg_term = [](size_t position) {  // 1-based
+    return position == 1 ? 1.0 : 1.0 / std::log2(static_cast<double>(position));
+  };
+  double dcg = 0.0;
+  const size_t limit = std::min(k, ranked.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (truth.count(ranked[i]) > 0) dcg += dcg_term(i + 1);
+  }
+  double idcg = 0.0;
+  const size_t ideal_hits = std::min(truth.size(), k);
+  for (size_t i = 0; i < ideal_hits; ++i) idcg += dcg_term(i + 1);
+  return idcg == 0.0 ? 0.0 : dcg / idcg;
+}
+
+double ReciprocalRank(const std::vector<std::string>& ranked,
+                      const GroundTruth& truth) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (truth.count(ranked[i]) > 0) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+double MeanReciprocalRank(const std::vector<double>& reciprocal_ranks) {
+  if (reciprocal_ranks.empty()) return 0.0;
+  double sum = 0.0;
+  for (double rr : reciprocal_ranks) sum += rr;
+  return sum / static_cast<double>(reciprocal_ranks.size());
+}
+
+}  // namespace egp

@@ -1,0 +1,42 @@
+// Ranking accuracy metrics used in §6.1.2: P@K, AvgP, nDCG, MRR.
+#ifndef EGP_EVAL_RANKING_METRICS_H_
+#define EGP_EVAL_RANKING_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace egp {
+
+using GroundTruth = std::unordered_set<std::string>;
+
+/// P@K: fraction of the top-K ranked items that are in the ground truth.
+double PrecisionAtK(const std::vector<std::string>& ranked,
+                    const GroundTruth& truth, size_t k);
+
+/// The best P@K any ranking can achieve: min(K, |truth|) / K.
+double OptimalPrecisionAtK(size_t truth_size, size_t k);
+
+/// Average precision of the top-K results with the paper's normalization:
+/// AvgP = Σ_{i≤K} P@i · rel_i / |truth|.
+double AveragePrecisionAtK(const std::vector<std::string>& ranked,
+                           const GroundTruth& truth, size_t k);
+
+double OptimalAveragePrecisionAtK(size_t truth_size, size_t k);
+
+/// nDCG@K with binary relevance and the paper's DCG:
+/// DCG_K = rel_1 + Σ_{i=2..K} rel_i / log2(i), normalized by the ideal DCG.
+double NdcgAtK(const std::vector<std::string>& ranked,
+               const GroundTruth& truth, size_t k);
+
+/// Reciprocal rank of the first ground-truth item (0 if none appears).
+double ReciprocalRank(const std::vector<std::string>& ranked,
+                      const GroundTruth& truth);
+
+/// Mean of reciprocal ranks across rankings (MRR, Table 3).
+double MeanReciprocalRank(const std::vector<double>& reciprocal_ranks);
+
+}  // namespace egp
+
+#endif  // EGP_EVAL_RANKING_METRICS_H_

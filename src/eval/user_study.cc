@@ -1,0 +1,240 @@
+#include "eval/user_study.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace egp {
+namespace {
+
+// Index helpers: approaches in enum order, domains in paper order.
+constexpr size_t kA = kNumApproaches;
+constexpr size_t kD = kNumStudyDomains;
+
+// Table 5: sample sizes. Approach-major, domain-minor
+// (books, film, music, tv, people).
+constexpr size_t kSampleSize[kA][kD] = {
+    {52, 52, 52, 52, 52},  // Concise
+    {48, 48, 48, 48, 48},  // Tight
+    {52, 51, 52, 48, 48},  // Diverse (one film response lost)
+    {44, 44, 44, 44, 44},  // Freebase
+    {48, 48, 48, 48, 48},  // Experts
+    {52, 52, 52, 52, 52},  // YPS09
+    {40, 40, 40, 40, 40},  // Graph
+};
+
+// Table 5: conversion rates.
+constexpr double kConversion[kA][kD] = {
+    {0.730, 0.865, 0.903, 0.884, 0.788},  // Concise
+    {0.687, 0.854, 0.979, 0.875, 0.666},  // Tight
+    {0.846, 0.921, 0.730, 0.750, 0.875},  // Diverse
+    {0.818, 0.954, 0.931, 0.909, 0.681},  // Freebase
+    {0.604, 0.833, 0.895, 0.812, 0.687},  // Experts
+    {0.692, 0.884, 0.923, 0.692, 0.634},  // YPS09
+    {0.975, 0.875, 0.875, 0.900, 0.850},  // Graph
+};
+
+// Median seconds per question, consistent with the Table 6 orderings
+// (exact medians are only published as boxplots).
+constexpr double kTimeMedian[kA][kD] = {
+    // books, film, music, tv,  people
+    {36, 32, 36, 42, 28},  // Concise
+    {32, 20, 24, 20, 20},  // Tight
+    {28, 28, 42, 36, 32},  // Diverse
+    {24, 24, 20, 50, 24},  // Freebase
+    {50, 36, 28, 28, 36},  // Experts
+    {42, 50, 32, 24, 42},  // YPS09
+    {20, 42, 50, 32, 50},  // Graph
+};
+
+// Tables 17–21: Likert means for Q1..Q4 per approach, per domain.
+constexpr double kUx[kD][kA][4] = {
+    // books (Table 17)
+    {{3.5, 4.0769, 3.9231, 3.6154},
+     {3.5833, 3.9167, 4.0, 3.3333},
+     {3.9231, 3.8462, 4.0769, 3.6364},
+     {3.8182, 4.0909, 4.0, 3.6},
+     {3.3333, 3.75, 4.2727, 3.5},
+     {3.75, 3.8333, 3.8462, 3.5385},
+     {4.4, 4.1, 4.1, 3.3333}},
+    // film (Table 18)
+    {{4.0, 4.0909, 4.4167, 3.7692},
+     {4.0833, 4.6667, 4.5, 3.75},
+     {4.1538, 4.4615, 4.4615, 3.3846},
+     {4.1818, 4.3636, 4.2727, 3.4545},
+     {4.0, 4.0833, 4.25, 3.2727},
+     {3.5385, 4.3077, 4.2308, 4.0},
+     {3.8, 4.7, 4.6, 4.0}},
+    // music (Table 19)
+    {{3.8462, 3.8462, 4.1538, 3.5833},
+     {3.6667, 3.8333, 4.0833, 3.75},
+     {3.75, 3.75, 3.9167, 3.0},
+     {3.8182, 4.2727, 4.4545, 3.5455},
+     {4.1667, 4.1667, 4.5, 4.3333},
+     {4.3077, 4.5385, 4.4615, 3.8333},
+     {3.6, 4.6, 4.5, 3.9}},
+    // tv (Table 20)
+    {{3.7692, 4.0, 3.7692, 3.7692},
+     {4.1667, 4.1667, 4.1667, 3.6667},
+     {4.0833, 4.25, 4.4167, 3.6667},
+     {4.5455, 4.3636, 4.2727, 3.2727},
+     {4.1667, 3.8333, 3.8333, 3.6667},
+     {3.5385, 3.6154, 3.7692, 3.0},
+     {3.5, 4.6, 4.4, 3.9}},
+    // people (Table 21)
+    {{4.2308, 4.3846, 4.3077, 4.0},
+     {2.9167, 3.6364, 3.4545, 2.9167},
+     {4.0833, 4.1667, 4.0833, 3.5833},
+     {3.9091, 4.0909, 4.0909, 3.4545},
+     {3.9167, 4.0833, 4.0833, 3.75},
+     {4.3333, 4.4615, 4.6923, 4.3846},
+     {4.5, 4.1, 4.0, 3.1}},
+};
+
+size_t Index(Approach a) { return static_cast<size_t>(a); }
+
+}  // namespace
+
+const char* ApproachName(Approach a) {
+  switch (a) {
+    case Approach::kConcise:
+      return "Concise";
+    case Approach::kTight:
+      return "Tight";
+    case Approach::kDiverse:
+      return "Diverse";
+    case Approach::kFreebase:
+      return "Freebase";
+    case Approach::kExperts:
+      return "Experts";
+    case Approach::kYps09:
+      return "YPS09";
+    case Approach::kGraph:
+      return "Graph";
+  }
+  return "?";
+}
+
+const std::array<Approach, kNumApproaches>& AllApproaches() {
+  static const std::array<Approach, kNumApproaches> all = {
+      Approach::kConcise,  Approach::kTight,   Approach::kDiverse,
+      Approach::kFreebase, Approach::kExperts, Approach::kYps09,
+      Approach::kGraph};
+  return all;
+}
+
+const std::vector<std::string>& UserStudyDomains() {
+  static const std::vector<std::string>* domains =
+      new std::vector<std::string>{"books", "film", "music", "tv", "people"};
+  return *domains;
+}
+
+StudyCell PaperConversion(Approach a, size_t domain) {
+  EGP_CHECK(domain < kD) << "bad domain index";
+  return StudyCell{kSampleSize[Index(a)][domain],
+                   kConversion[Index(a)][domain]};
+}
+
+double PaperTimeMedianSeconds(Approach a, size_t domain) {
+  EGP_CHECK(domain < kD) << "bad domain index";
+  return kTimeMedian[Index(a)][domain];
+}
+
+double PaperUxScore(Approach a, size_t domain, size_t question) {
+  EGP_CHECK(domain < kD) << "bad domain index";
+  EGP_CHECK(question < 4) << "questions are Q1..Q4";
+  return kUx[domain][Index(a)][question];
+}
+
+SimulatedResponses SimulateCell(Approach a, size_t domain,
+                                const UserStudyOptions& options) {
+  // Distinct stream per cell, deterministic under options.seed.
+  Rng rng(options.seed * 1000003 + Index(a) * 131 + domain);
+  const StudyCell cell = PaperConversion(a, domain);
+
+  SimulatedResponses out;
+  out.correct.reserve(cell.sample_size);
+  out.seconds.reserve(cell.sample_size);
+  const double mu = std::log(PaperTimeMedianSeconds(a, domain));
+  for (size_t i = 0; i < cell.sample_size; ++i) {
+    out.correct.push_back(rng.NextBernoulli(cell.conversion_rate));
+    out.seconds.push_back(rng.NextLogNormal(mu, options.time_sigma));
+  }
+  // Four UX questions, one response per participant (≈ n/4 participants,
+  // each answered every question once per domain).
+  const size_t participants = cell.sample_size / 4;
+  for (size_t q = 0; q < 4; ++q) {
+    const double target = PaperUxScore(a, domain, q);
+    out.likert[q].reserve(participants);
+    for (size_t i = 0; i < participants; ++i) {
+      const double latent = rng.NextGaussian(target, options.likert_sigma);
+      const int response =
+          std::clamp(static_cast<int>(std::lround(latent)), 1, 5);
+      out.likert[q].push_back(response);
+    }
+  }
+  return out;
+}
+
+double ConversionRate(const std::vector<bool>& correct) {
+  if (correct.empty()) return 0.0;
+  size_t hits = 0;
+  for (bool c : correct) {
+    if (c) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(correct.size());
+}
+
+double LikertMean(const std::vector<int>& responses) {
+  if (responses.empty()) return 0.0;
+  double sum = 0.0;
+  for (int r : responses) sum += r;
+  return sum / static_cast<double>(responses.size());
+}
+
+ZMatrix PairwiseZTests(const std::array<StudyCell, kNumApproaches>& cells) {
+  ZMatrix matrix{};
+  for (size_t row = 0; row < kNumApproaches; ++row) {
+    for (size_t col = 0; col < kNumApproaches; ++col) {
+      if (row == col) continue;
+      // Column label is approach A, row label approach B (§6.3.1).
+      matrix[row][col] = TwoProportionOneTailedZTest(
+          cells[col].conversion_rate, cells[col].sample_size,
+          cells[row].conversion_rate, cells[row].sample_size);
+    }
+  }
+  return matrix;
+}
+
+std::vector<Approach> SortApproachesByMedianTime(
+    const std::array<std::vector<double>, kNumApproaches>& times) {
+  std::vector<Approach> order(AllApproaches().begin(), AllApproaches().end());
+  std::vector<double> medians(kNumApproaches);
+  for (size_t i = 0; i < kNumApproaches; ++i) medians[i] = Median(times[i]);
+  std::sort(order.begin(), order.end(), [&medians](Approach a, Approach b) {
+    return medians[Index(a)] < medians[Index(b)];
+  });
+  return order;
+}
+
+std::vector<Approach> SortApproachesByUxScore(
+    const std::array<std::array<double, kNumStudyDomains>, kNumApproaches>&
+        scores_by_domain) {
+  std::vector<Approach> order(AllApproaches().begin(), AllApproaches().end());
+  std::array<double, kNumApproaches> mean{};
+  for (size_t i = 0; i < kNumApproaches; ++i) {
+    double sum = 0.0;
+    for (size_t d = 0; d < kNumStudyDomains; ++d) {
+      sum += scores_by_domain[i][d];
+    }
+    mean[i] = sum / static_cast<double>(kNumStudyDomains);
+  }
+  std::sort(order.begin(), order.end(), [&mean](Approach a, Approach b) {
+    return mean[Index(a)] > mean[Index(b)];
+  });
+  return order;
+}
+
+}  // namespace egp

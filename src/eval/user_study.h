@@ -1,0 +1,106 @@
+// User-study analytics and participant simulator (§6.3).
+//
+// The paper ran 84 graduate students over 7 schema-presentation approaches
+// × 5 domains, collecting existence-test answers, per-question times and
+// Likert user-experience responses. Humans are irreproducible inputs, so
+// this module embeds the paper's published observations (Table 5
+// conversion rates and sample sizes, Tables 17–21 Likert means, Table 6
+// median-time orderings) as the parameters of a behavioural simulator, and
+// implements the identical analysis pipeline on top: conversion rates,
+// pairwise two-proportion z-tests (Tables 7, 13–16), median/boxplot time
+// summaries (Table 6, Figs. 10–14) and Likert aggregation (Table 9).
+#ifndef EGP_EVAL_USER_STUDY_H_
+#define EGP_EVAL_USER_STUDY_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stat_util.h"
+#include "eval/hypothesis.h"
+
+namespace egp {
+
+enum class Approach : uint8_t {
+  kConcise = 0,
+  kTight,
+  kDiverse,
+  kFreebase,
+  kExperts,
+  kYps09,
+  kGraph,
+};
+inline constexpr size_t kNumApproaches = 7;
+const char* ApproachName(Approach a);
+const std::array<Approach, kNumApproaches>& AllApproaches();
+
+/// The five user-study domains, in the paper's order:
+/// books, film, music, tv, people.
+const std::vector<std::string>& UserStudyDomains();
+inline constexpr size_t kNumStudyDomains = 5;
+
+// --- Embedded paper observations ------------------------------------------
+
+struct StudyCell {
+  size_t sample_size = 0;      // existence-test responses (Table 5 n)
+  double conversion_rate = 0;  // fraction answered correctly (Table 5 c)
+};
+
+/// Table 5 entry for (approach, domain index).
+StudyCell PaperConversion(Approach a, size_t domain);
+
+/// Median seconds per existence-test question. The paper publishes exact
+/// medians only as boxplots (Figs. 10–14); these values preserve the
+/// Table 6 orderings with plausible magnitudes (~20–50 s).
+double PaperTimeMedianSeconds(Approach a, size_t domain);
+
+/// Tables 17–21: mean Likert score for user-experience question q (0–3 for
+/// Q1–Q4) of (approach, domain).
+double PaperUxScore(Approach a, size_t domain, size_t question);
+
+// --- Simulation -------------------------------------------------------------
+
+struct UserStudyOptions {
+  uint64_t seed = 2016;
+  /// Log-normal sigma for per-question times.
+  double time_sigma = 0.35;
+  /// Gaussian sigma of the latent Likert response before discretization.
+  double likert_sigma = 0.9;
+};
+
+/// All simulated responses for one (approach, domain) cell.
+struct SimulatedResponses {
+  std::vector<bool> correct;                     // existence answers
+  std::vector<double> seconds;                   // time per question
+  std::array<std::vector<int>, 4> likert;        // Q1..Q4 responses (1..5)
+};
+
+SimulatedResponses SimulateCell(Approach a, size_t domain,
+                                const UserStudyOptions& options);
+
+// --- Analysis ----------------------------------------------------------------
+
+double ConversionRate(const std::vector<bool>& correct);
+double LikertMean(const std::vector<int>& responses);
+
+/// Pairwise z-test matrix over approaches for one domain, from measured
+/// conversion data. result[i][j] compares approach j (A) against i (B),
+/// matching the paper's column-A/row-B convention.
+using ZMatrix =
+    std::array<std::array<ZTestResult, kNumApproaches>, kNumApproaches>;
+ZMatrix PairwiseZTests(const std::array<StudyCell, kNumApproaches>& cells);
+
+/// Approaches sorted ascending by median time (Table 6 row for a domain).
+std::vector<Approach> SortApproachesByMedianTime(
+    const std::array<std::vector<double>, kNumApproaches>& times);
+
+/// Approaches sorted descending by cross-domain mean UX score for one
+/// question (Table 9 rows).
+std::vector<Approach> SortApproachesByUxScore(
+    const std::array<std::array<double, kNumStudyDomains>, kNumApproaches>&
+        scores_by_domain);
+
+}  // namespace egp
+
+#endif  // EGP_EVAL_USER_STUDY_H_

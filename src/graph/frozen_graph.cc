@@ -1,0 +1,92 @@
+#include "graph/frozen_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace egp {
+namespace {
+
+bool ArcLess(const FrozenGraph::Arc& a, const FrozenGraph::Arc& b) {
+  if (a.rel_type != b.rel_type) return a.rel_type < b.rel_type;
+  return a.neighbor < b.neighbor;
+}
+
+}  // namespace
+
+FrozenGraph FrozenGraph::Freeze(const EntityGraph& graph) {
+  FrozenGraph frozen;
+  const size_t n = graph.num_entities();
+  frozen.num_entities_ = n;
+  frozen.out_offsets_.assign(n + 1, 0);
+  frozen.in_offsets_.assign(n + 1, 0);
+
+  for (const EdgeRecord& e : graph.edges()) {
+    ++frozen.out_offsets_[e.src + 1];
+    ++frozen.in_offsets_[e.dst + 1];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    frozen.out_offsets_[i + 1] += frozen.out_offsets_[i];
+    frozen.in_offsets_[i + 1] += frozen.in_offsets_[i];
+  }
+
+  frozen.out_arcs_.resize(graph.num_edges());
+  frozen.in_arcs_.resize(graph.num_edges());
+  std::vector<uint64_t> out_cursor(frozen.out_offsets_.begin(),
+                                   frozen.out_offsets_.end() - 1);
+  std::vector<uint64_t> in_cursor(frozen.in_offsets_.begin(),
+                                  frozen.in_offsets_.end() - 1);
+  for (const EdgeRecord& e : graph.edges()) {
+    frozen.out_arcs_[out_cursor[e.src]++] = Arc{e.dst, e.rel_type};
+    frozen.in_arcs_[in_cursor[e.dst]++] = Arc{e.src, e.rel_type};
+  }
+
+  // Sort each entity's run by (rel_type, neighbor): per-relationship
+  // slices become contiguous and pre-sorted.
+  for (size_t i = 0; i < n; ++i) {
+    std::sort(frozen.out_arcs_.begin() + frozen.out_offsets_[i],
+              frozen.out_arcs_.begin() + frozen.out_offsets_[i + 1],
+              ArcLess);
+    std::sort(frozen.in_arcs_.begin() + frozen.in_offsets_[i],
+              frozen.in_arcs_.begin() + frozen.in_offsets_[i + 1], ArcLess);
+  }
+  return frozen;
+}
+
+std::span<const FrozenGraph::Arc> FrozenGraph::OutArcs(EntityId e) const {
+  EGP_CHECK(e < num_entities_) << "bad entity id";
+  return {out_arcs_.data() + out_offsets_[e],
+          out_arcs_.data() + out_offsets_[e + 1]};
+}
+
+std::span<const FrozenGraph::Arc> FrozenGraph::InArcs(EntityId e) const {
+  EGP_CHECK(e < num_entities_) << "bad entity id";
+  return {in_arcs_.data() + in_offsets_[e],
+          in_arcs_.data() + in_offsets_[e + 1]};
+}
+
+std::vector<EntityId> FrozenGraph::NeighborSet(EntityId e, RelTypeId rel_type,
+                                               Direction direction) const {
+  const std::span<const Arc> arcs =
+      direction == Direction::kOutgoing ? OutArcs(e) : InArcs(e);
+  // Binary-search the contiguous rel_type run.
+  const Arc probe_low{0, rel_type};
+  auto begin = std::lower_bound(arcs.begin(), arcs.end(), probe_low, ArcLess);
+  std::vector<EntityId> out;
+  for (auto it = begin; it != arcs.end() && it->rel_type == rel_type; ++it) {
+    // Runs are sorted by neighbor: dedupe adjacent multigraph repeats.
+    if (out.empty() || out.back() != it->neighbor) {
+      out.push_back(it->neighbor);
+    }
+  }
+  return out;
+}
+
+size_t FrozenGraph::MemoryBytes() const {
+  return out_offsets_.capacity() * sizeof(uint64_t) +
+         in_offsets_.capacity() * sizeof(uint64_t) +
+         out_arcs_.capacity() * sizeof(Arc) +
+         in_arcs_.capacity() * sizeof(Arc);
+}
+
+}  // namespace egp

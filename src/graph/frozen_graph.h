@@ -1,0 +1,65 @@
+// FrozenGraph: a compact CSR (compressed sparse row) snapshot of an
+// entity graph for scan-heavy workloads.
+//
+// EntityGraph stores adjacency as per-entity vectors of edge ids — ideal
+// while building, wasteful to scan: every neighbour access chases an
+// EdgeId into the global edge array. FrozenGraph lays out (neighbour,
+// relationship-type) pairs contiguously per entity, in both directions,
+// for one-allocation storage and sequential scans. It is a read-only
+// view for algorithms; derive it once after ingestion.
+#ifndef EGP_GRAPH_FROZEN_GRAPH_H_
+#define EGP_GRAPH_FROZEN_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/entity_graph.h"
+
+namespace egp {
+
+class FrozenGraph {
+ public:
+  /// One adjacency entry: the neighbouring entity and the relationship
+  /// type of the connecting edge.
+  struct Arc {
+    EntityId neighbor;
+    RelTypeId rel_type;
+  };
+
+  /// O(V + E): counts, prefix sums, one fill pass per direction.
+  static FrozenGraph Freeze(const EntityGraph& graph);
+
+  size_t num_entities() const { return num_entities_; }
+  size_t num_arcs() const { return out_arcs_.size(); }
+
+  /// Outgoing / incoming arcs of an entity, sorted by (rel_type,
+  /// neighbor) so per-relationship runs are contiguous and value sets
+  /// come out pre-sorted.
+  std::span<const Arc> OutArcs(EntityId e) const;
+  std::span<const Arc> InArcs(EntityId e) const;
+
+  size_t OutDegree(EntityId e) const { return OutArcs(e).size(); }
+  size_t InDegree(EntityId e) const { return InArcs(e).size(); }
+
+  /// Deduplicated neighbour set through one relationship type — the
+  /// CSR-backed equivalent of EntityGraph::NeighborSet (same result).
+  std::vector<EntityId> NeighborSet(EntityId e, RelTypeId rel_type,
+                                    Direction direction) const;
+
+  /// Heap footprint of the frozen structure, in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  FrozenGraph() = default;
+
+  size_t num_entities_ = 0;
+  std::vector<uint64_t> out_offsets_;  // num_entities_ + 1
+  std::vector<uint64_t> in_offsets_;
+  std::vector<Arc> out_arcs_;
+  std::vector<Arc> in_arcs_;
+};
+
+}  // namespace egp
+
+#endif  // EGP_GRAPH_FROZEN_GRAPH_H_

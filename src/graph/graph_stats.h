@@ -1,0 +1,46 @@
+// Descriptive statistics over entity / schema graphs (Table 2 reporting).
+#ifndef EGP_GRAPH_GRAPH_STATS_H_
+#define EGP_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/entity_graph.h"
+#include "graph/schema_graph.h"
+
+namespace egp {
+
+struct EntityGraphStats {
+  uint64_t num_entities = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_types = 0;
+  uint64_t num_rel_types = 0;
+  double avg_out_degree = 0.0;
+  uint64_t max_out_degree = 0;
+  uint64_t multi_typed_entities = 0;  // entities with >1 type
+  uint64_t isolated_entities = 0;     // degree-0 entities
+};
+
+EntityGraphStats ComputeEntityGraphStats(const EntityGraph& graph);
+
+struct SchemaGraphStats {
+  uint64_t num_types = 0;       // K
+  uint64_t num_rel_types = 0;   // |Es|
+  uint64_t num_components = 0;  // undirected connected components
+  uint32_t diameter = 0;        // max finite undirected distance
+  double average_path_length = 0.0;
+  uint64_t self_loops = 0;
+  uint64_t parallel_edge_pairs = 0;  // type pairs with >1 relationship type
+};
+
+SchemaGraphStats ComputeSchemaGraphStats(const SchemaGraph& schema);
+
+/// Undirected connected components of the schema graph; returns component
+/// id per type plus the component count.
+std::vector<uint32_t> SchemaComponents(const SchemaGraph& schema,
+                                       uint32_t* component_count);
+
+}  // namespace egp
+
+#endif  // EGP_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,51 @@
+#include "graph/schema_distance.h"
+
+#include <queue>
+
+#include "common/check.h"
+
+namespace egp {
+
+SchemaDistanceMatrix::SchemaDistanceMatrix(const SchemaGraph& schema)
+    : n_(schema.num_types()) {
+  dist_.assign(n_ * n_, kUnreachable);
+
+  // Undirected adjacency (deduplicated) once, then BFS per source.
+  std::vector<std::vector<TypeId>> adjacency(n_);
+  for (TypeId t = 0; t < n_; ++t) adjacency[t] = schema.NeighborTypes(t);
+
+  uint64_t finite_pairs = 0;
+  uint64_t finite_sum = 0;
+  for (TypeId source = 0; source < n_; ++source) {
+    uint32_t* row = &dist_[source * n_];
+    row[source] = 0;
+    std::queue<TypeId> frontier;
+    frontier.push(source);
+    while (!frontier.empty()) {
+      const TypeId u = frontier.front();
+      frontier.pop();
+      for (TypeId v : adjacency[u]) {
+        if (row[v] != kUnreachable) continue;
+        row[v] = row[u] + 1;
+        frontier.push(v);
+      }
+    }
+    for (TypeId v = 0; v < n_; ++v) {
+      if (v == source || row[v] == kUnreachable) continue;
+      diameter_ = std::max(diameter_, row[v]);
+      ++finite_pairs;
+      finite_sum += row[v];
+    }
+  }
+  average_path_length_ =
+      finite_pairs == 0
+          ? 0.0
+          : static_cast<double>(finite_sum) / static_cast<double>(finite_pairs);
+}
+
+uint32_t SchemaDistanceMatrix::Distance(TypeId a, TypeId b) const {
+  EGP_CHECK(a < n_ && b < n_) << "distance query out of range";
+  return dist_[a * n_ + b];
+}
+
+}  // namespace egp

@@ -1,0 +1,47 @@
+// All-pairs undirected shortest-path distances between entity types (§4).
+//
+// dist(T1, T2) is the length of the shortest undirected path between the
+// tables' key types in the schema graph; used by the tight/diverse
+// constraints. Computed once by BFS from every vertex (K is small).
+#ifndef EGP_GRAPH_SCHEMA_DISTANCE_H_
+#define EGP_GRAPH_SCHEMA_DISTANCE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/schema_graph.h"
+
+namespace egp {
+
+class SchemaDistanceMatrix {
+ public:
+  /// Marks unreachable pairs.
+  static constexpr uint32_t kUnreachable =
+      std::numeric_limits<uint32_t>::max();
+
+  explicit SchemaDistanceMatrix(const SchemaGraph& schema);
+
+  /// Undirected shortest-path length; 0 for a == b; kUnreachable if the
+  /// types are in different components.
+  uint32_t Distance(TypeId a, TypeId b) const;
+
+  /// Longest finite distance (graph diameter over reachable pairs).
+  uint32_t Diameter() const { return diameter_; }
+
+  /// Mean finite distance over distinct reachable pairs (the paper quotes
+  /// film's average path length as ~3-4).
+  double AveragePathLength() const { return average_path_length_; }
+
+  size_t num_types() const { return n_; }
+
+ private:
+  size_t n_ = 0;
+  std::vector<uint32_t> dist_;  // row-major n_ x n_
+  uint32_t diameter_ = 0;
+  double average_path_length_ = 0.0;
+};
+
+}  // namespace egp
+
+#endif  // EGP_GRAPH_SCHEMA_DISTANCE_H_

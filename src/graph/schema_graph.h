@@ -1,0 +1,88 @@
+// SchemaGraph: the paper's Gs(Vs, Es) (§2).
+//
+// Vertices are entity types; edges are relationship types, annotated with
+// the number of data-graph edges of that type (the coverage statistics the
+// scoring measures need). Uniquely determined by an entity graph, but can
+// also be constructed directly (synthetic performance workloads, the §4.1
+// NP-hardness reductions).
+#ifndef EGP_GRAPH_SCHEMA_GRAPH_H_
+#define EGP_GRAPH_SCHEMA_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/string_pool.h"
+#include "graph/entity_graph.h"
+#include "graph/ids.h"
+
+namespace egp {
+
+/// One schema edge γ(src, dst) with its data-graph support.
+struct SchemaEdge {
+  uint32_t surface_name;  // id in surface_names()
+  TypeId src;
+  TypeId dst;
+  uint64_t edge_count;  // |{e in Ed : e has type γ}| — Sτ_cov(γ)
+};
+
+class SchemaGraph {
+ public:
+  SchemaGraph() = default;
+
+  /// Derives the schema graph of `graph`: one vertex per entity type, one
+  /// edge per relationship type with at least one data edge (per §2 an edge
+  /// exists in Es iff a data edge of that type exists in Ed).
+  static SchemaGraph FromEntityGraph(const EntityGraph& graph);
+
+  // --- Direct construction (synthetic workloads / reductions) ------------
+  TypeId AddType(std::string_view name, uint64_t entity_count);
+  /// Adds an edge; parallel edges between the same pair are allowed
+  /// (schema graphs are multigraphs).
+  uint32_t AddEdge(std::string_view surface_name, TypeId src, TypeId dst,
+                   uint64_t edge_count);
+
+  // --- Accessors ----------------------------------------------------------
+  size_t num_types() const { return type_entity_count_.size(); }  // K
+  size_t num_edges() const { return edges_.size(); }
+
+  const std::string& TypeName(TypeId t) const;
+  const std::string& SurfaceName(const SchemaEdge& e) const;
+  uint64_t TypeEntityCount(TypeId t) const;
+
+  const SchemaEdge& Edge(uint32_t index) const;
+  const std::vector<SchemaEdge>& edges() const { return edges_; }
+
+  /// Γτ building block: indices of schema edges incident on `t` (either
+  /// endpoint). A self-loop appears once in this list.
+  const std::vector<uint32_t>& IncidentEdges(TypeId t) const;
+
+  /// Distinct neighbour types of `t` (undirected view, self excluded).
+  std::vector<TypeId> NeighborTypes(TypeId t) const;
+
+  /// Total data-edge weight between a pair of types, both directions — the
+  /// w_ij of §3.2. Symmetric.
+  uint64_t PairWeight(TypeId a, TypeId b) const;
+
+  /// Maps this schema graph's type id back to a name id in the pool.
+  const StringPool& type_names() const { return type_names_; }
+  const StringPool& surface_names() const { return surface_names_; }
+
+  /// If derived from an entity graph, the original RelTypeId for a schema
+  /// edge index (identity mapping by construction); kInvalidId otherwise.
+  RelTypeId RelTypeOfEdge(uint32_t index) const;
+
+ private:
+  StringPool type_names_;
+  StringPool surface_names_;
+  std::vector<uint64_t> type_entity_count_;
+  std::vector<SchemaEdge> edges_;
+  std::vector<std::vector<uint32_t>> incident_;  // per type
+  std::vector<RelTypeId> edge_rel_type_;         // per schema edge
+};
+
+}  // namespace egp
+
+#endif  // EGP_GRAPH_SCHEMA_GRAPH_H_

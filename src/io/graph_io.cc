@@ -1,0 +1,94 @@
+#include "io/graph_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "graph/entity_graph_builder.h"
+
+namespace egp {
+
+Result<EntityGraph> ReadEntityGraph(std::istream& in) {
+  EntityGraphBuilder builder;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view view = Trim(line);
+    if (view.empty() || view[0] == '#') continue;
+    const std::vector<std::string> fields = Split(view, '\t');
+    const std::string& kind = fields[0];
+    auto error = [&](const char* what) {
+      return Status::Corruption(StrFormat("line %zu: %s", line_number, what));
+    };
+    if (kind == "reltype") {
+      if (fields.size() != 4) return error("reltype needs 3 fields");
+      const TypeId src = builder.AddEntityType(fields[2]);
+      const TypeId dst = builder.AddEntityType(fields[3]);
+      builder.AddRelationshipType(fields[1], src, dst);
+    } else if (kind == "type") {
+      if (fields.size() != 3) return error("type needs 2 fields");
+      builder.AddTypedEntity(fields[1], fields[2]);
+    } else if (kind == "edge") {
+      if (fields.size() != 6) return error("edge needs 5 fields");
+      const TypeId src_type = builder.AddEntityType(fields[3]);
+      const TypeId dst_type = builder.AddEntityType(fields[4]);
+      const RelTypeId rel =
+          builder.AddRelationshipType(fields[2], src_type, dst_type);
+      const EntityId src = builder.AddEntity(fields[1]);
+      const EntityId dst = builder.AddEntity(fields[5]);
+      // Edges imply membership of their endpoints in the endpoint types.
+      builder.AddEntityToType(src, src_type);
+      builder.AddEntityToType(dst, dst_type);
+      EGP_RETURN_IF_ERROR(builder.AddEdge(src, rel, dst));
+    } else {
+      return error("unknown record kind");
+    }
+  }
+  return builder.Build();
+}
+
+Result<EntityGraph> ReadEntityGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  return ReadEntityGraph(in);
+}
+
+Status WriteEntityGraph(const EntityGraph& graph, std::ostream& out) {
+  out << "# EGT snapshot: " << graph.num_entities() << " entities, "
+      << graph.num_edges() << " edges, " << graph.num_types() << " types, "
+      << graph.num_rel_types() << " relationship types\n";
+  for (RelTypeId r = 0; r < graph.num_rel_types(); ++r) {
+    const RelTypeInfo& info = graph.RelType(r);
+    out << "reltype\t" << graph.RelSurfaceName(r) << "\t"
+        << graph.TypeName(info.src_type) << "\t"
+        << graph.TypeName(info.dst_type) << "\n";
+  }
+  for (EntityId e = 0; e < graph.num_entities(); ++e) {
+    for (TypeId t : graph.TypesOf(e)) {
+      out << "type\t" << graph.EntityName(e) << "\t" << graph.TypeName(t)
+          << "\n";
+    }
+  }
+  for (const EdgeRecord& edge : graph.edges()) {
+    const RelTypeInfo& info = graph.RelType(edge.rel_type);
+    out << "edge\t" << graph.EntityName(edge.src) << "\t"
+        << graph.RelSurfaceName(edge.rel_type) << "\t"
+        << graph.TypeName(info.src_type) << "\t"
+        << graph.TypeName(info.dst_type) << "\t"
+        << graph.EntityName(edge.dst) << "\n";
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteEntityGraphFile(const EntityGraph& graph,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  return WriteEntityGraph(graph, out);
+}
+
+}  // namespace egp

@@ -1,0 +1,32 @@
+// EGT snapshot format: a line-oriented TSV serialization of entity graphs
+// that round-trips exactly (names, multi-typing, relationship types).
+//
+//   # comment
+//   reltype <TAB> <surface> <TAB> <src type> <TAB> <dst type>
+//   type    <TAB> <entity>  <TAB> <type>
+//   edge    <TAB> <src> <TAB> <surface> <TAB> <src type> <TAB> <dst type> <TAB> <dst>
+//
+// `reltype` lines pre-declare relationship types (optional — edge lines
+// create them on demand); `type` lines assert entity types and create
+// entities; `edge` lines add relationship instances.
+#ifndef EGP_IO_GRAPH_IO_H_
+#define EGP_IO_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "graph/entity_graph.h"
+
+namespace egp {
+
+Result<EntityGraph> ReadEntityGraph(std::istream& in);
+Result<EntityGraph> ReadEntityGraphFile(const std::string& path);
+
+Status WriteEntityGraph(const EntityGraph& graph, std::ostream& out);
+Status WriteEntityGraphFile(const EntityGraph& graph,
+                            const std::string& path);
+
+}  // namespace egp
+
+#endif  // EGP_IO_GRAPH_IO_H_

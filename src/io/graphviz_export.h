@@ -1,0 +1,36 @@
+// Graphviz (DOT) export of schema graphs, optionally highlighting a
+// preview — the visual "schema graph" presentation the paper's user
+// study compares against (the "Graph" approach of §6.3), plus a way to
+// see which star subgraphs a preview selected (Fig. 3's #1/#2 overlays).
+#ifndef EGP_IO_GRAPHVIZ_EXPORT_H_
+#define EGP_IO_GRAPHVIZ_EXPORT_H_
+
+#include <string>
+
+#include "core/preview.h"
+#include "graph/schema_graph.h"
+
+namespace egp {
+
+struct GraphvizOptions {
+  /// Scale node labels with entity counts and edge labels with
+  /// relationship counts.
+  bool show_counts = true;
+  /// Limit label length (long synthetic names stay readable).
+  size_t max_label_length = 24;
+};
+
+/// DOT digraph of the schema: one node per entity type, one edge per
+/// relationship type (surface name as label).
+std::string SchemaToDot(const SchemaGraph& schema,
+                        const GraphvizOptions& options = {});
+
+/// Same, with the preview's key types filled and its chosen non-key
+/// attributes drawn bold — the star-shaped subgraphs of Def. 1.
+std::string PreviewToDot(const PreparedSchema& prepared,
+                         const Preview& preview,
+                         const GraphvizOptions& options = {});
+
+}  // namespace egp
+
+#endif  // EGP_IO_GRAPHVIZ_EXPORT_H_

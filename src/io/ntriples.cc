@@ -1,0 +1,127 @@
+#include "io/ntriples.h"
+
+#include <fstream>
+#include <istream>
+#include <vector>
+
+#include "common/strings.h"
+#include "graph/entity_graph_builder.h"
+
+namespace egp {
+namespace {
+
+/// Splits `<a> <b> <c> .` into three tokens; angle brackets and the final
+/// dot are optional. Tokens may contain spaces when bracketed.
+Status ParseTriple(std::string_view line, std::string* s, std::string* p,
+                   std::string* o) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  const size_t n = line.size();
+  while (i < n && tokens.size() < 3) {
+    while (i < n && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= n) break;
+    if (line[i] == '<') {
+      const size_t close = line.find('>', i + 1);
+      if (close == std::string_view::npos) {
+        return Status::Corruption("unterminated '<' token");
+      }
+      tokens.emplace_back(line.substr(i + 1, close - i - 1));
+      i = close + 1;
+    } else if (line[i] == '"') {
+      const size_t close = line.find('"', i + 1);
+      if (close == std::string_view::npos) {
+        return Status::Corruption("unterminated '\"' token");
+      }
+      tokens.emplace_back(line.substr(i + 1, close - i - 1));
+      i = close + 1;
+    } else {
+      size_t end = i;
+      while (end < n && !std::isspace(static_cast<unsigned char>(line[end]))) {
+        ++end;
+      }
+      std::string_view token = line.substr(i, end - i);
+      if (token == ".") break;  // bare statement terminator, not a token
+      tokens.emplace_back(token);
+      i = end;
+    }
+  }
+  // Anything after the third token must be the statement terminator.
+  while (i < n && (std::isspace(static_cast<unsigned char>(line[i])) ||
+                   line[i] == '.')) {
+    ++i;
+  }
+  if (tokens.size() != 3 || i != n) {
+    return Status::Corruption("expected '<s> <p> <o> .'");
+  }
+  *s = std::move(tokens[0]);
+  *p = std::move(tokens[1]);
+  *o = std::move(tokens[2]);
+  return Status::OK();
+}
+
+bool IsTypePredicate(std::string_view p) {
+  return p == "a" || p == "rdf:type" ||
+         p == "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+}
+
+}  // namespace
+
+Result<EntityGraph> ReadNTriples(std::istream& in, NTriplesStats* stats) {
+  EntityGraphBuilder builder;
+  NTriplesStats local;
+  struct PendingEdge {
+    std::string s, p, o;
+  };
+  std::vector<PendingEdge> pending;
+
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view view = Trim(line);
+    if (view.empty() || view[0] == '#') continue;
+    std::string s, p, o;
+    Status status = ParseTriple(view, &s, &p, &o);
+    if (!status.ok()) {
+      return Status::Corruption(
+          StrFormat("line %zu: %s", line_number, status.message().c_str()));
+    }
+    ++local.triples;
+    if (IsTypePredicate(p)) {
+      ++local.type_assertions;
+      builder.AddTypedEntity(s, o);
+    } else {
+      // Relationship triples are resolved after all type assertions, since
+      // the inferred relationship type needs endpoint types.
+      pending.push_back(PendingEdge{std::move(s), std::move(p), std::move(o)});
+    }
+  }
+
+  for (PendingEdge& edge : pending) {
+    const EntityId src = builder.AddEntity(edge.s);
+    const EntityId dst = builder.AddEntity(edge.o);
+    // Relationship type inferred from primary (first-asserted) types.
+    const std::vector<TypeId>& src_types = builder.TypesOf(src);
+    const std::vector<TypeId>& dst_types = builder.TypesOf(dst);
+    if (src_types.empty() || dst_types.empty()) {
+      ++local.skipped_untyped;
+      continue;
+    }
+    const RelTypeId rel =
+        builder.AddRelationshipType(edge.p, src_types[0], dst_types[0]);
+    EGP_RETURN_IF_ERROR(builder.AddEdge(src, rel, dst));
+    ++local.relationships;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return builder.Build();
+}
+
+Result<EntityGraph> ReadNTriplesFile(const std::string& path,
+                                     NTriplesStats* stats) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  return ReadNTriples(in, stats);
+}
+
+}  // namespace egp

@@ -1,0 +1,36 @@
+// N-Triples-lite loader for RDF-shaped inputs.
+//
+//   <subject> <predicate> <object> .
+//
+// `a` (or rdf:type) predicates assert entity types; any other predicate is
+// a relationship whose type is inferred as (predicate surface, primary type
+// of subject, primary type of object) — "primary" meaning first-asserted.
+// This mirrors how a raw Freebase/Linked-Data dump would be ingested when
+// relationship types are not pre-declared; triples whose endpoints have no
+// asserted type yet are buffered until all type assertions are seen.
+#ifndef EGP_IO_NTRIPLES_H_
+#define EGP_IO_NTRIPLES_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "graph/entity_graph.h"
+
+namespace egp {
+
+struct NTriplesStats {
+  uint64_t triples = 0;
+  uint64_t type_assertions = 0;
+  uint64_t relationships = 0;
+  uint64_t skipped_untyped = 0;  // relationships dropped: untyped endpoint
+};
+
+Result<EntityGraph> ReadNTriples(std::istream& in,
+                                 NTriplesStats* stats = nullptr);
+Result<EntityGraph> ReadNTriplesFile(const std::string& path,
+                                     NTriplesStats* stats = nullptr);
+
+}  // namespace egp
+
+#endif  // EGP_IO_NTRIPLES_H_

@@ -1,0 +1,31 @@
+// Renders materialized previews as ASCII or Markdown tables (Fig. 2 style).
+#ifndef EGP_IO_PREVIEW_RENDERER_H_
+#define EGP_IO_PREVIEW_RENDERER_H_
+
+#include <string>
+
+#include "core/tuple_sampler.h"
+#include "graph/entity_graph.h"
+
+namespace egp {
+
+struct RenderOptions {
+  size_t max_cell_width = 36;   // longer cells are truncated with "..."
+  size_t max_values_per_cell = 3;
+  bool show_direction = false;  // annotate columns with <- for incoming
+  enum class Format { kAscii, kMarkdown } format = Format::kAscii;
+};
+
+/// Renders every table of the preview; key column is marked with
+/// underlining (ASCII) or bold (Markdown), mirroring Fig. 2.
+std::string RenderPreview(const EntityGraph& graph,
+                          const MaterializedPreview& preview,
+                          const RenderOptions& options = {});
+
+std::string RenderTable(const EntityGraph& graph,
+                        const MaterializedTable& table,
+                        const RenderOptions& options = {});
+
+}  // namespace egp
+
+#endif  // EGP_IO_PREVIEW_RENDERER_H_

@@ -1,0 +1,157 @@
+#include "reduction/clique.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace egp {
+
+SimpleGraph::SimpleGraph(size_t n) : n_(n), adjacency_(n, 0) {
+  EGP_CHECK(n <= 64) << "SimpleGraph supports at most 64 vertices";
+}
+
+void SimpleGraph::AddEdge(size_t u, size_t v) {
+  EGP_CHECK(u < n_ && v < n_) << "edge endpoint out of range";
+  EGP_CHECK(u != v) << "self-loops not supported";
+  adjacency_[u] |= (uint64_t{1} << v);
+  adjacency_[v] |= (uint64_t{1} << u);
+}
+
+bool SimpleGraph::HasEdge(size_t u, size_t v) const {
+  EGP_CHECK(u < n_ && v < n_) << "edge endpoint out of range";
+  return (adjacency_[u] >> v) & 1;
+}
+
+size_t SimpleGraph::num_edges() const {
+  size_t twice = 0;
+  for (uint64_t row : adjacency_) twice += std::popcount(row);
+  return twice / 2;
+}
+
+SimpleGraph SimpleGraph::Complement() const {
+  SimpleGraph out(n_);
+  for (size_t u = 0; u < n_; ++u) {
+    for (size_t v = u + 1; v < n_; ++v) {
+      if (!HasEdge(u, v)) out.AddEdge(u, v);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Bron–Kerbosch with pivoting; early exit once a clique of size k exists.
+bool BronKerbosch(const SimpleGraph& graph, uint64_t r_size, uint64_t p,
+                  uint64_t x, size_t k, size_t* best) {
+  if (p == 0 && x == 0) {
+    *best = std::max(*best, static_cast<size_t>(r_size));
+    return *best >= k;
+  }
+  if (r_size + static_cast<uint64_t>(std::popcount(p)) < k &&
+      r_size + static_cast<uint64_t>(std::popcount(p)) <= *best) {
+    return false;  // cannot beat best nor reach k
+  }
+  // Pivot: vertex of P∪X with most neighbours in P.
+  uint64_t candidates = p;
+  const uint64_t both = p | x;
+  int best_cover = -1;
+  size_t pivot = 0;
+  uint64_t scan = both;
+  while (scan) {
+    const size_t v = static_cast<size_t>(std::countr_zero(scan));
+    scan &= scan - 1;
+    const int cover = std::popcount(p & graph.Neighbors(v));
+    if (cover > best_cover) {
+      best_cover = cover;
+      pivot = v;
+    }
+  }
+  candidates = p & ~graph.Neighbors(pivot);
+
+  while (candidates) {
+    const size_t v = static_cast<size_t>(std::countr_zero(candidates));
+    const uint64_t bit = uint64_t{1} << v;
+    candidates &= candidates - 1;
+    if (BronKerbosch(graph, r_size + 1, p & graph.Neighbors(v),
+                     x & graph.Neighbors(v), k, best)) {
+      return true;
+    }
+    p &= ~bit;
+    x |= bit;
+  }
+  *best = std::max(*best, static_cast<size_t>(r_size));
+  return *best >= k;
+}
+
+}  // namespace
+
+bool HasKCliqueBronKerbosch(const SimpleGraph& graph, size_t k) {
+  if (k == 0) return true;
+  if (k == 1) return graph.num_vertices() > 0;
+  const uint64_t all =
+      graph.num_vertices() == 64
+          ? ~uint64_t{0}
+          : ((uint64_t{1} << graph.num_vertices()) - 1);
+  size_t best = 0;
+  return BronKerbosch(graph, 0, all, 0, k, &best);
+}
+
+size_t MaxCliqueSize(const SimpleGraph& graph) {
+  if (graph.num_vertices() == 0) return 0;
+  const uint64_t all =
+      graph.num_vertices() == 64
+          ? ~uint64_t{0}
+          : ((uint64_t{1} << graph.num_vertices()) - 1);
+  size_t best = 0;
+  // k > n forces full exploration; best accumulates the maximum size.
+  BronKerbosch(graph, 0, all, 0, graph.num_vertices() + 1, &best);
+  return best;
+}
+
+bool HasKCliqueApriori(const SimpleGraph& graph, size_t k) {
+  const size_t n = graph.num_vertices();
+  if (k == 0) return true;
+  if (k == 1) return n > 0;
+
+  // L2: all edges as sorted pairs.
+  std::vector<std::vector<uint8_t>> level;
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = u + 1; v < n; ++v) {
+      if (graph.HasEdge(u, v)) {
+        level.push_back({static_cast<uint8_t>(u), static_cast<uint8_t>(v)});
+      }
+    }
+  }
+  if (k == 2) return !level.empty();
+
+  for (size_t arity = 3; arity <= k; ++arity) {
+    std::vector<std::vector<uint8_t>> next;
+    size_t block_start = 0;
+    while (block_start < level.size()) {
+      size_t block_end = block_start + 1;
+      while (block_end < level.size() &&
+             std::equal(level[block_start].begin(),
+                        level[block_start].end() - 1,
+                        level[block_end].begin())) {
+        ++block_end;
+      }
+      for (size_t a = block_start; a < block_end; ++a) {
+        for (size_t b = a + 1; b < block_end; ++b) {
+          const uint8_t last_a = level[a].back();
+          const uint8_t last_b = level[b].back();
+          if (!graph.HasEdge(last_a, last_b)) continue;
+          std::vector<uint8_t> merged = level[a];
+          merged.push_back(last_b);
+          next.push_back(std::move(merged));
+        }
+      }
+      block_start = block_end;
+    }
+    level = std::move(next);
+    if (level.empty()) return false;
+  }
+  return !level.empty();
+}
+
+}  // namespace egp

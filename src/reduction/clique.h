@@ -1,0 +1,47 @@
+// Exact clique finding on small undirected graphs (≤ 64 vertices).
+//
+// Two independent implementations — Bron–Kerbosch with pivoting and the
+// Apriori-style level join of [11] that Alg. 3's first step generalizes —
+// used to verify the §4.1 NP-hardness reductions against each other and
+// against the preview decision problems.
+#ifndef EGP_REDUCTION_CLIQUE_H_
+#define EGP_REDUCTION_CLIQUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace egp {
+
+/// Undirected simple graph over at most 64 vertices, adjacency as bitsets.
+class SimpleGraph {
+ public:
+  explicit SimpleGraph(size_t n);
+
+  size_t num_vertices() const { return n_; }
+  void AddEdge(size_t u, size_t v);
+  bool HasEdge(size_t u, size_t v) const;
+  uint64_t Neighbors(size_t v) const { return adjacency_[v]; }
+  size_t num_edges() const;
+
+  /// The complement graph (no self-loops).
+  SimpleGraph Complement() const;
+
+ private:
+  size_t n_;
+  std::vector<uint64_t> adjacency_;
+};
+
+/// Bron–Kerbosch (with pivot): true iff a clique of size >= k exists.
+bool HasKCliqueBronKerbosch(const SimpleGraph& graph, size_t k);
+
+/// Apriori-style level join: L_i built from L_{i-1} by prefix join with a
+/// single adjacency check, as in Alg. 3 step 1.
+bool HasKCliqueApriori(const SimpleGraph& graph, size_t k);
+
+/// Maximum clique size (Bron–Kerbosch).
+size_t MaxCliqueSize(const SimpleGraph& graph);
+
+}  // namespace egp
+
+#endif  // EGP_REDUCTION_CLIQUE_H_

@@ -1,0 +1,36 @@
+// The §4.1 NP-hardness reductions, implemented as executable constructions
+// so the equivalences can be property-tested:
+//
+//   Theorem 1: Clique(G, k) ⇔ TightPreview(Gs, k, k, 1, 0), where Gs has
+//     the same structure as G (vertex bijection, one relationship type per
+//     edge).
+//   Theorem 2: Clique(G, k) ⇔ DiversePreview(Gs, k, k, 2, 0), where Gs is
+//     the complement of G plus a hub vertex τ0 adjacent to every type
+//     (Fig. 4), so vertices adjacent in G end up at distance exactly 2.
+#ifndef EGP_REDUCTION_REDUCTION_H_
+#define EGP_REDUCTION_REDUCTION_H_
+
+#include "common/result.h"
+#include "graph/schema_graph.h"
+#include "reduction/clique.h"
+
+namespace egp {
+
+/// Theorem 1 construction: schema graph isomorphic to `graph`.
+SchemaGraph BuildTightReductionSchema(const SimpleGraph& graph);
+
+/// Theorem 2 construction: complement graph plus hub τ0 (type index 0 in
+/// the result; original vertex i maps to type i+1).
+SchemaGraph BuildDiverseReductionSchema(const SimpleGraph& graph);
+
+/// Decision problems from the proofs: does a preview with k tables, at
+/// most n non-key attributes, pairwise distance ≤ d (resp. ≥ d) and score
+/// at least s exist? Solved exactly via brute force.
+Result<bool> TightPreviewDecision(const SchemaGraph& schema, uint32_t k,
+                                  uint32_t n, uint32_t d, double s);
+Result<bool> DiversePreviewDecision(const SchemaGraph& schema, uint32_t k,
+                                    uint32_t n, uint32_t d, double s);
+
+}  // namespace egp
+
+#endif  // EGP_REDUCTION_REDUCTION_H_

@@ -1,0 +1,81 @@
+#include "baseline/kcenter.h"
+
+#include <gtest/gtest.h>
+
+namespace egp {
+namespace {
+
+/// Distance matrix for points on a line at the given coordinates.
+std::vector<double> LineDistances(const std::vector<double>& coords) {
+  const size_t n = coords.size();
+  std::vector<double> dist(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      dist[i * n + j] = std::abs(coords[i] - coords[j]);
+    }
+  }
+  return dist;
+}
+
+TEST(KCenterTest, SeedIsMostImportant) {
+  const auto dist = LineDistances({0, 1, 2, 3});
+  const std::vector<double> weight = {1, 5, 1, 1};
+  const auto result = WeightedKCenter(dist, weight, 4, 2);
+  ASSERT_GE(result.centers.size(), 1u);
+  EXPECT_EQ(result.centers[0], 1u);
+}
+
+TEST(KCenterTest, TwoClustersOnALine) {
+  // Points {0, 1} and {10, 11}: with k=2 the second centre must come from
+  // the far group.
+  const auto dist = LineDistances({0, 1, 10, 11});
+  const std::vector<double> weight = {2, 1, 1, 1};
+  const auto result = WeightedKCenter(dist, weight, 4, 2);
+  ASSERT_EQ(result.centers.size(), 2u);
+  EXPECT_EQ(result.centers[0], 0u);
+  EXPECT_TRUE(result.centers[1] == 2u || result.centers[1] == 3u);
+  // Assignment respects proximity.
+  EXPECT_EQ(result.cluster_of[0], 0u);
+  EXPECT_EQ(result.cluster_of[1], 0u);
+  EXPECT_EQ(result.cluster_of[2], 1u);
+  EXPECT_EQ(result.cluster_of[3], 1u);
+}
+
+TEST(KCenterTest, WeightsBreakDistanceTies) {
+  // Two candidates equally far from the seed; the heavier one wins the
+  // second centre slot.
+  const auto dist = LineDistances({0, 5, -5});
+  const std::vector<double> weight = {10, 1, 3};
+  const auto result = WeightedKCenter(dist, weight, 3, 2);
+  ASSERT_EQ(result.centers.size(), 2u);
+  EXPECT_EQ(result.centers[1], 2u);
+}
+
+TEST(KCenterTest, KLargerThanItems) {
+  const auto dist = LineDistances({0, 1});
+  const std::vector<double> weight = {1, 1};
+  const auto result = WeightedKCenter(dist, weight, 2, 5);
+  EXPECT_EQ(result.centers.size(), 2u);
+}
+
+TEST(KCenterTest, EveryItemAssignedToNearestCenter) {
+  const auto dist = LineDistances({0, 2, 4, 6, 8, 10});
+  const std::vector<double> weight = {1, 1, 1, 1, 1, 6};
+  const auto result = WeightedKCenter(dist, weight, 6, 3);
+  for (size_t i = 0; i < 6; ++i) {
+    const TypeId assigned = result.centers[result.cluster_of[i]];
+    for (const TypeId center : result.centers) {
+      EXPECT_LE(dist[assigned * 6 + i], dist[center * 6 + i] + 1e-12);
+    }
+  }
+}
+
+TEST(KCenterTest, SingleItem) {
+  const auto result = WeightedKCenter({0.0}, {1.0}, 1, 1);
+  ASSERT_EQ(result.centers.size(), 1u);
+  EXPECT_EQ(result.centers[0], 0u);
+  EXPECT_EQ(result.cluster_of[0], 0u);
+}
+
+}  // namespace
+}  // namespace egp

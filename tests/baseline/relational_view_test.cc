@@ -1,0 +1,101 @@
+#include "baseline/relational_view.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/paper_example.h"
+#include "graph/entity_graph_builder.h"
+
+namespace egp {
+namespace {
+
+class RelationalViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = BuildPaperExampleGraph();
+    schema_ = SchemaGraph::FromEntityGraph(graph_);
+    tables_ = BuildRelationalView(graph_, schema_);
+  }
+
+  const RelationalTable& TableOf(std::string_view name) const {
+    const TypeId t = *schema_.type_names().Find(name);
+    return tables_[t];
+  }
+
+  EntityGraph graph_;
+  SchemaGraph schema_;
+  std::vector<RelationalTable> tables_;
+};
+
+TEST_F(RelationalViewTest, OneTablePerType) {
+  EXPECT_EQ(tables_.size(), schema_.num_types());
+  for (TypeId t = 0; t < schema_.num_types(); ++t) {
+    EXPECT_EQ(tables_[t].type, t);
+    EXPECT_EQ(tables_[t].name, schema_.TypeName(t));
+  }
+}
+
+TEST_F(RelationalViewTest, ColumnsCoverIncidentRelTypes) {
+  // FILM: Actor(in), Director(in), Genres(out), Producer(in), Exec(in).
+  EXPECT_EQ(TableOf("FILM").columns.size(), 5u);
+  // AWARD: two Award Winners columns (incoming).
+  EXPECT_EQ(TableOf("AWARD").columns.size(), 2u);
+}
+
+TEST_F(RelationalViewTest, BaseRowsAreEntityCounts) {
+  EXPECT_EQ(TableOf("FILM").base_rows, 4u);
+  EXPECT_EQ(TableOf("FILM PRODUCER").base_rows, 1u);
+}
+
+TEST_F(RelationalViewTest, ColumnEntropyReflectsValueSkew) {
+  // The FILM table's Director column values: {Barry:2, Peter:1, Alex:1}
+  // → H2 = 1.5 bits.
+  const RelationalTable& film = TableOf("FILM");
+  const RelationalColumn* director = nullptr;
+  for (const RelationalColumn& c : film.columns) {
+    if (c.name == "Director") director = &c;
+  }
+  ASSERT_NE(director, nullptr);
+  EXPECT_NEAR(director->entropy, 1.5, 1e-9);
+  EXPECT_EQ(director->distinct_values, 3u);
+  EXPECT_EQ(director->value_occurrences, 4u);
+}
+
+TEST_F(RelationalViewTest, InformationContentIncludesKeyColumn) {
+  // IC ≥ log2(rows): the key column alone contributes log2(4) = 2 bits
+  // for FILM.
+  EXPECT_GE(TableOf("FILM").information_content, 2.0);
+}
+
+TEST_F(RelationalViewTest, IsolatedTypeHasNoColumns) {
+  SchemaGraph schema;
+  schema.AddType("LONELY", 10);
+  EntityGraphBuilder b;
+  b.AddTypedEntity("x", "LONELY");
+  auto graph = b.Build();
+  ASSERT_TRUE(graph.ok());
+  const auto tables = BuildRelationalView(*graph, schema);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_TRUE(tables[0].columns.empty());
+  EXPECT_NEAR(tables[0].information_content, std::log2(10.0), 1e-9);
+}
+
+TEST_F(RelationalViewTest, SelfLoopYieldsTwoColumns) {
+  EntityGraphBuilder b;
+  const TypeId ep = b.AddEntityType("EPISODE");
+  const RelTypeId next = b.AddRelationshipType("Next", ep, ep);
+  const EntityId e1 = b.AddEntity("e1");
+  const EntityId e2 = b.AddEntity("e2");
+  b.AddEntityToType(e1, ep);
+  b.AddEntityToType(e2, ep);
+  ASSERT_TRUE(b.AddEdge(e1, next, e2).ok());
+  auto graph = b.Build();
+  ASSERT_TRUE(graph.ok());
+  const SchemaGraph schema = SchemaGraph::FromEntityGraph(*graph);
+  const auto tables = BuildRelationalView(*graph, schema);
+  EXPECT_EQ(tables[0].columns.size(), 2u);  // Next (out) + Next (in)
+}
+
+}  // namespace
+}  // namespace egp

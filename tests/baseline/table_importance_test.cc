@@ -1,0 +1,98 @@
+#include "baseline/table_importance.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datagen/paper_example.h"
+#include "graph/entity_graph_builder.h"
+
+namespace egp {
+namespace {
+
+TEST(TableImportanceTest, SumsToOne) {
+  const EntityGraph graph = BuildPaperExampleGraph();
+  const SchemaGraph schema = SchemaGraph::FromEntityGraph(graph);
+  const auto tables = BuildRelationalView(graph, schema);
+  const auto importance = ComputeTableImportance(tables, schema);
+  EXPECT_NEAR(std::accumulate(importance.begin(), importance.end(), 0.0),
+              1.0, 1e-9);
+  for (double i : importance) EXPECT_GT(i, 0.0);
+}
+
+TEST(TableImportanceTest, HubTableIsMostImportant) {
+  const EntityGraph graph = BuildPaperExampleGraph();
+  const SchemaGraph schema = SchemaGraph::FromEntityGraph(graph);
+  const auto tables = BuildRelationalView(graph, schema);
+  const auto importance = ComputeTableImportance(tables, schema);
+  const TypeId film = *schema.type_names().Find("FILM");
+  for (TypeId t = 0; t < schema.num_types(); ++t) {
+    if (t == film) continue;
+    EXPECT_GT(importance[film], importance[t]);
+  }
+}
+
+TEST(TableImportanceTest, RankingIsDescending) {
+  const EntityGraph graph = BuildPaperExampleGraph();
+  const SchemaGraph schema = SchemaGraph::FromEntityGraph(graph);
+  const auto tables = BuildRelationalView(graph, schema);
+  const auto importance = ComputeTableImportance(tables, schema);
+  const auto ranked = RankByImportance(importance);
+  ASSERT_EQ(ranked.size(), importance.size());
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(importance[ranked[i - 1]], importance[ranked[i]]);
+  }
+}
+
+TEST(TableImportanceTest, DisconnectedTablesStillScored) {
+  EntityGraphBuilder b;
+  const TypeId a = b.AddEntityType("A");
+  const TypeId bt = b.AddEntityType("B");
+  const TypeId lonely = b.AddEntityType("LONELY");
+  const RelTypeId rel = b.AddRelationshipType("r", a, bt);
+  const EntityId x = b.AddEntity("x");
+  const EntityId y = b.AddEntity("y");
+  b.AddEntity("z");
+  b.AddEntityToType(x, a);
+  b.AddEntityToType(y, bt);
+  b.AddEntityToType(2, lonely);
+  ASSERT_TRUE(b.AddEdge(x, rel, y).ok());
+  auto graph = b.Build();
+  ASSERT_TRUE(graph.ok());
+  const SchemaGraph schema = SchemaGraph::FromEntityGraph(*graph);
+  const auto tables = BuildRelationalView(*graph, schema);
+  const auto importance = ComputeTableImportance(tables, schema);
+  EXPECT_GT(importance[lonely], 0.0);  // restart mass keeps it positive
+  EXPECT_NEAR(std::accumulate(importance.begin(), importance.end(), 0.0),
+              1.0, 1e-9);
+}
+
+TEST(TableImportanceTest, RichTablesBeatPoorOnes) {
+  // Two symmetric joins; the table with higher information content (more
+  // rows) should receive more importance.
+  EntityGraphBuilder b;
+  const TypeId big = b.AddEntityType("BIG");
+  const TypeId mid = b.AddEntityType("MID");
+  const TypeId small = b.AddEntityType("SMALL");
+  const RelTypeId r1 = b.AddRelationshipType("r1", big, mid);
+  const RelTypeId r2 = b.AddRelationshipType("r2", small, mid);
+  const EntityId hubm = b.AddEntity("m");
+  b.AddEntityToType(hubm, mid);
+  for (int i = 0; i < 20; ++i) {
+    const EntityId e = b.AddEntity("big" + std::to_string(i));
+    b.AddEntityToType(e, big);
+    ASSERT_TRUE(b.AddEdge(e, r1, hubm).ok());
+  }
+  const EntityId s = b.AddEntity("s0");
+  b.AddEntityToType(s, small);
+  ASSERT_TRUE(b.AddEdge(s, r2, hubm).ok());
+  auto graph = b.Build();
+  ASSERT_TRUE(graph.ok());
+  const SchemaGraph schema = SchemaGraph::FromEntityGraph(*graph);
+  const auto tables = BuildRelationalView(*graph, schema);
+  const auto importance = ComputeTableImportance(tables, schema);
+  EXPECT_GT(importance[big], importance[small]);
+}
+
+}  // namespace
+}  // namespace egp

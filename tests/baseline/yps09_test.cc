@@ -1,0 +1,63 @@
+#include "baseline/yps09.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "datagen/paper_example.h"
+#include "graph/entity_graph_builder.h"
+
+namespace egp {
+namespace {
+
+TEST(Yps09Test, RunsOnPaperExample) {
+  const EntityGraph graph = BuildPaperExampleGraph();
+  const SchemaGraph schema = SchemaGraph::FromEntityGraph(graph);
+  Yps09Options options;
+  options.num_clusters = 2;
+  const auto summary = RunYps09(graph, schema, options);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->tables.size(), 6u);
+  EXPECT_EQ(summary->ranked.size(), 6u);
+  EXPECT_EQ(summary->clustering.centers.size(), 2u);
+  // FILM is the hub: it should lead the ranking and seed the clustering.
+  const TypeId film = *schema.type_names().Find("FILM");
+  EXPECT_EQ(summary->ranked[0], film);
+  EXPECT_EQ(summary->clustering.centers[0], film);
+}
+
+TEST(Yps09Test, ClusterAssignmentsCoverAllTypes) {
+  const EntityGraph graph = BuildPaperExampleGraph();
+  const SchemaGraph schema = SchemaGraph::FromEntityGraph(graph);
+  const auto summary = RunYps09(graph, schema, Yps09Options{});
+  ASSERT_TRUE(summary.ok());
+  ASSERT_EQ(summary->clustering.cluster_of.size(), schema.num_types());
+  for (uint32_t cluster : summary->clustering.cluster_of) {
+    EXPECT_LT(cluster, summary->clustering.centers.size());
+  }
+}
+
+TEST(Yps09Test, WorksOnGeneratedDomain) {
+  GeneratorOptions options;
+  options.scale = 0.0002;  // tiny for test speed
+  auto domain = GenerateDomainByName("people", options);
+  ASSERT_TRUE(domain.ok()) << domain.status().ToString();
+  const auto summary = RunYps09(domain->graph, domain->schema, Yps09Options{});
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->ranked.size(), domain->schema.num_types());
+  // Importance is a distribution.
+  double total = 0.0;
+  for (double i : summary->importance) total += i;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(Yps09Test, EmptySchemaRejected) {
+  EntityGraphBuilder b;
+  b.AddTypedEntity("x", "T");
+  auto graph = b.Build();
+  ASSERT_TRUE(graph.ok());
+  SchemaGraph empty;
+  EXPECT_FALSE(RunYps09(*graph, empty, Yps09Options{}).ok());
+}
+
+}  // namespace
+}  // namespace egp

@@ -1,0 +1,80 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+
+namespace egp {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  // Below-threshold statements must be safe no-ops, including streaming.
+  EGP_LOG(Debug) << "suppressed " << 42;
+  EGP_LOG(Info) << "also suppressed" << std::string(1000, 'x');
+  SUCCEED();
+}
+
+TEST(LoggingTest, EmittedMessagesGoToStderr) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  EGP_LOG(Warning) << "visible " << 7;
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("visible 7"), std::string::npos);
+  EXPECT_NE(captured.find("WARN"), std::string::npos);
+  EXPECT_NE(captured.find("logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  EGP_LOG(Info) << "hidden";
+  EGP_LOG(Error) << "shown";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("hidden"), std::string::npos);
+  EXPECT_NE(captured.find("shown"), std::string::npos);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  // Burn a little CPU deterministically.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += i;
+  const double elapsed_ms = timer.ElapsedMillis();
+  EXPECT_GT(elapsed_ms, 0.0);
+  EXPECT_LT(elapsed_ms, 10000.0);
+  EXPECT_NEAR(timer.ElapsedSeconds() * 1000.0, timer.ElapsedMillis(),
+              timer.ElapsedMillis() * 0.5);
+}
+
+TEST(TimerTest, ResetRestartsClock) {
+  Timer timer;
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += i;
+  const double before = timer.ElapsedMicros();
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedMicros(), before + 1000.0);
+}
+
+}  // namespace
+}  // namespace egp

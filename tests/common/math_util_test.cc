@@ -1,0 +1,77 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace egp {
+namespace {
+
+TEST(EntropyLog10Test, PaperDirectorExample) {
+  // §3.3: S_ent(Director) with histogram {Barry:2, Peter:1, Alex:1}
+  // = (2/4)log(4/2) + (1/4)log(4/1) + (1/4)log(4/1) = 0.45 (base 10).
+  EXPECT_NEAR(EntropyLog10({2, 1, 1}), 0.45, 0.005);
+}
+
+TEST(EntropyLog10Test, PaperGenresExample) {
+  // §3.3: S_ent(Genres) with {{Action,SciFi}:2, {Action}:1}
+  // = (2/3)log(3/2) + (1/3)log(3) = 0.28.
+  EXPECT_NEAR(EntropyLog10({2, 1}), 0.28, 0.005);
+}
+
+TEST(EntropyLog10Test, UniformIsLogN) {
+  EXPECT_NEAR(EntropyLog10({1, 1, 1, 1, 1, 1, 1, 1, 1, 1}), 1.0, 1e-12);
+}
+
+TEST(EntropyLog10Test, SingleGroupIsZero) {
+  EXPECT_DOUBLE_EQ(EntropyLog10({7}), 0.0);
+}
+
+TEST(EntropyLog10Test, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(EntropyLog10({}), 0.0);
+}
+
+TEST(EntropyLog10Test, IgnoresZeroCounts) {
+  EXPECT_DOUBLE_EQ(EntropyLog10({3, 0, 3}), EntropyLog10({3, 3}));
+}
+
+TEST(EntropyLog2Test, UniformTwoGroupsIsOneBit) {
+  EXPECT_NEAR(EntropyLog2({5, 5}), 1.0, 1e-12);
+}
+
+TEST(EntropyLog2Test, SkewIsLessThanUniform) {
+  EXPECT_LT(EntropyLog2({9, 1}), EntropyLog2({5, 5}));
+}
+
+TEST(NormalCdfTest, StandardValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(NormalCdf(1.2816), 0.9, 1e-3);
+}
+
+TEST(NormalSfTest, ComplementOfCdf) {
+  for (double z : {-2.0, -0.5, 0.0, 0.7, 2.3}) {
+    EXPECT_NEAR(NormalSf(z) + NormalCdf(z), 1.0, 1e-12);
+  }
+}
+
+TEST(NormalSfTest, PaperSignificanceThreshold) {
+  // alpha = 0.1 one-tailed corresponds to z ≈ 1.2816.
+  EXPECT_NEAR(NormalSf(1.2816), 0.1, 1e-3);
+}
+
+TEST(Log2OrZeroTest, HandlesNonPositive) {
+  EXPECT_DOUBLE_EQ(Log2OrZero(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Log2OrZero(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(Log2OrZero(8.0), 3.0);
+}
+
+TEST(ApproxEqualTest, Tolerance) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_TRUE(ApproxEqual(1.0, 1.001, 0.01));
+}
+
+}  // namespace
+}  // namespace egp

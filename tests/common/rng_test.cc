@@ -1,0 +1,175 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace egp {
+namespace {
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 12);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(RngTest, LogNormalMedianIsExpMu) {
+  Rng rng(19);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) samples.push_back(rng.NextLogNormal(3.0, 0.4));
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], std::exp(3.0), 1.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedRespectsZeroWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {0.0, 1.0, 0.0, 2.0};
+  for (int i = 0; i < 200; ++i) {
+    const size_t pick = rng.NextWeighted(weights);
+    EXPECT_TRUE(pick == 1 || pick == 3);
+  }
+}
+
+TEST(RngTest, WeightedProportions) {
+  Rng rng(31);
+  std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextWeighted(weights) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(41);
+  const auto picked = rng.SampleIndices(100, 10);
+  EXPECT_EQ(picked.size(), 10u);
+  std::set<size_t> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t i : picked) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, SampleIndicesWhenKExceedsN) {
+  Rng rng(43);
+  const auto picked = rng.SampleIndices(4, 10);
+  EXPECT_EQ(picked.size(), 4u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(47);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfDistribution zipf(50, 1.0);
+  double total = 0.0;
+  for (size_t i = 0; i < zipf.size(); ++i) total += zipf.Probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, MonotoneDecreasing) {
+  ZipfDistribution zipf(20, 0.8);
+  for (size_t i = 1; i < zipf.size(); ++i) {
+    EXPECT_GT(zipf.Probability(i - 1), zipf.Probability(i));
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchProbabilities) {
+  ZipfDistribution zipf(5, 1.0);
+  Rng rng(53);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, zipf.Probability(i), 0.01);
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfDistribution zipf(1, 2.0);
+  Rng rng(59);
+  EXPECT_EQ(zipf.Sample(&rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.Probability(0), 1.0);
+}
+
+}  // namespace
+}  // namespace egp

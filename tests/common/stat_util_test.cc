@@ -1,0 +1,67 @@
+#include "common/stat_util.h"
+
+#include <gtest/gtest.h>
+
+namespace egp {
+namespace {
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({7}), 7.0);
+}
+
+TEST(VarianceTest, PopulationVariance) {
+  EXPECT_DOUBLE_EQ(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+}
+
+TEST(VarianceTest, ConstantSampleIsZero) {
+  EXPECT_DOUBLE_EQ(Variance({3, 3, 3}), 0.0);
+}
+
+TEST(QuantileTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  std::vector<double> v = {5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 9.0);
+}
+
+TEST(QuantileTest, LinearInterpolation) {
+  // Sorted: 10, 20, 30, 40 → q=0.25 sits at position 0.75 → 17.5.
+  EXPECT_DOUBLE_EQ(Quantile({40, 10, 30, 20}, 0.25), 17.5);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Quantile({42}, 0.37), 42.0);
+}
+
+TEST(SummarizeTest, FiveNumbers) {
+  const FiveNumberSummary s = Summarize({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(SummarizeTest, EmptyIsAllZero) {
+  const FiveNumberSummary s = Summarize({});
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(SummarizeTest, OrderedInvariant) {
+  const FiveNumberSummary s = Summarize({12.0, 3.5, 7.7, 21.2, 0.4, 9.9});
+  EXPECT_LE(s.min, s.q1);
+  EXPECT_LE(s.q1, s.median);
+  EXPECT_LE(s.median, s.q3);
+  EXPECT_LE(s.q3, s.max);
+}
+
+}  // namespace
+}  // namespace egp

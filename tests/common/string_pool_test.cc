@@ -1,0 +1,64 @@
+#include "common/string_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace egp {
+namespace {
+
+TEST(StringPoolTest, InternAssignsDenseIds) {
+  StringPool pool;
+  EXPECT_EQ(pool.Intern("a"), 0u);
+  EXPECT_EQ(pool.Intern("b"), 1u);
+  EXPECT_EQ(pool.Intern("c"), 2u);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(StringPoolTest, InternIsIdempotent) {
+  StringPool pool;
+  const uint32_t id = pool.Intern("FILM");
+  EXPECT_EQ(pool.Intern("FILM"), id);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(StringPoolTest, GetReturnsOriginal) {
+  StringPool pool;
+  const uint32_t id = pool.Intern("Men in Black");
+  EXPECT_EQ(pool.Get(id), "Men in Black");
+}
+
+TEST(StringPoolTest, FindMissingReturnsNullopt) {
+  StringPool pool;
+  pool.Intern("present");
+  EXPECT_FALSE(pool.Find("absent").has_value());
+  EXPECT_EQ(pool.Find("present").value(), 0u);
+}
+
+TEST(StringPoolTest, EmptyStringIsValidKey) {
+  StringPool pool;
+  const uint32_t id = pool.Intern("");
+  EXPECT_EQ(pool.Get(id), "");
+  EXPECT_TRUE(pool.Find("").has_value());
+}
+
+TEST(StringPoolTest, StableAcrossManyInsertions) {
+  StringPool pool;
+  // deque storage keeps earlier string views valid through growth.
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(pool.Intern(StrFormat("entity-%d", i)));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(pool.Get(ids[i]), StrFormat("entity-%d", i));
+    EXPECT_EQ(pool.Find(StrFormat("entity-%d", i)).value(), ids[i]);
+  }
+}
+
+TEST(StringPoolDeathTest, GetOutOfRangeAborts) {
+  StringPool pool;
+  EXPECT_DEATH({ (void)pool.Get(0); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace egp

@@ -1,0 +1,70 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace egp {
+namespace {
+
+TEST(SplitTest, BasicTabSplit) {
+  const auto parts = Split("a\tb\tc", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(TrimTest, PreservesInnerWhitespace) {
+  EXPECT_EQ(Trim(" a b "), "a b");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(ToLowerTest, AsciiLowercasing) {
+  EXPECT_EQ(ToLower("FiLm ActOr 42"), "film actor 42");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("reltype\tx", "reltype"));
+  EXPECT_FALSE(StartsWith("rel", "reltype"));
+  EXPECT_TRUE(EndsWith("graph.egt", ".egt"));
+  EXPECT_FALSE(EndsWith("egt", ".egt"));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("k=%u n=%u", 5u, 10u), "k=5 n=10");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+}
+
+TEST(StrFormatTest, EmptyAndLongOutputs) {
+  EXPECT_EQ(StrFormat("%s", ""), "");
+  const std::string long_arg(500, 'x');
+  EXPECT_EQ(StrFormat("%s", long_arg.c_str()).size(), 500u);
+}
+
+}  // namespace
+}  // namespace egp

@@ -1,0 +1,111 @@
+#include "datagen/domain_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace egp {
+namespace {
+
+TEST(DomainSpecTest, SevenDomains) {
+  EXPECT_EQ(AllDomainSpecs().size(), 7u);
+  EXPECT_EQ(GoldDomainSpecs().size(), 5u);
+}
+
+TEST(DomainSpecTest, Table2SchemaSizes) {
+  struct Expected {
+    const char* name;
+    uint32_t types;
+    uint32_t rel_types;
+  };
+  // Table 2, schema-side numbers (matched exactly by the generator).
+  const Expected expected[] = {
+      {"books", 91, 201},      {"film", 63, 136}, {"music", 69, 176},
+      {"tv", 59, 177},         {"people", 45, 78}, {"basketball", 6, 21},
+      {"architecture", 23, 48},
+  };
+  for (const Expected& e : expected) {
+    const DomainSpec* spec = FindDomainSpec(e.name);
+    ASSERT_NE(spec, nullptr) << e.name;
+    EXPECT_EQ(spec->num_types, e.types) << e.name;
+    EXPECT_EQ(spec->num_rel_types, e.rel_types) << e.name;
+  }
+}
+
+TEST(DomainSpecTest, Table2EntityGraphSizes) {
+  EXPECT_EQ(FindDomainSpec("music")->paper_entities, 27'000'000u);
+  EXPECT_EQ(FindDomainSpec("music")->paper_edges, 187'000'000u);
+  EXPECT_EQ(FindDomainSpec("basketball")->paper_entities, 19'000u);
+  EXPECT_EQ(FindDomainSpec("architecture")->paper_edges, 432'000u);
+}
+
+TEST(DomainSpecTest, GoldStandardShape) {
+  // Table 10: 6 key attributes per gold domain, ≤3 non-keys each.
+  for (const DomainSpec* spec : GoldDomainSpecs()) {
+    EXPECT_EQ(spec->gold.tables.size(), 6u) << spec->name;
+    for (const GoldTable& table : spec->gold.tables) {
+      EXPECT_GE(table.nonkeys.size(), 1u);
+      EXPECT_LE(table.nonkeys.size(), 3u);
+    }
+  }
+}
+
+TEST(DomainSpecTest, GoldKeysAreDistinct) {
+  for (const DomainSpec* spec : GoldDomainSpecs()) {
+    std::set<std::string> keys;
+    for (const GoldTable& table : spec->gold.tables) {
+      EXPECT_TRUE(keys.insert(table.key).second)
+          << spec->name << ": " << table.key;
+    }
+  }
+}
+
+TEST(DomainSpecTest, FilmGoldMatchesTable10) {
+  const DomainSpec* film = FindDomainSpec("film");
+  ASSERT_NE(film, nullptr);
+  EXPECT_EQ(film->gold.tables[0].key, "FILM");
+  EXPECT_EQ(film->gold.tables[1].key, "FILM ACTOR");
+  EXPECT_EQ(film->gold.tables[3].nonkeys[0], "Films Directed");
+}
+
+TEST(DomainSpecTest, CoverageRanksWithinRange) {
+  for (const DomainSpec* spec : GoldDomainSpecs()) {
+    ASSERT_EQ(spec->gold_coverage_ranks.size(), 6u) << spec->name;
+    std::set<uint32_t> distinct;
+    for (uint32_t rank : spec->gold_coverage_ranks) {
+      EXPECT_LT(rank, spec->num_types);
+      distinct.insert(rank);
+    }
+    EXPECT_EQ(distinct.size(), 6u) << spec->name << ": ranks must differ";
+  }
+}
+
+TEST(DomainSpecTest, ExpertPatternsHaveSixSlots) {
+  for (const DomainSpec* spec : GoldDomainSpecs()) {
+    EXPECT_EQ(spec->expert_pattern.size(), 6u) << spec->name;
+    for (int entry : spec->expert_pattern) {
+      EXPECT_LT(entry, 6);  // gold indices 0..5
+      EXPECT_GE(entry, -6);
+    }
+  }
+}
+
+TEST(DomainSpecTest, LookupIsCaseSensitiveExactMatch) {
+  EXPECT_NE(FindDomainSpec("books"), nullptr);
+  EXPECT_EQ(FindDomainSpec("BOOKS"), nullptr);
+  EXPECT_EQ(FindDomainSpec("unknown"), nullptr);
+}
+
+TEST(DomainSpecTest, RelTypeBudgetFitsGoldAndConnectivity) {
+  // The generator needs R ≥ (#gold attrs) + (K − #touched-by-gold); a
+  // loose sufficient check: R ≥ gold attrs + K.
+  for (const DomainSpec* spec : GoldDomainSpecs()) {
+    size_t gold_attrs = 0;
+    for (const GoldTable& t : spec->gold.tables) gold_attrs += t.nonkeys.size();
+    EXPECT_GE(spec->num_rel_types + 6u, gold_attrs + spec->num_types)
+        << spec->name;
+  }
+}
+
+}  // namespace
+}  // namespace egp

@@ -1,0 +1,64 @@
+#include "eval/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace egp {
+namespace {
+
+TEST(PccTest, PerfectPositiveCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0, 1e-12);
+}
+
+TEST(PccTest, PerfectNegativeCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PccTest, ShiftAndScaleInvariant) {
+  const std::vector<double> x = {1.5, -2.0, 0.3, 7.7, 4.1};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 * v - 11.0);
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PccTest, ConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({5, 5, 5}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(PccTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+}
+
+TEST(PccTest, KnownHandComputedValue) {
+  // x = {1,2,3}, y = {1,3,2}: cov = (0·(-1)+... ) → PCC = 0.5.
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {1, 3, 2}), 0.5, 1e-12);
+}
+
+TEST(PccTest, IndependentNoiseNearZero) {
+  Rng rng(77);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.NextGaussian());
+    y.push_back(rng.NextGaussian());
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.05);
+}
+
+TEST(PccTest, NoisyLinearIsStrong) {
+  // Cohen bands (§6.1.3): [0.5, 1.0] is a strong correlation.
+  Rng rng(78);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.NextGaussian();
+    x.push_back(v);
+    y.push_back(v + rng.NextGaussian(0.0, 0.8));
+  }
+  const double pcc = PearsonCorrelation(x, y);
+  EXPECT_GT(pcc, 0.5);
+  EXPECT_LT(pcc, 1.0);
+}
+
+}  // namespace
+}  // namespace egp

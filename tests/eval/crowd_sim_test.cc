@@ -1,0 +1,98 @@
+#include "eval/crowd_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace egp {
+namespace {
+
+std::vector<double> LinearUtilities(size_t n) {
+  std::vector<double> utilities(n);
+  for (size_t i = 0; i < n; ++i) {
+    utilities[i] = static_cast<double>(n - i);  // item 0 most important
+  }
+  return utilities;
+}
+
+TEST(CrowdSimTest, ProducesRequestedPairs) {
+  Rng rng(5);
+  const auto judgments =
+      SimulateCrowd(LinearUtilities(20), CrowdSimOptions{}, &rng);
+  EXPECT_EQ(judgments.size(), 50u);
+  for (const PairJudgment& j : judgments) {
+    EXPECT_NE(j.a, j.b);
+    EXPECT_LT(j.a, 20u);
+    EXPECT_LT(j.b, 20u);
+    EXPECT_LE(j.votes_a + j.votes_b, 20);
+    EXPECT_GT(j.votes_a + j.votes_b, 0);
+  }
+}
+
+TEST(CrowdSimTest, ScreeningDiscardsSomeVotes) {
+  Rng rng(6);
+  CrowdSimOptions options;
+  options.screening_pass_rate = 0.5;
+  const auto judgments = SimulateCrowd(LinearUtilities(10), options, &rng);
+  double total_votes = 0;
+  for (const PairJudgment& j : judgments) total_votes += j.votes_a + j.votes_b;
+  // Expect roughly half of 50×20 = 1000 votes.
+  EXPECT_NEAR(total_votes / (50.0 * 20.0), 0.5, 0.08);
+}
+
+TEST(CrowdSimTest, HighFidelityWorkersFavorTruth) {
+  Rng rng(7);
+  CrowdSimOptions options;
+  options.worker_fidelity = 0.95;
+  const auto judgments = SimulateCrowd(LinearUtilities(10), options, &rng);
+  int majority_correct = 0;
+  for (const PairJudgment& j : judgments) {
+    const bool a_better = j.a < j.b;  // utilities decrease with index
+    if ((j.votes_a > j.votes_b) == a_better) ++majority_correct;
+  }
+  EXPECT_GT(majority_correct, 45);
+}
+
+TEST(CrowdRankingPccTest, PerfectMeasureYieldsStrongPcc) {
+  // Scores identical to latent utilities → pairwise rank differences align
+  // with vote differences.
+  Rng rng(8);
+  const auto utilities = LinearUtilities(30);
+  const auto judgments = SimulateCrowd(utilities, CrowdSimOptions{}, &rng);
+  const double pcc = CrowdRankingPcc(judgments, utilities);
+  EXPECT_GT(pcc, 0.5);  // "strong" band
+}
+
+TEST(CrowdRankingPccTest, InvertedMeasureYieldsNegativePcc) {
+  Rng rng(9);
+  const auto utilities = LinearUtilities(30);
+  const auto judgments = SimulateCrowd(utilities, CrowdSimOptions{}, &rng);
+  std::vector<double> inverted(utilities.rbegin(), utilities.rend());
+  EXPECT_LT(CrowdRankingPcc(judgments, inverted), -0.3);
+}
+
+TEST(CrowdRankingPccTest, RandomMeasureNearZero) {
+  Rng rng(10);
+  const auto utilities = LinearUtilities(40);
+  const auto judgments = SimulateCrowd(utilities, CrowdSimOptions{}, &rng);
+  Rng score_rng(11);
+  std::vector<double> random_scores(40);
+  for (double& s : random_scores) s = score_rng.NextDouble();
+  const double pcc = CrowdRankingPcc(judgments, random_scores);
+  EXPECT_LT(std::fabs(pcc), 0.35);
+}
+
+TEST(CrowdSimTest, DeterministicUnderSeed) {
+  Rng rng1(12), rng2(12);
+  const auto utilities = LinearUtilities(15);
+  const auto a = SimulateCrowd(utilities, CrowdSimOptions{}, &rng1);
+  const auto b = SimulateCrowd(utilities, CrowdSimOptions{}, &rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].a, b[i].a);
+    EXPECT_EQ(a[i].votes_a, b[i].votes_a);
+  }
+}
+
+}  // namespace
+}  // namespace egp

@@ -1,0 +1,107 @@
+#include "eval/hypothesis.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/user_study.h"
+
+namespace egp {
+namespace {
+
+TEST(ZTestTest, PaperTable7ConciseVsTight) {
+  // Music domain, Concise row / Tight column (Table 7): z=1.59, p=0.0559,
+  // computed from Table 5's (n=48, c=0.979) vs (n=52, c=0.903).
+  const ZTestResult result =
+      TwoProportionOneTailedZTest(0.979, 48, 0.903, 52);
+  EXPECT_NEAR(result.z, 1.59, 0.02);
+  EXPECT_NEAR(result.p, 0.0559, 0.003);
+  EXPECT_TRUE(result.Significant(0.1));
+}
+
+TEST(ZTestTest, PaperTable7TightVsDiverse) {
+  // Tight row / Diverse column: z=-3.48, p=0.0003
+  // ((n=52, c=0.730) vs (n=48, c=0.979)).
+  const ZTestResult result =
+      TwoProportionOneTailedZTest(0.730, 52, 0.979, 48);
+  EXPECT_NEAR(result.z, -3.48, 0.03);
+  EXPECT_NEAR(result.p, 0.0003, 0.0002);
+}
+
+TEST(ZTestTest, PaperTable7DiverseVsFreebase) {
+  // Diverse row / Freebase column: z=2.57, p=0.0051.
+  const ZTestResult result =
+      TwoProportionOneTailedZTest(0.931, 44, 0.730, 52);
+  EXPECT_NEAR(result.z, 2.57, 0.03);
+  EXPECT_NEAR(result.p, 0.0051, 0.002);
+}
+
+TEST(ZTestTest, PaperTable13BooksGraphVsExperts) {
+  // Books, Experts row / Graph column: z=4.13, p≈0.0000.
+  const ZTestResult result =
+      TwoProportionOneTailedZTest(0.975, 40, 0.604, 48);
+  EXPECT_NEAR(result.z, 4.13, 0.05);
+  EXPECT_LT(result.p, 0.0001);
+}
+
+TEST(ZTestTest, PaperTable16PeopleTightVsDiverse) {
+  // People, Tight row / Diverse column: z=2.43, p=0.0075.
+  const ZTestResult result =
+      TwoProportionOneTailedZTest(0.875, 48, 0.666, 48);
+  EXPECT_NEAR(result.z, 2.43, 0.03);
+  EXPECT_NEAR(result.p, 0.0075, 0.002);
+}
+
+TEST(ZTestTest, EqualProportionsGiveZeroZ) {
+  const ZTestResult result = TwoProportionOneTailedZTest(0.8, 50, 0.8, 50);
+  EXPECT_NEAR(result.z, 0.0, 1e-12);
+  EXPECT_NEAR(result.p, 0.5, 1e-12);
+  EXPECT_FALSE(result.Significant());
+}
+
+TEST(ZTestTest, SymmetricInSwap) {
+  const ZTestResult ab = TwoProportionOneTailedZTest(0.9, 40, 0.7, 60);
+  const ZTestResult ba = TwoProportionOneTailedZTest(0.7, 60, 0.9, 40);
+  EXPECT_NEAR(ab.z, -ba.z, 1e-12);
+  EXPECT_NEAR(ab.p, ba.p, 1e-12);
+}
+
+TEST(ZTestTest, DegenerateAllSuccess) {
+  // Pooled proportion 1.0 → zero standard error → z=0, p=1 (no evidence).
+  const ZTestResult result = TwoProportionOneTailedZTest(1.0, 30, 1.0, 30);
+  EXPECT_DOUBLE_EQ(result.z, 0.0);
+  EXPECT_DOUBLE_EQ(result.p, 1.0);
+}
+
+TEST(ZTestTest, LargerSamplesSharpenSignificance) {
+  const ZTestResult small = TwoProportionOneTailedZTest(0.9, 20, 0.8, 20);
+  const ZTestResult large = TwoProportionOneTailedZTest(0.9, 200, 0.8, 200);
+  EXPECT_GT(large.z, small.z);
+  EXPECT_LT(large.p, small.p);
+}
+
+TEST(ZMatrixTest, ReproducesTable7FromEmbeddedTable5) {
+  // End-to-end: the pairwise matrix over the embedded music-domain cells
+  // must reproduce the published Table 7 entries.
+  std::array<StudyCell, kNumApproaches> cells;
+  for (size_t a = 0; a < kNumApproaches; ++a) {
+    cells[a] = PaperConversion(static_cast<Approach>(a), 2);  // music
+  }
+  const ZMatrix matrix = PairwiseZTests(cells);
+  auto idx = [](Approach a) { return static_cast<size_t>(a); };
+  // Row Concise, column Tight: 1.59.
+  EXPECT_NEAR(matrix[idx(Approach::kConcise)][idx(Approach::kTight)].z, 1.59,
+              0.02);
+  // Row Concise, column Diverse: -2.28.
+  EXPECT_NEAR(matrix[idx(Approach::kConcise)][idx(Approach::kDiverse)].z,
+              -2.28, 0.03);
+  // Row Diverse, column Graph: 1.70, p=0.0446.
+  EXPECT_NEAR(matrix[idx(Approach::kDiverse)][idx(Approach::kGraph)].z, 1.70,
+              0.03);
+  EXPECT_NEAR(matrix[idx(Approach::kDiverse)][idx(Approach::kGraph)].p,
+              0.0446, 0.004);
+  // Row YPS09, column Graph: -0.77.
+  EXPECT_NEAR(matrix[idx(Approach::kYps09)][idx(Approach::kGraph)].z, -0.77,
+              0.03);
+}
+
+}  // namespace
+}  // namespace egp

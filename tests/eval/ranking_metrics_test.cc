@@ -1,0 +1,100 @@
+#include "eval/ranking_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace egp {
+namespace {
+
+const std::vector<std::string> kRanked = {"a", "b", "c", "d", "e", "f"};
+
+TEST(PrecisionAtKTest, Basics) {
+  const GroundTruth truth = {"a", "c", "z"};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRanked, truth, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRanked, truth, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRanked, truth, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRanked, truth, 6), 2.0 / 6.0);
+}
+
+TEST(PrecisionAtKTest, KBeyondRankingCountsMisses) {
+  const GroundTruth truth = {"a"};
+  // P@10 with only 6 ranked items: hits / 10.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRanked, truth, 10), 0.1);
+}
+
+TEST(PrecisionAtKTest, ZeroKIsZero) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRanked, {"a"}, 0), 0.0);
+}
+
+TEST(OptimalPrecisionTest, PaperP10Bound) {
+  // §6.1.2: "P@10 can be at most 0.6, since there are only 6 gold standard
+  // key attributes".
+  EXPECT_DOUBLE_EQ(OptimalPrecisionAtK(6, 10), 0.6);
+  EXPECT_DOUBLE_EQ(OptimalPrecisionAtK(6, 3), 1.0);
+  EXPECT_DOUBLE_EQ(OptimalPrecisionAtK(6, 6), 1.0);
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  const GroundTruth truth = {"a", "b"};
+  // Both hits up front: (1/1 + 2/2) / 2 = 1.
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(kRanked, truth, 6), 1.0);
+}
+
+TEST(AveragePrecisionTest, PaperNormalization) {
+  // AvgP divides by |ground truth| even when K < |GT| hits are possible.
+  const GroundTruth truth = {"a", "x", "y", "z"};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(kRanked, truth, 6), (1.0 / 1.0) / 4.0);
+}
+
+TEST(AveragePrecisionTest, LateHitScoresLess) {
+  const GroundTruth truth = {"f"};
+  // Single hit at rank 6: P@6 × 1 / 1 = 1/6.
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(kRanked, truth, 6), 1.0 / 6.0);
+}
+
+TEST(AveragePrecisionTest, OptimalBound) {
+  EXPECT_DOUBLE_EQ(OptimalAveragePrecisionAtK(6, 3), 0.5);
+  EXPECT_DOUBLE_EQ(OptimalAveragePrecisionAtK(6, 10), 1.0);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  const GroundTruth truth = {"a", "b", "c"};
+  EXPECT_DOUBLE_EQ(NdcgAtK(kRanked, truth, 3), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(kRanked, truth, 6), 1.0);
+}
+
+TEST(NdcgTest, PaperDcgFormula) {
+  // DCG = rel1 + Σ rel_i/log2(i): a hit at position 2 contributes
+  // 1/log2(2) = 1.
+  const GroundTruth truth = {"b"};
+  // DCG@2 = 0 + 1/log2(2) = 1; IDCG@2 = 1 (ideal puts the hit first).
+  EXPECT_DOUBLE_EQ(NdcgAtK(kRanked, truth, 2), 1.0);
+  // Hit at position 3: DCG = 1/log2(3), IDCG = 1.
+  const GroundTruth truth3 = {"c"};
+  EXPECT_NEAR(NdcgAtK(kRanked, truth3, 3), 1.0 / std::log2(3.0), 1e-12);
+}
+
+TEST(NdcgTest, EmptyTruthIsZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK(kRanked, {}, 3), 0.0);
+}
+
+TEST(ReciprocalRankTest, FirstHitPosition) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank(kRanked, {"a"}), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(kRanked, {"c", "f"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(kRanked, {"zzz"}), 0.0);
+}
+
+TEST(MrrTest, AveragesReciprocalRanks) {
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank({1.0, 0.5, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank({}), 0.0);
+}
+
+TEST(MrrTest, AboveHalfMeansTopTwoOnAverage) {
+  // Table 3's interpretation: MRR > 0.5 ⇒ gold attribute in the top-2 on
+  // average.
+  EXPECT_GT(MeanReciprocalRank({1.0, 0.5, 1.0, 0.5}), 0.5);
+}
+
+}  // namespace
+}  // namespace egp

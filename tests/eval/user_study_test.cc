@@ -1,0 +1,187 @@
+#include "eval/user_study.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace egp {
+namespace {
+
+TEST(UserStudyDataTest, Table5SampleSizes) {
+  // Spot-check the embedded Table 5 data.
+  EXPECT_EQ(PaperConversion(Approach::kConcise, 0).sample_size, 52u);
+  EXPECT_EQ(PaperConversion(Approach::kFreebase, 4).sample_size, 44u);
+  EXPECT_EQ(PaperConversion(Approach::kGraph, 2).sample_size, 40u);
+  // The lost Diverse/film response (n=51).
+  EXPECT_EQ(PaperConversion(Approach::kDiverse, 1).sample_size, 51u);
+}
+
+TEST(UserStudyDataTest, Table5ConversionRates) {
+  EXPECT_DOUBLE_EQ(PaperConversion(Approach::kTight, 2).conversion_rate,
+                   0.979);
+  EXPECT_DOUBLE_EQ(PaperConversion(Approach::kGraph, 0).conversion_rate,
+                   0.975);
+  EXPECT_DOUBLE_EQ(PaperConversion(Approach::kYps09, 4).conversion_rate,
+                   0.634);
+}
+
+TEST(UserStudyDataTest, UxTablesEmbedded) {
+  // Table 17 (books): Graph Q1 = 4.4; Table 21 (people): Tight Q1 = 2.9167.
+  EXPECT_DOUBLE_EQ(PaperUxScore(Approach::kGraph, 0, 0), 4.4);
+  EXPECT_DOUBLE_EQ(PaperUxScore(Approach::kTight, 4, 0), 2.9167);
+  EXPECT_DOUBLE_EQ(PaperUxScore(Approach::kYps09, 4, 3), 4.3846);
+}
+
+TEST(UserStudyDataTest, DomainsAndNames) {
+  EXPECT_EQ(UserStudyDomains().size(), kNumStudyDomains);
+  EXPECT_EQ(UserStudyDomains()[0], "books");
+  EXPECT_STREQ(ApproachName(Approach::kYps09), "YPS09");
+  EXPECT_EQ(AllApproaches().size(), kNumApproaches);
+}
+
+TEST(UserStudyDataTest, Table6MedianOrderings) {
+  // The embedded medians must reproduce the Table 6 orderings; check the
+  // fastest approach per domain.
+  const Approach fastest[kNumStudyDomains] = {
+      Approach::kGraph,  // books
+      Approach::kTight,  // film
+      Approach::kFreebase,  // music
+      Approach::kTight,  // tv
+      Approach::kTight,  // people
+  };
+  for (size_t d = 0; d < kNumStudyDomains; ++d) {
+    for (const Approach a : AllApproaches()) {
+      EXPECT_GE(PaperTimeMedianSeconds(a, d),
+                PaperTimeMedianSeconds(fastest[d], d))
+          << UserStudyDomains()[d];
+    }
+  }
+}
+
+TEST(UserStudySimTest, SampleSizesMatchTable5) {
+  const UserStudyOptions options;
+  for (const Approach a : AllApproaches()) {
+    for (size_t d = 0; d < kNumStudyDomains; ++d) {
+      const SimulatedResponses responses = SimulateCell(a, d, options);
+      EXPECT_EQ(responses.correct.size(),
+                PaperConversion(a, d).sample_size);
+      EXPECT_EQ(responses.seconds.size(), responses.correct.size());
+    }
+  }
+}
+
+TEST(UserStudySimTest, ConversionRatesNearTargets) {
+  const UserStudyOptions options;
+  double total_abs_error = 0.0;
+  int cells = 0;
+  for (const Approach a : AllApproaches()) {
+    for (size_t d = 0; d < kNumStudyDomains; ++d) {
+      const SimulatedResponses responses = SimulateCell(a, d, options);
+      const double measured = ConversionRate(responses.correct);
+      total_abs_error +=
+          std::fabs(measured - PaperConversion(a, d).conversion_rate);
+      ++cells;
+    }
+  }
+  // Bernoulli noise at n≈50 gives stddev ≈ 0.06; the average deviation
+  // across 35 cells should be well under that.
+  EXPECT_LT(total_abs_error / cells, 0.06);
+}
+
+TEST(UserStudySimTest, TimesCenteredOnMedians) {
+  const UserStudyOptions options;
+  const SimulatedResponses responses =
+      SimulateCell(Approach::kTight, 2, options);
+  const double median = Median(responses.seconds);
+  EXPECT_NEAR(median, PaperTimeMedianSeconds(Approach::kTight, 2),
+              PaperTimeMedianSeconds(Approach::kTight, 2) * 0.3);
+  for (double s : responses.seconds) EXPECT_GT(s, 0.0);
+}
+
+TEST(UserStudySimTest, LikertResponsesInRange) {
+  const UserStudyOptions options;
+  const SimulatedResponses responses =
+      SimulateCell(Approach::kExperts, 3, options);
+  for (const auto& question : responses.likert) {
+    EXPECT_FALSE(question.empty());
+    for (int r : question) {
+      EXPECT_GE(r, 1);
+      EXPECT_LE(r, 5);
+    }
+  }
+}
+
+TEST(UserStudySimTest, LikertMeansNearTargets) {
+  const UserStudyOptions options;
+  double total_abs_error = 0.0;
+  int cells = 0;
+  for (const Approach a : AllApproaches()) {
+    for (size_t d = 0; d < kNumStudyDomains; ++d) {
+      const SimulatedResponses responses = SimulateCell(a, d, options);
+      for (size_t q = 0; q < 4; ++q) {
+        total_abs_error += std::fabs(LikertMean(responses.likert[q]) -
+                                     PaperUxScore(a, d, q));
+        ++cells;
+      }
+    }
+  }
+  EXPECT_LT(total_abs_error / cells, 0.45);
+}
+
+TEST(UserStudySimTest, DeterministicUnderSeed) {
+  const UserStudyOptions options;
+  const SimulatedResponses a = SimulateCell(Approach::kConcise, 0, options);
+  const SimulatedResponses b = SimulateCell(Approach::kConcise, 0, options);
+  EXPECT_EQ(a.correct, b.correct);
+  EXPECT_EQ(a.seconds, b.seconds);
+}
+
+TEST(UserStudySimTest, SeedChangesResponses) {
+  UserStudyOptions o1, o2;
+  o2.seed = o1.seed + 1;
+  const SimulatedResponses a = SimulateCell(Approach::kConcise, 0, o1);
+  const SimulatedResponses b = SimulateCell(Approach::kConcise, 0, o2);
+  EXPECT_NE(a.seconds, b.seconds);
+}
+
+TEST(UserStudyAnalysisTest, SortByMedianTimeReproducesTable6) {
+  // Feed the analysis the embedded medians as degenerate samples and
+  // verify the music-domain Table 6 row: Freebase, Tight, Experts, YPS09,
+  // Concise, Diverse, Graph.
+  std::array<std::vector<double>, kNumApproaches> times;
+  for (const Approach a : AllApproaches()) {
+    times[static_cast<size_t>(a)] = {PaperTimeMedianSeconds(a, 2)};
+  }
+  const auto order = SortApproachesByMedianTime(times);
+  const std::vector<Approach> expected = {
+      Approach::kFreebase, Approach::kTight,   Approach::kExperts,
+      Approach::kYps09,    Approach::kConcise, Approach::kDiverse,
+      Approach::kGraph};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(UserStudyAnalysisTest, UxOrderingReproducesTable9Q1) {
+  // Table 9, Q1 ordering: Freebase, Diverse, Graph, Experts, YPS09,
+  // Concise, Tight (descending mean across domains).
+  std::array<std::array<double, kNumStudyDomains>, kNumApproaches> scores;
+  for (const Approach a : AllApproaches()) {
+    for (size_t d = 0; d < kNumStudyDomains; ++d) {
+      scores[static_cast<size_t>(a)][d] = PaperUxScore(a, d, 0);
+    }
+  }
+  const auto order = SortApproachesByUxScore(scores);
+  const std::vector<Approach> expected = {
+      Approach::kFreebase, Approach::kDiverse, Approach::kGraph,
+      Approach::kExperts,  Approach::kYps09,   Approach::kConcise,
+      Approach::kTight};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(UserStudyAnalysisTest, ConversionRateHelper) {
+  EXPECT_DOUBLE_EQ(ConversionRate({true, true, false, false}), 0.5);
+  EXPECT_DOUBLE_EQ(ConversionRate({}), 0.0);
+  EXPECT_DOUBLE_EQ(LikertMean({4, 5, 3}), 4.0);
+}
+
+}  // namespace
+}  // namespace egp

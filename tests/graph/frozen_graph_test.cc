@@ -1,0 +1,91 @@
+#include "graph/frozen_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "datagen/paper_example.h"
+#include "graph/entity_graph_builder.h"
+
+namespace egp {
+namespace {
+
+TEST(FrozenGraphTest, ArcCountsMatch) {
+  const EntityGraph graph = BuildPaperExampleGraph();
+  const FrozenGraph frozen = FrozenGraph::Freeze(graph);
+  EXPECT_EQ(frozen.num_entities(), graph.num_entities());
+  EXPECT_EQ(frozen.num_arcs(), graph.num_edges());
+  for (EntityId e = 0; e < graph.num_entities(); ++e) {
+    EXPECT_EQ(frozen.OutDegree(e), graph.OutEdges(e).size());
+    EXPECT_EQ(frozen.InDegree(e), graph.InEdges(e).size());
+  }
+}
+
+TEST(FrozenGraphTest, ArcsSortedByRelTypeThenNeighbor) {
+  const EntityGraph graph = BuildPaperExampleGraph();
+  const FrozenGraph frozen = FrozenGraph::Freeze(graph);
+  for (EntityId e = 0; e < graph.num_entities(); ++e) {
+    const auto arcs = frozen.OutArcs(e);
+    for (size_t i = 1; i < arcs.size(); ++i) {
+      const bool ordered =
+          arcs[i - 1].rel_type < arcs[i].rel_type ||
+          (arcs[i - 1].rel_type == arcs[i].rel_type &&
+           arcs[i - 1].neighbor <= arcs[i].neighbor);
+      EXPECT_TRUE(ordered);
+    }
+  }
+}
+
+TEST(FrozenGraphTest, NeighborSetsMatchEntityGraphOnPaperExample) {
+  const EntityGraph graph = BuildPaperExampleGraph();
+  const FrozenGraph frozen = FrozenGraph::Freeze(graph);
+  for (EntityId e = 0; e < graph.num_entities(); ++e) {
+    for (RelTypeId r = 0; r < graph.num_rel_types(); ++r) {
+      for (Direction d : {Direction::kOutgoing, Direction::kIncoming}) {
+        EXPECT_EQ(frozen.NeighborSet(e, r, d), graph.NeighborSet(e, r, d))
+            << "entity " << e << " rel " << r;
+      }
+    }
+  }
+}
+
+TEST(FrozenGraphTest, NeighborSetsMatchOnGeneratedDomain) {
+  GeneratorOptions options;
+  options.scale = 0.0003;
+  auto domain = GenerateDomainByName("people", options);
+  ASSERT_TRUE(domain.ok());
+  const FrozenGraph frozen = FrozenGraph::Freeze(domain->graph);
+  // Spot-check a deterministic sample of (entity, rel type) pairs.
+  for (EntityId e = 0; e < domain->graph.num_entities(); e += 97) {
+    for (RelTypeId r = 0; r < domain->graph.num_rel_types(); r += 7) {
+      for (Direction d : {Direction::kOutgoing, Direction::kIncoming}) {
+        EXPECT_EQ(frozen.NeighborSet(e, r, d),
+                  domain->graph.NeighborSet(e, r, d));
+      }
+    }
+  }
+}
+
+TEST(FrozenGraphTest, MemoryAccountingIsPlausible) {
+  const EntityGraph graph = BuildPaperExampleGraph();
+  const FrozenGraph frozen = FrozenGraph::Freeze(graph);
+  // Two arc arrays + two offset arrays; arcs are 8 bytes each.
+  const size_t lower_bound =
+      2 * graph.num_edges() * sizeof(FrozenGraph::Arc) +
+      2 * (graph.num_entities() + 1) * sizeof(uint64_t);
+  EXPECT_GE(frozen.MemoryBytes(), lower_bound);
+  EXPECT_LT(frozen.MemoryBytes(), 4 * lower_bound);
+}
+
+TEST(FrozenGraphTest, EmptyAdjacency) {
+  EntityGraphBuilder b;
+  b.AddTypedEntity("lonely", "T");
+  auto graph = b.Build();
+  ASSERT_TRUE(graph.ok());
+  const FrozenGraph frozen = FrozenGraph::Freeze(*graph);
+  EXPECT_TRUE(frozen.OutArcs(0).empty());
+  EXPECT_TRUE(frozen.InArcs(0).empty());
+  EXPECT_TRUE(frozen.NeighborSet(0, 0, Direction::kOutgoing).empty());
+}
+
+}  // namespace
+}  // namespace egp

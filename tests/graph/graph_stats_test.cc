@@ -1,0 +1,72 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/paper_example.h"
+
+namespace egp {
+namespace {
+
+TEST(EntityGraphStatsTest, PaperExample) {
+  const EntityGraph graph = BuildPaperExampleGraph();
+  const EntityGraphStats stats = ComputeEntityGraphStats(graph);
+  EXPECT_EQ(stats.num_entities, 14u);
+  EXPECT_EQ(stats.num_edges, 21u);
+  EXPECT_EQ(stats.num_types, 6u);
+  EXPECT_EQ(stats.num_rel_types, 7u);
+  EXPECT_EQ(stats.multi_typed_entities, 1u);  // Will Smith
+  EXPECT_EQ(stats.isolated_entities, 0u);
+  EXPECT_NEAR(stats.avg_out_degree, 21.0 / 14.0, 1e-12);
+  EXPECT_EQ(stats.max_out_degree, 8u);  // Will Smith: 4 actor + 3 prod + 1 award
+}
+
+TEST(SchemaGraphStatsTest, PaperExample) {
+  const EntityGraph graph = BuildPaperExampleGraph();
+  const SchemaGraph schema = SchemaGraph::FromEntityGraph(graph);
+  const SchemaGraphStats stats = ComputeSchemaGraphStats(schema);
+  EXPECT_EQ(stats.num_types, 6u);
+  EXPECT_EQ(stats.num_rel_types, 7u);
+  EXPECT_EQ(stats.num_components, 1u);
+  EXPECT_EQ(stats.diameter, 3u);  // GENRE ... AWARD
+  EXPECT_EQ(stats.self_loops, 0u);
+  // FILM PRODUCER—FILM carry Producer + Executive Producer; FILM
+  // ACTOR/DIRECTOR—AWARD carry one each.
+  EXPECT_EQ(stats.parallel_edge_pairs, 1u);
+}
+
+TEST(SchemaComponentsTest, CountsComponents) {
+  SchemaGraph schema;
+  schema.AddType("A", 1);
+  schema.AddType("B", 1);
+  schema.AddType("C", 1);
+  schema.AddType("D", 1);
+  schema.AddEdge("r", 0, 1, 1);
+  schema.AddEdge("r", 2, 3, 1);
+  uint32_t count = 0;
+  const auto component = SchemaComponents(schema, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(component[0], component[1]);
+  EXPECT_EQ(component[2], component[3]);
+  EXPECT_NE(component[0], component[2]);
+}
+
+TEST(SchemaComponentsTest, IsolatedVerticesAreOwnComponents) {
+  SchemaGraph schema;
+  schema.AddType("A", 1);
+  schema.AddType("B", 1);
+  uint32_t count = 0;
+  SchemaComponents(schema, &count);
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(SchemaGraphStatsTest, SelfLoopCounted) {
+  SchemaGraph schema;
+  schema.AddType("A", 1);
+  schema.AddEdge("next", 0, 0, 3);
+  const SchemaGraphStats stats = ComputeSchemaGraphStats(schema);
+  EXPECT_EQ(stats.self_loops, 1u);
+  EXPECT_EQ(stats.parallel_edge_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace egp

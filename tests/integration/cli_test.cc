@@ -1,0 +1,123 @@
+// End-to-end tests of the `egp` command-line tool: each subcommand is
+// exercised against the shipped sample dataset through a real process.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace egp {
+namespace {
+
+#ifndef EGP_CLI_PATH
+#error "EGP_CLI_PATH must be defined by the build"
+#endif
+#ifndef EGP_SAMPLE_NT
+#error "EGP_SAMPLE_NT must be defined by the build"
+#endif
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Runs the CLI, capturing stdout into a file; returns the exit code.
+int RunCli(const std::string& args, const std::string& stdout_path) {
+  const std::string command = std::string(EGP_CLI_PATH) + " " + args + " > " +
+                              stdout_path + " 2>/dev/null";
+  const int status = std::system(command.c_str());
+  return WEXITSTATUS(status);
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CliTest, StatsSubcommand) {
+  const std::string out = TempPath("cli_stats.txt");
+  ASSERT_EQ(RunCli(std::string("stats ") + EGP_SAMPLE_NT, out), 0);
+  const std::string text = Slurp(out);
+  EXPECT_NE(text.find("entity graph : 20 entities, 22 relationships"),
+            std::string::npos);
+  EXPECT_NE(text.find("5 entity types"), std::string::npos);
+}
+
+TEST(CliTest, PreviewSubcommand) {
+  const std::string out = TempPath("cli_preview.txt");
+  ASSERT_EQ(
+      RunCli(std::string("preview ") + EGP_SAMPLE_NT + " --k 2 --n 5", out),
+      0);
+  const std::string text = Slurp(out);
+  EXPECT_NE(text.find("RESEARCHER"), std::string::npos);
+  EXPECT_NE(text.find("score"), std::string::npos);
+  EXPECT_NE(text.find("+"), std::string::npos);  // rendered table borders
+}
+
+TEST(CliTest, PreviewJsonOutput) {
+  const std::string out = TempPath("cli_preview.json");
+  ASSERT_EQ(RunCli(std::string("preview ") + EGP_SAMPLE_NT +
+                       " --k 2 --n 4 --json",
+                   out),
+            0);
+  const std::string text = Slurp(out);
+  EXPECT_EQ(text.rfind("{\"tables\":[", 0), 0u);
+  EXPECT_NE(text.find("\"rows\":["), std::string::npos);
+}
+
+TEST(CliTest, SuggestSubcommand) {
+  const std::string out = TempPath("cli_suggest.txt");
+  ASSERT_EQ(RunCli(std::string("suggest ") + EGP_SAMPLE_NT +
+                       " --width 80 --height 24",
+                   out),
+            0);
+  const std::string text = Slurp(out);
+  EXPECT_NE(text.find("suggested: k="), std::string::npos);
+  EXPECT_NE(text.find("rationale:"), std::string::npos);
+}
+
+TEST(CliTest, ReportSubcommand) {
+  const std::string out = TempPath("cli_report.md");
+  ASSERT_EQ(
+      RunCli(std::string("report ") + EGP_SAMPLE_NT + " --k 2 --n 5", out),
+      0);
+  const std::string text = Slurp(out);
+  EXPECT_NE(text.find("## Dataset statistics"), std::string::npos);
+  EXPECT_NE(text.find("| **RESEARCHER** |"), std::string::npos);
+}
+
+TEST(CliTest, ConvertRoundTrip) {
+  const std::string egt = TempPath("cli_convert.egt");
+  const std::string out = TempPath("cli_convert.txt");
+  ASSERT_EQ(RunCli(std::string("convert ") + EGP_SAMPLE_NT + " " + egt, out),
+            0);
+  // Re-read the converted snapshot through the stats subcommand.
+  ASSERT_EQ(RunCli("stats " + egt, out), 0);
+  EXPECT_NE(Slurp(out).find("20 entities, 22 relationships"),
+            std::string::npos);
+}
+
+TEST(CliTest, GenerateSubcommand) {
+  const std::string egt = TempPath("cli_generated.egt");
+  const std::string out = TempPath("cli_generate.txt");
+  ASSERT_EQ(RunCli("generate basketball " + egt + " --scale 0.02", out), 0);
+  EXPECT_NE(Slurp(out).find("wrote"), std::string::npos);
+  ASSERT_EQ(RunCli("stats " + egt, out), 0);
+  EXPECT_NE(Slurp(out).find("6 entity types"), std::string::npos);
+}
+
+TEST(CliTest, BadInvocationsFailCleanly) {
+  const std::string out = TempPath("cli_errors.txt");
+  EXPECT_NE(RunCli("", out), 0);
+  EXPECT_NE(RunCli("unknown-subcommand", out), 0);
+  EXPECT_NE(RunCli("stats /no/such/file.nt", out), 0);
+  EXPECT_NE(RunCli(std::string("preview ") + EGP_SAMPLE_NT + " --k 99",
+                   out),
+            0);  // infeasible constraint
+}
+
+}  // namespace
+}  // namespace egp

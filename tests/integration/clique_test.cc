@@ -1,0 +1,112 @@
+#include "reduction/clique.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace egp {
+namespace {
+
+SimpleGraph Triangle() {
+  SimpleGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  return g;
+}
+
+TEST(SimpleGraphTest, Basics) {
+  SimpleGraph g(4);
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_vertices(), 4u);
+}
+
+TEST(SimpleGraphTest, ComplementInverts) {
+  SimpleGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  const SimpleGraph c = g.Complement();
+  EXPECT_FALSE(c.HasEdge(0, 1));
+  EXPECT_FALSE(c.HasEdge(2, 3));
+  EXPECT_TRUE(c.HasEdge(0, 2));
+  EXPECT_TRUE(c.HasEdge(1, 3));
+  EXPECT_EQ(g.num_edges() + c.num_edges(), 6u);  // C(4,2)
+}
+
+TEST(CliqueTest, TriangleHasThreeClique) {
+  const SimpleGraph g = Triangle();
+  EXPECT_TRUE(HasKCliqueBronKerbosch(g, 3));
+  EXPECT_TRUE(HasKCliqueApriori(g, 3));
+  EXPECT_FALSE(HasKCliqueBronKerbosch(g, 4));
+  EXPECT_FALSE(HasKCliqueApriori(g, 4));
+  EXPECT_EQ(MaxCliqueSize(g), 3u);
+}
+
+TEST(CliqueTest, PathHasNoTriangle) {
+  SimpleGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  EXPECT_TRUE(HasKCliqueBronKerbosch(g, 2));
+  EXPECT_FALSE(HasKCliqueBronKerbosch(g, 3));
+  EXPECT_FALSE(HasKCliqueApriori(g, 3));
+  EXPECT_EQ(MaxCliqueSize(g), 2u);
+}
+
+TEST(CliqueTest, TrivialCases) {
+  SimpleGraph g(3);
+  EXPECT_TRUE(HasKCliqueBronKerbosch(g, 0));
+  EXPECT_TRUE(HasKCliqueBronKerbosch(g, 1));
+  EXPECT_FALSE(HasKCliqueBronKerbosch(g, 2));  // no edges
+  EXPECT_TRUE(HasKCliqueApriori(g, 1));
+  EXPECT_FALSE(HasKCliqueApriori(g, 2));
+  EXPECT_EQ(MaxCliqueSize(g), 1u);
+}
+
+TEST(CliqueTest, CompleteGraph) {
+  SimpleGraph g(6);
+  for (size_t u = 0; u < 6; ++u) {
+    for (size_t v = u + 1; v < 6; ++v) g.AddEdge(u, v);
+  }
+  EXPECT_TRUE(HasKCliqueBronKerbosch(g, 6));
+  EXPECT_TRUE(HasKCliqueApriori(g, 6));
+  EXPECT_EQ(MaxCliqueSize(g), 6u);
+}
+
+TEST(CliqueTest, EmptyGraph) {
+  SimpleGraph g(0);
+  EXPECT_EQ(MaxCliqueSize(g), 0u);
+  EXPECT_TRUE(HasKCliqueBronKerbosch(g, 0));
+  EXPECT_FALSE(HasKCliqueBronKerbosch(g, 1));
+}
+
+class CliqueAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CliqueAgreementTest, BronKerboschAgreesWithApriori) {
+  Rng rng(GetParam());
+  const size_t n = 6 + rng.NextBounded(8);  // 6..13 vertices
+  SimpleGraph g(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = u + 1; v < n; ++v) {
+      if (rng.NextBernoulli(0.4)) g.AddEdge(u, v);
+    }
+  }
+  for (size_t k = 2; k <= 5; ++k) {
+    EXPECT_EQ(HasKCliqueBronKerbosch(g, k), HasKCliqueApriori(g, k))
+        << "n=" << n << " k=" << k;
+  }
+  // MaxCliqueSize is consistent with the decision versions.
+  const size_t max = MaxCliqueSize(g);
+  EXPECT_TRUE(HasKCliqueBronKerbosch(g, max));
+  EXPECT_FALSE(HasKCliqueBronKerbosch(g, max + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CliqueAgreementTest,
+                         ::testing::Range<uint64_t>(300, 330));
+
+}  // namespace
+}  // namespace egp

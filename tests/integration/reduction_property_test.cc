@@ -1,0 +1,123 @@
+// Executable verification of the §4.1 NP-hardness reductions:
+//   Clique(G, k)  ⇔  TightPreview(Gs, k, k, 1, 0)     (Theorem 1)
+//   Clique(G, k)  ⇔  DiversePreview(Gs', k, k, 2, 0)  (Theorem 2)
+// on randomized graphs, with the clique side solved by two independent
+// exact algorithms.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/schema_distance.h"
+#include "reduction/reduction.h"
+
+namespace egp {
+namespace {
+
+SimpleGraph RandomGraph(uint64_t seed, size_t n, double density) {
+  Rng rng(seed);
+  SimpleGraph g(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = u + 1; v < n; ++v) {
+      if (rng.NextBernoulli(density)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+TEST(ReductionConstructionTest, TightSchemaIsIsomorphic) {
+  const SimpleGraph g = RandomGraph(1, 8, 0.5);
+  const SchemaGraph schema = BuildTightReductionSchema(g);
+  EXPECT_EQ(schema.num_types(), 8u);
+  EXPECT_EQ(schema.num_edges(), g.num_edges());
+}
+
+TEST(ReductionConstructionTest, DiverseSchemaAddsHub) {
+  const SimpleGraph g = RandomGraph(2, 8, 0.5);
+  const SchemaGraph schema = BuildDiverseReductionSchema(g);
+  EXPECT_EQ(schema.num_types(), 9u);  // + τ0
+  // Complement edges + 8 hub edges.
+  const size_t complement_edges = (8 * 7) / 2 - g.num_edges();
+  EXPECT_EQ(schema.num_edges(), complement_edges + 8);
+  // The hub (type 0) is adjacent to everything → diameter ≤ 2.
+  const SchemaDistanceMatrix dist(schema);
+  EXPECT_LE(dist.Diameter(), 2u);
+}
+
+TEST(ReductionConstructionTest, Figure4AdjacencySemantics) {
+  // Fig. 4's walkthrough: vertices adjacent in G are at distance exactly
+  // 2 in Gs (via τ0); non-adjacent vertices are at distance 1.
+  SimpleGraph g(3);
+  g.AddEdge(0, 1);  // adjacent in G
+  const SchemaGraph schema = BuildDiverseReductionSchema(g);
+  const SchemaDistanceMatrix dist(schema);
+  // Types 1..3 map to vertices 0..2.
+  EXPECT_EQ(dist.Distance(1, 2), 2u);  // edge in G → complement removes it
+  EXPECT_EQ(dist.Distance(1, 3), 1u);  // non-edge in G → complement edge
+}
+
+class ReductionEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReductionEquivalenceTest, Theorem1TightEquivalence) {
+  Rng rng(GetParam());
+  const size_t n = 5 + rng.NextBounded(5);  // 5..9 vertices
+  const double density = 0.3 + 0.4 * rng.NextDouble();
+  const SimpleGraph g = RandomGraph(GetParam() * 31, n, density);
+  const SchemaGraph schema = BuildTightReductionSchema(g);
+  for (uint32_t k = 2; k <= 4; ++k) {
+    const bool clique = HasKCliqueBronKerbosch(g, k);
+    const auto preview = TightPreviewDecision(schema, k, k, 1, 0.0);
+    ASSERT_TRUE(preview.ok()) << preview.status().ToString();
+    EXPECT_EQ(*preview, clique) << "n=" << n << " k=" << k;
+  }
+}
+
+TEST_P(ReductionEquivalenceTest, Theorem2DiverseEquivalence) {
+  Rng rng(GetParam() * 7 + 3);
+  const size_t n = 5 + rng.NextBounded(5);
+  const double density = 0.3 + 0.4 * rng.NextDouble();
+  const SimpleGraph g = RandomGraph(GetParam() * 57, n, density);
+  const SchemaGraph schema = BuildDiverseReductionSchema(g);
+  for (uint32_t k = 2; k <= 4; ++k) {
+    const bool clique = HasKCliqueApriori(g, k);
+    const auto preview = DiversePreviewDecision(schema, k, k, 2, 0.0);
+    ASSERT_TRUE(preview.ok()) << preview.status().ToString();
+    EXPECT_EQ(*preview, clique) << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ReductionEquivalenceTest,
+                         ::testing::Range<uint64_t>(500, 525));
+
+TEST(ReductionEdgeCaseTest, TriangleTight) {
+  SimpleGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  const SchemaGraph schema = BuildTightReductionSchema(g);
+  EXPECT_TRUE(*TightPreviewDecision(schema, 3, 3, 1, 0.0));
+  EXPECT_FALSE(*TightPreviewDecision(schema, 4, 4, 1, 0.0));
+}
+
+TEST(ReductionEdgeCaseTest, IndependentSetDiverse) {
+  // G with NO edges: every pair is a "non-clique", so only k=1 cliques
+  // exist... in the complement construction all original vertices are
+  // directly connected, hence no diverse pair at distance ≥ 2.
+  SimpleGraph g(4);
+  const SchemaGraph schema = BuildDiverseReductionSchema(g);
+  EXPECT_TRUE(*DiversePreviewDecision(schema, 1, 1, 2, 0.0));
+  EXPECT_FALSE(*DiversePreviewDecision(schema, 2, 2, 2, 0.0));
+  EXPECT_FALSE(HasKCliqueBronKerbosch(g, 2));
+}
+
+TEST(ReductionEdgeCaseTest, CompleteGraphDiverse) {
+  SimpleGraph g(4);
+  for (size_t u = 0; u < 4; ++u) {
+    for (size_t v = u + 1; v < 4; ++v) g.AddEdge(u, v);
+  }
+  const SchemaGraph schema = BuildDiverseReductionSchema(g);
+  // K4: cliques of all sizes up to 4 exist.
+  EXPECT_TRUE(*DiversePreviewDecision(schema, 4, 4, 2, 0.0));
+  EXPECT_TRUE(HasKCliqueBronKerbosch(g, 4));
+}
+
+}  // namespace
+}  // namespace egp

@@ -1,0 +1,136 @@
+#include "io/ntriples.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace egp {
+namespace {
+
+TEST(NTriplesTest, BasicTriples) {
+  std::stringstream in(
+      "<Will Smith> <a> <FILM ACTOR> .\n"
+      "<Men in Black> <a> <FILM> .\n"
+      "<Will Smith> <Actor> <Men in Black> .\n");
+  NTriplesStats stats;
+  auto graph = ReadNTriples(in, &stats);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(stats.triples, 3u);
+  EXPECT_EQ(stats.type_assertions, 2u);
+  EXPECT_EQ(stats.relationships, 1u);
+  EXPECT_EQ(graph->num_entities(), 2u);
+  EXPECT_EQ(graph->num_edges(), 1u);
+  EXPECT_EQ(graph->num_types(), 2u);
+}
+
+TEST(NTriplesTest, BareTokensAndRdfType) {
+  std::stringstream in(
+      "alice rdf:type Person .\n"
+      "bob http://www.w3.org/1999/02/22-rdf-syntax-ns#type Person .\n"
+      "alice knows bob .\n");
+  auto graph = ReadNTriples(in);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_entities(), 2u);
+  EXPECT_EQ(graph->num_edges(), 1u);
+}
+
+TEST(NTriplesTest, TypeAssertionsAfterRelationships) {
+  // Relationship triples buffer until all types are known.
+  std::stringstream in(
+      "alice knows bob .\n"
+      "alice a Person .\n"
+      "bob a Person .\n");
+  auto graph = ReadNTriples(in);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 1u);
+}
+
+TEST(NTriplesTest, UntypedEndpointsSkipped) {
+  std::stringstream in(
+      "alice a Person .\n"
+      "alice knows ghost .\n");
+  NTriplesStats stats;
+  auto graph = ReadNTriples(in, &stats);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(stats.skipped_untyped, 1u);
+  EXPECT_EQ(graph->num_edges(), 0u);
+}
+
+TEST(NTriplesTest, PrimaryTypeDeterminesRelType) {
+  // "actor" asserted first for will → the Acted In relationship type is
+  // (Acted In, ACTOR, FILM) even though will is also a PRODUCER.
+  std::stringstream in(
+      "will a ACTOR .\n"
+      "will a PRODUCER .\n"
+      "mib a FILM .\n"
+      "will <Acted In> mib .\n");
+  auto graph = ReadNTriples(in);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_EQ(graph->num_rel_types(), 1u);
+  const RelTypeInfo& info = graph->RelType(0);
+  EXPECT_EQ(graph->TypeName(info.src_type), "ACTOR");
+  EXPECT_EQ(graph->TypeName(info.dst_type), "FILM");
+}
+
+TEST(NTriplesTest, QuotedLiteralsAsNames) {
+  std::stringstream in(
+      "\"The Matrix\" a FILM .\n"
+      "keanu a ACTOR .\n"
+      "keanu starred \"The Matrix\" .\n");
+  auto graph = ReadNTriples(in);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->entity_names().Find("The Matrix").has_value());
+}
+
+TEST(NTriplesTest, CommentsAndBlanksIgnored) {
+  std::stringstream in(
+      "# header\n"
+      "\n"
+      "x a T .\n");
+  auto graph = ReadNTriples(in);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_entities(), 1u);
+}
+
+TEST(NTriplesTest, MalformedLineRejected) {
+  {
+    std::stringstream in("only two .\n");
+    EXPECT_EQ(ReadNTriples(in).status().code(), StatusCode::kCorruption);
+  }
+  {
+    std::stringstream in("<unterminated bracket .\n");
+    EXPECT_EQ(ReadNTriples(in).status().code(), StatusCode::kCorruption);
+  }
+  {
+    std::stringstream in("a b c d e .\n");
+    EXPECT_EQ(ReadNTriples(in).status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(NTriplesTest, ErrorMentionsLineNumber) {
+  std::stringstream in("x a T .\nbroken\n");
+  const auto result = ReadNTriples(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadNTriplesFile("/no/such/file.nt").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(NTriplesTest, DuplicatePredicatesBecomeOneRelType) {
+  std::stringstream in(
+      "a1 a T .\n"
+      "a2 a T .\n"
+      "b1 a U .\n"
+      "a1 rel b1 .\n"
+      "a2 rel b1 .\n");
+  auto graph = ReadNTriples(in);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_rel_types(), 1u);
+  EXPECT_EQ(graph->EdgesOfRelType(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace egp

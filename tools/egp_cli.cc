@@ -1,0 +1,290 @@
+// egp: command-line front end to the preview-tables library.
+//
+//   egp stats    <graph.(egt|nt)>
+//   egp preview  <graph.(egt|nt)> [--k N] [--n N] [--tight D | --diverse D]
+//                [--key coverage|randomwalk] [--nonkey coverage|entropy]
+//                [--algo auto|bf|dp|apriori|beam] [--rows N] [--json]
+//                [--merge-multiway]
+//   egp suggest  <graph.(egt|nt)> [--width W] [--height H]
+//   egp report   <graph.(egt|nt)> [--title T] [--k N] [--n N] [--dot]
+//                [--tight D | --diverse D] [--key ...] [--nonkey ...]
+//   egp generate <domain> <out.egt> [--scale S] [--seed S]
+//   egp convert  <in.(nt|egt)> <out.egt>
+//
+// Input format is chosen by extension: .nt parses N-Triples-lite,
+// anything else the EGT snapshot format.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/strings.h"
+#include "core/advisor.h"
+#include "core/beam_search.h"
+#include "core/discoverer.h"
+#include "core/tuple_sampler.h"
+#include "datagen/generator.h"
+#include "graph/graph_stats.h"
+#include "io/graph_io.h"
+#include "io/json_export.h"
+#include "io/ntriples.h"
+#include "io/preview_renderer.h"
+#include "io/report.h"
+
+namespace {
+
+using namespace egp;
+
+/// Minimal --flag value parser; flags may appear in any order after the
+/// positional arguments.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "";
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string Get(const std::string& name, const std::string& dflt) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? dflt : it->second;
+  }
+  long GetInt(const std::string& name, long dflt) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? dflt : std::strtol(it->second.c_str(),
+                                                    nullptr, 10);
+  }
+  double GetDouble(const std::string& name, double dflt) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? dflt : std::strtod(it->second.c_str(),
+                                                    nullptr);
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+Result<EntityGraph> LoadGraph(const std::string& path) {
+  if (EndsWith(path, ".nt")) {
+    return ReadNTriplesFile(path);
+  }
+  return ReadEntityGraphFile(path);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdStats(const std::string& path) {
+  auto graph = LoadGraph(path);
+  if (!graph.ok()) return Fail(graph.status());
+  const SchemaGraph schema = SchemaGraph::FromEntityGraph(*graph);
+  const EntityGraphStats g = ComputeEntityGraphStats(*graph);
+  const SchemaGraphStats s = ComputeSchemaGraphStats(schema);
+  std::printf("entity graph : %llu entities, %llu relationships\n",
+              (unsigned long long)g.num_entities,
+              (unsigned long long)g.num_edges);
+  std::printf("               %llu multi-typed, %llu isolated, avg "
+              "out-degree %.2f (max %llu)\n",
+              (unsigned long long)g.multi_typed_entities,
+              (unsigned long long)g.isolated_entities, g.avg_out_degree,
+              (unsigned long long)g.max_out_degree);
+  std::printf("schema graph : %llu entity types, %llu relationship types\n",
+              (unsigned long long)s.num_types,
+              (unsigned long long)s.num_rel_types);
+  std::printf("               %llu components, diameter %u, avg path %.2f, "
+              "%llu self-loops, %llu parallel type-pairs\n",
+              (unsigned long long)s.num_components, s.diameter,
+              s.average_path_length, (unsigned long long)s.self_loops,
+              (unsigned long long)s.parallel_edge_pairs);
+  return 0;
+}
+
+int CmdPreview(const std::string& path, const Flags& flags) {
+  auto graph = LoadGraph(path);
+  if (!graph.ok()) return Fail(graph.status());
+  const SchemaGraph schema = SchemaGraph::FromEntityGraph(*graph);
+
+  PreparedSchemaOptions popt;
+  if (flags.Get("key", "coverage") == "randomwalk") {
+    popt.key_measure = KeyMeasure::kRandomWalk;
+  }
+  if (flags.Get("nonkey", "coverage") == "entropy") {
+    popt.nonkey_measure = NonKeyMeasure::kEntropy;
+  }
+  auto prepared = PreparedSchema::Create(schema, popt, &graph.value());
+  if (!prepared.ok()) return Fail(prepared.status());
+  PreviewDiscoverer discoverer(std::move(prepared).value());
+
+  DiscoveryOptions options;
+  options.size.k = static_cast<uint32_t>(flags.GetInt("k", 2));
+  options.size.n = static_cast<uint32_t>(flags.GetInt("n", 6));
+  if (flags.Has("tight")) {
+    options.distance =
+        DistanceConstraint::Tight(static_cast<uint32_t>(flags.GetInt(
+            "tight", 2)));
+  } else if (flags.Has("diverse")) {
+    options.distance =
+        DistanceConstraint::Diverse(static_cast<uint32_t>(flags.GetInt(
+            "diverse", 2)));
+  }
+  const std::string algo = flags.Get("algo", "auto");
+  Result<Preview> preview = Status::Internal("unset");
+  if (algo == "beam") {
+    preview = BeamSearchDiscover(discoverer.prepared(), options.size,
+                                 options.distance);
+  } else {
+    if (algo == "bf") options.algorithm = Algorithm::kBruteForce;
+    if (algo == "dp") options.algorithm = Algorithm::kDynamicProgramming;
+    if (algo == "apriori") options.algorithm = Algorithm::kApriori;
+    preview = discoverer.Discover(options);
+  }
+  if (!preview.ok()) return Fail(preview.status());
+
+  TupleSamplerOptions sampler;
+  sampler.rows_per_table = static_cast<size_t>(flags.GetInt("rows", 4));
+  sampler.merge_multiway_columns = flags.Has("merge-multiway");
+  auto materialized = MaterializePreview(*graph, discoverer.prepared(),
+                                         *preview, sampler);
+  if (!materialized.ok()) return Fail(materialized.status());
+
+  if (flags.Has("json")) {
+    std::printf("%s\n",
+                MaterializedPreviewToJson(*graph, *materialized).c_str());
+  } else {
+    std::printf("score %.6g\n%s\n%s",
+                preview->Score(discoverer.prepared()),
+                DescribePreview(*preview, discoverer.prepared()).c_str(),
+                RenderPreview(*graph, *materialized).c_str());
+  }
+  return 0;
+}
+
+int CmdSuggest(const std::string& path, const Flags& flags) {
+  auto graph = LoadGraph(path);
+  if (!graph.ok()) return Fail(graph.status());
+  const SchemaGraph schema = SchemaGraph::FromEntityGraph(*graph);
+  auto prepared = PreparedSchema::Create(schema, PreparedSchemaOptions{});
+  if (!prepared.ok()) return Fail(prepared.status());
+  DisplayBudget budget;
+  budget.width_chars = static_cast<uint32_t>(flags.GetInt("width", 120));
+  budget.height_rows = static_cast<uint32_t>(flags.GetInt("height", 40));
+  const ConstraintSuggestion suggestion =
+      SuggestConstraints(*prepared, budget);
+  std::printf("suggested: k=%u n=%u tight_d=%u diverse_d=%u\n",
+              suggestion.size.k, suggestion.size.n, suggestion.tight_d,
+              suggestion.diverse_d);
+  std::printf("rationale: %s\n", suggestion.rationale.c_str());
+  return 0;
+}
+
+int CmdReport(const std::string& path, const Flags& flags) {
+  auto graph = LoadGraph(path);
+  if (!graph.ok()) return Fail(graph.status());
+  ReportOptions options;
+  options.title = flags.Get("title", "Dataset preview: " + path);
+  options.discovery.size.k = static_cast<uint32_t>(flags.GetInt("k", 3));
+  options.discovery.size.n = static_cast<uint32_t>(flags.GetInt("n", 9));
+  if (flags.Has("tight")) {
+    options.discovery.distance = DistanceConstraint::Tight(
+        static_cast<uint32_t>(flags.GetInt("tight", 2)));
+  } else if (flags.Has("diverse")) {
+    options.discovery.distance = DistanceConstraint::Diverse(
+        static_cast<uint32_t>(flags.GetInt("diverse", 2)));
+  }
+  if (flags.Get("key", "coverage") == "randomwalk") {
+    options.measures.key_measure = KeyMeasure::kRandomWalk;
+  }
+  if (flags.Get("nonkey", "coverage") == "entropy") {
+    options.measures.nonkey_measure = NonKeyMeasure::kEntropy;
+  }
+  options.include_dot = flags.Has("dot");
+  const auto report = GeneratePreviewReport(*graph, options);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s", report->c_str());
+  return 0;
+}
+
+int CmdGenerate(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "usage: egp generate <domain> <out.egt> "
+                         "[--scale S] [--seed S]\n");
+    return 2;
+  }
+  GeneratorOptions options;
+  options.scale = flags.GetDouble("scale", 0.0);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+  auto domain = GenerateDomainByName(flags.positional()[0], options);
+  if (!domain.ok()) return Fail(domain.status());
+  const Status write =
+      WriteEntityGraphFile(domain->graph, flags.positional()[1]);
+  if (!write.ok()) return Fail(write);
+  std::printf("wrote %zu entities / %zu relationships to %s\n",
+              domain->graph.num_entities(), domain->graph.num_edges(),
+              flags.positional()[1].c_str());
+  return 0;
+}
+
+int CmdConvert(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "usage: egp convert <in.(nt|egt)> <out.egt>\n");
+    return 2;
+  }
+  auto graph = LoadGraph(flags.positional()[0]);
+  if (!graph.ok()) return Fail(graph.status());
+  const Status write = WriteEntityGraphFile(*graph, flags.positional()[1]);
+  if (!write.ok()) return Fail(write);
+  std::printf("converted %s -> %s (%zu entities, %zu relationships)\n",
+              flags.positional()[0].c_str(), flags.positional()[1].c_str(),
+              graph->num_entities(), graph->num_edges());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: egp <stats|preview|suggest|report|generate|convert> ...\n"
+               "see the header of tools/egp_cli.cc for full syntax\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "stats") {
+    if (flags.positional().empty()) return Usage();
+    return CmdStats(flags.positional()[0]);
+  }
+  if (command == "preview") {
+    if (flags.positional().empty()) return Usage();
+    return CmdPreview(flags.positional()[0], flags);
+  }
+  if (command == "suggest") {
+    if (flags.positional().empty()) return Usage();
+    return CmdSuggest(flags.positional()[0], flags);
+  }
+  if (command == "report") {
+    if (flags.positional().empty()) return Usage();
+    return CmdReport(flags.positional()[0], flags);
+  }
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "convert") return CmdConvert(flags);
+  return Usage();
+}
