@@ -4,6 +4,20 @@
 
 namespace egp {
 
+StringPool::StringPool(const StringPool& other) : strings_(other.strings_) {
+  index_.reserve(strings_.size());
+  for (uint32_t id = 0; id < strings_.size(); ++id) {
+    index_.emplace(std::string_view(strings_[id]), id);
+  }
+}
+
+StringPool& StringPool::operator=(const StringPool& other) {
+  if (this == &other) return *this;
+  StringPool copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
 uint32_t StringPool::Intern(std::string_view name) {
   auto it = index_.find(name);
   if (it != index_.end()) return it->second;

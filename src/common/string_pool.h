@@ -16,6 +16,17 @@ namespace egp {
 
 class StringPool {
  public:
+  StringPool() = default;
+
+  // The index keys are string_views into this pool's own storage, so a
+  // copy must rebuild its index over the copied strings — the defaulted
+  // copy would leave the new index pointing into the source pool.
+  StringPool(const StringPool& other);
+  StringPool& operator=(const StringPool& other);
+  // Moves keep the deque nodes (and thus the views) alive and are safe.
+  StringPool(StringPool&&) = default;
+  StringPool& operator=(StringPool&&) = default;
+
   /// Returns the id for `name`, inserting it if new. Ids are dense and
   /// assigned in first-seen order.
   uint32_t Intern(std::string_view name);

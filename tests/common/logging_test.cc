@@ -59,7 +59,7 @@ TEST(TimerTest, MeasuresElapsedTime) {
   Timer timer;
   // Burn a little CPU deterministically.
   volatile uint64_t sink = 0;
-  for (int i = 0; i < 2000000; ++i) sink += i;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i;
   const double elapsed_ms = timer.ElapsedMillis();
   EXPECT_GT(elapsed_ms, 0.0);
   EXPECT_LT(elapsed_ms, 10000.0);
@@ -70,7 +70,7 @@ TEST(TimerTest, MeasuresElapsedTime) {
 TEST(TimerTest, ResetRestartsClock) {
   Timer timer;
   volatile uint64_t sink = 0;
-  for (int i = 0; i < 2000000; ++i) sink += i;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i;
   const double before = timer.ElapsedMicros();
   timer.Reset();
   EXPECT_LT(timer.ElapsedMicros(), before + 1000.0);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/strings.h"
 
 namespace egp {
@@ -53,6 +55,29 @@ TEST(StringPoolTest, StableAcrossManyInsertions) {
     EXPECT_EQ(pool.Get(ids[i]), StrFormat("entity-%d", i));
     EXPECT_EQ(pool.Find(StrFormat("entity-%d", i)).value(), ids[i]);
   }
+}
+
+TEST(StringPoolTest, CopyIsIndependentOfSource) {
+  // Regression test: the copied pool's index must point into its own
+  // storage, not the source's (caught by ASan as a use-after-free when the
+  // source was destroyed first).
+  auto source = std::make_unique<StringPool>();
+  const uint32_t film = source->Intern("FILM");
+  const uint32_t actor = source->Intern("FILM ACTOR");
+  StringPool copy = *source;
+  source.reset();
+  EXPECT_EQ(copy.Find("FILM").value(), film);
+  EXPECT_EQ(copy.Find("FILM ACTOR").value(), actor);
+  EXPECT_EQ(copy.Get(film), "FILM");
+  // Copy assignment over a non-empty pool rebuilds the index too.
+  StringPool assigned;
+  assigned.Intern("stale");
+  assigned = copy;
+  EXPECT_EQ(assigned.Find("FILM").value(), film);
+  EXPECT_FALSE(assigned.Find("stale").has_value());
+  // New interns in the copy keep working after divergence.
+  EXPECT_EQ(copy.Intern("AWARD"), 2u);
+  EXPECT_EQ(copy.Find("AWARD").value(), 2u);
 }
 
 TEST(StringPoolDeathTest, GetOutOfRangeAborts) {
