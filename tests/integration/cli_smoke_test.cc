@@ -1,0 +1,94 @@
+// End-to-end smoke test of the `egp` CLI pipeline: generate a synthetic
+// domain, preview it as JSON, and structurally validate the JSON output.
+// Complements cli_test.cc, which exercises each subcommand against the
+// shipped sample dataset.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "tests/testing/subprocess.h"
+
+namespace egp {
+namespace {
+
+#ifndef EGP_CLI_PATH
+#error "EGP_CLI_PATH must be defined by the build"
+#endif
+
+using testing_util::Slurp;
+using testing_util::TempPath;
+
+int RunCli(const std::string& args, const std::string& stdout_path) {
+  return testing_util::RunCommand(std::string(EGP_CLI_PATH) + " " + args,
+                                  stdout_path);
+}
+
+/// Minimal structural JSON check: balanced braces/brackets outside strings
+/// and nothing after the closing root brace. Keeps the test dependency-free
+/// while still catching truncated or interleaved output.
+bool IsStructurallyValidJsonObject(const std::string& text) {
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  if (i >= n || text[i] != '{') return false;
+  int depth = 0;
+  bool in_string = false;
+  for (; i < n; ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      if (depth < 0) return false;
+      if (depth == 0) break;
+    }
+  }
+  if (depth != 0 || in_string) return false;
+  for (++i; i < n; ++i) {
+    if (!std::isspace(static_cast<unsigned char>(text[i]))) return false;
+  }
+  return true;
+}
+
+TEST(CliSmokeTest, GeneratePreviewJsonPipeline) {
+  const std::string egt = TempPath("smoke_music.egt");
+  const std::string gen_out = TempPath("smoke_generate.txt");
+  ASSERT_EQ(RunCli("generate music " + egt + " --scale 0.001 --seed 42",
+                   gen_out),
+            0);
+  EXPECT_NE(Slurp(gen_out).find("wrote"), std::string::npos);
+
+  const std::string json_out = TempPath("smoke_preview.json");
+  ASSERT_EQ(RunCli("preview " + egt + " --k 2 --n 5 --json", json_out), 0);
+  const std::string json = Slurp(json_out);
+
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(IsStructurallyValidJsonObject(json)) << json.substr(0, 400);
+  EXPECT_EQ(json.rfind("{\"tables\":[", 0), 0u);
+  EXPECT_NE(json.find("\"key\":"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":["), std::string::npos);
+}
+
+TEST(CliSmokeTest, GenerateIsSeedDeterministic) {
+  const std::string a = TempPath("smoke_seed_a.egt");
+  const std::string b = TempPath("smoke_seed_b.egt");
+  const std::string out = TempPath("smoke_seed.txt");
+  ASSERT_EQ(RunCli("generate music " + a + " --scale 0.001 --seed 7", out), 0);
+  ASSERT_EQ(RunCli("generate music " + b + " --scale 0.001 --seed 7", out), 0);
+  EXPECT_EQ(Slurp(a), Slurp(b));
+  EXPECT_FALSE(Slurp(a).empty());
+}
+
+}  // namespace
+}  // namespace egp

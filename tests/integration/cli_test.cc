@@ -2,11 +2,9 @@
 // exercised against the shipped sample dataset through a real process.
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
+
+#include "tests/testing/subprocess.h"
 
 namespace egp {
 namespace {
@@ -18,23 +16,14 @@ namespace {
 #error "EGP_SAMPLE_NT must be defined by the build"
 #endif
 
-std::string TempPath(const char* name) {
-  return ::testing::TempDir() + "/" + name;
-}
+using testing_util::Slurp;
+using testing_util::TempPath;
 
-/// Runs the CLI, capturing stdout into a file; returns the exit code.
+/// Runs the CLI, capturing stdout into a file; returns the exit code
+/// (128 + signal for a crash).
 int RunCli(const std::string& args, const std::string& stdout_path) {
-  const std::string command = std::string(EGP_CLI_PATH) + " " + args + " > " +
-                              stdout_path + " 2>/dev/null";
-  const int status = std::system(command.c_str());
-  return WEXITSTATUS(status);
-}
-
-std::string Slurp(const std::string& path) {
-  std::ifstream in(path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+  return testing_util::RunCommand(std::string(EGP_CLI_PATH) + " " + args,
+                                  stdout_path);
 }
 
 TEST(CliTest, StatsSubcommand) {

@@ -1,0 +1,45 @@
+// Test helpers for suites that shell out to built binaries (the CLI
+// end-to-end suites). Shared so exit-status handling stays in one place.
+#ifndef EGP_TESTS_TESTING_SUBPROCESS_H_
+#define EGP_TESTS_TESTING_SUBPROCESS_H_
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace egp {
+namespace testing_util {
+
+inline std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Runs `command`, capturing stdout into a file. Returns the exit code for
+/// a normal exit; 128 + signal for a signal death (so a crashing binary
+/// never masquerades as success); -1 if the shell could not be spawned.
+inline int RunCommand(const std::string& command,
+                      const std::string& stdout_path) {
+  const std::string full = command + " > " + stdout_path + " 2>/dev/null";
+  const int status = std::system(full.c_str());
+  if (status == -1) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+inline std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace testing_util
+}  // namespace egp
+
+#endif  // EGP_TESTS_TESTING_SUBPROCESS_H_
