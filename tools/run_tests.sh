@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure, build, and run every registered test suite.
+# Mirrors ROADMAP.md's one-command check; extra arguments are forwarded to
+# cmake's configure step. Configure flags persist in the build tree's CMake
+# cache, so give one-off configurations their own tree via EGP_BUILD_DIR:
+#   EGP_BUILD_DIR=build-asan tools/run_tests.sh -DEGP_SANITIZE=address
+set -eu
+
+cd "$(dirname "$0")/.."
+
+build_dir="${EGP_BUILD_DIR:-build}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$build_dir" -S . "$@"
+cmake --build "$build_dir" -j"$jobs"
+cd "$build_dir" && ctest --output-on-failure -j"$jobs"
