@@ -1,5 +1,6 @@
 // Domain explorer: generate one of the seven Freebase-like domains and
-// discover previews under user-chosen constraints.
+// discover previews under user-chosen constraints, all through the
+// egp::Engine serving façade.
 //
 //   domain_explorer [domain] [k] [n] [tight|diverse <d>]
 //   domain_explorer film 5 10 tight 2
@@ -11,12 +12,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
-#include "core/discoverer.h"
-#include "core/tuple_sampler.h"
 #include "datagen/generator.h"
 #include "graph/graph_stats.h"
 #include "io/preview_renderer.h"
+#include "service/engine.h"
 
 namespace {
 
@@ -53,9 +54,12 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  const Engine engine = Engine::FromGraph(std::move(domain->graph));
 
-  const EntityGraphStats graph_stats = ComputeEntityGraphStats(domain->graph);
-  const SchemaGraphStats schema_stats = ComputeSchemaGraphStats(domain->schema);
+  const EntityGraphStats graph_stats =
+      ComputeEntityGraphStats(*engine.graph());
+  const SchemaGraphStats schema_stats =
+      ComputeSchemaGraphStats(engine.schema());
   std::printf("domain=%s: %llu entities, %llu relationships; schema %llu "
               "types / %llu relationship types, diameter %u, avg path %.2f\n\n",
               domain_name.c_str(),
@@ -65,41 +69,36 @@ int main(int argc, char** argv) {
               (unsigned long long)schema_stats.num_rel_types,
               schema_stats.diameter, schema_stats.average_path_length);
 
-  // Top-10 key attributes under each measure.
-  for (KeyMeasure measure : {KeyMeasure::kCoverage, KeyMeasure::kRandomWalk}) {
-    PreparedSchemaOptions options;
-    options.key_measure = measure;
-    auto prepared = PreparedSchema::Create(domain->schema, options);
+  // Top-10 key attributes under each built-in key measure; the engine
+  // memoizes the prepared state per measure configuration.
+  for (const char* measure : {"coverage", "randomwalk"}) {
+    MeasureSelection measures;
+    measures.key = measure;
+    auto prepared = engine.Prepared(measures);
     if (!prepared.ok()) continue;
     std::vector<std::pair<double, TypeId>> scored;
-    for (TypeId t = 0; t < prepared->num_types(); ++t) {
-      scored.emplace_back(prepared->KeyScore(t), t);
+    for (TypeId t = 0; t < (*prepared)->num_types(); ++t) {
+      scored.emplace_back((*prepared)->KeyScore(t), t);
     }
     std::sort(scored.rbegin(), scored.rend());
-    std::printf("top key attributes by %s:\n", KeyMeasureName(measure));
+    std::printf("top key attributes by %s:\n", measure);
     for (size_t i = 0; i < 10 && i < scored.size(); ++i) {
       std::printf("  %2zu. %-28s %.6g\n", i + 1,
-                  domain->schema.TypeName(scored[i].second).c_str(),
+                  engine.schema().TypeName(scored[i].second).c_str(),
                   scored[i].first);
     }
     std::printf("\n");
   }
 
   // Discover and render the requested preview.
-  auto prepared =
-      PreparedSchema::Create(domain->schema, PreparedSchemaOptions{});
-  if (!prepared.ok()) {
-    std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
-    return 1;
-  }
-  PreviewDiscoverer discoverer(std::move(prepared).value());
-  DiscoveryOptions options;
-  options.size = {k, n};
-  options.distance = distance;
-  auto preview = discoverer.Discover(options);
-  if (!preview.ok()) {
+  PreviewRequest request;
+  request.size = {k, n};
+  request.distance = distance;
+  request.sample_rows = 3;
+  auto response = engine.Preview(request);
+  if (!response.ok()) {
     std::fprintf(stderr, "discovery failed: %s\n",
-                 preview.status().ToString().c_str());
+                 response.status().ToString().c_str());
     return 1;
   }
   std::printf("optimal preview (k=%u, n=%u%s), score %.6g:\n%s\n", k, n,
@@ -107,18 +106,14 @@ int main(int argc, char** argv) {
                   ? ""
                   : (distance.mode == DistanceMode::kTight ? ", tight"
                                                            : ", diverse"),
-              preview->Score(discoverer.prepared()),
-              DescribePreview(*preview, discoverer.prepared()).c_str());
+              response->score,
+              DescribePreview(response->preview, *response->prepared)
+                  .c_str());
 
-  TupleSamplerOptions sampler;
-  sampler.rows_per_table = 3;
-  auto materialized = MaterializePreview(domain->graph, discoverer.prepared(),
-                                         *preview, sampler);
-  if (materialized.ok()) {
-    RenderOptions render;
-    render.max_cell_width = 30;
-    std::printf("%s", RenderPreview(domain->graph, *materialized, render)
-                          .c_str());
-  }
+  RenderOptions render;
+  render.max_cell_width = 30;
+  std::printf("%s",
+              RenderPreview(*engine.graph(), response->materialized, render)
+                  .c_str());
   return 0;
 }

@@ -3,15 +3,15 @@
 // Demonstrates the §5 incremental-maintenance claim end to end: start
 // from a generated domain, let the advisor pick constraints for a
 // terminal-sized display, then apply batches of simulated data-graph
-// updates — re-preparing from the incrementally maintained statistics
-// and re-discovering only when something relevant became dirty.
+// updates — standing up a fresh schema-only Engine over the
+// incrementally maintained statistics each round and re-discovering only
+// when something relevant became dirty.
 #include <cstdio>
 
 #include "common/rng.h"
-#include "core/advisor.h"
-#include "core/discoverer.h"
 #include "core/incremental.h"
 #include "datagen/generator.h"
+#include "service/engine.h"
 
 int main(int argc, char** argv) {
   using namespace egp;
@@ -24,23 +24,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto prepared =
-      PreparedSchema::Create(domain->schema, PreparedSchemaOptions{});
-  if (!prepared.ok()) {
-    std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
-    return 1;
-  }
-
   // Let the advisor size the preview for an 80x24 terminal.
+  const Engine initial = Engine::FromSchema(domain->schema);
   DisplayBudget terminal;
   terminal.width_chars = 80;
   terminal.height_rows = 24;
-  const ConstraintSuggestion suggestion =
-      SuggestConstraints(*prepared, terminal);
-  std::printf("advisor: %s\n\n", suggestion.rationale.c_str());
+  const auto suggestion = initial.Suggest(terminal);
+  if (!suggestion.ok()) {
+    std::fprintf(stderr, "%s\n", suggestion.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("advisor: %s\n\n", suggestion->rationale.c_str());
 
-  DiscoveryOptions options;
-  options.size = suggestion.size;
+  PreviewRequest request;
+  request.size = suggestion->size;
 
   IncrementalSchemaStats stats(domain->schema);
   Rng rng(7);
@@ -63,30 +60,27 @@ int main(int argc, char** argv) {
     const size_t dirty = stats.DirtyTypes().size();
     stats.ClearDirty();
 
-    auto refreshed = PreparedSchema::Create(stats.ToSchemaGraph(),
-                                            PreparedSchemaOptions{});
-    if (!refreshed.ok()) {
-      std::fprintf(stderr, "%s\n", refreshed.status().ToString().c_str());
+    // Serve from a fresh snapshot of the maintained statistics. A
+    // schema-only Engine supports every schema-level measure; only
+    // data-graph features (entropy, sampling) are off the table.
+    const Engine engine = Engine::FromSchema(stats.ToSchemaGraph());
+    auto response = engine.Preview(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
       return 1;
     }
-    PreviewDiscoverer discoverer(std::move(refreshed).value());
-    auto preview = discoverer.Discover(options);
-    if (!preview.ok()) {
-      std::fprintf(stderr, "%s\n", preview.status().ToString().c_str());
-      return 1;
-    }
-    const double score = preview->Score(discoverer.prepared());
     std::printf("round %d: +400 updates (hot rel '%s'), %zu dirty types, "
                 "preview score %.4g%s\n",
                 round,
                 domain->schema.SurfaceName(domain->schema.Edge(hot)).c_str(),
-                dirty, score,
-                score != last_score ? "  <- changed" : "");
+                dirty, response->score,
+                response->score != last_score ? "  <- changed" : "");
     if (round == 6) {
       std::printf("\nfinal preview:\n%s",
-                  DescribePreview(*preview, discoverer.prepared()).c_str());
+                  DescribePreview(response->preview, *response->prepared)
+                      .c_str());
     }
-    last_score = score;
+    last_score = response->score;
   }
   return 0;
 }

@@ -1,27 +1,27 @@
 // Quickstart: the paper's running example, end to end.
 //
 // Builds the Fig. 1 entity graph, derives the Fig. 3 schema graph,
-// computes the §3 scores, discovers the optimal concise / tight / diverse
-// previews of §4, and renders a Fig. 2-style preview with sampled tuples.
+// computes the §3 scores, and serves the optimal concise / diverse
+// previews of §4 through the egp::Engine request/response API, rendering
+// a Fig. 2-style preview with sampled tuples.
 #include <cstdio>
 
-#include "core/discoverer.h"
 #include "core/key_scoring.h"
-#include "core/tuple_sampler.h"
 #include "datagen/paper_example.h"
-#include "graph/schema_distance.h"
 #include "io/preview_renderer.h"
+#include "service/engine.h"
 
 int main() {
   using namespace egp;
 
   // --- 1. The entity graph of Fig. 1 -------------------------------------
-  const EntityGraph graph = BuildPaperExampleGraph();
+  EntityGraph graph = BuildPaperExampleGraph();
   std::printf("entity graph: %zu entities, %zu relationships, %zu types\n",
               graph.num_entities(), graph.num_edges(), graph.num_types());
 
-  // --- 2. Schema graph (Fig. 3) ------------------------------------------
-  const SchemaGraph schema = SchemaGraph::FromEntityGraph(graph);
+  // --- 2. The serving engine (derives the Fig. 3 schema graph) -----------
+  const Engine engine = Engine::FromGraph(std::move(graph));
+  const SchemaGraph& schema = engine.schema();
   std::printf("schema graph: %zu entity types, %zu relationship types\n\n",
               schema.num_types(), schema.num_edges());
 
@@ -32,47 +32,37 @@ int main() {
   std::printf("M(FILM -> FILM GENRE) = %.2f  (paper: 0.28)\n\n",
               TransitionProbability(schema, film, genre));
 
-  // --- 3. Prepare scores and discover previews ---------------------------
-  auto prepared = PreparedSchema::Create(schema, PreparedSchemaOptions{});
-  if (!prepared.ok()) {
-    std::fprintf(stderr, "prepare failed: %s\n",
-                 prepared.status().ToString().c_str());
-    return 1;
-  }
-  PreviewDiscoverer discoverer(std::move(prepared).value());
-
-  DiscoveryOptions concise;
+  // --- 3. Serve preview requests ------------------------------------------
+  PreviewRequest concise;
   concise.size = {2, 6};
-  auto preview = discoverer.Discover(concise);
-  if (!preview.ok()) {
+  concise.sample_rows = 4;
+  auto response = engine.Preview(concise);
+  if (!response.ok()) {
     std::fprintf(stderr, "discovery failed: %s\n",
-                 preview.status().ToString().c_str());
+                 response.status().ToString().c_str());
     return 1;
   }
   std::printf("optimal concise preview (k=2, n=6), score %.0f (paper: 84):\n%s\n",
-              preview->Score(discoverer.prepared()),
-              DescribePreview(*preview, discoverer.prepared()).c_str());
+              response->score,
+              DescribePreview(response->preview, *response->prepared)
+                  .c_str());
 
-  DiscoveryOptions diverse = concise;
+  PreviewRequest diverse = concise;
   diverse.distance = DistanceConstraint::Diverse(2);
-  auto diverse_preview = discoverer.Discover(diverse);
-  if (diverse_preview.ok()) {
-    std::printf("optimal diverse preview (d=2), score %.0f (paper: 78):\n%s\n",
-                diverse_preview->Score(discoverer.prepared()),
-                DescribePreview(*diverse_preview, discoverer.prepared())
+  auto diverse_response = engine.Preview(diverse);
+  if (diverse_response.ok()) {
+    std::printf("optimal diverse preview (d=2), score %.0f (paper: 78):\n%s",
+                diverse_response->score,
+                DescribePreview(diverse_response->preview,
+                                *diverse_response->prepared)
                     .c_str());
+    // The second request reused the engine's memoized prepared state.
+    std::printf("(prepared-state cache hit: %s)\n\n",
+                diverse_response->prepared_cache_hit ? "yes" : "no");
   }
 
-  // --- 4. Materialize and render (Fig. 2) --------------------------------
-  TupleSamplerOptions sampler;
-  sampler.rows_per_table = 4;
-  auto materialized = MaterializePreview(graph, discoverer.prepared(),
-                                         *preview, sampler);
-  if (!materialized.ok()) {
-    std::fprintf(stderr, "materialize failed: %s\n",
-                 materialized.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("%s", RenderPreview(graph, *materialized).c_str());
+  // --- 4. Render the sampled tuples (Fig. 2) ------------------------------
+  std::printf("%s",
+              RenderPreview(*engine.graph(), response->materialized).c_str());
   return 0;
 }

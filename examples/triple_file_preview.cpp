@@ -8,10 +8,9 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/discoverer.h"
-#include "core/tuple_sampler.h"
 #include "io/ntriples.h"
 #include "io/preview_renderer.h"
+#include "service/engine.h"
 
 int main(int argc, char** argv) {
   using namespace egp;
@@ -38,40 +37,27 @@ int main(int argc, char** argv) {
               (unsigned long long)stats.relationships,
               (unsigned long long)stats.skipped_untyped);
 
-  const SchemaGraph schema = SchemaGraph::FromEntityGraph(*graph);
+  const Engine engine = Engine::FromGraph(std::move(graph).value());
   std::printf("schema: %zu entity types, %zu relationship types\n\n",
-              schema.num_types(), schema.num_edges());
+              engine.schema().num_types(), engine.schema().num_edges());
 
   // Entropy non-keys favour informative attributes in small graphs.
-  PreparedSchemaOptions options;
-  options.key_measure = KeyMeasure::kCoverage;
-  options.nonkey_measure = NonKeyMeasure::kEntropy;
-  auto prepared = PreparedSchema::Create(schema, options, &graph.value());
-  if (!prepared.ok()) {
-    std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
-    return 1;
-  }
-  PreviewDiscoverer discoverer(std::move(prepared).value());
-  DiscoveryOptions discovery;
-  discovery.size = {k, n};
-  auto preview = discoverer.Discover(discovery);
-  if (!preview.ok()) {
+  PreviewRequest request;
+  request.size = {k, n};
+  request.measures.key = "coverage";
+  request.measures.nonkey = "entropy";
+  request.sample_rows = 4;
+  request.sample_strategy = SamplingStrategy::kFrequencyWeighted;
+  auto response = engine.Preview(request);
+  if (!response.ok()) {
     std::fprintf(stderr, "discovery failed: %s\n",
-                 preview.status().ToString().c_str());
+                 response.status().ToString().c_str());
     return 1;
   }
   std::printf("optimal concise preview (k=%u, n=%u):\n%s\n", k, n,
-              DescribePreview(*preview, discoverer.prepared()).c_str());
-
-  TupleSamplerOptions sampler;
-  sampler.rows_per_table = 4;
-  sampler.strategy = SamplingStrategy::kFrequencyWeighted;
-  auto materialized = MaterializePreview(*graph, discoverer.prepared(),
-                                         *preview, sampler);
-  if (!materialized.ok()) {
-    std::fprintf(stderr, "%s\n", materialized.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("%s", RenderPreview(*graph, *materialized).c_str());
+              DescribePreview(response->preview, *response->prepared)
+                  .c_str());
+  std::printf("%s",
+              RenderPreview(*engine.graph(), response->materialized).c_str());
   return 0;
 }

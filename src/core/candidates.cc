@@ -1,6 +1,8 @@
 #include "core/candidates.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "common/check.h"
 
@@ -14,36 +16,53 @@ const char* NonKeyMeasureName(NonKeyMeasure m) {
   return m == NonKeyMeasure::kCoverage ? "Coverage" : "Entropy";
 }
 
-Result<PreparedSchema> PreparedSchema::Create(
-    SchemaGraph schema, const PreparedSchemaOptions& options,
-    const EntityGraph* graph) {
-  PreparedSchema prepared;
-  prepared.options_ = options;
+const char* KeyMeasureRegistryName(KeyMeasure m) {
+  return m == KeyMeasure::kCoverage ? "coverage" : "randomwalk";
+}
 
-  // Key-attribute scores.
-  switch (options.key_measure) {
-    case KeyMeasure::kCoverage:
-      prepared.key_scores_ = ComputeKeyCoverage(schema);
-      break;
-    case KeyMeasure::kRandomWalk:
-      prepared.key_scores_ = ComputeKeyRandomWalk(schema, options.walk);
-      break;
+const char* NonKeyMeasureRegistryName(NonKeyMeasure m) {
+  return m == NonKeyMeasure::kCoverage ? "coverage" : "entropy";
+}
+
+Result<PreparedSchema> PreparedSchema::Create(SchemaGraph schema,
+                                              const MeasureSelection& measures,
+                                              const EntityGraph* graph) {
+  PreparedSchema prepared;
+  prepared.measures_ = measures;
+  // Best-effort legacy enum view of the selection; unrecognized (custom)
+  // names read as the defaults.
+  prepared.options_.key_measure = measures.key == "randomwalk"
+                                      ? KeyMeasure::kRandomWalk
+                                      : KeyMeasure::kCoverage;
+  prepared.options_.nonkey_measure = measures.nonkey == "entropy"
+                                         ? NonKeyMeasure::kEntropy
+                                         : NonKeyMeasure::kCoverage;
+  prepared.options_.walk = measures.walk;
+
+  const ScoringContext context{schema, graph, measures.walk};
+  ScoringRegistry& registry = ScoringRegistry::Global();
+
+  KeyScorerFn key_scorer;
+  EGP_ASSIGN_OR_RETURN(key_scorer, registry.FindKeyMeasure(measures.key));
+  EGP_ASSIGN_OR_RETURN(prepared.key_scores_, key_scorer(context));
+  if (prepared.key_scores_.size() != schema.num_types()) {
+    return Status::Internal("key measure '" + measures.key + "' returned " +
+                            std::to_string(prepared.key_scores_.size()) +
+                            " scores for " +
+                            std::to_string(schema.num_types()) + " types");
   }
 
-  // Non-key attribute scores per schema edge and direction.
+  NonKeyScorerFn nonkey_scorer;
+  EGP_ASSIGN_OR_RETURN(nonkey_scorer,
+                       registry.FindNonKeyMeasure(measures.nonkey));
   NonKeyScores nonkey;
-  switch (options.nonkey_measure) {
-    case NonKeyMeasure::kCoverage:
-      nonkey = ComputeNonKeyCoverage(schema);
-      break;
-    case NonKeyMeasure::kEntropy: {
-      if (graph == nullptr) {
-        return Status::InvalidArgument(
-            "entropy non-key scoring requires the entity graph");
-      }
-      EGP_ASSIGN_OR_RETURN(nonkey, ComputeNonKeyEntropy(*graph, schema));
-      break;
-    }
+  EGP_ASSIGN_OR_RETURN(nonkey, nonkey_scorer(context));
+  if (nonkey.outgoing.size() != schema.num_edges() ||
+      nonkey.incoming.size() != schema.num_edges()) {
+    return Status::Internal("non-key measure '" + measures.nonkey +
+                            "' returned a score vector not matching the " +
+                            std::to_string(schema.num_edges()) +
+                            " schema edges");
   }
 
   // Γτ per type: every incident edge contributes the direction(s) in which
@@ -78,6 +97,16 @@ Result<PreparedSchema> PreparedSchema::Create(
   prepared.distances_ = std::make_shared<SchemaDistanceMatrix>(schema);
   prepared.schema_ = std::move(schema);
   return prepared;
+}
+
+Result<PreparedSchema> PreparedSchema::Create(
+    SchemaGraph schema, const PreparedSchemaOptions& options,
+    const EntityGraph* graph) {
+  MeasureSelection measures;
+  measures.key = KeyMeasureRegistryName(options.key_measure);
+  measures.nonkey = NonKeyMeasureRegistryName(options.nonkey_measure);
+  measures.walk = options.walk;
+  return Create(std::move(schema), measures, graph);
 }
 
 size_t PreparedSchema::TotalCandidates() const {

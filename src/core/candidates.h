@@ -14,16 +14,27 @@
 #include "common/result.h"
 #include "core/key_scoring.h"
 #include "core/nonkey_scoring.h"
+#include "core/scoring_registry.h"
 #include "graph/schema_distance.h"
 #include "graph/schema_graph.h"
 
 namespace egp {
 
+/// Legacy enum selectors for the paper's built-in measures. Internal
+/// callers (benches, unit tests) may keep using them; they resolve to the
+/// ScoringRegistry names "coverage"/"randomwalk"/"entropy". New code and
+/// everything above the core layer should select measures by name via
+/// MeasureSelection (see scoring_registry.h) or the egp::Engine façade.
 enum class KeyMeasure : uint8_t { kCoverage = 0, kRandomWalk };
 enum class NonKeyMeasure : uint8_t { kCoverage = 0, kEntropy };
 
 const char* KeyMeasureName(KeyMeasure m);
 const char* NonKeyMeasureName(NonKeyMeasure m);
+
+/// Registry names of the built-in measures ("coverage", "randomwalk",
+/// "entropy") — the join point between the enums and MeasureSelection.
+const char* KeyMeasureRegistryName(KeyMeasure m);
+const char* NonKeyMeasureRegistryName(NonKeyMeasure m);
 
 /// A candidate non-key attribute of some table: a schema edge used in a
 /// specific direction relative to the table's key type. A self-loop edge
@@ -53,13 +64,25 @@ struct PreparedSchemaOptions {
 
 class PreparedSchema {
  public:
-  /// Builds from a schema graph (and the entity graph when entropy scoring
-  /// is requested). Owns a copy of the schema graph.
+  /// Builds from a schema graph (and the entity graph when a measure needs
+  /// it, e.g. "entropy"). Measures are resolved by name against
+  /// ScoringRegistry::Global(). Owns a copy of the schema graph.
+  ///
+  /// Internal layer: application code should obtain prepared state through
+  /// egp::Engine (src/service/engine.h), which memoizes instances per
+  /// measure configuration and shares them across threads.
+  static Result<PreparedSchema> Create(SchemaGraph schema,
+                                       const MeasureSelection& measures,
+                                       const EntityGraph* graph = nullptr);
+
+  /// Legacy enum spelling; forwards to the registry-based overload.
   static Result<PreparedSchema> Create(SchemaGraph schema,
                                        const PreparedSchemaOptions& options,
                                        const EntityGraph* graph = nullptr);
 
   const SchemaGraph& schema() const { return schema_; }
+  /// The measure names this instance was prepared with.
+  const MeasureSelection& measures() const { return measures_; }
   const PreparedSchemaOptions& options() const { return options_; }
   const SchemaDistanceMatrix& distances() const { return *distances_; }
 
@@ -86,6 +109,7 @@ class PreparedSchema {
   PreparedSchema() = default;
 
   SchemaGraph schema_;
+  MeasureSelection measures_;
   PreparedSchemaOptions options_;
   std::vector<double> key_scores_;
   std::vector<TypeCandidates> candidates_;

@@ -1,0 +1,270 @@
+#include "service/engine.h"
+
+#include <cstdio>
+#include <future>
+#include <utility>
+
+#include "common/timer.h"
+#include "core/apriori.h"
+#include "core/beam_search.h"
+#include "core/dynamic_programming.h"
+
+namespace egp {
+namespace {
+
+/// Appends an exact (hexfloat) rendering of `value`, so near-equal
+/// parameters never alias to the same cache key.
+void AppendExactDouble(std::string* key, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  *key += buffer;
+}
+
+/// Cache key for one measure configuration. The walk parameters are part
+/// of the key so e.g. two smoothing settings don't alias.
+std::string MeasureCacheKey(const MeasureSelection& measures) {
+  std::string key = measures.key;
+  key += '\x1f';
+  key += measures.nonkey;
+  key += '\x1f';
+  AppendExactDouble(&key, measures.walk.smoothing);
+  key += '\x1f';
+  key += std::to_string(measures.walk.max_iterations);
+  key += '\x1f';
+  AppendExactDouble(&key, measures.walk.tolerance);
+  return key;
+}
+
+}  // namespace
+
+Result<std::string> CanonicalAlgorithmName(const std::string& name) {
+  if (name == "auto" || name == "bf" || name == "dp" || name == "apriori" ||
+      name == "beam") {
+    return name;
+  }
+  if (name == "bruteforce") return std::string("bf");
+  return Status::InvalidArgument(
+      "unknown algorithm '" + name +
+      "' (available: auto, bf, dp, apriori, beam)");
+}
+
+struct Engine::State {
+  // Set for FromGraph engines; schema-only engines serve without it.
+  std::optional<EntityGraph> graph;
+  SchemaGraph schema;
+  EngineOptions options;
+
+  // One cache slot per measure configuration. The future lets the
+  // expensive build run *outside* the lock: the first requester of a
+  // cold configuration inserts an unfulfilled future and builds; later
+  // requesters of the same configuration wait on the future, and
+  // requesters of other configurations proceed unblocked.
+  struct Entry {
+    std::shared_future<Result<std::shared_ptr<const PreparedSchema>>> future;
+    uint64_t last_used = 0;   // LRU tick for capacity eviction
+    uint64_t generation = 0;  // which insert this is, for failure cleanup
+  };
+
+  // Guards the cache map, the LRU tick, and the hit/miss counters. The
+  // cached PreparedSchema instances themselves are immutable and shared
+  // out as shared_ptr<const>, so only the map needs the lock.
+  mutable std::mutex mu;
+  mutable std::map<std::string, Entry> cache;
+  mutable uint64_t tick = 0;
+  mutable uint64_t hits = 0;
+  mutable uint64_t misses = 0;
+};
+
+Engine Engine::FromGraph(EntityGraph graph, const EngineOptions& options) {
+  auto state = std::make_shared<State>();
+  state->schema = SchemaGraph::FromEntityGraph(graph);
+  state->graph = std::move(graph);
+  state->options = options;
+  return Engine(std::move(state));
+}
+
+Engine Engine::FromSchema(SchemaGraph schema, const EngineOptions& options) {
+  auto state = std::make_shared<State>();
+  state->schema = std::move(schema);
+  state->options = options;
+  return Engine(std::move(state));
+}
+
+const EntityGraph* Engine::graph() const {
+  return state_->graph ? &*state_->graph : nullptr;
+}
+
+const SchemaGraph& Engine::schema() const { return state_->schema; }
+
+Engine::CacheStats Engine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return CacheStats{state_->hits, state_->misses, state_->cache.size()};
+}
+
+Result<std::shared_ptr<const PreparedSchema>> Engine::Prepared(
+    const MeasureSelection& measures) const {
+  return PreparedInternal(measures, nullptr);
+}
+
+Result<std::shared_ptr<const PreparedSchema>> Engine::PreparedInternal(
+    const MeasureSelection& measures, bool* cache_hit) const {
+  using PreparedResult = Result<std::shared_ptr<const PreparedSchema>>;
+  const std::string key = MeasureCacheKey(measures);
+  State& state = *state_;
+
+  std::promise<PreparedResult> promise;
+  std::shared_future<PreparedResult> future;
+  bool builder = false;
+  uint64_t my_generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    auto it = state.cache.find(key);
+    if (it != state.cache.end()) {
+      ++state.hits;
+      if (cache_hit != nullptr) *cache_hit = true;
+      it->second.last_used = ++state.tick;
+      future = it->second.future;
+    } else {
+      ++state.misses;
+      if (cache_hit != nullptr) *cache_hit = false;
+      if (state.options.prepared_cache_capacity > 0 &&
+          state.cache.size() >= state.options.prepared_cache_capacity) {
+        // Evict the least-recently-used entry. Waiters on an evicted
+        // in-flight future hold their own copy, so this is safe.
+        auto lru = state.cache.begin();
+        for (auto e = state.cache.begin(); e != state.cache.end(); ++e) {
+          if (e->second.last_used < lru->second.last_used) lru = e;
+        }
+        state.cache.erase(lru);
+      }
+      future = promise.get_future().share();
+      my_generation = ++state.tick;
+      state.cache[key] = State::Entry{future, my_generation, my_generation};
+      builder = true;
+    }
+  }
+
+  if (builder) {
+    // The expensive part runs without the lock; only same-configuration
+    // requesters wait (on the future), everyone else proceeds.
+    auto built = PreparedSchema::Create(
+        state.schema, measures, state.graph ? &*state.graph : nullptr);
+    PreparedResult result =
+        built.ok() ? PreparedResult(std::make_shared<const PreparedSchema>(
+                         std::move(built).value()))
+                   : PreparedResult(built.status());
+    promise.set_value(result);
+    if (!result.ok()) {
+      // Don't cache failures; a fixed input (e.g. the same request after
+      // a measure registration) should be able to succeed later. Waiters
+      // already holding the future still observe this error. Only remove
+      // this builder's own insert: after an LRU eviction another thread
+      // may have re-inserted the key with a fresh (possibly succeeding)
+      // build, which must survive.
+      std::lock_guard<std::mutex> lock(state.mu);
+      auto it = state.cache.find(key);
+      if (it != state.cache.end() &&
+          it->second.generation == my_generation) {
+        state.cache.erase(it);
+      }
+    }
+    return result;
+  }
+  return future.get();
+}
+
+Result<ConstraintSuggestion> Engine::Suggest(
+    const DisplayBudget& budget, const MeasureSelection& measures) const {
+  std::shared_ptr<const PreparedSchema> prepared;
+  EGP_ASSIGN_OR_RETURN(prepared, Prepared(measures));
+  return SuggestConstraints(*prepared, budget);
+}
+
+Result<PreviewResponse> Engine::Preview(const PreviewRequest& request) const {
+  PreviewResponse response;
+  EGP_ASSIGN_OR_RETURN(response.algorithm,
+                       CanonicalAlgorithmName(request.algorithm));
+  if (request.sample_rows > 0 && !state_->graph) {
+    return Status::InvalidArgument(
+        "tuple sampling requires an entity graph; this engine serves a "
+        "schema graph only");
+  }
+
+  Timer prepare_timer;
+  std::shared_ptr<const PreparedSchema> prepared;
+  EGP_ASSIGN_OR_RETURN(
+      prepared,
+      PreparedInternal(request.measures, &response.prepared_cache_hit));
+  response.prepare_seconds = prepare_timer.ElapsedSeconds();
+  response.prepared = prepared;
+
+  // Resolve the effective constraints.
+  response.size = request.size;
+  response.distance = request.distance;
+  if (request.budget) {
+    const ConstraintSuggestion suggestion =
+        SuggestConstraints(*prepared, *request.budget);
+    response.size = suggestion.size;
+    response.rationale = suggestion.rationale;
+    switch (request.suggested_distance) {
+      case DistanceMode::kNone:
+        response.distance = DistanceConstraint::None();
+        break;
+      case DistanceMode::kTight:
+        response.distance = DistanceConstraint::Tight(suggestion.tight_d);
+        break;
+      case DistanceMode::kDiverse:
+        response.distance = DistanceConstraint::Diverse(suggestion.diverse_d);
+        break;
+    }
+  }
+
+  // Dispatch discovery. "auto" mirrors PreviewDiscoverer: DP solves the
+  // concise space, Apriori the distance-constrained ones.
+  std::string algorithm = response.algorithm;
+  if (algorithm == "auto") {
+    algorithm =
+        response.distance.mode == DistanceMode::kNone ? "dp" : "apriori";
+    response.algorithm = algorithm;
+  }
+  Timer discover_timer;
+  Result<egp::Preview> preview = Status::Internal("unset");
+  if (algorithm == "bf") {
+    preview = BruteForceDiscover(*prepared, response.size, response.distance,
+                                 BruteForceOptions{}, &response.stats);
+  } else if (algorithm == "dp") {
+    if (response.distance.mode != DistanceMode::kNone) {
+      return Status::InvalidArgument(
+          "the dynamic-programming algorithm only solves the concise "
+          "space; distance constraints lack its optimal substructure");
+    }
+    preview = DynamicProgrammingDiscover(*prepared, response.size);
+  } else if (algorithm == "apriori") {
+    preview = AprioriDiscover(*prepared, response.size, response.distance,
+                              AprioriOptions{}, &response.stats);
+  } else {
+    preview = BeamSearchDiscover(*prepared, response.size, response.distance,
+                                 BeamSearchOptions{}, &response.stats);
+  }
+  if (!preview.ok()) return preview.status();
+  response.discover_seconds = discover_timer.ElapsedSeconds();
+  response.preview = std::move(preview).value();
+  response.score = response.preview.Score(*prepared);
+
+  if (request.sample_rows > 0) {
+    Timer sample_timer;
+    TupleSamplerOptions sampler;
+    sampler.rows_per_table = request.sample_rows;
+    sampler.seed = request.sample_seed;
+    sampler.strategy = request.sample_strategy;
+    sampler.merge_multiway_columns = request.merge_multiway_columns;
+    auto materialized = MaterializePreview(*state_->graph, *prepared,
+                                           response.preview, sampler);
+    if (!materialized.ok()) return materialized.status();
+    response.materialized = std::move(materialized).value();
+    response.sample_seconds = sample_timer.ElapsedSeconds();
+  }
+  return response;
+}
+
+}  // namespace egp

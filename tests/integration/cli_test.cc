@@ -108,5 +108,91 @@ TEST(CliTest, BadInvocationsFailCleanly) {
             0);  // infeasible constraint
 }
 
+TEST(CliTest, VersionSubcommand) {
+  const std::string out = TempPath("cli_version.txt");
+  ASSERT_EQ(RunCli("version", out), 0);
+  EXPECT_EQ(Slurp(out).rfind("egp ", 0), 0u);
+  ASSERT_EQ(RunCli("--version", out), 0);
+  EXPECT_EQ(Slurp(out).rfind("egp ", 0), 0u);
+}
+
+TEST(CliTest, HelpSubcommand) {
+  const std::string out = TempPath("cli_help.txt");
+  ASSERT_EQ(RunCli("help", out), 0);
+  const std::string text = Slurp(out);
+  EXPECT_NE(text.find("usage: egp"), std::string::npos);
+  EXPECT_NE(text.find("preview"), std::string::npos);
+}
+
+TEST(CliTest, UnknownFlagRejectedWithUsageError) {
+  const std::string out = TempPath("cli_unknown_flag_out.txt");
+  const std::string err = TempPath("cli_unknown_flag_err.txt");
+  EXPECT_EQ(testing_util::RunCommandCapture(
+                std::string(EGP_CLI_PATH) + " preview " + EGP_SAMPLE_NT +
+                    " --frobnicate 3",
+                out, err),
+            2);
+  EXPECT_NE(Slurp(err).find("unknown flag '--frobnicate'"),
+            std::string::npos);
+  EXPECT_EQ(Slurp(out), "");
+}
+
+TEST(CliTest, MissingFlagValueRejected) {
+  const std::string out = TempPath("cli_missing_value_out.txt");
+  const std::string err = TempPath("cli_missing_value_err.txt");
+  EXPECT_EQ(testing_util::RunCommandCapture(
+                std::string(EGP_CLI_PATH) + " preview " + EGP_SAMPLE_NT +
+                    " --k",
+                out, err),
+            2);
+  EXPECT_NE(Slurp(err).find("requires a value"), std::string::npos);
+}
+
+TEST(CliTest, UnknownMeasureOrAlgorithmValueIsUsageError) {
+  const std::string out = TempPath("cli_badvalue_out.txt");
+  const std::string err = TempPath("cli_badvalue_err.txt");
+  for (const char* args :
+       {"--algo quantum", "--key pagerank", "--nonkey pagerank"}) {
+    EXPECT_EQ(testing_util::RunCommandCapture(
+                  std::string(EGP_CLI_PATH) + " preview " + EGP_SAMPLE_NT +
+                      " " + args,
+                  out, err),
+              2)
+        << args;
+    EXPECT_NE(Slurp(err).find("unknown"), std::string::npos) << args;
+  }
+}
+
+TEST(CliTest, NegativeFlagValueIsParsedAsValue) {
+  // A value starting with '-' must bind to the preceding flag instead of
+  // being dropped or misread as the next flag; the CLI then rejects the
+  // negative constraint itself.
+  const std::string out = TempPath("cli_negative_out.txt");
+  const std::string err = TempPath("cli_negative_err.txt");
+  for (const char* args : {"--k -1", "--rows -3"}) {
+    EXPECT_EQ(testing_util::RunCommandCapture(
+                  std::string(EGP_CLI_PATH) + " preview " + EGP_SAMPLE_NT +
+                      " " + args,
+                  out, err),
+              2)
+        << args;
+    EXPECT_NE(Slurp(err).find("non-negative"), std::string::npos) << args;
+  }
+}
+
+TEST(CliTest, BadUsagePrintsToStderrWithExitCode2) {
+  const std::string out = TempPath("cli_usage_out.txt");
+  const std::string err = TempPath("cli_usage_err.txt");
+  for (const char* args : {"", "unknown-subcommand", "stats",
+                           "preview", "generate onlyone"}) {
+    EXPECT_EQ(testing_util::RunCommandCapture(
+                  std::string(EGP_CLI_PATH) + " " + args, out, err),
+              2)
+        << args;
+    EXPECT_NE(Slurp(err).find("usage: egp"), std::string::npos) << args;
+    EXPECT_EQ(Slurp(out), "") << args;
+  }
+}
+
 }  // namespace
 }  // namespace egp

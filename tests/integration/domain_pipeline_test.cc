@@ -1,14 +1,16 @@
-// End-to-end pipeline on a generated Freebase-like domain, covering the
-// whole evaluation stack: generation → scoring → discovery (all three
-// algorithms) → baseline ranking → accuracy metrics.
+// End-to-end pipeline on a generated Freebase-like domain, served through
+// one shared egp::Engine and covering the whole evaluation stack:
+// generation → scoring → discovery (all three algorithms) → baseline
+// ranking → accuracy metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "baseline/yps09.h"
-#include "core/discoverer.h"
-#include "core/tuple_sampler.h"
 #include "datagen/generator.h"
 #include "eval/ranking_metrics.h"
 #include "io/preview_renderer.h"
+#include "service/engine.h"
 
 namespace egp {
 namespace {
@@ -21,59 +23,58 @@ class DomainPipelineTest : public ::testing::Test {
     auto domain = GenerateDomainByName("film", options);
     ASSERT_TRUE(domain.ok()) << domain.status().ToString();
     domain_ = new GeneratedDomain(std::move(domain).value());
+    engine_ = new Engine(Engine::FromGraph(domain_->graph));
   }
   static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
     delete domain_;
     domain_ = nullptr;
   }
 
+  /// Coverage-ranked type names from the engine's prepared snapshot.
+  static std::vector<std::string> CoverageRankedNames() {
+    auto prepared = engine_->Prepared();
+    EXPECT_TRUE(prepared.ok());
+    std::vector<std::pair<double, std::string>> scored;
+    for (TypeId t = 0; t < (*prepared)->num_types(); ++t) {
+      scored.emplace_back((*prepared)->KeyScore(t),
+                          (*prepared)->schema().TypeName(t));
+    }
+    std::sort(scored.rbegin(), scored.rend());
+    std::vector<std::string> ranked;
+    for (const auto& [score, name] : scored) ranked.push_back(name);
+    return ranked;
+  }
+
   static GeneratedDomain* domain_;
+  static Engine* engine_;
 };
 
 GeneratedDomain* DomainPipelineTest::domain_ = nullptr;
+Engine* DomainPipelineTest::engine_ = nullptr;
 
 TEST_F(DomainPipelineTest, AllAlgorithmsAgreeOnGeneratedSchema) {
-  auto prepared_or =
-      PreparedSchema::Create(domain_->schema, PreparedSchemaOptions{});
-  ASSERT_TRUE(prepared_or.ok());
-  PreviewDiscoverer discoverer(std::move(prepared_or).value());
-
-  DiscoveryOptions options;
-  options.size = {3, 8};
-  DiscoveryStats stats;
-  options.algorithm = Algorithm::kBruteForce;
-  const auto bf = discoverer.Discover(options, &stats);
-  options.algorithm = Algorithm::kDynamicProgramming;
-  const auto dp = discoverer.Discover(options);
+  PreviewRequest request;
+  request.size = {3, 8};
+  request.algorithm = "bf";
+  const auto bf = engine_->Preview(request);
+  request.algorithm = "dp";
+  const auto dp = engine_->Preview(request);
   ASSERT_TRUE(bf.ok() && dp.ok());
-  EXPECT_NEAR(bf->Score(discoverer.prepared()),
-              dp->Score(discoverer.prepared()), 1e-3);
+  EXPECT_NEAR(bf->score, dp->score, 1e-3);
 
-  options.distance = DistanceConstraint::Tight(2);
-  options.algorithm = Algorithm::kBruteForce;
-  const auto bf_tight = discoverer.Discover(options);
-  options.algorithm = Algorithm::kApriori;
-  const auto ap_tight = discoverer.Discover(options);
+  request.distance = DistanceConstraint::Tight(2);
+  request.algorithm = "bf";
+  const auto bf_tight = engine_->Preview(request);
+  request.algorithm = "apriori";
+  const auto ap_tight = engine_->Preview(request);
   ASSERT_TRUE(bf_tight.ok() && ap_tight.ok());
-  EXPECT_NEAR(bf_tight->Score(discoverer.prepared()),
-              ap_tight->Score(discoverer.prepared()), 1e-3);
+  EXPECT_NEAR(bf_tight->score, ap_tight->score, 1e-3);
 }
 
 TEST_F(DomainPipelineTest, CoverageRankingFindsGoldTypes) {
-  auto prepared_or =
-      PreparedSchema::Create(domain_->schema, PreparedSchemaOptions{});
-  ASSERT_TRUE(prepared_or.ok());
-  const PreparedSchema& prepared = *prepared_or;
-
-  std::vector<std::pair<double, std::string>> scored;
-  for (TypeId t = 0; t < prepared.num_types(); ++t) {
-    scored.emplace_back(prepared.KeyScore(t),
-                        prepared.schema().TypeName(t));
-  }
-  std::sort(scored.rbegin(), scored.rend());
-  std::vector<std::string> ranked;
-  for (const auto& [score, name] : scored) ranked.push_back(name);
-
+  const std::vector<std::string> ranked = CoverageRankedNames();
   GroundTruth truth;
   for (const auto& name : domain_->gold.KeyNames()) truth.insert(name);
   // Fig. 5 shape: coverage P@10 well above random (6/63 ≈ 0.10 baseline).
@@ -82,36 +83,26 @@ TEST_F(DomainPipelineTest, CoverageRankingFindsGoldTypes) {
 }
 
 TEST_F(DomainPipelineTest, EntropyScoringWorksOnGeneratedGraph) {
-  PreparedSchemaOptions options;
-  options.key_measure = KeyMeasure::kRandomWalk;
-  options.nonkey_measure = NonKeyMeasure::kEntropy;
-  auto prepared_or =
-      PreparedSchema::Create(domain_->schema, options, &domain_->graph);
-  ASSERT_TRUE(prepared_or.ok());
-  PreviewDiscoverer discoverer(std::move(prepared_or).value());
-  DiscoveryOptions discovery;
-  discovery.size = {5, 10};
-  const auto preview = discoverer.Discover(discovery);
-  ASSERT_TRUE(preview.ok());
-  EXPECT_TRUE(ValidatePreview(*preview, discoverer.prepared(),
-                              discovery.size, discovery.distance)
+  PreviewRequest request;
+  request.size = {5, 10};
+  request.measures.key = "randomwalk";
+  request.measures.nonkey = "entropy";
+  const auto response = engine_->Preview(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(ValidatePreview(response->preview, *response->prepared,
+                              response->size, response->distance)
                   .ok());
 }
 
 TEST_F(DomainPipelineTest, MaterializeAndRenderGeneratedPreview) {
-  auto prepared_or =
-      PreparedSchema::Create(domain_->schema, PreparedSchemaOptions{});
-  ASSERT_TRUE(prepared_or.ok());
-  PreviewDiscoverer discoverer(std::move(prepared_or).value());
-  DiscoveryOptions options;
-  options.size = {5, 10};
-  const auto preview = discoverer.Discover(options);
-  ASSERT_TRUE(preview.ok());
-  const auto mat = MaterializePreview(domain_->graph, discoverer.prepared(),
-                                      *preview);
-  ASSERT_TRUE(mat.ok());
-  EXPECT_EQ(mat->tables.size(), 5u);
-  const std::string text = RenderPreview(domain_->graph, *mat);
+  PreviewRequest request;
+  request.size = {5, 10};
+  request.sample_rows = 4;
+  const auto response = engine_->Preview(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->materialized.tables.size(), 5u);
+  const std::string text =
+      RenderPreview(*engine_->graph(), response->materialized);
   EXPECT_GT(text.size(), 100u);
 }
 
@@ -127,35 +118,21 @@ TEST_F(DomainPipelineTest, Yps09BaselineRunsAndRanks) {
   for (const auto& name : domain_->gold.KeyNames()) truth.insert(name);
   // The baseline should be strictly worse than coverage here, mirroring
   // Fig. 5 (it optimizes information content, not popularity).
-  auto prepared_or =
-      PreparedSchema::Create(domain_->schema, PreparedSchemaOptions{});
-  ASSERT_TRUE(prepared_or.ok());
-  std::vector<std::pair<double, std::string>> scored;
-  for (TypeId t = 0; t < prepared_or->num_types(); ++t) {
-    scored.emplace_back(prepared_or->KeyScore(t),
-                        prepared_or->schema().TypeName(t));
-  }
-  std::sort(scored.rbegin(), scored.rend());
-  std::vector<std::string> coverage_ranked;
-  for (const auto& [s, name] : scored) coverage_ranked.push_back(name);
+  const std::vector<std::string> coverage_ranked = CoverageRankedNames();
   EXPECT_LE(AveragePrecisionAtK(ranked, truth, 20),
             AveragePrecisionAtK(coverage_ranked, truth, 20) + 0.15);
 }
 
 TEST_F(DomainPipelineTest, DiversePreviewSpreadsKeys) {
-  auto prepared_or =
-      PreparedSchema::Create(domain_->schema, PreparedSchemaOptions{});
-  ASSERT_TRUE(prepared_or.ok());
-  PreviewDiscoverer discoverer(std::move(prepared_or).value());
-  DiscoveryOptions options;
-  options.size = {4, 8};
-  options.distance = DistanceConstraint::Diverse(3);
-  const auto preview = discoverer.Discover(options);
-  if (!preview.ok()) {
+  PreviewRequest request;
+  request.size = {4, 8};
+  request.distance = DistanceConstraint::Diverse(3);
+  const auto response = engine_->Preview(request);
+  if (!response.ok()) {
     GTEST_SKIP() << "no diverse preview at d=3 in this generated schema";
   }
-  const auto keys = preview->Keys();
-  const SchemaDistanceMatrix& dist = discoverer.prepared().distances();
+  const auto keys = response->preview.Keys();
+  const SchemaDistanceMatrix& dist = response->prepared->distances();
   for (size_t i = 0; i < keys.size(); ++i) {
     for (size_t j = i + 1; j < keys.size(); ++j) {
       EXPECT_GE(dist.Distance(keys[i], keys[j]), 3u);

@@ -1,72 +1,69 @@
-// End-to-end pipeline on the paper's running example: entity graph →
-// schema graph → scoring → discovery → materialization → rendering,
-// asserting the §2–§4 worked numbers at every stage.
+// End-to-end pipeline on the paper's running example, served through the
+// egp::Engine façade: entity graph → engine → scoring → discovery →
+// materialization → rendering, asserting the §2–§4 worked numbers at
+// every stage.
 #include <gtest/gtest.h>
 
-#include "core/discoverer.h"
-#include "core/key_scoring.h"
-#include "core/nonkey_scoring.h"
+#include <algorithm>
+
 #include "core/tuple_sampler.h"
 #include "datagen/paper_example.h"
 #include "io/preview_renderer.h"
+#include "service/engine.h"
 
 namespace egp {
 namespace {
 
-TEST(PaperPipelineTest, ConciseCoverageCoverage) {
-  const EntityGraph graph = BuildPaperExampleGraph();
-  const SchemaGraph schema = SchemaGraph::FromEntityGraph(graph);
-  auto prepared = PreparedSchema::Create(schema, PreparedSchemaOptions{});
-  ASSERT_TRUE(prepared.ok());
-  PreviewDiscoverer discoverer(std::move(prepared).value());
+Engine PaperEngine() { return Engine::FromGraph(BuildPaperExampleGraph()); }
 
-  DiscoveryOptions options;
-  options.size = {2, 6};
-  const auto preview = discoverer.Discover(options);
-  ASSERT_TRUE(preview.ok());
-  EXPECT_DOUBLE_EQ(preview->Score(discoverer.prepared()), 84.0);
+TEST(PaperPipelineTest, ConciseCoverageCoverage) {
+  const Engine engine = PaperEngine();
+  PreviewRequest request;
+  request.size = {2, 6};
+  const auto response = engine.Preview(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_DOUBLE_EQ(response->score, 84.0);
+  EXPECT_EQ(response->algorithm, "dp");
+  EXPECT_FALSE(response->prepared_cache_hit);
 
   // The optimum (or its tie) must include FILM; the paper's instance
   // includes FILM ACTOR as the second table.
-  const auto keys = preview->Keys();
-  const TypeId film =
-      *discoverer.prepared().schema().type_names().Find("FILM");
+  const auto keys = response->preview.Keys();
+  const TypeId film = *engine.schema().type_names().Find("FILM");
   EXPECT_NE(std::find(keys.begin(), keys.end(), film), keys.end());
 }
 
 TEST(PaperPipelineTest, AllFourMeasureCombinations) {
-  const EntityGraph graph = BuildPaperExampleGraph();
-  const SchemaGraph schema = SchemaGraph::FromEntityGraph(graph);
-  for (KeyMeasure km : {KeyMeasure::kCoverage, KeyMeasure::kRandomWalk}) {
-    for (NonKeyMeasure nm :
-         {NonKeyMeasure::kCoverage, NonKeyMeasure::kEntropy}) {
-      PreparedSchemaOptions popt;
-      popt.key_measure = km;
-      popt.nonkey_measure = nm;
-      auto prepared = PreparedSchema::Create(schema, popt, &graph);
-      ASSERT_TRUE(prepared.ok());
-      PreviewDiscoverer discoverer(std::move(prepared).value());
-      DiscoveryOptions options;
-      options.size = {2, 6};
-      const auto preview = discoverer.Discover(options);
-      ASSERT_TRUE(preview.ok())
-          << KeyMeasureName(km) << "/" << NonKeyMeasureName(nm);
-      EXPECT_TRUE(ValidatePreview(*preview, discoverer.prepared(),
-                                  options.size, options.distance)
+  const Engine engine = PaperEngine();
+  for (const char* km : {"coverage", "randomwalk"}) {
+    for (const char* nm : {"coverage", "entropy"}) {
+      PreviewRequest request;
+      request.size = {2, 6};
+      request.measures.key = km;
+      request.measures.nonkey = nm;
+      const auto response = engine.Preview(request);
+      ASSERT_TRUE(response.ok()) << km << "/" << nm;
+      EXPECT_TRUE(ValidatePreview(response->preview, *response->prepared,
+                                  response->size, response->distance)
                       .ok());
-      EXPECT_GT(preview->Score(discoverer.prepared()), 0.0);
+      EXPECT_GT(response->score, 0.0);
     }
   }
+  // Four distinct measure configurations -> four cache entries, no reuse.
+  const Engine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_EQ(stats.misses, 4u);
 }
 
 TEST(PaperPipelineTest, Figure2Rendering) {
   // Reproduce Fig. 2's upper table: FILM with Director and Genres, all 4
-  // tuples, and verify cell contents.
-  const EntityGraph graph = BuildPaperExampleGraph();
-  const SchemaGraph schema = SchemaGraph::FromEntityGraph(graph);
-  auto prepared_or = PreparedSchema::Create(schema, PreparedSchemaOptions{});
+  // tuples, and verify cell contents. The hand-built preview goes through
+  // the internal materialization layer against the engine's shared
+  // prepared snapshot.
+  const Engine engine = PaperEngine();
+  auto prepared_or = engine.Prepared();
   ASSERT_TRUE(prepared_or.ok());
-  const PreparedSchema prepared = std::move(prepared_or).value();
+  const PreparedSchema& prepared = **prepared_or;
 
   const TypeId film = *prepared.schema().type_names().Find("FILM");
   Preview fig2;
@@ -82,12 +79,13 @@ TEST(PaperPipelineTest, Figure2Rendering) {
 
   TupleSamplerOptions sampler;
   sampler.rows_per_table = 4;  // all FILM tuples
-  const auto mat = MaterializePreview(graph, prepared, fig2, sampler);
+  const auto mat =
+      MaterializePreview(*engine.graph(), prepared, fig2, sampler);
   ASSERT_TRUE(mat.ok());
   ASSERT_EQ(mat->tables.size(), 1u);
   EXPECT_EQ(mat->tables[0].rows.size(), 4u);
 
-  const std::string text = RenderPreview(graph, *mat);
+  const std::string text = RenderPreview(*engine.graph(), *mat);
   EXPECT_NE(text.find("Men in Black II"), std::string::npos);
   EXPECT_NE(text.find("Barry Sonnenfeld"), std::string::npos);
   EXPECT_NE(text.find("Action Film"), std::string::npos);
@@ -98,52 +96,45 @@ TEST(PaperPipelineTest, TightVersusDiverseKeySets) {
   // Table 12's qualitative claim: tight previews stay around the hub,
   // diverse previews spread out. With k=2, n=6: tight d=1 keeps both keys
   // adjacent; diverse d=2 selects keys at distance ≥ 2.
-  const EntityGraph graph = BuildPaperExampleGraph();
-  auto prepared = PreparedSchema::Create(SchemaGraph::FromEntityGraph(graph),
-                                         PreparedSchemaOptions{});
-  ASSERT_TRUE(prepared.ok());
-  PreviewDiscoverer discoverer(std::move(prepared).value());
-  const SchemaDistanceMatrix& dist = discoverer.prepared().distances();
+  const Engine engine = PaperEngine();
 
-  DiscoveryOptions tight;
+  PreviewRequest tight;
   tight.size = {2, 6};
   tight.distance = DistanceConstraint::Tight(1);
-  const auto tight_preview = discoverer.Discover(tight);
-  ASSERT_TRUE(tight_preview.ok());
-  const auto tight_keys = tight_preview->Keys();
+  const auto tight_response = engine.Preview(tight);
+  ASSERT_TRUE(tight_response.ok());
+  const SchemaDistanceMatrix& dist = tight_response->prepared->distances();
+  const auto tight_keys = tight_response->preview.Keys();
   EXPECT_EQ(dist.Distance(tight_keys[0], tight_keys[1]), 1u);
 
-  DiscoveryOptions diverse;
+  PreviewRequest diverse;
   diverse.size = {2, 6};
   diverse.distance = DistanceConstraint::Diverse(2);
-  const auto diverse_preview = discoverer.Discover(diverse);
-  ASSERT_TRUE(diverse_preview.ok());
-  const auto diverse_keys = diverse_preview->Keys();
+  const auto diverse_response = engine.Preview(diverse);
+  ASSERT_TRUE(diverse_response.ok());
+  // Same measures: the tight request's prepared state is reused.
+  EXPECT_TRUE(diverse_response->prepared_cache_hit);
+  EXPECT_EQ(diverse_response->prepared, tight_response->prepared);
+  const auto diverse_keys = diverse_response->preview.Keys();
   EXPECT_GE(dist.Distance(diverse_keys[0], diverse_keys[1]), 2u);
 }
 
 TEST(PaperPipelineTest, DiscoveryStatsAcrossAlgorithms) {
-  const EntityGraph graph = BuildPaperExampleGraph();
-  auto prepared = PreparedSchema::Create(SchemaGraph::FromEntityGraph(graph),
-                                         PreparedSchemaOptions{});
-  ASSERT_TRUE(prepared.ok());
-  PreviewDiscoverer discoverer(std::move(prepared).value());
-  DiscoveryOptions options;
-  options.size = {3, 6};
-  options.distance = DistanceConstraint::Tight(2);
+  const Engine engine = PaperEngine();
+  PreviewRequest request;
+  request.size = {3, 6};
+  request.distance = DistanceConstraint::Tight(2);
 
-  DiscoveryStats bf_stats, apriori_stats;
-  options.algorithm = Algorithm::kBruteForce;
-  const auto bf = discoverer.Discover(options, &bf_stats);
-  options.algorithm = Algorithm::kApriori;
-  const auto apriori = discoverer.Discover(options, &apriori_stats);
+  request.algorithm = "bf";
+  const auto bf = engine.Preview(request);
+  request.algorithm = "apriori";
+  const auto apriori = engine.Preview(request);
   ASSERT_TRUE(bf.ok() && apriori.ok());
-  EXPECT_DOUBLE_EQ(bf->Score(discoverer.prepared()),
-                   apriori->Score(discoverer.prepared()));
+  EXPECT_DOUBLE_EQ(bf->score, apriori->score);
   // Apriori scores only constraint-satisfying subsets; brute force
   // enumerates all C(6,3)=20.
-  EXPECT_EQ(bf_stats.subsets_enumerated, 20u);
-  EXPECT_LE(apriori_stats.subsets_enumerated, bf_stats.subsets_enumerated);
+  EXPECT_EQ(bf->stats.subsets_enumerated, 20u);
+  EXPECT_LE(apriori->stats.subsets_enumerated, bf->stats.subsets_enumerated);
 }
 
 }  // namespace

@@ -32,6 +32,20 @@ inline int RunCommand(const std::string& command,
   return -1;
 }
 
+/// Like RunCommand, but captures stderr into its own file as well (for
+/// asserting on diagnostics and usage errors).
+inline int RunCommandCapture(const std::string& command,
+                             const std::string& stdout_path,
+                             const std::string& stderr_path) {
+  const std::string full =
+      command + " > " + stdout_path + " 2> " + stderr_path;
+  const int status = std::system(full.c_str());
+  if (status == -1) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
 inline std::string Slurp(const std::string& path) {
   std::ifstream in(path);
   std::stringstream buffer;

@@ -1,29 +1,33 @@
 // egp: command-line front end to the preview-tables library.
 //
+// Serving goes through egp::Engine (src/service/engine.h); this file only
+// parses arguments, loads graphs, and renders responses.
+//
 //   egp stats    <graph.(egt|nt)>
 //   egp preview  <graph.(egt|nt)> [--k N] [--n N] [--tight D | --diverse D]
 //                [--key coverage|randomwalk] [--nonkey coverage|entropy]
-//                [--algo auto|bf|dp|apriori|beam] [--rows N] [--json]
-//                [--merge-multiway]
+//                [--algo auto|bf|dp|apriori|beam] [--rows N] [--seed S]
+//                [--json] [--merge-multiway]
 //   egp suggest  <graph.(egt|nt)> [--width W] [--height H]
 //   egp report   <graph.(egt|nt)> [--title T] [--k N] [--n N] [--dot]
 //                [--tight D | --diverse D] [--key ...] [--nonkey ...]
 //   egp generate <domain> <out.egt> [--scale S] [--seed S]
 //   egp convert  <in.(nt|egt)> <out.egt>
+//   egp help     [or -h / --help]
+//   egp version  [or --version]
 //
 // Input format is chosen by extension: .nt parses N-Triples-lite,
 // anything else the EGT snapshot format.
+//
+// Exit codes: 0 success, 1 runtime failure (I/O, infeasible constraints),
+// 2 bad usage (unknown subcommand or flag, malformed value).
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/strings.h"
-#include "core/advisor.h"
-#include "core/beam_search.h"
-#include "core/discoverer.h"
-#include "core/tuple_sampler.h"
 #include "datagen/generator.h"
 #include "graph/graph_stats.h"
 #include "io/graph_io.h"
@@ -31,29 +35,97 @@
 #include "io/ntriples.h"
 #include "io/preview_renderer.h"
 #include "io/report.h"
+#include "service/engine.h"
+
+#ifndef EGP_VERSION_STRING
+#define EGP_VERSION_STRING "unknown"
+#endif
 
 namespace {
 
 using namespace egp;
 
-/// Minimal --flag value parser; flags may appear in any order after the
-/// positional arguments.
+const char kUsage[] =
+    "usage: egp <subcommand> [args]\n"
+    "\n"
+    "subcommands:\n"
+    "  stats    <graph.(egt|nt)>                  dataset and schema "
+    "statistics\n"
+    "  preview  <graph.(egt|nt)> [flags]          discover and render a "
+    "preview\n"
+    "           --k N --n N  size constraints (default 2, 6)\n"
+    "           --tight D | --diverse D  distance constraint\n"
+    "           --key coverage|randomwalk  --nonkey coverage|entropy\n"
+    "           --algo auto|bf|dp|apriori|beam  --rows N  --seed S\n"
+    "           --json  --merge-multiway\n"
+    "  suggest  <graph.(egt|nt)> [--width W] [--height H]\n"
+    "                                             advisor-suggested "
+    "constraints\n"
+    "  report   <graph.(egt|nt)> [--title T] [--k N] [--n N] [--dot]\n"
+    "           [--tight D | --diverse D] [--key ...] [--nonkey ...]\n"
+    "                                             Markdown dataset report\n"
+    "  generate <domain> <out.egt> [--scale S] [--seed S]\n"
+    "                                             synthesize a domain graph\n"
+    "  convert  <in.(nt|egt)> <out.egt>           convert between formats\n"
+    "  help                                       this message\n"
+    "  version                                    print the version\n";
+
+/// Whether a flag consumes a value ("--k 3", "--k=3") or is boolean.
+enum class FlagKind { kBool, kValue };
+
+struct FlagSpec {
+  const char* name;
+  FlagKind kind;
+};
+
+/// Strict --flag parser. Rejects unknown flags, requires a value for
+/// value flags (the token after the flag is the value even when it starts
+/// with '-', so negative numbers work), and accepts --flag=value.
 class Flags {
  public:
-  Flags(int argc, char** argv, int first) {
+  static Result<Flags> Parse(int argc, char** argv, int first,
+                             std::vector<FlagSpec> allowed) {
+    Flags flags;
     for (int i = first; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
-        positional_.push_back(std::move(arg));
+        flags.positional_.push_back(std::move(arg));
         continue;
       }
-      arg = arg.substr(2);
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
-        values_[arg] = argv[++i];
-      } else {
-        values_[arg] = "";
+      std::string name = arg.substr(2);
+      std::string value;
+      bool has_inline_value = false;
+      const size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        has_inline_value = true;
       }
+      const FlagSpec* spec = nullptr;
+      for (const FlagSpec& s : allowed) {
+        if (name == s.name) {
+          spec = &s;
+          break;
+        }
+      }
+      if (spec == nullptr) {
+        return Status::InvalidArgument("unknown flag '--" + name + "'");
+      }
+      if (spec->kind == FlagKind::kBool) {
+        if (has_inline_value) {
+          return Status::InvalidArgument("flag '--" + name +
+                                         "' takes no value");
+        }
+      } else if (!has_inline_value) {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag '--" + name +
+                                         "' requires a value");
+        }
+        value = argv[++i];
+      }
+      flags.values_[name] = std::move(value);
     }
+    return flags;
   }
 
   bool Has(const std::string& name) const { return values_.count(name) > 0; }
@@ -61,15 +133,29 @@ class Flags {
     auto it = values_.find(name);
     return it == values_.end() ? dflt : it->second;
   }
-  long GetInt(const std::string& name, long dflt) const {
+  Result<long> GetInt(const std::string& name, long dflt) const {
     auto it = values_.find(name);
-    return it == values_.end() ? dflt : std::strtol(it->second.c_str(),
-                                                    nullptr, 10);
+    if (it == values_.end()) return dflt;
+    char* end = nullptr;
+    const long parsed = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      return Status::InvalidArgument("flag '--" + name +
+                                     "' expects an integer, got '" +
+                                     it->second + "'");
+    }
+    return parsed;
   }
-  double GetDouble(const std::string& name, double dflt) const {
+  Result<double> GetDouble(const std::string& name, double dflt) const {
     auto it = values_.find(name);
-    return it == values_.end() ? dflt : std::strtod(it->second.c_str(),
-                                                    nullptr);
+    if (it == values_.end()) return dflt;
+    char* end = nullptr;
+    const double parsed = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      return Status::InvalidArgument("flag '--" + name +
+                                     "' expects a number, got '" +
+                                     it->second + "'");
+    }
+    return parsed;
   }
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -85,17 +171,52 @@ Result<EntityGraph> LoadGraph(const std::string& path) {
   return ReadEntityGraphFile(path);
 }
 
+/// Runtime failure (exit 1): the request was well-formed but could not be
+/// served.
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
 }
 
+/// Bad usage (exit 2): the invocation itself is wrong.
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "egp: %s\n", message.c_str());
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+/// Parses --k/--n/--tight/--diverse into the request's constraint fields.
+Status ParseConstraintFlags(const Flags& flags, uint32_t default_k,
+                            uint32_t default_n, SizeConstraint* size,
+                            DistanceConstraint* distance) {
+  EGP_ASSIGN_OR_RETURN(const long k, flags.GetInt("k", default_k));
+  EGP_ASSIGN_OR_RETURN(const long n, flags.GetInt("n", default_n));
+  if (k < 0 || n < 0) {
+    return Status::InvalidArgument("--k and --n must be non-negative");
+  }
+  size->k = static_cast<uint32_t>(k);
+  size->n = static_cast<uint32_t>(n);
+  if (flags.Has("tight") && flags.Has("diverse")) {
+    return Status::InvalidArgument("--tight and --diverse are exclusive");
+  }
+  if (flags.Has("tight")) {
+    EGP_ASSIGN_OR_RETURN(const long d, flags.GetInt("tight", 2));
+    if (d < 0) return Status::InvalidArgument("--tight must be >= 0");
+    *distance = DistanceConstraint::Tight(static_cast<uint32_t>(d));
+  } else if (flags.Has("diverse")) {
+    EGP_ASSIGN_OR_RETURN(const long d, flags.GetInt("diverse", 2));
+    if (d < 0) return Status::InvalidArgument("--diverse must be >= 0");
+    *distance = DistanceConstraint::Diverse(static_cast<uint32_t>(d));
+  }
+  return Status::OK();
+}
+
 int CmdStats(const std::string& path) {
   auto graph = LoadGraph(path);
   if (!graph.ok()) return Fail(graph.status());
-  const SchemaGraph schema = SchemaGraph::FromEntityGraph(*graph);
-  const EntityGraphStats g = ComputeEntityGraphStats(*graph);
-  const SchemaGraphStats s = ComputeSchemaGraphStats(schema);
+  const Engine engine = Engine::FromGraph(std::move(graph).value());
+  const EntityGraphStats g = ComputeEntityGraphStats(*engine.graph());
+  const SchemaGraphStats s = ComputeSchemaGraphStats(engine.schema());
   std::printf("entity graph : %llu entities, %llu relationships\n",
               (unsigned long long)g.num_entities,
               (unsigned long long)g.num_edges);
@@ -118,59 +239,51 @@ int CmdStats(const std::string& path) {
 int CmdPreview(const std::string& path, const Flags& flags) {
   auto graph = LoadGraph(path);
   if (!graph.ok()) return Fail(graph.status());
-  const SchemaGraph schema = SchemaGraph::FromEntityGraph(*graph);
+  const Engine engine = Engine::FromGraph(std::move(graph).value());
 
-  PreparedSchemaOptions popt;
-  if (flags.Get("key", "coverage") == "randomwalk") {
-    popt.key_measure = KeyMeasure::kRandomWalk;
+  PreviewRequest request;
+  const Status constraints = ParseConstraintFlags(
+      flags, 2, 6, &request.size, &request.distance);
+  if (!constraints.ok()) return UsageError(constraints.message());
+  request.measures.key = flags.Get("key", "coverage");
+  request.measures.nonkey = flags.Get("nonkey", "coverage");
+  request.algorithm = flags.Get("algo", "auto");
+  // Malformed values are usage errors (exit 2), not runtime failures:
+  // validate names up front instead of letting the Engine report them.
+  const auto algorithm = CanonicalAlgorithmName(request.algorithm);
+  if (!algorithm.ok()) return UsageError(algorithm.status().message());
+  const ScoringRegistry& registry = ScoringRegistry::Global();
+  if (!registry.HasKeyMeasure(request.measures.key)) {
+    return UsageError("unknown --key measure '" + request.measures.key +
+                      "'");
   }
-  if (flags.Get("nonkey", "coverage") == "entropy") {
-    popt.nonkey_measure = NonKeyMeasure::kEntropy;
+  if (!registry.HasNonKeyMeasure(request.measures.nonkey)) {
+    return UsageError("unknown --nonkey measure '" +
+                      request.measures.nonkey + "'");
   }
-  auto prepared = PreparedSchema::Create(schema, popt, &graph.value());
-  if (!prepared.ok()) return Fail(prepared.status());
-  PreviewDiscoverer discoverer(std::move(prepared).value());
+  const auto rows = flags.GetInt("rows", 4);
+  if (!rows.ok()) return UsageError(rows.status().message());
+  if (*rows < 0) return UsageError("--rows must be non-negative");
+  const auto seed = flags.GetInt("seed", 42);
+  if (!seed.ok()) return UsageError(seed.status().message());
+  request.sample_rows = static_cast<size_t>(*rows);
+  request.sample_seed = static_cast<uint64_t>(*seed);
+  request.merge_multiway_columns = flags.Has("merge-multiway");
 
-  DiscoveryOptions options;
-  options.size.k = static_cast<uint32_t>(flags.GetInt("k", 2));
-  options.size.n = static_cast<uint32_t>(flags.GetInt("n", 6));
-  if (flags.Has("tight")) {
-    options.distance =
-        DistanceConstraint::Tight(static_cast<uint32_t>(flags.GetInt(
-            "tight", 2)));
-  } else if (flags.Has("diverse")) {
-    options.distance =
-        DistanceConstraint::Diverse(static_cast<uint32_t>(flags.GetInt(
-            "diverse", 2)));
-  }
-  const std::string algo = flags.Get("algo", "auto");
-  Result<Preview> preview = Status::Internal("unset");
-  if (algo == "beam") {
-    preview = BeamSearchDiscover(discoverer.prepared(), options.size,
-                                 options.distance);
-  } else {
-    if (algo == "bf") options.algorithm = Algorithm::kBruteForce;
-    if (algo == "dp") options.algorithm = Algorithm::kDynamicProgramming;
-    if (algo == "apriori") options.algorithm = Algorithm::kApriori;
-    preview = discoverer.Discover(options);
-  }
-  if (!preview.ok()) return Fail(preview.status());
-
-  TupleSamplerOptions sampler;
-  sampler.rows_per_table = static_cast<size_t>(flags.GetInt("rows", 4));
-  sampler.merge_multiway_columns = flags.Has("merge-multiway");
-  auto materialized = MaterializePreview(*graph, discoverer.prepared(),
-                                         *preview, sampler);
-  if (!materialized.ok()) return Fail(materialized.status());
+  auto response = engine.Preview(request);
+  if (!response.ok()) return Fail(response.status());
 
   if (flags.Has("json")) {
     std::printf("%s\n",
-                MaterializedPreviewToJson(*graph, *materialized).c_str());
+                MaterializedPreviewToJson(*engine.graph(),
+                                          response->materialized)
+                    .c_str());
   } else {
-    std::printf("score %.6g\n%s\n%s",
-                preview->Score(discoverer.prepared()),
-                DescribePreview(*preview, discoverer.prepared()).c_str(),
-                RenderPreview(*graph, *materialized).c_str());
+    std::printf("score %.6g\n%s\n%s", response->score,
+                DescribePreview(response->preview, *response->prepared)
+                    .c_str(),
+                RenderPreview(*engine.graph(), response->materialized)
+                    .c_str());
   }
   return 0;
 }
@@ -178,18 +291,20 @@ int CmdPreview(const std::string& path, const Flags& flags) {
 int CmdSuggest(const std::string& path, const Flags& flags) {
   auto graph = LoadGraph(path);
   if (!graph.ok()) return Fail(graph.status());
-  const SchemaGraph schema = SchemaGraph::FromEntityGraph(*graph);
-  auto prepared = PreparedSchema::Create(schema, PreparedSchemaOptions{});
-  if (!prepared.ok()) return Fail(prepared.status());
+  const Engine engine = Engine::FromGraph(std::move(graph).value());
   DisplayBudget budget;
-  budget.width_chars = static_cast<uint32_t>(flags.GetInt("width", 120));
-  budget.height_rows = static_cast<uint32_t>(flags.GetInt("height", 40));
-  const ConstraintSuggestion suggestion =
-      SuggestConstraints(*prepared, budget);
+  const auto width = flags.GetInt("width", 120);
+  const auto height = flags.GetInt("height", 40);
+  if (!width.ok()) return UsageError(width.status().message());
+  if (!height.ok()) return UsageError(height.status().message());
+  budget.width_chars = static_cast<uint32_t>(*width);
+  budget.height_rows = static_cast<uint32_t>(*height);
+  const auto suggestion = engine.Suggest(budget);
+  if (!suggestion.ok()) return Fail(suggestion.status());
   std::printf("suggested: k=%u n=%u tight_d=%u diverse_d=%u\n",
-              suggestion.size.k, suggestion.size.n, suggestion.tight_d,
-              suggestion.diverse_d);
-  std::printf("rationale: %s\n", suggestion.rationale.c_str());
+              suggestion->size.k, suggestion->size.n, suggestion->tight_d,
+              suggestion->diverse_d);
+  std::printf("rationale: %s\n", suggestion->rationale.c_str());
   return 0;
 }
 
@@ -198,20 +313,24 @@ int CmdReport(const std::string& path, const Flags& flags) {
   if (!graph.ok()) return Fail(graph.status());
   ReportOptions options;
   options.title = flags.Get("title", "Dataset preview: " + path);
-  options.discovery.size.k = static_cast<uint32_t>(flags.GetInt("k", 3));
-  options.discovery.size.n = static_cast<uint32_t>(flags.GetInt("n", 9));
-  if (flags.Has("tight")) {
-    options.discovery.distance = DistanceConstraint::Tight(
-        static_cast<uint32_t>(flags.GetInt("tight", 2)));
-  } else if (flags.Has("diverse")) {
-    options.discovery.distance = DistanceConstraint::Diverse(
-        static_cast<uint32_t>(flags.GetInt("diverse", 2)));
-  }
-  if (flags.Get("key", "coverage") == "randomwalk") {
+  const Status constraints =
+      ParseConstraintFlags(flags, 3, 9, &options.discovery.size,
+                           &options.discovery.distance);
+  if (!constraints.ok()) return UsageError(constraints.message());
+  // The report layer still takes the built-in measures by enum.
+  const std::string key = flags.Get("key", "coverage");
+  const std::string nonkey = flags.Get("nonkey", "coverage");
+  if (key == "randomwalk") {
     options.measures.key_measure = KeyMeasure::kRandomWalk;
+  } else if (key != "coverage") {
+    return UsageError("unknown --key measure '" + key +
+                      "' (available: coverage, randomwalk)");
   }
-  if (flags.Get("nonkey", "coverage") == "entropy") {
+  if (nonkey == "entropy") {
     options.measures.nonkey_measure = NonKeyMeasure::kEntropy;
+  } else if (nonkey != "coverage") {
+    return UsageError("unknown --nonkey measure '" + nonkey +
+                      "' (available: coverage, entropy)");
   }
   options.include_dot = flags.Has("dot");
   const auto report = GeneratePreviewReport(*graph, options);
@@ -221,14 +340,16 @@ int CmdReport(const std::string& path, const Flags& flags) {
 }
 
 int CmdGenerate(const Flags& flags) {
-  if (flags.positional().size() < 2) {
-    std::fprintf(stderr, "usage: egp generate <domain> <out.egt> "
-                         "[--scale S] [--seed S]\n");
-    return 2;
+  if (flags.positional().size() != 2) {
+    return UsageError("generate needs <domain> <out.egt>");
   }
   GeneratorOptions options;
-  options.scale = flags.GetDouble("scale", 0.0);
-  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+  const auto scale = flags.GetDouble("scale", 0.0);
+  const auto seed = flags.GetInt("seed", 0);
+  if (!scale.ok()) return UsageError(scale.status().message());
+  if (!seed.ok()) return UsageError(seed.status().message());
+  options.scale = *scale;
+  options.seed = static_cast<uint64_t>(*seed);
   auto domain = GenerateDomainByName(flags.positional()[0], options);
   if (!domain.ok()) return Fail(domain.status());
   const Status write =
@@ -241,9 +362,8 @@ int CmdGenerate(const Flags& flags) {
 }
 
 int CmdConvert(const Flags& flags) {
-  if (flags.positional().size() < 2) {
-    std::fprintf(stderr, "usage: egp convert <in.(nt|egt)> <out.egt>\n");
-    return 2;
+  if (flags.positional().size() != 2) {
+    return UsageError("convert needs <in.(nt|egt)> <out.egt>");
   }
   auto graph = LoadGraph(flags.positional()[0]);
   if (!graph.ok()) return Fail(graph.status());
@@ -255,36 +375,99 @@ int CmdConvert(const Flags& flags) {
   return 0;
 }
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: egp <stats|preview|suggest|report|generate|convert> ...\n"
-               "see the header of tools/egp_cli.cc for full syntax\n");
-  return 2;
+/// Parses with the subcommand's flag vocabulary; a parse error is a usage
+/// error. Returns the exit code through `*exit_code` on failure.
+bool ParseOrUsage(int argc, char** argv, std::vector<FlagSpec> allowed,
+                  Flags* flags, int* exit_code) {
+  auto parsed = Flags::Parse(argc, argv, 2, std::move(allowed));
+  if (!parsed.ok()) {
+    *exit_code = UsageError(parsed.status().message());
+    return false;
+  }
+  *flags = std::move(parsed).value();
+  return true;
 }
+
+const std::vector<FlagSpec> kPreviewFlags = {
+    {"k", FlagKind::kValue},        {"n", FlagKind::kValue},
+    {"tight", FlagKind::kValue},    {"diverse", FlagKind::kValue},
+    {"key", FlagKind::kValue},      {"nonkey", FlagKind::kValue},
+    {"algo", FlagKind::kValue},     {"rows", FlagKind::kValue},
+    {"seed", FlagKind::kValue},     {"json", FlagKind::kBool},
+    {"merge-multiway", FlagKind::kBool}};
+
+const std::vector<FlagSpec> kReportFlags = {
+    {"title", FlagKind::kValue},  {"k", FlagKind::kValue},
+    {"n", FlagKind::kValue},      {"tight", FlagKind::kValue},
+    {"diverse", FlagKind::kValue}, {"key", FlagKind::kValue},
+    {"nonkey", FlagKind::kValue}, {"dot", FlagKind::kBool}};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
+  if (argc < 2) return UsageError("missing subcommand");
   const std::string command = argv[1];
-  const Flags flags(argc, argv, 2);
+
+  if (command == "help" || command == "--help" || command == "-h") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  if (command == "version" || command == "--version") {
+    std::printf("egp %s\n", EGP_VERSION_STRING);
+    return 0;
+  }
+
+  Flags flags;
+  int exit_code = 0;
   if (command == "stats") {
-    if (flags.positional().empty()) return Usage();
+    if (!ParseOrUsage(argc, argv, {}, &flags, &exit_code)) return exit_code;
+    if (flags.positional().size() != 1) {
+      return UsageError("stats needs <graph.(egt|nt)>");
+    }
     return CmdStats(flags.positional()[0]);
   }
   if (command == "preview") {
-    if (flags.positional().empty()) return Usage();
+    if (!ParseOrUsage(argc, argv, kPreviewFlags, &flags, &exit_code)) {
+      return exit_code;
+    }
+    if (flags.positional().size() != 1) {
+      return UsageError("preview needs <graph.(egt|nt)>");
+    }
     return CmdPreview(flags.positional()[0], flags);
   }
   if (command == "suggest") {
-    if (flags.positional().empty()) return Usage();
+    if (!ParseOrUsage(argc, argv,
+                      {{"width", FlagKind::kValue},
+                       {"height", FlagKind::kValue}},
+                      &flags, &exit_code)) {
+      return exit_code;
+    }
+    if (flags.positional().size() != 1) {
+      return UsageError("suggest needs <graph.(egt|nt)>");
+    }
     return CmdSuggest(flags.positional()[0], flags);
   }
   if (command == "report") {
-    if (flags.positional().empty()) return Usage();
+    if (!ParseOrUsage(argc, argv, kReportFlags, &flags, &exit_code)) {
+      return exit_code;
+    }
+    if (flags.positional().size() != 1) {
+      return UsageError("report needs <graph.(egt|nt)>");
+    }
     return CmdReport(flags.positional()[0], flags);
   }
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "convert") return CmdConvert(flags);
-  return Usage();
+  if (command == "generate") {
+    if (!ParseOrUsage(argc, argv,
+                      {{"scale", FlagKind::kValue},
+                       {"seed", FlagKind::kValue}},
+                      &flags, &exit_code)) {
+      return exit_code;
+    }
+    return CmdGenerate(flags);
+  }
+  if (command == "convert") {
+    if (!ParseOrUsage(argc, argv, {}, &flags, &exit_code)) return exit_code;
+    return CmdConvert(flags);
+  }
+  return UsageError("unknown subcommand '" + command + "'");
 }
