@@ -1,0 +1,258 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+
+namespace egp {
+namespace {
+
+/// Set while a thread executes a ParallelFor chunk (worker or caller);
+/// used to reject nested parallel regions deterministically.
+thread_local bool tls_in_parallel_body = false;
+
+struct ParallelBodyGuard {
+  ParallelBodyGuard() { tls_in_parallel_body = true; }
+  ~ParallelBodyGuard() { tls_in_parallel_body = false; }
+};
+
+/// Chunk c of a static partition of `n` items into `parts` chunks:
+/// boundaries depend only on (n, parts, c), never on execution order.
+size_t ChunkBoundary(size_t n, size_t parts, size_t c) {
+  return n / parts * c + std::min(n % parts, c);
+}
+
+}  // namespace
+
+unsigned HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+unsigned Threads() {
+  if (const char* env = std::getenv("EGP_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<unsigned>(
+          std::min<unsigned long>(parsed, kMaxThreads));
+    }
+  }
+  return HardwareThreads();
+}
+
+ThreadPool::ThreadPool(unsigned parallelism)
+    : parallelism_(std::clamp(parallelism, 1u, kMaxThreads)) {
+  workers_.reserve(parallelism_ - 1);
+  for (unsigned i = 1; i < parallelism_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: chunks belong to ParallelFor
+      // calls that are blocked waiting for them.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
+                       const std::function<void(size_t, size_t)>& body,
+                       size_t grain) {
+  if (begin >= end) return;
+  if (tls_in_parallel_body) {
+    throw std::logic_error(
+        "ParallelFor may not be nested inside a ParallelFor body");
+  }
+  const size_t n = end - begin;
+  const size_t parts =
+      pool == nullptr
+          ? 1
+          : std::min<size_t>(pool->parallelism(),
+                             n / std::max<size_t>(grain, 1));
+  if (parts <= 1) {
+    ParallelBodyGuard guard;
+    body(begin, end);
+    return;
+  }
+
+  // One synchronous batch: chunks 1..parts-1 go to the workers, chunk 0
+  // runs on the caller; the caller then waits for the stragglers. The
+  // first-failing-chunk (lowest index) exception is rethrown so failure
+  // reporting is as deterministic as the results.
+  //
+  // The batch lives on the caller's stack and workers hold plain
+  // references: a worker's final touch of the batch (and of any captured
+  // exception) is its locked record step, which happens-before the
+  // caller observing remaining == 0 — so the batch, and the exception
+  // object the caller rethrows, are never destroyed from a worker.
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining;
+    size_t error_chunk;
+    std::exception_ptr error;
+  };
+  Batch batch;
+  batch.remaining = parts;
+  batch.error_chunk = parts;
+
+  auto run_chunk = [&batch, begin, n, parts, &body](size_t c) {
+    std::exception_ptr error;
+    {
+      ParallelBodyGuard guard;
+      try {
+        body(begin + ChunkBoundary(n, parts, c),
+             begin + ChunkBoundary(n, parts, c + 1));
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    std::lock_guard<std::mutex> lock(batch.mu);
+    if (error && c < batch.error_chunk) {
+      batch.error_chunk = c;
+      batch.error = std::move(error);
+    }
+    if (--batch.remaining == 0) batch.done.notify_all();
+  };
+
+  // If Submit itself throws (queue allocation under memory pressure),
+  // chunks already handed to workers still reference the stack-owned
+  // batch — account for the never-launched chunks, finish the ones in
+  // flight, and only then surface the failure. Unwinding immediately
+  // would free the batch under the workers' feet.
+  size_t launched = 0;
+  std::exception_ptr submit_error;
+  try {
+    for (size_t c = 1; c < parts; ++c) {
+      pool->Submit([run_chunk, c] { run_chunk(c); });
+      ++launched;
+    }
+  } catch (...) {
+    submit_error = std::current_exception();
+    std::lock_guard<std::mutex> lock(batch.mu);
+    batch.remaining -= parts - 1 - launched;
+  }
+  run_chunk(0);
+
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+  if (submit_error) {
+    // Some chunks never ran: the submit failure is the primary error.
+    lock.unlock();
+    std::rethrow_exception(std::move(submit_error));
+  }
+  if (batch.error) {
+    std::exception_ptr error = std::move(batch.error);
+    lock.unlock();
+    std::rethrow_exception(std::move(error));
+  }
+}
+
+void ParallelForDynamic(ThreadPool* pool, size_t begin, size_t end,
+                        const std::function<void(size_t)>& body) {
+  if (begin >= end) return;
+  if (tls_in_parallel_body) {
+    throw std::logic_error(
+        "ParallelFor may not be nested inside a ParallelFor body");
+  }
+  const size_t n = end - begin;
+  const size_t runners =
+      pool == nullptr ? 1 : std::min<size_t>(pool->parallelism(), n);
+  if (runners <= 1) {
+    ParallelBodyGuard guard;
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // Same caller-owned batch protocol as ParallelForChunks, but runners
+  // pull indices from a shared counter instead of owning fixed chunks.
+  // An index whose body throws is recorded (lowest index wins) and the
+  // runner moves on, mirroring the static path where other chunks still
+  // complete.
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining;
+    size_t error_index;
+    std::exception_ptr error;
+  };
+  Batch batch;
+  batch.remaining = runners;
+  batch.error_index = end;
+  std::atomic<size_t> next{begin};
+
+  auto run = [&batch, &next, end, &body] {
+    {
+      ParallelBodyGuard guard;
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end) break;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(batch.mu);
+          if (i < batch.error_index) {
+            batch.error_index = i;
+            batch.error = std::current_exception();
+          }
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(batch.mu);
+    if (--batch.remaining == 0) batch.done.notify_all();
+  };
+
+  // A Submit failure here only costs parallelism, not coverage: the
+  // runners that did launch (plus the caller) drain the whole index
+  // counter regardless, so account for the missing runners and proceed.
+  size_t launched = 0;
+  try {
+    for (size_t r = 1; r < runners; ++r) {
+      pool->Submit([&run] { run(); });
+      ++launched;
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(batch.mu);
+    batch.remaining -= runners - 1 - launched;
+  }
+  run();
+
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+  if (batch.error) {
+    std::exception_ptr error = std::move(batch.error);
+    lock.unlock();
+    std::rethrow_exception(std::move(error));
+  }
+}
+
+}  // namespace egp

@@ -1,0 +1,130 @@
+// Deterministic parallel execution for the scoring pipeline.
+//
+// The PreparedSchema build is dominated by embarrassingly parallel loops
+// (per-(relationship, direction) entropy, per-source BFS, per-type
+// candidate sorts). ThreadPool + ParallelFor run those loops across a
+// fixed set of worker threads with STATIC partitioning: the index range
+// is split into contiguous chunks whose boundaries depend only on the
+// range and the pool's parallelism — never on scheduling — and each index
+// is processed by exactly one chunk, in index order within the chunk.
+// A loop whose body writes only to per-index slots therefore produces
+// bit-identical results at any thread count, which the determinism
+// regression suite (tests/core/prepare_determinism_test.cc) locks in.
+//
+// Conventions:
+//   - A null pool (or parallelism 1) runs the loop inline on the caller:
+//     the serial path has no pool overhead at all.
+//   - ThreadPool(n) provides n-way parallelism using n-1 workers; the
+//     calling thread executes the first chunk itself.
+//   - Exceptions thrown by the body are caught per chunk and the one from
+//     the lowest chunk index is rethrown on the caller after every chunk
+//     finished (the pool stays usable).
+//   - Nesting is rejected: calling ParallelFor from inside a ParallelFor
+//     body throws std::logic_error. Scoring loops are flat by design;
+//     silent serialization would hide an architectural mistake.
+#ifndef EGP_COMMON_PARALLEL_H_
+#define EGP_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace egp {
+
+/// Hardware concurrency, at least 1.
+unsigned HardwareThreads();
+
+/// Upper bound on any requested parallelism (ThreadPool construction,
+/// EGP_THREADS, EngineOptions::threads): beyond this, extra OS threads
+/// only add scheduling overhead, and unclamped user input could fail
+/// thread creation outright.
+inline constexpr unsigned kMaxThreads = 256;
+
+/// Default parallelism: the EGP_THREADS environment variable when set to a
+/// positive integer (clamped to kMaxThreads), otherwise HardwareThreads().
+/// Read on every call so tests and long-lived processes can re-point it.
+unsigned Threads();
+
+class ThreadPool {
+ public:
+  /// n-way parallelism: spawns n-1 workers (clamped to [1, kMaxThreads];
+  /// a 1-parallel pool has no workers and runs everything inline).
+  explicit ThreadPool(unsigned parallelism = Threads());
+
+  /// Joins all workers. Outstanding ParallelFor calls must have returned;
+  /// queued chunks of calls still blocked in ParallelFor are drained, not
+  /// dropped, so concurrent callers never hang on shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The n of construction: workers + the participating caller.
+  unsigned parallelism() const { return parallelism_; }
+
+ private:
+  friend void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
+                                const std::function<void(size_t, size_t)>& body,
+                                size_t grain);
+  friend void ParallelForDynamic(ThreadPool* pool, size_t begin, size_t end,
+                                 const std::function<void(size_t)>& body);
+
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  const unsigned parallelism_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(chunk_begin, chunk_end) over a static partition of
+/// [begin, end) into min(parallelism, (end - begin) / grain) contiguous
+/// chunks. Chunk boundaries are a pure function of (begin, end,
+/// parallelism, grain) — never of scheduling. `grain` is the minimum
+/// indices a chunk must be worth (default 1): loops whose per-index work
+/// is tiny (e.g. one power-iteration row) set it so short ranges run
+/// inline instead of paying cross-thread dispatch per call. Null pool,
+/// parallelism 1, or a sub-grain range executes body(begin, end) inline.
+void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
+                       const std::function<void(size_t, size_t)>& body,
+                       size_t grain = 1);
+
+/// Dynamically scheduled per-index loop: runners pull the next index
+/// from a shared atomic counter, so heavily skewed per-index costs (one
+/// relationship owning most of the edges, say) load-balance instead of
+/// serializing behind the unluckiest static chunk. Only for bodies whose
+/// whole effect is writing index-owned slots — then the output is
+/// bit-identical to any static schedule, because no value depends on
+/// which thread ran which index. Shares ParallelFor's other guarantees:
+/// lowest-failing-index exception rethrown after all indices finish,
+/// nesting rejected, null pool / 1-parallelism runs inline.
+void ParallelForDynamic(ThreadPool* pool, size_t begin, size_t end,
+                        const std::function<void(size_t)>& body);
+
+/// Per-index convenience: runs body(i) for every i in [begin, end), with
+/// the chunking (and guarantees) of ParallelForChunks.
+template <typename Body>
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, Body&& body,
+                 size_t grain = 1) {
+  ParallelForChunks(
+      pool, begin, end,
+      [&body](size_t chunk_begin, size_t chunk_end) {
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          body(i);
+        }
+      },
+      grain);
+}
+
+}  // namespace egp
+
+#endif  // EGP_COMMON_PARALLEL_H_

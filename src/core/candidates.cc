@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "common/timer.h"
 
 namespace egp {
 
@@ -26,7 +28,10 @@ const char* NonKeyMeasureRegistryName(NonKeyMeasure m) {
 
 Result<PreparedSchema> PreparedSchema::Create(SchemaGraph schema,
                                               const MeasureSelection& measures,
-                                              const EntityGraph* graph) {
+                                              const EntityGraph* graph,
+                                              ThreadPool* pool) {
+  const Timer total_timer;
+  Timer phase_timer;
   PreparedSchema prepared;
   prepared.measures_ = measures;
   // Best-effort legacy enum view of the selection; unrecognized (custom)
@@ -39,12 +44,14 @@ Result<PreparedSchema> PreparedSchema::Create(SchemaGraph schema,
                                          : NonKeyMeasure::kCoverage;
   prepared.options_.walk = measures.walk;
 
-  const ScoringContext context{schema, graph, measures.walk};
+  const ScoringContext context{schema, graph, measures.walk, pool};
   ScoringRegistry& registry = ScoringRegistry::Global();
 
   KeyScorerFn key_scorer;
   EGP_ASSIGN_OR_RETURN(key_scorer, registry.FindKeyMeasure(measures.key));
+  phase_timer.Reset();
   EGP_ASSIGN_OR_RETURN(prepared.key_scores_, key_scorer(context));
+  prepared.timings_.key_seconds = phase_timer.ElapsedSeconds();
   if (prepared.key_scores_.size() != schema.num_types()) {
     return Status::Internal("key measure '" + measures.key + "' returned " +
                             std::to_string(prepared.key_scores_.size()) +
@@ -56,7 +63,9 @@ Result<PreparedSchema> PreparedSchema::Create(SchemaGraph schema,
   EGP_ASSIGN_OR_RETURN(nonkey_scorer,
                        registry.FindNonKeyMeasure(measures.nonkey));
   NonKeyScores nonkey;
+  phase_timer.Reset();
   EGP_ASSIGN_OR_RETURN(nonkey, nonkey_scorer(context));
+  prepared.timings_.nonkey_seconds = phase_timer.ElapsedSeconds();
   if (nonkey.outgoing.size() != schema.num_edges() ||
       nonkey.incoming.size() != schema.num_edges()) {
     return Status::Internal("non-key measure '" + measures.nonkey +
@@ -66,7 +75,11 @@ Result<PreparedSchema> PreparedSchema::Create(SchemaGraph schema,
   }
 
   // Γτ per type: every incident edge contributes the direction(s) in which
-  // τ is an endpoint; a self-loop contributes both directions.
+  // τ is an endpoint; a self-loop contributes both directions. The sort
+  // comparator is a total order (ties broken by edge then direction), so
+  // the per-type sorts parallelize with a unique, append-order-independent
+  // result.
+  phase_timer.Reset();
   const size_t num_types = schema.num_types();
   prepared.candidates_.resize(num_types);
   for (uint32_t index = 0; index < schema.num_edges(); ++index) {
@@ -76,37 +89,44 @@ Result<PreparedSchema> PreparedSchema::Create(SchemaGraph schema,
     prepared.candidates_[e.dst].sorted.push_back(
         NonKeyCandidate{index, Direction::kIncoming, nonkey.incoming[index]});
   }
-  for (TypeId t = 0; t < num_types; ++t) {
-    auto& cands = prepared.candidates_[t].sorted;
-    std::sort(cands.begin(), cands.end(),
-              [](const NonKeyCandidate& a, const NonKeyCandidate& b) {
-                if (a.score != b.score) return a.score > b.score;
-                if (a.schema_edge != b.schema_edge) {
-                  return a.schema_edge < b.schema_edge;
-                }
-                return a.direction < b.direction;
-              });
-    auto& prefix = prepared.candidates_[t].prefix;
-    prefix.resize(cands.size() + 1);
-    prefix[0] = 0.0;
-    for (size_t m = 0; m < cands.size(); ++m) {
-      prefix[m + 1] = prefix[m] + cands[m].score;
-    }
-  }
+  ParallelFor(
+      pool, 0, num_types,
+      [&prepared](size_t t) {
+        auto& cands = prepared.candidates_[t].sorted;
+        std::sort(cands.begin(), cands.end(),
+                  [](const NonKeyCandidate& a, const NonKeyCandidate& b) {
+                    if (a.score != b.score) return a.score > b.score;
+                    if (a.schema_edge != b.schema_edge) {
+                      return a.schema_edge < b.schema_edge;
+                    }
+                    return a.direction < b.direction;
+                  });
+        auto& prefix = prepared.candidates_[t].prefix;
+        prefix.resize(cands.size() + 1);
+        prefix[0] = 0.0;
+        for (size_t m = 0; m < cands.size(); ++m) {
+          prefix[m + 1] = prefix[m] + cands[m].score;
+        }
+      },
+      /*grain=*/8);
+  prepared.timings_.candidate_sort_seconds = phase_timer.ElapsedSeconds();
 
-  prepared.distances_ = std::make_shared<SchemaDistanceMatrix>(schema);
+  phase_timer.Reset();
+  prepared.distances_ = std::make_shared<SchemaDistanceMatrix>(schema, pool);
+  prepared.timings_.distance_seconds = phase_timer.ElapsedSeconds();
   prepared.schema_ = std::move(schema);
+  prepared.timings_.total_seconds = total_timer.ElapsedSeconds();
   return prepared;
 }
 
 Result<PreparedSchema> PreparedSchema::Create(
     SchemaGraph schema, const PreparedSchemaOptions& options,
-    const EntityGraph* graph) {
+    const EntityGraph* graph, ThreadPool* pool) {
   MeasureSelection measures;
   measures.key = KeyMeasureRegistryName(options.key_measure);
   measures.nonkey = NonKeyMeasureRegistryName(options.nonkey_measure);
   measures.walk = options.walk;
-  return Create(std::move(schema), measures, graph);
+  return Create(std::move(schema), measures, graph, pool);
 }
 
 size_t PreparedSchema::TotalCandidates() const {

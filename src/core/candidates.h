@@ -20,6 +20,8 @@
 
 namespace egp {
 
+class ThreadPool;
+
 /// Legacy enum selectors for the paper's built-in measures. Internal
 /// callers (benches, unit tests) may keep using them; they resolve to the
 /// ScoringRegistry names "coverage"/"randomwalk"/"entropy". New code and
@@ -62,6 +64,19 @@ struct PreparedSchemaOptions {
   RandomWalkOptions walk;
 };
 
+/// Wall-clock breakdown of one PreparedSchema build, by phase. The paper
+/// computes all scoring measures before discovery (§5), so on large
+/// graphs these phases — not the discovery algorithms — dominate
+/// end-to-end latency; the breakdown is what the perf benches and the
+/// CLI's --verbose mode report.
+struct PrepareTimings {
+  double key_seconds = 0.0;            // key-measure scoring
+  double nonkey_seconds = 0.0;         // non-key-measure scoring
+  double distance_seconds = 0.0;       // all-pairs type distances
+  double candidate_sort_seconds = 0.0; // Γτ sort + prefix sums
+  double total_seconds = 0.0;          // whole Create call
+};
+
 class PreparedSchema {
  public:
   /// Builds from a schema graph (and the entity graph when a measure needs
@@ -71,20 +86,28 @@ class PreparedSchema {
   /// Internal layer: application code should obtain prepared state through
   /// egp::Engine (src/service/engine.h), which memoizes instances per
   /// measure configuration and shares them across threads.
+  ///
+  /// When `pool` is given, the whole build — scoring, distances, Γτ sorts
+  /// — runs across it; results are bit-identical to a serial (null-pool)
+  /// build at any parallelism.
   static Result<PreparedSchema> Create(SchemaGraph schema,
                                        const MeasureSelection& measures,
-                                       const EntityGraph* graph = nullptr);
+                                       const EntityGraph* graph = nullptr,
+                                       ThreadPool* pool = nullptr);
 
   /// Legacy enum spelling; forwards to the registry-based overload.
   static Result<PreparedSchema> Create(SchemaGraph schema,
                                        const PreparedSchemaOptions& options,
-                                       const EntityGraph* graph = nullptr);
+                                       const EntityGraph* graph = nullptr,
+                                       ThreadPool* pool = nullptr);
 
   const SchemaGraph& schema() const { return schema_; }
   /// The measure names this instance was prepared with.
   const MeasureSelection& measures() const { return measures_; }
   const PreparedSchemaOptions& options() const { return options_; }
   const SchemaDistanceMatrix& distances() const { return *distances_; }
+  /// Per-phase wall-clock cost of the Create call that built this.
+  const PrepareTimings& timings() const { return timings_; }
 
   size_t num_types() const { return schema_.num_types(); }
 
@@ -111,6 +134,7 @@ class PreparedSchema {
   SchemaGraph schema_;
   MeasureSelection measures_;
   PreparedSchemaOptions options_;
+  PrepareTimings timings_;
   std::vector<double> key_scores_;
   std::vector<TypeCandidates> candidates_;
   std::shared_ptr<const SchemaDistanceMatrix> distances_;

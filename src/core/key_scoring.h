@@ -14,6 +14,8 @@
 
 namespace egp {
 
+class ThreadPool;
+
 /// Coverage scores for every type: S_cov(τ_i) = entity count of τ_i.
 std::vector<double> ComputeKeyCoverage(const SchemaGraph& schema);
 
@@ -27,8 +29,17 @@ struct RandomWalkOptions {
 };
 
 /// Stationary distribution π of the smoothed random walk; sums to 1.
+///
+/// Sparse implementation: the weight graph is held as a CSR over the
+/// schema's type adjacency and the uniform smoothing term is folded in
+/// analytically as a rank-1 update, so one lazy power-iteration step is
+/// O(E_schema + n) time and the whole computation O(E_schema + n) memory
+/// (never an n×n matrix). Each π_j is accumulated in a fixed per-row
+/// order, so the result is bit-identical at any `pool` parallelism
+/// (including none).
 std::vector<double> ComputeKeyRandomWalk(const SchemaGraph& schema,
-                                         const RandomWalkOptions& options = {});
+                                         const RandomWalkOptions& options = {},
+                                         ThreadPool* pool = nullptr);
 
 /// The transition probability M_ij from the paper's running example
 /// (unsmoothed): w_ij / Σ_k w_ik, or 0 if τ_i has no incident weight.

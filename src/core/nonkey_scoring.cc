@@ -3,74 +3,29 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
-#include <unordered_map>
+#include <span>
 
 #include "common/math_util.h"
+#include "common/parallel.h"
 
 namespace egp {
 namespace {
 
-/// Batched entropy for one relationship type and direction. A single pass
-/// over the type's edge list (instead of scanning every key entity's full
-/// adjacency) collects (key, value) pairs; sorting groups them into
-/// per-tuple value-set spans in an arena, and a second sort over the
-/// spans counts set-equality classes — no per-tuple allocations.
-/// O(E log E) in the relationship's edge count.
-double RelationshipEntropyFast(const EntityGraph& graph, RelTypeId rel_type,
-                               Direction direction) {
-  const auto& edge_ids = graph.EdgesOfRelType(rel_type);
-  std::vector<std::pair<EntityId, EntityId>> pairs;
-  pairs.reserve(edge_ids.size());
-  for (EdgeId id : edge_ids) {
-    const EdgeRecord& e = graph.Edge(id);
-    if (direction == Direction::kOutgoing) {
-      pairs.emplace_back(e.src, e.dst);
-    } else {
-      pairs.emplace_back(e.dst, e.src);
-    }
-  }
-  std::sort(pairs.begin(), pairs.end());
-  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+/// Value-set span inside a shared arena of entity ids, with an FNV-1a
+/// hash of the (sorted, deduplicated) sequence so set-equality grouping
+/// can bucket by (length, hash) instead of lexicographic sorting —
+/// element compares only run inside hash buckets.
+struct ValueSpan {
+  size_t begin;
+  size_t end;
+  uint64_t hash;
+};
 
-  // Value-set spans per key tuple, over the sorted pair arena.
-  struct Span {
-    size_t begin;
-    size_t end;
-  };
-  std::vector<Span> spans;
-  for (size_t i = 0; i < pairs.size();) {
-    size_t j = i + 1;
-    while (j < pairs.size() && pairs[j].first == pairs[i].first) ++j;
-    spans.push_back(Span{i, j});
-    i = j;
-  }
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
 
-  // Group by value-set equality: order spans lexicographically by their
-  // value sequences, then count equal runs.
-  auto span_less = [&pairs](const Span& a, const Span& b) {
-    return std::lexicographical_compare(
-        pairs.begin() + a.begin, pairs.begin() + a.end,
-        pairs.begin() + b.begin, pairs.begin() + b.end,
-        [](const auto& x, const auto& y) { return x.second < y.second; });
-  };
-  auto span_equal = [&pairs](const Span& a, const Span& b) {
-    return a.end - a.begin == b.end - b.begin &&
-           std::equal(pairs.begin() + a.begin, pairs.begin() + a.end,
-                      pairs.begin() + b.begin,
-                      [](const auto& x, const auto& y) {
-                        return x.second == y.second;
-                      });
-  };
-  std::sort(spans.begin(), spans.end(), span_less);
-
-  std::vector<uint64_t> counts;
-  for (size_t i = 0; i < spans.size();) {
-    size_t j = i + 1;
-    while (j < spans.size() && span_equal(spans[i], spans[j])) ++j;
-    counts.push_back(j - i);
-    i = j;
-  }
-  return EntropyLog10(counts);
+uint64_t FnvStep(uint64_t hash, EntityId value) {
+  return (hash ^ static_cast<uint64_t>(value)) * kFnvPrime;
 }
 
 }  // namespace
@@ -107,23 +62,126 @@ double RelationshipEntropy(const EntityGraph& graph, RelTypeId rel_type,
   return EntropyLog10(counts);
 }
 
+/// Batched entropy for one relationship type and direction, off the CSR.
+/// Each key entity's γ-run is a contiguous, neighbor-sorted span of the
+/// frozen adjacency (forward index for outgoing, reverse for incoming),
+/// so value sets stream into an arena with one adjacent-dedup pass — no
+/// per-tuple allocation, no edge-list copy, no global edge sort. A sort
+/// over the per-tuple spans then counts set-equality classes.
+/// O(values + tuples·log(tuples)·set̄) per call.
+double RelationshipEntropyCsr(const FrozenGraph& frozen,
+                              const EntityGraph& graph, RelTypeId rel_type,
+                              Direction direction) {
+  const RelTypeInfo& info = graph.RelType(rel_type);
+  const TypeId key_type =
+      direction == Direction::kOutgoing ? info.src_type : info.dst_type;
+
+  std::vector<EntityId> arena;
+  std::vector<ValueSpan> spans;
+  for (EntityId e : graph.EntitiesOfType(key_type)) {
+    const std::span<const FrozenGraph::Arc> run =
+        frozen.RelArcs(e, rel_type, direction);
+    if (run.empty()) continue;  // |t.γ| counts non-empty tuples only.
+    const size_t begin = arena.size();
+    uint64_t hash = kFnvOffset;
+    for (const FrozenGraph::Arc& arc : run) {
+      // Runs are neighbor-sorted: multigraph repeats are adjacent.
+      if (arena.size() == begin || arena.back() != arc.neighbor) {
+        arena.push_back(arc.neighbor);
+        hash = FnvStep(hash, arc.neighbor);
+      }
+    }
+    spans.push_back(ValueSpan{begin, arena.size(), hash});
+  }
+
+  // Group by value-set equality: bucket spans by (length, hash) — a
+  // cheap scalar sort with a fixed arena-position tiebreak, so the order
+  // (hence the histogram below) is a pure function of the input — then
+  // confirm true equality inside each bucket, where near-all members
+  // belong to one group and full compares are rare.
+  std::sort(spans.begin(), spans.end(),
+            [](const ValueSpan& a, const ValueSpan& b) {
+              const size_t len_a = a.end - a.begin;
+              const size_t len_b = b.end - b.begin;
+              if (len_a != len_b) return len_a < len_b;
+              if (a.hash != b.hash) return a.hash < b.hash;
+              return a.begin < b.begin;
+            });
+  auto span_equal = [&arena](const ValueSpan& a, const ValueSpan& b) {
+    return std::equal(arena.begin() + a.begin, arena.begin() + a.end,
+                      arena.begin() + b.begin);
+  };
+
+  std::vector<uint64_t> counts;
+  // Equality groups of the current bucket: (representative span index,
+  // index into counts). Buckets almost always hold exactly one group;
+  // the inner scan only pays when 64-bit hashes collide.
+  std::vector<std::pair<size_t, size_t>> bucket_groups;
+  for (size_t i = 0; i < spans.size();) {
+    // One (length, hash) bucket: [i, j).
+    size_t j = i + 1;
+    while (j < spans.size() &&
+           spans[j].end - spans[j].begin == spans[i].end - spans[i].begin &&
+           spans[j].hash == spans[i].hash) {
+      ++j;
+    }
+    bucket_groups.clear();
+    for (size_t s = i; s < j; ++s) {
+      bool matched = false;
+      for (const auto& [representative, count_index] : bucket_groups) {
+        if (span_equal(spans[s], spans[representative])) {
+          ++counts[count_index];
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        bucket_groups.emplace_back(s, counts.size());
+        counts.push_back(1);
+      }
+    }
+    i = j;
+  }
+  return EntropyLog10(counts);
+}
+
 Result<NonKeyScores> ComputeNonKeyEntropy(const EntityGraph& graph,
-                                          const SchemaGraph& schema) {
-  NonKeyScores scores;
-  scores.outgoing.resize(schema.num_edges());
-  scores.incoming.resize(schema.num_edges());
+                                          const SchemaGraph& schema,
+                                          ThreadPool* pool) {
   for (uint32_t i = 0; i < schema.num_edges(); ++i) {
-    const RelTypeId rel_type = schema.RelTypeOfEdge(i);
-    if (rel_type == kInvalidId) {
+    if (schema.RelTypeOfEdge(i) == kInvalidId) {
       return Status::FailedPrecondition(
           "entropy scoring requires a schema graph derived from the entity "
           "graph (schema edge lacks relationship-type mapping)");
     }
-    scores.outgoing[i] =
-        RelationshipEntropyFast(graph, rel_type, Direction::kOutgoing);
-    scores.incoming[i] =
-        RelationshipEntropyFast(graph, rel_type, Direction::kIncoming);
   }
+
+  // One freeze serves every (relationship, direction) job: outgoing reads
+  // the forward CSR index, incoming the reverse — the single pass over
+  // the edges happens here, not per direction.
+  const FrozenGraph frozen = FrozenGraph::Freeze(graph, pool);
+
+  NonKeyScores scores;
+  scores.outgoing.resize(schema.num_edges());
+  scores.incoming.resize(schema.num_edges());
+  // Jobs are (edge, direction) pairs; each writes one disjoint slot, so
+  // the scores are bit-identical at any parallelism — including under
+  // dynamic scheduling, which matters here because job cost is each
+  // relationship's edge count (heavily skewed): a static chunk holding
+  // the dominant relationship would bound the whole phase.
+  ParallelForDynamic(pool, 0, 2 * schema.num_edges(), [&](size_t job) {
+    const uint32_t edge = static_cast<uint32_t>(job >> 1);
+    const RelTypeId rel_type = schema.RelTypeOfEdge(edge);
+    if ((job & 1) == 0) {
+      scores.outgoing[edge] =
+          RelationshipEntropyCsr(frozen, graph, rel_type,
+                                 Direction::kOutgoing);
+    } else {
+      scores.incoming[edge] =
+          RelationshipEntropyCsr(frozen, graph, rel_type,
+                                 Direction::kIncoming);
+    }
+  });
   return scores;
 }
 

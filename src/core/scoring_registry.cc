@@ -23,7 +23,7 @@ ScoringRegistry::ScoringRegistry() {
   };
   key_measures_["randomwalk"] = [](const ScoringContext& context) {
     return Result<std::vector<double>>(
-        ComputeKeyRandomWalk(context.schema, context.walk));
+        ComputeKeyRandomWalk(context.schema, context.walk, context.pool));
   };
   nonkey_measures_["coverage"] = [](const ScoringContext& context) {
     return Result<NonKeyScores>(ComputeNonKeyCoverage(context.schema));
@@ -34,7 +34,7 @@ ScoringRegistry::ScoringRegistry() {
           "the 'entropy' non-key measure requires the entity graph, but "
           "only a schema graph is available"));
     }
-    return ComputeNonKeyEntropy(*context.graph, context.schema);
+    return ComputeNonKeyEntropy(*context.graph, context.schema, context.pool);
   };
 }
 

@@ -23,13 +23,19 @@
 
 namespace egp {
 
+class ThreadPool;
+
 /// Everything a scorer may consult. `graph` is null when only the schema
 /// graph is available (schema-only serving, synthetic workloads) —
 /// measures that need the data graph must fail cleanly in that case.
+/// `pool` is the thread pool the surrounding PreparedSchema build runs
+/// on, or null for a serial build; scorers may ParallelFor over it but
+/// must produce results independent of its parallelism.
 struct ScoringContext {
   const SchemaGraph& schema;
   const EntityGraph* graph = nullptr;
   RandomWalkOptions walk;
+  ThreadPool* pool = nullptr;
 };
 
 /// S(τ) for every type; indexed by TypeId.

@@ -1,20 +1,33 @@
 #include "graph/frozen_graph.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace egp {
 namespace {
 
+/// (rel_type, neighbor) order. On little-endian targets an Arc — laid
+/// out {neighbor, rel_type} — packs into one uint64 with rel_type in the
+/// high half, whose numeric order is exactly (rel_type, neighbor); the
+/// hot per-entity sorts then compare single scalars instead of two
+/// fields with a branch.
+static_assert(sizeof(FrozenGraph::Arc) == 8);
+
 bool ArcLess(const FrozenGraph::Arc& a, const FrozenGraph::Arc& b) {
-  if (a.rel_type != b.rel_type) return a.rel_type < b.rel_type;
-  return a.neighbor < b.neighbor;
+  if constexpr (std::endian::native == std::endian::little) {
+    return std::bit_cast<uint64_t>(a) < std::bit_cast<uint64_t>(b);
+  } else {
+    if (a.rel_type != b.rel_type) return a.rel_type < b.rel_type;
+    return a.neighbor < b.neighbor;
+  }
 }
 
 }  // namespace
 
-FrozenGraph FrozenGraph::Freeze(const EntityGraph& graph) {
+FrozenGraph FrozenGraph::Freeze(const EntityGraph& graph, ThreadPool* pool) {
   FrozenGraph frozen;
   const size_t n = graph.num_entities();
   frozen.num_entities_ = n;
@@ -42,14 +55,19 @@ FrozenGraph FrozenGraph::Freeze(const EntityGraph& graph) {
   }
 
   // Sort each entity's run by (rel_type, neighbor): per-relationship
-  // slices become contiguous and pre-sorted.
-  for (size_t i = 0; i < n; ++i) {
-    std::sort(frozen.out_arcs_.begin() + frozen.out_offsets_[i],
-              frozen.out_arcs_.begin() + frozen.out_offsets_[i + 1],
-              ArcLess);
-    std::sort(frozen.in_arcs_.begin() + frozen.in_offsets_[i],
-              frozen.in_arcs_.begin() + frozen.in_offsets_[i + 1], ArcLess);
-  }
+  // slices become contiguous and pre-sorted. Runs are disjoint, so the
+  // per-entity sorts parallelize without affecting the result.
+  ParallelFor(
+      pool, 0, n,
+      [&frozen](size_t i) {
+        std::sort(frozen.out_arcs_.begin() + frozen.out_offsets_[i],
+                  frozen.out_arcs_.begin() + frozen.out_offsets_[i + 1],
+                  ArcLess);
+        std::sort(frozen.in_arcs_.begin() + frozen.in_offsets_[i],
+                  frozen.in_arcs_.begin() + frozen.in_offsets_[i + 1],
+                  ArcLess);
+      },
+      /*grain=*/64);
   return frozen;
 }
 
@@ -65,18 +83,25 @@ std::span<const FrozenGraph::Arc> FrozenGraph::InArcs(EntityId e) const {
           in_arcs_.data() + in_offsets_[e + 1]};
 }
 
-std::vector<EntityId> FrozenGraph::NeighborSet(EntityId e, RelTypeId rel_type,
-                                               Direction direction) const {
+std::span<const FrozenGraph::Arc> FrozenGraph::RelArcs(
+    EntityId e, RelTypeId rel_type, Direction direction) const {
   const std::span<const Arc> arcs =
       direction == Direction::kOutgoing ? OutArcs(e) : InArcs(e);
   // Binary-search the contiguous rel_type run.
   const Arc probe_low{0, rel_type};
   auto begin = std::lower_bound(arcs.begin(), arcs.end(), probe_low, ArcLess);
+  auto end = begin;
+  while (end != arcs.end() && end->rel_type == rel_type) ++end;
+  return {begin, end};
+}
+
+std::vector<EntityId> FrozenGraph::NeighborSet(EntityId e, RelTypeId rel_type,
+                                               Direction direction) const {
   std::vector<EntityId> out;
-  for (auto it = begin; it != arcs.end() && it->rel_type == rel_type; ++it) {
+  for (const Arc& arc : RelArcs(e, rel_type, direction)) {
     // Runs are sorted by neighbor: dedupe adjacent multigraph repeats.
-    if (out.empty() || out.back() != it->neighbor) {
-      out.push_back(it->neighbor);
+    if (out.empty() || out.back() != arc.neighbor) {
+      out.push_back(arc.neighbor);
     }
   }
   return out;

@@ -18,6 +18,8 @@
 
 namespace egp {
 
+class ThreadPool;
+
 class FrozenGraph {
  public:
   /// One adjacency entry: the neighbouring entity and the relationship
@@ -27,8 +29,11 @@ class FrozenGraph {
     RelTypeId rel_type;
   };
 
-  /// O(V + E): counts, prefix sums, one fill pass per direction.
-  static FrozenGraph Freeze(const EntityGraph& graph);
+  /// O(V + E): counts, prefix sums, one fill pass per direction. The
+  /// per-entity adjacency sorts (the dominant cost) run on `pool` when
+  /// one is given; the result is identical at any parallelism.
+  static FrozenGraph Freeze(const EntityGraph& graph,
+                            ThreadPool* pool = nullptr);
 
   size_t num_entities() const { return num_entities_; }
   size_t num_arcs() const { return out_arcs_.size(); }
@@ -46,6 +51,13 @@ class FrozenGraph {
   /// CSR-backed equivalent of EntityGraph::NeighborSet (same result).
   std::vector<EntityId> NeighborSet(EntityId e, RelTypeId rel_type,
                                     Direction direction) const;
+
+  /// The contiguous run of `e`'s arcs of one relationship type (arcs are
+  /// sorted by (rel_type, neighbor), so the run is neighbor-sorted and
+  /// multigraph repeats are adjacent). Zero-copy: the scan-heavy scoring
+  /// loops read value sets straight out of the CSR through this.
+  std::span<const Arc> RelArcs(EntityId e, RelTypeId rel_type,
+                               Direction direction) const;
 
   /// Heap footprint of the frozen structure, in bytes.
   size_t MemoryBytes() const;

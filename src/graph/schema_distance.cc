@@ -1,41 +1,59 @@
 #include "graph/schema_distance.h"
 
-#include <queue>
-
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace egp {
 
-SchemaDistanceMatrix::SchemaDistanceMatrix(const SchemaGraph& schema)
+SchemaDistanceMatrix::SchemaDistanceMatrix(const SchemaGraph& schema,
+                                           ThreadPool* pool)
     : n_(schema.num_types()) {
   dist_.assign(n_ * n_, kUnreachable);
 
-  // Undirected adjacency (deduplicated) once, then BFS per source.
+  // Undirected adjacency (deduplicated) once, then BFS per source. Each
+  // source writes only its own row and its own partial statistics, so the
+  // sweep parallelizes with bit-identical results (the reductions below
+  // are over integers, where summation order cannot matter either).
   std::vector<std::vector<TypeId>> adjacency(n_);
-  for (TypeId t = 0; t < n_; ++t) adjacency[t] = schema.NeighborTypes(t);
+  ParallelFor(
+      pool, 0, n_, [&](size_t t) { adjacency[t] = schema.NeighborTypes(t); },
+      /*grain=*/16);
 
-  uint64_t finite_pairs = 0;
-  uint64_t finite_sum = 0;
-  for (TypeId source = 0; source < n_; ++source) {
+  std::vector<uint32_t> max_dist(n_, 0);
+  std::vector<uint64_t> pairs(n_, 0);
+  std::vector<uint64_t> sums(n_, 0);
+  // Dynamic scheduling: BFS cost varies with the source's component
+  // size, and every source writes only its own row/partials.
+  ParallelForDynamic(pool, 0, n_, [&](size_t source) {
     uint32_t* row = &dist_[source * n_];
     row[source] = 0;
-    std::queue<TypeId> frontier;
-    frontier.push(source);
-    while (!frontier.empty()) {
-      const TypeId u = frontier.front();
-      frontier.pop();
+    // Vector-backed frontier: rows are dense enough that a queue's
+    // allocation churn would dominate small BFS sweeps.
+    std::vector<TypeId> frontier;
+    frontier.reserve(n_);
+    frontier.push_back(static_cast<TypeId>(source));
+    for (size_t head = 0; head < frontier.size(); ++head) {
+      const TypeId u = frontier[head];
       for (TypeId v : adjacency[u]) {
         if (row[v] != kUnreachable) continue;
         row[v] = row[u] + 1;
-        frontier.push(v);
+        frontier.push_back(v);
       }
     }
     for (TypeId v = 0; v < n_; ++v) {
       if (v == source || row[v] == kUnreachable) continue;
-      diameter_ = std::max(diameter_, row[v]);
-      ++finite_pairs;
-      finite_sum += row[v];
+      max_dist[source] = std::max(max_dist[source], row[v]);
+      ++pairs[source];
+      sums[source] += row[v];
     }
+  });
+
+  uint64_t finite_pairs = 0;
+  uint64_t finite_sum = 0;
+  for (size_t source = 0; source < n_; ++source) {
+    diameter_ = std::max(diameter_, max_dist[source]);
+    finite_pairs += pairs[source];
+    finite_sum += sums[source];
   }
   average_path_length_ =
       finite_pairs == 0

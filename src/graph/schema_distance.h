@@ -14,13 +14,19 @@
 
 namespace egp {
 
+class ThreadPool;
+
 class SchemaDistanceMatrix {
  public:
   /// Marks unreachable pairs.
   static constexpr uint32_t kUnreachable =
       std::numeric_limits<uint32_t>::max();
 
-  explicit SchemaDistanceMatrix(const SchemaGraph& schema);
+  /// The per-source BFS sweeps run on `pool` when one is given (each
+  /// source owns its row, so the matrix and the derived diameter /
+  /// average-path statistics are identical at any parallelism).
+  explicit SchemaDistanceMatrix(const SchemaGraph& schema,
+                                ThreadPool* pool = nullptr);
 
   /// Undirected shortest-path length; 0 for a == b; kUnreachable if the
   /// types are in different components.

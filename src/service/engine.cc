@@ -4,6 +4,7 @@
 #include <future>
 #include <utility>
 
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "core/apriori.h"
 #include "core/beam_search.h"
@@ -53,6 +54,22 @@ struct Engine::State {
   std::optional<EntityGraph> graph;
   SchemaGraph schema;
   EngineOptions options;
+
+  // Build parallelism (EngineOptions::threads, resolved): null when the
+  // engine builds serially. Created lazily by the first cold-
+  // configuration build — an engine that only ever serves cached state
+  // never holds idle workers — then shared by all later builds (the
+  // pool's own queue makes concurrent ParallelFor calls safe).
+  std::unique_ptr<ThreadPool> pool;  // guarded by mu until created
+
+  ThreadPool* BuildPool() {
+    const unsigned threads =
+        options.threads == 0 ? Threads() : options.threads;
+    if (threads <= 1) return nullptr;
+    std::lock_guard<std::mutex> lock(mu);
+    if (!pool) pool = std::make_unique<ThreadPool>(threads);
+    return pool.get();
+  }
 
   // One cache slot per measure configuration. The future lets the
   // expensive build run *outside* the lock: the first requester of a
@@ -148,7 +165,8 @@ Result<std::shared_ptr<const PreparedSchema>> Engine::PreparedInternal(
     // The expensive part runs without the lock; only same-configuration
     // requesters wait (on the future), everyone else proceeds.
     auto built = PreparedSchema::Create(
-        state.schema, measures, state.graph ? &*state.graph : nullptr);
+        state.schema, measures, state.graph ? &*state.graph : nullptr,
+        state.BuildPool());
     PreparedResult result =
         built.ok() ? PreparedResult(std::make_shared<const PreparedSchema>(
                          std::move(built).value()))
@@ -196,6 +214,7 @@ Result<PreviewResponse> Engine::Preview(const PreviewRequest& request) const {
       prepared,
       PreparedInternal(request.measures, &response.prepared_cache_hit));
   response.prepare_seconds = prepare_timer.ElapsedSeconds();
+  response.prepare_timings = prepared->timings();
   response.prepared = prepared;
 
   // Resolve the effective constraints.

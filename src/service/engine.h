@@ -95,6 +95,10 @@ struct PreviewResponse {
   double prepare_seconds = 0.0;
   double discover_seconds = 0.0;
   double sample_seconds = 0.0;
+  /// Per-phase breakdown (key / non-key scoring, distances, Γτ sort) of
+  /// the build that produced `prepared`. On a cache hit this describes
+  /// the original build, not this request's wait (= prepare_seconds).
+  PrepareTimings prepare_timings;
 
   /// The immutable prepared snapshot the preview was discovered against;
   /// use it with DescribePreview, ValidatePreview, Preview::Score, etc.
@@ -106,6 +110,15 @@ struct EngineOptions {
   /// configurations); the least-recently-used entry is evicted beyond
   /// this. 0 means unbounded.
   size_t prepared_cache_capacity = 16;
+
+  /// Parallelism for PreparedSchema builds: 0 resolves to egp::Threads()
+  /// (hardware concurrency, overridable via EGP_THREADS), 1 builds
+  /// serially with no pool at all, n uses n-way ParallelFor (clamped to
+  /// egp::kMaxThreads). Scores are
+  /// bit-identical at every setting — this knob trades build latency
+  /// only. The pool is owned by the engine, created lazily on the first
+  /// cold-configuration build, and shared by concurrent builds.
+  unsigned threads = 0;
 };
 
 /// Thread-safe preview-serving engine over one immutable graph snapshot.

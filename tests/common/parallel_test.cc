@@ -1,0 +1,240 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace egp {
+namespace {
+
+TEST(ThreadsTest, AtLeastOne) {
+  EXPECT_GE(HardwareThreads(), 1u);
+  EXPECT_GE(Threads(), 1u);
+}
+
+TEST(ThreadsTest, EnvOverrideWinsAndInvalidFallsBack) {
+  ASSERT_EQ(setenv("EGP_THREADS", "3", 1), 0);
+  EXPECT_EQ(Threads(), 3u);
+  ASSERT_EQ(setenv("EGP_THREADS", "999999", 1), 0);
+  EXPECT_EQ(Threads(), 256u);  // clamped
+  ASSERT_EQ(setenv("EGP_THREADS", "0", 1), 0);
+  EXPECT_EQ(Threads(), HardwareThreads());
+  ASSERT_EQ(setenv("EGP_THREADS", "banana", 1), 0);
+  EXPECT_EQ(Threads(), HardwareThreads());
+  ASSERT_EQ(unsetenv("EGP_THREADS"), 0);
+  EXPECT_EQ(Threads(), HardwareThreads());
+}
+
+TEST(ThreadPoolTest, ZeroParallelismClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.parallelism(), 1u);
+  int runs = 0;
+  ParallelFor(&pool, 0, 4, [&runs](size_t) { ++runs; });
+  EXPECT_EQ(runs, 4);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (unsigned parallelism : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(parallelism);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{7}, size_t{64},
+                     size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      ParallelFor(&pool, 0, n, [&hits](size_t i) { ++hits[i]; });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at parallelism "
+                                     << parallelism;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  const std::thread::id caller = std::this_thread::get_id();
+  size_t count = 0;
+  ParallelFor(nullptr, 5, 10, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_GE(i, 5u);
+    EXPECT_LT(i, 10u);
+    ++count;
+  });
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(ParallelForTest, EmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(4);
+  int runs = 0;
+  ParallelFor(&pool, 3, 3, [&runs](size_t) { ++runs; });
+  ParallelFor(&pool, 5, 2, [&runs](size_t) { ++runs; });
+  EXPECT_EQ(runs, 0);
+}
+
+TEST(ParallelForTest, OneElementRange) {
+  ThreadPool pool(4);
+  std::vector<size_t> seen;
+  ParallelFor(&pool, 41, 42, [&seen](size_t i) { seen.push_back(i); });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 41u);
+}
+
+TEST(ParallelForTest, ChunksPartitionTheRange) {
+  ThreadPool pool(3);
+  std::vector<std::pair<size_t, size_t>> chunks;
+  std::mutex mu;
+  ParallelForChunks(&pool, 0, 10, [&](size_t lo, size_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 3u);
+  std::sort(chunks.begin(), chunks.end());
+  EXPECT_EQ(chunks.front().first, 0u);
+  EXPECT_EQ(chunks.back().second, 10u);
+  size_t total = 0;
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_LT(chunks[c].first, chunks[c].second);
+    if (c > 0) {
+      EXPECT_EQ(chunks[c].first, chunks[c - 1].second);
+    }
+    total += chunks[c].second - chunks[c].first;
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ParallelForTest, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(&pool, 0, 100,
+                  [](size_t i) {
+                    if (i == 37) throw std::runtime_error("boom at 37");
+                  }),
+      std::runtime_error);
+  // All chunks completed (no detached stragglers): the pool stays usable.
+  std::atomic<size_t> sum{0};
+  ParallelFor(&pool, 0, 100, [&sum](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ParallelForTest, ExceptionFromLowestChunkWins) {
+  // Multiple chunks throw; the error from the lowest chunk index is the
+  // one the caller sees, independent of scheduling.
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    try {
+      ParallelFor(&pool, 0, 100, [](size_t i) {
+        if (i == 0) throw std::runtime_error("first-chunk");
+        if (i >= 90) throw std::runtime_error("last-chunk");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "first-chunk");
+    }
+  }
+}
+
+TEST(ParallelForTest, SerialExceptionAlsoPropagates) {
+  EXPECT_THROW(ParallelFor(nullptr, 0, 3,
+                           [](size_t) { throw std::runtime_error("serial"); }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedCallIsRejected) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(&pool, 0, 8,
+                           [&pool](size_t) {
+                             ParallelFor(&pool, 0, 2, [](size_t) {});
+                           }),
+               std::logic_error);
+  // The serial (null-pool) path enforces the same contract.
+  EXPECT_THROW(ParallelFor(nullptr, 0, 1,
+                           [](size_t) {
+                             ParallelFor(nullptr, 0, 1, [](size_t) {});
+                           }),
+               std::logic_error);
+  // And the pool survives the rejection.
+  std::atomic<int> runs{0};
+  ParallelFor(&pool, 0, 8, [&runs](size_t) { ++runs; });
+  EXPECT_EQ(runs.load(), 8);
+}
+
+TEST(ParallelForDynamicTest, CoversEveryIndexExactlyOnce) {
+  for (unsigned parallelism : {1u, 3u, 8u}) {
+    ThreadPool pool(parallelism);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{500}}) {
+      std::vector<std::atomic<int>> hits(n);
+      ParallelForDynamic(&pool, 0, n, [&hits](size_t i) { ++hits[i]; });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at parallelism "
+                                     << parallelism;
+      }
+    }
+  }
+}
+
+TEST(ParallelForDynamicTest, LoadBalancesSkewedWork) {
+  // One dominant index plus many trivial ones must all complete; null
+  // pool runs inline.
+  std::atomic<uint64_t> sum{0};
+  ParallelForDynamic(nullptr, 0, 10, [&sum](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ParallelForDynamicTest, LowestIndexExceptionWinsAndNestingRejected) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 4; ++round) {
+    try {
+      ParallelForDynamic(&pool, 0, 64, [](size_t i) {
+        if (i == 3) throw std::runtime_error("low");
+        if (i >= 50) throw std::runtime_error("high");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "low");
+    }
+  }
+  EXPECT_THROW(
+      ParallelForDynamic(&pool, 0, 4,
+                         [&pool](size_t) {
+                           ParallelForDynamic(&pool, 0, 2, [](size_t) {});
+                         }),
+      std::logic_error);
+}
+
+TEST(ThreadPoolTest, SharedPoolUnderContentionAndShutdown) {
+  // Several caller threads hammer one pool with overlapping ParallelFors;
+  // the pool must serve them all and then shut down cleanly (workers
+  // drain queued chunks, nobody hangs). TSan runs this suite too.
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 50;
+  std::vector<std::atomic<uint64_t>> sums(kCallers);
+  {
+    ThreadPool pool(4);
+    std::vector<std::thread> callers;
+    for (int c = 0; c < kCallers; ++c) {
+      callers.emplace_back([&pool, &sums, c] {
+        for (int r = 0; r < kRounds; ++r) {
+          ParallelFor(&pool, 0, 64,
+                      [&sums, c](size_t i) { sums[c] += i; });
+        }
+      });
+    }
+    for (std::thread& t : callers) t.join();
+  }  // pool destroyed immediately after the last call returns
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c].load(), uint64_t{2016} * kRounds);
+  }
+}
+
+TEST(ThreadPoolTest, ImmediateShutdownWithoutWork) {
+  for (int i = 0; i < 100; ++i) {
+    ThreadPool pool(8);  // construct + destruct churn
+  }
+}
+
+}  // namespace
+}  // namespace egp

@@ -280,5 +280,58 @@ TEST(EngineTest, UserRegisteredMeasureServesEndToEnd) {
   EXPECT_TRUE(again->prepared_cache_hit);
 }
 
+TEST(EngineTest, ThreadedEngineMatchesSerialEngineExactly) {
+  // EngineOptions::threads trades build latency only: the served preview,
+  // score, and every prepared surface must be bit-identical to a serial
+  // engine's.
+  EngineOptions serial_options;
+  serial_options.threads = 1;
+  const Engine serial =
+      Engine::FromGraph(BuildPaperExampleGraph(), serial_options);
+  EngineOptions threaded_options;
+  threaded_options.threads = 8;
+  const Engine threaded =
+      Engine::FromGraph(BuildPaperExampleGraph(), threaded_options);
+
+  PreviewRequest request;
+  request.size = {2, 6};
+  request.measures.key = "randomwalk";
+  request.measures.nonkey = "entropy";
+  const auto a = serial.Preview(request);
+  const auto b = threaded.Preview(request);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->score, b->score);  // exact, not approximate
+  ASSERT_EQ(a->preview.tables.size(), b->preview.tables.size());
+  for (size_t i = 0; i < a->preview.tables.size(); ++i) {
+    EXPECT_EQ(a->preview.tables[i].key, b->preview.tables[i].key);
+  }
+  for (TypeId t = 0; t < a->prepared->num_types(); ++t) {
+    EXPECT_EQ(a->prepared->KeyScore(t), b->prepared->KeyScore(t));
+  }
+}
+
+TEST(EngineTest, ResponseCarriesPrepareTimings) {
+  const Engine engine = PaperEngine();
+  PreviewRequest request;
+  request.size = {2, 6};
+  const auto response = engine.Preview(request);
+  ASSERT_TRUE(response.ok());
+  const PrepareTimings& t = response->prepare_timings;
+  EXPECT_GE(t.key_seconds, 0.0);
+  EXPECT_GE(t.nonkey_seconds, 0.0);
+  EXPECT_GE(t.distance_seconds, 0.0);
+  EXPECT_GE(t.candidate_sort_seconds, 0.0);
+  // The phases are timed inside the total.
+  EXPECT_GE(t.total_seconds, t.key_seconds + t.nonkey_seconds +
+                                 t.distance_seconds +
+                                 t.candidate_sort_seconds);
+  // A cache hit reports the original build's timings, not zeros.
+  const auto again = engine.Preview(request);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->prepared_cache_hit);
+  EXPECT_EQ(again->prepare_timings.total_seconds, t.total_seconds);
+}
+
 }  // namespace
 }  // namespace egp

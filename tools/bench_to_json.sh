@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Records the PreparedSchema perf trajectory: builds the Release bench,
+# runs bench_prepare_scale, and writes the JSON document the repo tracks
+# as BENCH_prepare.json.
+#
+#   tools/bench_to_json.sh                        # defaults below
+#   tools/bench_to_json.sh --scale 2.0 --repeat 5 # extra bench args pass through
+#
+# Environment:
+#   BUILD_DIR  cmake build tree for the bench (default: build-bench)
+#   OUT        output JSON path (default: BENCH_prepare.json at repo root)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build-bench}"
+OUT="${OUT:-$ROOT/BENCH_prepare.json}"
+
+# The script owns --out (set OUT= instead): a second --out in the
+# pass-through args would make the bench write elsewhere while the shape
+# check below reads $OUT.
+for arg in "$@"; do
+  if [[ "$arg" == "--out" || "$arg" == --out=* ]]; then
+    echo "error: pass the output path via OUT=..., not --out" >&2
+    exit 2
+  fi
+done
+
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DEGP_BUILD_BENCH=ON \
+  -DEGP_BUILD_TESTS=OFF \
+  -DEGP_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_prepare_scale >/dev/null
+
+"$BUILD_DIR/bench/bench_prepare_scale" --out "$OUT" "$@"
+
+# Shape check: fail loudly rather than commit a malformed trajectory.
+python3 "$ROOT/tools/validate_bench_json.py" "$OUT"

@@ -7,8 +7,8 @@
 //   egp preview  <graph.(egt|nt)> [--k N] [--n N] [--tight D | --diverse D]
 //                [--key coverage|randomwalk] [--nonkey coverage|entropy]
 //                [--algo auto|bf|dp|apriori|beam] [--rows N] [--seed S]
-//                [--json] [--merge-multiway]
-//   egp suggest  <graph.(egt|nt)> [--width W] [--height H]
+//                [--threads N] [--verbose] [--json] [--merge-multiway]
+//   egp suggest  <graph.(egt|nt)> [--width W] [--height H] [--threads N]
 //   egp report   <graph.(egt|nt)> [--title T] [--k N] [--n N] [--dot]
 //                [--tight D | --diverse D] [--key ...] [--nonkey ...]
 //   egp generate <domain> <out.egt> [--scale S] [--seed S]
@@ -57,8 +57,11 @@ const char kUsage[] =
     "           --tight D | --diverse D  distance constraint\n"
     "           --key coverage|randomwalk  --nonkey coverage|entropy\n"
     "           --algo auto|bf|dp|apriori|beam  --rows N  --seed S\n"
+    "           --threads N  (0 = all hardware threads; EGP_THREADS also "
+    "works)\n"
+    "           --verbose  (per-phase prepare timings to stderr)\n"
     "           --json  --merge-multiway\n"
-    "  suggest  <graph.(egt|nt)> [--width W] [--height H]\n"
+    "  suggest  <graph.(egt|nt)> [--width W] [--height H] [--threads N]\n"
     "                                             advisor-suggested "
     "constraints\n"
     "  report   <graph.(egt|nt)> [--title T] [--k N] [--n N] [--dot]\n"
@@ -236,10 +239,25 @@ int CmdStats(const std::string& path) {
   return 0;
 }
 
+/// Parses --threads into engine options. 0 (the default) resolves to
+/// egp::Threads(); a negative value is a usage error.
+Status ParseThreadsFlag(const Flags& flags, EngineOptions* options) {
+  EGP_ASSIGN_OR_RETURN(const long threads, flags.GetInt("threads", 0));
+  if (threads < 0) {
+    return Status::InvalidArgument("--threads must be non-negative");
+  }
+  options->threads = static_cast<unsigned>(threads);
+  return Status::OK();
+}
+
 int CmdPreview(const std::string& path, const Flags& flags) {
   auto graph = LoadGraph(path);
   if (!graph.ok()) return Fail(graph.status());
-  const Engine engine = Engine::FromGraph(std::move(graph).value());
+  EngineOptions engine_options;
+  const Status threads = ParseThreadsFlag(flags, &engine_options);
+  if (!threads.ok()) return UsageError(threads.message());
+  const Engine engine =
+      Engine::FromGraph(std::move(graph).value(), engine_options);
 
   PreviewRequest request;
   const Status constraints = ParseConstraintFlags(
@@ -273,6 +291,24 @@ int CmdPreview(const std::string& path, const Flags& flags) {
   auto response = engine.Preview(request);
   if (!response.ok()) return Fail(response.status());
 
+  if (flags.Has("verbose")) {
+    const PrepareTimings& t = response->prepare_timings;
+    std::fprintf(stderr,
+                 "prepare : %.3f ms total (key %.3f, nonkey %.3f, distances "
+                 "%.3f, candidate sort %.3f)%s\n",
+                 t.total_seconds * 1e3, t.key_seconds * 1e3,
+                 t.nonkey_seconds * 1e3, t.distance_seconds * 1e3,
+                 t.candidate_sort_seconds * 1e3,
+                 response->prepared_cache_hit ? " [cache hit]" : "");
+    std::fprintf(stderr, "discover: %.3f ms (%s)\n",
+                 response->discover_seconds * 1e3,
+                 response->algorithm.c_str());
+    if (request.sample_rows > 0) {
+      std::fprintf(stderr, "sample  : %.3f ms\n",
+                   response->sample_seconds * 1e3);
+    }
+  }
+
   if (flags.Has("json")) {
     std::printf("%s\n",
                 MaterializedPreviewToJson(*engine.graph(),
@@ -291,7 +327,11 @@ int CmdPreview(const std::string& path, const Flags& flags) {
 int CmdSuggest(const std::string& path, const Flags& flags) {
   auto graph = LoadGraph(path);
   if (!graph.ok()) return Fail(graph.status());
-  const Engine engine = Engine::FromGraph(std::move(graph).value());
+  EngineOptions engine_options;
+  const Status threads = ParseThreadsFlag(flags, &engine_options);
+  if (!threads.ok()) return UsageError(threads.message());
+  const Engine engine =
+      Engine::FromGraph(std::move(graph).value(), engine_options);
   DisplayBudget budget;
   const auto width = flags.GetInt("width", 120);
   const auto height = flags.GetInt("height", 40);
@@ -393,7 +433,8 @@ const std::vector<FlagSpec> kPreviewFlags = {
     {"tight", FlagKind::kValue},    {"diverse", FlagKind::kValue},
     {"key", FlagKind::kValue},      {"nonkey", FlagKind::kValue},
     {"algo", FlagKind::kValue},     {"rows", FlagKind::kValue},
-    {"seed", FlagKind::kValue},     {"json", FlagKind::kBool},
+    {"seed", FlagKind::kValue},     {"threads", FlagKind::kValue},
+    {"verbose", FlagKind::kBool},   {"json", FlagKind::kBool},
     {"merge-multiway", FlagKind::kBool}};
 
 const std::vector<FlagSpec> kReportFlags = {
@@ -438,7 +479,8 @@ int main(int argc, char** argv) {
   if (command == "suggest") {
     if (!ParseOrUsage(argc, argv,
                       {{"width", FlagKind::kValue},
-                       {"height", FlagKind::kValue}},
+                       {"height", FlagKind::kValue},
+                       {"threads", FlagKind::kValue}},
                       &flags, &exit_code)) {
       return exit_code;
     }

@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Shape check for BENCH_prepare.json — shared by tools/bench_to_json.sh
+and the CI bench-smoke job so the two can't drift."""
+import json
+import sys
+
+
+def main(path: str) -> int:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["bench"] == "bench_prepare_scale", "unexpected bench id"
+    assert isinstance(doc["hardware_threads"], int), "missing hardware_threads"
+    assert doc["datasets"], "no datasets recorded"
+    for dataset in doc["datasets"]:
+        builds = dataset["builds"]
+        assert builds and builds[0]["threads"] == 1, \
+            "serial build must come first"
+        for build in builds:
+            assert build["total_seconds"] > 0, "non-positive build time"
+            for phase in ("key", "nonkey", "distance", "candidate_sort"):
+                assert build[f"{phase}_seconds"] >= 0, f"missing {phase} phase"
+    print(f"OK: {path} ({len(doc['datasets'])} dataset(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1]))
