@@ -1,0 +1,340 @@
+// HTTP serving latency/throughput benchmark — the serving half of the
+// repo's tracked perf trajectory (BENCH_serve.json; BENCH_prepare.json
+// covers the scoring pipeline underneath).
+//
+// Boots the real stack in one process — datagen graph(s) → Engine →
+// PreviewService → HttpServer on an ephemeral loopback port — and
+// drives POST /v1/preview through the real socket client at each
+// requested concurrency. The prepared-schema cache is warmed first, so
+// the numbers measure the serving path (parse → route → discover →
+// sample → serialize → socket round-trip), not cold scoring builds.
+//
+//   bench_serve_latency [--domains basketball] [--scale 0.2]
+//                       [--connections 1,8,64] [--requests 200]
+//                       [--warmup 20] [--workers 0] [--rows 2]
+//                       [--out FILE]
+//
+// Emits one JSON document (stdout or --out) validated by
+// tools/validate_bench_json.py and recorded by tools/bench_to_json.sh
+// (BENCH=serve).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/stat_util.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "datagen/generator.h"
+#include "server/api.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+
+namespace egp {
+namespace {
+
+struct Options {
+  std::vector<std::string> domains = {"basketball"};
+  double scale = 0.2;
+  std::vector<int> connections = {1, 8, 64};
+  int requests = 200;
+  int warmup = 20;
+  unsigned workers = 0;  // 0 = server default: max(2, hardware)
+  int rows = 2;
+  std::string out;
+};
+
+struct RunResult {
+  int connections = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// egp::Quantile with the empty (all-errors) case mapped to 0.
+double Percentile(const std::vector<double>& values, double q) {
+  return values.empty() ? 0.0 : Quantile(values, q);
+}
+
+/// The request mix: same measure configuration (so the prepared cache
+/// serves every request) but varying constraints, like an interactive
+/// user refining a preview. With several datasets loaded, requests
+/// cycle across them.
+std::string RequestBody(int index, int rows,
+                        const std::vector<std::string>& datasets) {
+  const int k = 2 + index % 3;       // 2..4
+  const int n = 4 + (index / 3) % 3 * 2;  // 4, 6, 8
+  std::string body = "{";
+  if (datasets.size() > 1) {
+    body += "\"dataset\":\"" +
+            datasets[static_cast<size_t>(index) % datasets.size()] + "\",";
+  }
+  body += "\"k\":" + std::to_string(k) + ",\"n\":" + std::to_string(n) +
+          ",\"sample\":{\"rows\":" + std::to_string(rows) + ",\"seed\":7}}";
+  return body;
+}
+
+RunResult DriveLoad(uint16_t port, int connections, int requests, int rows,
+                    const std::vector<std::string>& datasets) {
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(connections));
+  std::vector<uint64_t> errors(static_cast<size_t>(connections), 0);
+  std::vector<std::thread> threads;
+  Timer wall;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      HttpClient client("127.0.0.1", port, 60'000);
+      auto& mine = latencies[static_cast<size_t>(c)];
+      mine.reserve(static_cast<size_t>(requests));
+      for (int r = 0; r < requests; ++r) {
+        Timer timer;
+        const auto response = client.Post(
+            "/v1/preview", RequestBody(c * requests + r, rows, datasets));
+        if (!response.ok() || response->status != 200 ||
+            response->body.find("\"score\":") == std::string::npos) {
+          ++errors[static_cast<size_t>(c)];
+          client.Disconnect();
+          continue;
+        }
+        mine.push_back(timer.ElapsedMillis());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  RunResult result;
+  result.connections = connections;
+  result.wall_seconds = wall.ElapsedSeconds();
+  std::vector<double> all;
+  for (const auto& per_connection : latencies) {
+    all.insert(all.end(), per_connection.begin(), per_connection.end());
+  }
+  for (const uint64_t e : errors) result.errors += e;
+  std::sort(all.begin(), all.end());
+  result.completed = all.size();
+  result.throughput_rps =
+      result.wall_seconds > 0
+          ? static_cast<double>(result.completed) / result.wall_seconds
+          : 0.0;
+  result.p50_ms = Percentile(all, 0.50);
+  result.p90_ms = Percentile(all, 0.90);
+  result.p99_ms = Percentile(all, 0.99);
+  result.max_ms = all.empty() ? 0.0 : all.back();
+  return result;
+}
+
+int Run(const Options& options) {
+  // ---- Build the catalog from datagen domains.
+  std::vector<std::pair<std::string, Engine>> engines;
+  struct DatasetLine {
+    std::string domain;
+    size_t entities;
+    size_t relationships;
+  };
+  std::vector<DatasetLine> dataset_lines;
+  for (const std::string& domain : options.domains) {
+    GeneratorOptions generator;
+    generator.scale = options.scale;
+    auto generated = GenerateDomainByName(domain, generator);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    dataset_lines.push_back(DatasetLine{domain,
+                                        generated->graph.num_entities(),
+                                        generated->graph.num_edges()});
+    std::fprintf(stderr, "[%s] %zu entities, %zu relationships\n",
+                 domain.c_str(), generated->graph.num_entities(),
+                 generated->graph.num_edges());
+    engines.emplace_back(domain,
+                         Engine::FromGraph(std::move(generated->graph)));
+  }
+  auto catalog = DatasetCatalog::FromEngines(std::move(engines));
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "error: %s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+
+  // ---- Boot the real server on an ephemeral port.
+  PreviewService service(std::move(catalog).value(), "bench");
+  HttpServerOptions server_options;
+  server_options.workers = options.workers;
+  server_options.max_connections = 4096;
+  auto server = HttpServer::Start(
+      [&service](const HttpRequest& request) {
+        return service.Handle(request);
+      },
+      server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  service.AttachServer(server->get());
+  const uint16_t port = (*server)->port();
+
+  // ---- Warm every dataset's prepared cache and the request mix.
+  {
+    HttpClient client("127.0.0.1", port, 120'000);
+    for (const DatasetLine& line : dataset_lines) {
+      for (int w = 0; w < options.warmup; ++w) {
+        const std::string body =
+            "{\"dataset\":\"" + line.domain + "\"," +
+            RequestBody(w, options.rows, {}).substr(1);
+        const auto response = client.Post("/v1/preview", body);
+        if (!response.ok() || response->status != 200) {
+          std::fprintf(stderr, "error: warmup request failed (%s)\n",
+                       response.ok()
+                           ? std::to_string(response->status).c_str()
+                           : response.status().ToString().c_str());
+          return 1;
+        }
+      }
+    }
+  }
+
+  std::vector<RunResult> runs;
+  for (const int connections : options.connections) {
+    const RunResult result = DriveLoad(port, connections, options.requests,
+                                       options.rows, options.domains);
+    std::fprintf(stderr,
+                 "[c=%d] %llu ok, %llu err, %.0f req/s, p50 %.3f ms, "
+                 "p99 %.3f ms\n",
+                 connections,
+                 static_cast<unsigned long long>(result.completed),
+                 static_cast<unsigned long long>(result.errors),
+                 result.throughput_rps, result.p50_ms, result.p99_ms);
+    runs.push_back(result);
+  }
+  (*server)->Shutdown();
+  (*server)->Wait();
+
+  // ---- Emit the document.
+  std::string json = "{\n  \"bench\": \"bench_serve_latency\",\n";
+  json += "  \"hardware_threads\": " + std::to_string(HardwareThreads()) +
+          ",\n";
+  json += "  \"workers\": " +
+          std::to_string(options.workers == 0 ? std::max(2u, Threads())
+                                              : options.workers) +
+          ",\n";
+  json += "  \"scale\": " + StrFormat("%g", options.scale) + ",\n";
+  json += "  \"requests_per_connection\": " +
+          std::to_string(options.requests) + ",\n";
+  json += "  \"datasets\": [\n";
+  for (size_t i = 0; i < dataset_lines.size(); ++i) {
+    const DatasetLine& line = dataset_lines[i];
+    json += "    {\"domain\": \"" + line.domain + "\", \"entities\": " +
+            std::to_string(line.entities) + ", \"relationships\": " +
+            std::to_string(line.relationships) + "}";
+    json += i + 1 < dataset_lines.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& run = runs[i];
+    json += "    {\"connections\": " + std::to_string(run.connections);
+    json += ", \"completed\": " + std::to_string(run.completed);
+    json += ", \"errors\": " + std::to_string(run.errors);
+    json += ", \"wall_seconds\": " + StrFormat("%.6f", run.wall_seconds);
+    json += ", \"throughput_rps\": " + StrFormat("%.2f", run.throughput_rps);
+    json += ", \"p50_ms\": " + StrFormat("%.3f", run.p50_ms);
+    json += ", \"p90_ms\": " + StrFormat("%.3f", run.p90_ms);
+    json += ", \"p99_ms\": " + StrFormat("%.3f", run.p99_ms);
+    json += ", \"max_ms\": " + StrFormat("%.3f", run.max_ms) + "}";
+    json += i + 1 < runs.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  if (options.out.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* file = std::fopen(options.out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.out.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), file);
+    std::fclose(file);
+    std::fprintf(stderr, "wrote %s\n", options.out.c_str());
+  }
+  return 0;
+}
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace egp
+
+int main(int argc, char** argv) {
+  egp::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--domains") {
+      options.domains = egp::SplitList(value());
+    } else if (arg == "--scale") {
+      options.scale = std::atof(value());
+    } else if (arg == "--connections") {
+      options.connections.clear();
+      for (const std::string& item : egp::SplitList(value())) {
+        options.connections.push_back(std::atoi(item.c_str()));
+      }
+    } else if (arg == "--requests") {
+      options.requests = std::atoi(value());
+    } else if (arg == "--warmup") {
+      options.warmup = std::atoi(value());
+    } else if (arg == "--workers") {
+      options.workers = static_cast<unsigned>(std::atoi(value()));
+    } else if (arg == "--rows") {
+      options.rows = std::atoi(value());
+    } else if (arg == "--out") {
+      options.out = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve_latency [--domains d1,d2] "
+                   "[--scale S] [--connections c1,c2] [--requests N] "
+                   "[--warmup N] [--workers N] [--rows N] [--out FILE]\n");
+      return 2;
+    }
+  }
+  if (options.domains.empty() || options.connections.empty() ||
+      options.requests < 1) {
+    std::fprintf(stderr, "error: empty domain/connection list or "
+                         "requests < 1\n");
+    return 2;
+  }
+  for (const int connections : options.connections) {
+    if (connections < 1 || connections > 4096) {
+      std::fprintf(stderr, "error: connections must be in [1, 4096]\n");
+      return 2;
+    }
+  }
+  return egp::Run(options);
+}

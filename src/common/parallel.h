@@ -68,14 +68,16 @@ class ThreadPool {
   /// The n of construction: workers + the participating caller.
   unsigned parallelism() const { return parallelism_; }
 
- private:
-  friend void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
-                                const std::function<void(size_t, size_t)>& body,
-                                size_t grain);
-  friend void ParallelForDynamic(ThreadPool* pool, size_t begin, size_t end,
-                                 const std::function<void(size_t)>& body);
-
+  /// Enqueues an arbitrary task for a worker thread. This is the
+  /// primitive under ParallelFor and the one the HTTP server uses for
+  /// per-connection work. Caveats: a 1-parallel pool has NO workers, so
+  /// a submitted task never runs until the pool is destroyed (callers
+  /// that may own such a pool must run the work inline themselves — see
+  /// HttpServer); tasks queued at destruction are drained, not dropped;
+  /// a task that lets an exception escape terminates the process.
   void Submit(std::function<void()> task);
+
+ private:
   void WorkerLoop();
 
   const unsigned parallelism_;

@@ -21,6 +21,10 @@ std::string Join(const std::vector<std::string>& items,
 /// ASCII lower-case copy.
 std::string ToLower(std::string_view text);
 
+/// ASCII case-insensitive equality (HTTP header names, header values
+/// like "keep-alive").
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
 bool StartsWith(std::string_view text, std::string_view prefix);
 bool EndsWith(std::string_view text, std::string_view suffix);
 

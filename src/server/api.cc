@@ -1,0 +1,565 @@
+#include "server/api.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "io/json_export.h"
+
+namespace egp {
+namespace {
+
+std::string Quoted(std::string_view text) {
+  return "\"" + JsonEscape(text) + "\"";
+}
+
+std::string Number(double value) { return StrFormat("%.10g", value); }
+
+HttpResponse JsonErrorResponse(int status, std::string_view message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\":{\"status\":" + std::to_string(status) +
+                  ",\"message\":" + Quoted(message) + "}}";
+  return response;
+}
+
+/// HTTP status for an Engine/parse error. NotFound here means a bad
+/// *parameter* (unknown measure name, say), not a bad URL — still the
+/// client's request, so 400. (An unknown *dataset* is resource-shaped
+/// and mapped to 404 at the ResolveDataset call sites instead.)
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kUnimplemented:
+      return 501;
+    default:
+      return 500;
+  }
+}
+
+/// Status mapping for ResolveDataset: there NotFound really is a missing
+/// resource.
+int HttpStatusForDataset(const Status& status) {
+  return status.code() == StatusCode::kNotFound ? 404
+                                                : HttpStatusFor(status);
+}
+
+// ---------------------------------------------------------------------------
+// Field coercion: JSON numbers are doubles; integer-valued fields must
+// actually be integers, and every field must have the right kind.
+// ---------------------------------------------------------------------------
+
+Status WrongKind(const char* key, std::string_view want,
+                 const JsonValue& got) {
+  return Status::InvalidArgument("field \"" + std::string(key) +
+                                 "\" must be a " + std::string(want) +
+                                 ", got " + std::string(JsonKindName(
+                                     got.kind())));
+}
+
+/// Rejects any member not in `allowed` — typos fail loudly.
+Status CheckAllowedKeys(const JsonValue& obj,
+                        std::initializer_list<std::string_view> allowed,
+                        const char* context) {
+  for (const auto& [key, value] : obj.object()) {
+    bool known = false;
+    for (const std::string_view name : allowed) {
+      if (key == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string names;
+      for (const std::string_view name : allowed) {
+        if (!names.empty()) names += ", ";
+        names += name;
+      }
+      return Status::InvalidArgument("unknown field \"" + key + "\" in " +
+                                     context + " (allowed: " + names + ")");
+    }
+  }
+  return Status::OK();
+}
+
+Result<int64_t> IntField(const JsonValue& obj, const char* key, int64_t dflt,
+                         int64_t min, int64_t max) {
+  const JsonValue* field = obj.Find(key);
+  if (field == nullptr) return dflt;
+  if (!field->is_number()) return WrongKind(key, "number", *field);
+  const double value = field->number_value();
+  if (std::floor(value) != value || std::abs(value) > 9.007199254740992e15) {
+    return Status::InvalidArgument("field \"" + std::string(key) +
+                                   "\" must be an integer");
+  }
+  const int64_t integer = static_cast<int64_t>(value);
+  if (integer < min || integer > max) {
+    return Status::InvalidArgument(
+        "field \"" + std::string(key) + "\" must be in [" +
+        std::to_string(min) + ", " + std::to_string(max) + "], got " +
+        std::to_string(integer));
+  }
+  return integer;
+}
+
+Result<double> DoubleField(const JsonValue& obj, const char* key,
+                           double dflt) {
+  const JsonValue* field = obj.Find(key);
+  if (field == nullptr) return dflt;
+  if (!field->is_number()) return WrongKind(key, "number", *field);
+  return field->number_value();
+}
+
+Result<std::string> StringField(const JsonValue& obj, const char* key,
+                                const std::string& dflt) {
+  const JsonValue* field = obj.Find(key);
+  if (field == nullptr) return dflt;
+  if (!field->is_string()) return WrongKind(key, "string", *field);
+  return field->string_value();
+}
+
+Result<bool> BoolField(const JsonValue& obj, const char* key, bool dflt) {
+  const JsonValue* field = obj.Find(key);
+  if (field == nullptr) return dflt;
+  if (!field->is_bool()) return WrongKind(key, "bool", *field);
+  return field->bool_value();
+}
+
+Status ParseMeasures(const JsonValue& doc, MeasureSelection* measures) {
+  const JsonValue* field = doc.Find("measures");
+  if (field == nullptr) return Status::OK();
+  if (!field->is_object()) return WrongKind("measures", "object", *field);
+  EGP_RETURN_IF_ERROR(
+      CheckAllowedKeys(*field, {"key", "nonkey", "walk"}, "\"measures\""));
+  EGP_ASSIGN_OR_RETURN(measures->key,
+                       StringField(*field, "key", measures->key));
+  EGP_ASSIGN_OR_RETURN(measures->nonkey,
+                       StringField(*field, "nonkey", measures->nonkey));
+  if (const JsonValue* walk = field->Find("walk")) {
+    if (!walk->is_object()) return WrongKind("walk", "object", *walk);
+    EGP_RETURN_IF_ERROR(CheckAllowedKeys(
+        *walk, {"smoothing", "maxIterations", "tolerance"}, "\"walk\""));
+    EGP_ASSIGN_OR_RETURN(measures->walk.smoothing,
+                         DoubleField(*walk, "smoothing",
+                                     measures->walk.smoothing));
+    if (!(measures->walk.smoothing >= 0) ||
+        !std::isfinite(measures->walk.smoothing)) {
+      return Status::InvalidArgument("\"smoothing\" must be finite and >= 0");
+    }
+    int64_t iterations = 0;
+    EGP_ASSIGN_OR_RETURN(iterations,
+                         IntField(*walk, "maxIterations",
+                                  measures->walk.max_iterations, 1, 1000000));
+    measures->walk.max_iterations = static_cast<int>(iterations);
+    EGP_ASSIGN_OR_RETURN(measures->walk.tolerance,
+                         DoubleField(*walk, "tolerance",
+                                     measures->walk.tolerance));
+    if (!(measures->walk.tolerance >= 0) ||
+        !std::isfinite(measures->walk.tolerance)) {
+      return Status::InvalidArgument("\"tolerance\" must be finite and >= 0");
+    }
+  }
+  return Status::OK();
+}
+
+Result<DisplayBudget> ParseBudget(const JsonValue& field) {
+  if (!field.is_object()) return WrongKind("budget", "object", field);
+  EGP_RETURN_IF_ERROR(CheckAllowedKeys(
+      field, {"widthChars", "heightRows", "columnWidth", "rowsPerTable"},
+      "\"budget\""));
+  DisplayBudget budget;
+  int64_t value = 0;
+  EGP_ASSIGN_OR_RETURN(
+      value, IntField(field, "widthChars", budget.width_chars, 1, 1000000));
+  budget.width_chars = static_cast<uint32_t>(value);
+  EGP_ASSIGN_OR_RETURN(
+      value, IntField(field, "heightRows", budget.height_rows, 1, 1000000));
+  budget.height_rows = static_cast<uint32_t>(value);
+  EGP_ASSIGN_OR_RETURN(
+      value, IntField(field, "columnWidth", budget.column_width, 1, 10000));
+  budget.column_width = static_cast<uint32_t>(value);
+  EGP_ASSIGN_OR_RETURN(
+      value,
+      IntField(field, "rowsPerTable", budget.rows_per_table, 1, 10000));
+  budget.rows_per_table = static_cast<uint32_t>(value);
+  return budget;
+}
+
+}  // namespace
+
+Result<ParsedPreviewRequest> ParsePreviewRequestJson(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  EGP_RETURN_IF_ERROR(CheckAllowedKeys(
+      doc,
+      {"dataset", "k", "n", "tight", "diverse", "budget",
+       "suggestedDistance", "measures", "algorithm", "sample"},
+      "the request"));
+
+  ParsedPreviewRequest parsed;
+  EGP_ASSIGN_OR_RETURN(parsed.dataset, StringField(doc, "dataset", ""));
+  PreviewRequest& request = parsed.request;
+
+  const bool has_budget = doc.Find("budget") != nullptr;
+  const bool has_explicit = doc.Find("k") != nullptr ||
+                            doc.Find("n") != nullptr ||
+                            doc.Find("tight") != nullptr ||
+                            doc.Find("diverse") != nullptr;
+  if (has_budget && has_explicit) {
+    return Status::InvalidArgument(
+        "\"budget\" (advisor mode) excludes explicit \"k\"/\"n\"/"
+        "\"tight\"/\"diverse\" constraints");
+  }
+  if (doc.Find("suggestedDistance") != nullptr && !has_budget) {
+    return Status::InvalidArgument(
+        "\"suggestedDistance\" only applies with \"budget\"");
+  }
+  if (doc.Find("tight") != nullptr && doc.Find("diverse") != nullptr) {
+    return Status::InvalidArgument("\"tight\" and \"diverse\" are exclusive");
+  }
+
+  if (has_budget) {
+    EGP_ASSIGN_OR_RETURN(request.budget, ParseBudget(*doc.Find("budget")));
+    std::string mode;
+    EGP_ASSIGN_OR_RETURN(mode, StringField(doc, "suggestedDistance", "none"));
+    if (mode == "none") {
+      request.suggested_distance = DistanceMode::kNone;
+    } else if (mode == "tight") {
+      request.suggested_distance = DistanceMode::kTight;
+    } else if (mode == "diverse") {
+      request.suggested_distance = DistanceMode::kDiverse;
+    } else {
+      return Status::InvalidArgument(
+          "\"suggestedDistance\" must be none, tight, or diverse");
+    }
+  } else {
+    int64_t value = 0;
+    EGP_ASSIGN_OR_RETURN(value, IntField(doc, "k", request.size.k, 1,
+                                         1u << 20));
+    request.size.k = static_cast<uint32_t>(value);
+    EGP_ASSIGN_OR_RETURN(value, IntField(doc, "n", request.size.n, 1,
+                                         1u << 20));
+    request.size.n = static_cast<uint32_t>(value);
+    if (doc.Find("tight") != nullptr) {
+      EGP_ASSIGN_OR_RETURN(value, IntField(doc, "tight", 0, 1, 1u << 20));
+      request.distance = DistanceConstraint::Tight(
+          static_cast<uint32_t>(value));
+    } else if (doc.Find("diverse") != nullptr) {
+      EGP_ASSIGN_OR_RETURN(value, IntField(doc, "diverse", 0, 1, 1u << 20));
+      request.distance = DistanceConstraint::Diverse(
+          static_cast<uint32_t>(value));
+    }
+  }
+
+  EGP_RETURN_IF_ERROR(ParseMeasures(doc, &request.measures));
+  EGP_ASSIGN_OR_RETURN(request.algorithm,
+                       StringField(doc, "algorithm", request.algorithm));
+
+  if (const JsonValue* sample = doc.Find("sample")) {
+    if (!sample->is_object()) return WrongKind("sample", "object", *sample);
+    EGP_RETURN_IF_ERROR(CheckAllowedKeys(
+        *sample, {"rows", "seed", "strategy", "mergeMultiway"},
+        "\"sample\""));
+    int64_t value = 0;
+    EGP_ASSIGN_OR_RETURN(value, IntField(*sample, "rows", 0, 0, 100000));
+    request.sample_rows = static_cast<size_t>(value);
+    EGP_ASSIGN_OR_RETURN(
+        value, IntField(*sample, "seed", 42, 0, 9007199254740992));
+    request.sample_seed = static_cast<uint64_t>(value);
+    std::string strategy;
+    EGP_ASSIGN_OR_RETURN(strategy,
+                         StringField(*sample, "strategy", "random"));
+    if (strategy == "random") {
+      request.sample_strategy = SamplingStrategy::kRandom;
+    } else if (strategy == "frequency") {
+      request.sample_strategy = SamplingStrategy::kFrequencyWeighted;
+    } else {
+      return Status::InvalidArgument(
+          "\"strategy\" must be random or frequency");
+    }
+    EGP_ASSIGN_OR_RETURN(request.merge_multiway_columns,
+                         BoolField(*sample, "mergeMultiway", false));
+  }
+  return parsed;
+}
+
+Result<ParsedSuggestRequest> ParseSuggestRequestJson(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  EGP_RETURN_IF_ERROR(CheckAllowedKeys(doc, {"dataset", "budget", "measures"},
+                                       "the request"));
+  ParsedSuggestRequest parsed;
+  EGP_ASSIGN_OR_RETURN(parsed.dataset, StringField(doc, "dataset", ""));
+  if (const JsonValue* budget = doc.Find("budget")) {
+    EGP_ASSIGN_OR_RETURN(parsed.budget, ParseBudget(*budget));
+  }
+  EGP_RETURN_IF_ERROR(ParseMeasures(doc, &parsed.measures));
+  return parsed;
+}
+
+std::string PreviewResponseToJson(const Engine& engine,
+                                  const std::string& dataset,
+                                  const PreviewResponse& response,
+                                  bool include_materialized) {
+  std::string out = "{\"dataset\":" + Quoted(dataset);
+  out += ",\"algorithm\":" + Quoted(response.algorithm);
+  out += ",\"constraints\":{\"k\":" + std::to_string(response.size.k);
+  out += ",\"n\":" + std::to_string(response.size.n);
+  out += ",\"distance\":{\"mode\":";
+  switch (response.distance.mode) {
+    case DistanceMode::kNone:
+      out += "\"none\"";
+      break;
+    case DistanceMode::kTight:
+      out += "\"tight\"";
+      break;
+    case DistanceMode::kDiverse:
+      out += "\"diverse\"";
+      break;
+  }
+  out += ",\"d\":" + std::to_string(response.distance.d) + "}}";
+  if (!response.rationale.empty()) {
+    out += ",\"rationale\":" + Quoted(response.rationale);
+  }
+  out += ",\"cacheHit\":";
+  out += response.prepared_cache_hit ? "true" : "false";
+  out += ",\"score\":" + Number(response.score);
+  out += ",\"preview\":" + PreviewToJson(*response.prepared,
+                                         response.preview);
+  if (include_materialized && engine.graph() != nullptr) {
+    out += ",\"materialized\":" +
+           MaterializedPreviewToJson(*engine.graph(), response.materialized);
+  }
+  out += ",\"stats\":{\"subsetsEnumerated\":" +
+         std::to_string(response.stats.subsets_enumerated);
+  out += ",\"subsetsScored\":" + std::to_string(response.stats.subsets_scored);
+  out += ",\"truncated\":";
+  out += response.stats.truncated ? "true" : "false";
+  out += "}";
+  out += ",\"timings\":{\"prepareSeconds\":" +
+         Number(response.prepare_seconds);
+  out += ",\"discoverSeconds\":" + Number(response.discover_seconds);
+  out += ",\"sampleSeconds\":" + Number(response.sample_seconds);
+  const PrepareTimings& phases = response.prepare_timings;
+  out += ",\"preparePhases\":{\"keySeconds\":" + Number(phases.key_seconds);
+  out += ",\"nonkeySeconds\":" + Number(phases.nonkey_seconds);
+  out += ",\"distanceSeconds\":" + Number(phases.distance_seconds);
+  out += ",\"candidateSortSeconds\":" + Number(phases.candidate_sort_seconds);
+  out += ",\"totalSeconds\":" + Number(phases.total_seconds) + "}}}";
+  return out;
+}
+
+PreviewService::PreviewService(DatasetCatalog catalog, std::string version)
+    : catalog_(std::move(catalog)), version_(std::move(version)) {}
+
+Result<const Engine*> PreviewService::ResolveDataset(
+    const std::string& name, std::string* resolved_name) const {
+  if (name.empty()) {
+    const Engine* engine = catalog_.Default();
+    if (engine == nullptr) {
+      return Status::InvalidArgument(
+          "\"dataset\" is required when several datasets are loaded (see "
+          "GET /v1/datasets)");
+    }
+    *resolved_name = catalog_.default_name();
+    return engine;
+  }
+  const Engine* engine = catalog_.Find(name);
+  if (engine == nullptr) {
+    return Status::NotFound("unknown dataset '" + name +
+                            "' (see GET /v1/datasets)");
+  }
+  *resolved_name = name;
+  return engine;
+}
+
+HttpResponse PreviewService::Handle(const HttpRequest& request) {
+  Timer timer;
+  std::string endpoint = "other";
+  HttpResponse response = Route(request, &endpoint);
+  response.headers.emplace_back("Server", "egp/" + version_);
+  metrics_.RecordRequest(endpoint, response.status, timer.ElapsedSeconds());
+  return response;
+}
+
+HttpResponse PreviewService::Route(const HttpRequest& request,
+                                   std::string* endpoint) {
+  const std::string_view path = request.Path();
+  const bool get = request.method == "GET" || request.method == "HEAD";
+  const bool post = request.method == "POST";
+
+  if (path == "/healthz" || path == "/v1/datasets" || path == "/metrics" ||
+      path == "/v1/preview" || path == "/v1/suggest") {
+    *endpoint = std::string(path);
+  }
+  if (path == "/healthz") {
+    if (!get) return JsonErrorResponse(405, "use GET /healthz");
+    return HandleHealthz();
+  }
+  if (path == "/metrics") {
+    if (!get) return JsonErrorResponse(405, "use GET /metrics");
+    return HandleMetrics();
+  }
+  if (path == "/v1/datasets") {
+    if (!get) return JsonErrorResponse(405, "use GET /v1/datasets");
+    return HandleDatasets();
+  }
+  if (path == "/v1/preview") {
+    if (!post) return JsonErrorResponse(405, "use POST /v1/preview");
+    return HandlePreview(request);
+  }
+  if (path == "/v1/suggest") {
+    if (!post) return JsonErrorResponse(405, "use POST /v1/suggest");
+    return HandleSuggest(request);
+  }
+  return JsonErrorResponse(
+      404, "no such endpoint (have: GET /healthz, GET /metrics, GET "
+           "/v1/datasets, POST /v1/preview, POST /v1/suggest)");
+}
+
+HttpResponse PreviewService::HandlePreview(const HttpRequest& request) {
+  const auto doc = ParseJson(request.body);
+  if (!doc.ok()) return JsonErrorResponse(400, doc.status().message());
+  const auto parsed = ParsePreviewRequestJson(*doc);
+  if (!parsed.ok()) return JsonErrorResponse(400, parsed.status().message());
+
+  std::string dataset;
+  const auto engine = ResolveDataset(parsed->dataset, &dataset);
+  if (!engine.ok()) {
+    return JsonErrorResponse(HttpStatusForDataset(engine.status()),
+                             engine.status().message());
+  }
+  const auto served = (*engine)->Preview(parsed->request);
+  if (!served.ok()) {
+    return JsonErrorResponse(HttpStatusFor(served.status()),
+                             served.status().message());
+  }
+  HttpResponse response;
+  response.body = PreviewResponseToJson(**engine, dataset, *served,
+                                        parsed->request.sample_rows > 0);
+  return response;
+}
+
+HttpResponse PreviewService::HandleSuggest(const HttpRequest& request) {
+  const auto doc = ParseJson(request.body);
+  if (!doc.ok()) return JsonErrorResponse(400, doc.status().message());
+  const auto parsed = ParseSuggestRequestJson(*doc);
+  if (!parsed.ok()) return JsonErrorResponse(400, parsed.status().message());
+
+  std::string dataset;
+  const auto engine = ResolveDataset(parsed->dataset, &dataset);
+  if (!engine.ok()) {
+    return JsonErrorResponse(HttpStatusForDataset(engine.status()),
+                             engine.status().message());
+  }
+  const auto suggestion =
+      (*engine)->Suggest(parsed->budget, parsed->measures);
+  if (!suggestion.ok()) {
+    return JsonErrorResponse(HttpStatusFor(suggestion.status()),
+                             suggestion.status().message());
+  }
+  HttpResponse response;
+  response.body =
+      "{\"dataset\":" + Quoted(dataset) +
+      ",\"k\":" + std::to_string(suggestion->size.k) +
+      ",\"n\":" + std::to_string(suggestion->size.n) +
+      ",\"tightD\":" + std::to_string(suggestion->tight_d) +
+      ",\"diverseD\":" + std::to_string(suggestion->diverse_d) +
+      ",\"rationale\":" + Quoted(suggestion->rationale) + "}";
+  return response;
+}
+
+HttpResponse PreviewService::HandleDatasets() const {
+  std::string body = "{\"datasets\":[";
+  bool first = true;
+  for (const DatasetCatalog::Info& info : catalog_.infos()) {
+    if (!first) body += ",";
+    first = false;
+    body += "{\"name\":" + Quoted(info.name);
+    body += ",\"path\":" + Quoted(info.path);
+    body += ",\"entities\":" + std::to_string(info.entities);
+    body += ",\"relationships\":" + std::to_string(info.relationships);
+    body += ",\"entityTypes\":" + std::to_string(info.entity_types);
+    body += ",\"relationshipTypes\":" +
+            std::to_string(info.relationship_types) + "}";
+  }
+  body += "]}";
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse PreviewService::HandleHealthz() const {
+  HttpResponse response;
+  response.body = "{\"status\":\"ok\",\"version\":" + Quoted(version_) +
+                  ",\"datasets\":" + std::to_string(catalog_.size()) + "}";
+  return response;
+}
+
+HttpResponse PreviewService::HandleMetrics() const {
+  std::string out = metrics_.PrometheusText();
+
+  AppendMetricHeader(&out, "egp_prepared_cache_hits_total", "counter");
+  for (const DatasetCatalog::Info& info : catalog_.infos()) {
+    const Engine* engine = catalog_.Find(info.name);
+    const Engine::CacheStats stats = engine->cache_stats();
+    AppendMetric(&out, "egp_prepared_cache_hits_total",
+                 "dataset=\"" + info.name + "\"", stats.hits);
+  }
+  AppendMetricHeader(&out, "egp_prepared_cache_misses_total", "counter");
+  for (const DatasetCatalog::Info& info : catalog_.infos()) {
+    const Engine::CacheStats stats =
+        catalog_.Find(info.name)->cache_stats();
+    AppendMetric(&out, "egp_prepared_cache_misses_total",
+                 "dataset=\"" + info.name + "\"", stats.misses);
+  }
+  AppendMetricHeader(&out, "egp_prepared_cache_evictions_total", "counter");
+  for (const DatasetCatalog::Info& info : catalog_.infos()) {
+    const Engine::CacheStats stats =
+        catalog_.Find(info.name)->cache_stats();
+    AppendMetric(&out, "egp_prepared_cache_evictions_total",
+                 "dataset=\"" + info.name + "\"", stats.evictions);
+  }
+  AppendMetricHeader(&out, "egp_prepared_cache_entries", "gauge");
+  for (const DatasetCatalog::Info& info : catalog_.infos()) {
+    const Engine::CacheStats stats =
+        catalog_.Find(info.name)->cache_stats();
+    AppendMetric(&out, "egp_prepared_cache_entries",
+                 "dataset=\"" + info.name + "\"",
+                 static_cast<uint64_t>(stats.entries));
+  }
+
+  if (const HttpServer* server = server_.load(std::memory_order_acquire)) {
+    const HttpServerStats stats = server->stats();
+    AppendMetricHeader(&out, "egp_http_connections_accepted_total",
+                       "counter");
+    AppendMetric(&out, "egp_http_connections_accepted_total", "",
+                 stats.accepted_connections);
+    AppendMetricHeader(&out, "egp_http_connections_rejected_total",
+                       "counter");
+    AppendMetric(&out, "egp_http_connections_rejected_total", "",
+                 stats.rejected_connections);
+    AppendMetricHeader(&out, "egp_http_connections_timed_out_total",
+                       "counter");
+    AppendMetric(&out, "egp_http_connections_timed_out_total", "",
+                 stats.timed_out_connections);
+    AppendMetricHeader(&out, "egp_http_parse_errors_total", "counter");
+    AppendMetric(&out, "egp_http_parse_errors_total", "",
+                 stats.parse_errors);
+  }
+
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = std::move(out);
+  return response;
+}
+
+}  // namespace egp

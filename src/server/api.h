@@ -1,0 +1,98 @@
+// PreviewService: the JSON API of the serving subsystem. Routes HTTP
+// requests onto the thread-safe egp::Engine request/response types:
+//
+//   POST /v1/preview   PreviewRequest as JSON → preview (+ sampled
+//                      tuples), embedding the exact PreviewToJson /
+//                      MaterializedPreviewToJson documents the in-process
+//                      API produces — responses are bit-identical to
+//                      in-process serving by construction.
+//   POST /v1/suggest   DisplayBudget → the constraint advisor's (k, n, d)
+//   GET  /v1/datasets  the loaded DatasetCatalog
+//   GET  /healthz      liveness
+//   GET  /metrics      Prometheus text: request counters, latency
+//                      histogram, per-dataset Engine prepared-cache
+//                      hits/misses/evictions, transport counters
+//
+// Request bodies go through the strict src/io JSON parser (depth limits,
+// duplicate-key rejection, UTF-8 validation) and unknown fields are
+// errors: a typo'd "algoritm" fails loudly instead of silently serving
+// the default. All handlers are thread-safe; one PreviewService is
+// shared by every server worker.
+#ifndef EGP_SERVER_API_H_
+#define EGP_SERVER_API_H_
+
+#include <atomic>
+#include <string>
+
+#include "common/result.h"
+#include "io/json_parser.h"
+#include "server/catalog.h"
+#include "server/http.h"
+#include "server/http_server.h"
+#include "server/metrics.h"
+
+namespace egp {
+
+/// A parsed POST /v1/preview body: which dataset, plus the Engine
+/// request. Exposed for direct unit testing of the JSON mapping.
+struct ParsedPreviewRequest {
+  std::string dataset;  // empty = catalog default
+  PreviewRequest request;
+};
+
+Result<ParsedPreviewRequest> ParsePreviewRequestJson(const JsonValue& doc);
+
+/// A parsed POST /v1/suggest body.
+struct ParsedSuggestRequest {
+  std::string dataset;
+  DisplayBudget budget;
+  MeasureSelection measures;
+};
+
+Result<ParsedSuggestRequest> ParseSuggestRequestJson(const JsonValue& doc);
+
+/// The full /v1/preview response document (also used by the golden
+/// tests to compare server output against in-process serving).
+std::string PreviewResponseToJson(const Engine& engine,
+                                  const std::string& dataset,
+                                  const PreviewResponse& response,
+                                  bool include_materialized);
+
+class PreviewService {
+ public:
+  /// `version` lands in /healthz and the Server response header.
+  PreviewService(DatasetCatalog catalog, std::string version);
+
+  /// The HttpServer handler: routes, serves, and records metrics.
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// Lets /metrics include transport counters. Call right after
+  /// HttpServer::Start; until then those gauges are simply omitted.
+  void AttachServer(const HttpServer* server) {
+    server_.store(server, std::memory_order_release);
+  }
+
+  const DatasetCatalog& catalog() const { return catalog_; }
+  ServerMetrics& metrics() { return metrics_; }
+
+ private:
+  HttpResponse Route(const HttpRequest& request, std::string* endpoint);
+  HttpResponse HandlePreview(const HttpRequest& request);
+  HttpResponse HandleSuggest(const HttpRequest& request);
+  HttpResponse HandleDatasets() const;
+  HttpResponse HandleHealthz() const;
+  HttpResponse HandleMetrics() const;
+
+  /// Resolves a request's dataset name against the catalog.
+  Result<const Engine*> ResolveDataset(const std::string& name,
+                                       std::string* resolved_name) const;
+
+  DatasetCatalog catalog_;
+  std::string version_;
+  ServerMetrics metrics_;
+  std::atomic<const HttpServer*> server_{nullptr};
+};
+
+}  // namespace egp
+
+#endif  // EGP_SERVER_API_H_

@@ -1,0 +1,134 @@
+#include "server/catalog.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "common/strings.h"
+#include "io/graph_io.h"
+#include "io/ntriples.h"
+
+namespace egp {
+namespace {
+
+bool ValidDatasetName(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '.' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<EntityGraph> LoadGraphFile(const std::string& path) {
+  if (EndsWith(path, ".nt")) return ReadNTriplesFile(path);
+  return ReadEntityGraphFile(path);
+}
+
+DatasetCatalog::Info MakeInfo(const std::string& name,
+                              const std::string& path, const Engine& engine) {
+  DatasetCatalog::Info info;
+  info.name = name;
+  info.path = path;
+  if (const EntityGraph* graph = engine.graph()) {
+    info.entities = graph->num_entities();
+    info.relationships = graph->num_edges();
+  }
+  info.entity_types = engine.schema().num_types();
+  info.relationship_types = engine.schema().edges().size();
+  return info;
+}
+
+}  // namespace
+
+Result<DatasetSpec> ParseDatasetSpec(const std::string& spec) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("--dataset expects name=path, got '" +
+                                   spec + "'");
+  }
+  DatasetSpec parsed;
+  parsed.name = spec.substr(0, eq);
+  parsed.path = spec.substr(eq + 1);
+  if (!ValidDatasetName(parsed.name)) {
+    return Status::InvalidArgument(
+        "dataset name '" + parsed.name +
+        "' must be non-empty [A-Za-z0-9_.-] (it appears in URLs and "
+        "metric labels)");
+  }
+  if (parsed.path.empty()) {
+    return Status::InvalidArgument("dataset '" + parsed.name +
+                                   "' has an empty path");
+  }
+  return parsed;
+}
+
+Result<DatasetCatalog> DatasetCatalog::Load(
+    const std::vector<DatasetSpec>& specs, const EngineOptions& options) {
+  std::vector<std::pair<std::string, Engine>> engines;
+  engines.reserve(specs.size());
+  for (const DatasetSpec& spec : specs) {
+    if (!ValidDatasetName(spec.name)) {
+      return Status::InvalidArgument("invalid dataset name '" + spec.name +
+                                     "'");
+    }
+    auto graph = LoadGraphFile(spec.path);
+    if (!graph.ok()) {
+      return Status(graph.status().code(),
+                    "dataset '" + spec.name + "': " +
+                        graph.status().message());
+    }
+    engines.emplace_back(spec.name,
+                         Engine::FromGraph(std::move(graph).value(), options));
+  }
+  auto catalog = FromEngines(std::move(engines));
+  if (!catalog.ok()) return catalog.status();
+  // Replace the placeholder labels with the real paths.
+  for (Info& info : catalog->infos_) {
+    for (const DatasetSpec& spec : specs) {
+      if (spec.name == info.name) {
+        info.path = spec.path;
+        break;
+      }
+    }
+  }
+  return catalog;
+}
+
+Result<DatasetCatalog> DatasetCatalog::FromEngines(
+    std::vector<std::pair<std::string, Engine>> engines) {
+  if (engines.empty()) {
+    return Status::InvalidArgument("no datasets given (use --dataset "
+                                   "name=path at least once)");
+  }
+  DatasetCatalog catalog;
+  for (auto& [name, engine] : engines) {
+    if (!ValidDatasetName(name)) {
+      return Status::InvalidArgument("invalid dataset name '" + name + "'");
+    }
+    if (catalog.engines_.count(name) > 0) {
+      return Status::InvalidArgument("duplicate dataset name '" + name + "'");
+    }
+    catalog.infos_.push_back(MakeInfo(name, "<in-process>", engine));
+    catalog.engines_.emplace(name, std::move(engine));
+  }
+  std::sort(catalog.infos_.begin(), catalog.infos_.end(),
+            [](const Info& a, const Info& b) { return a.name < b.name; });
+  if (catalog.engines_.size() == 1) {
+    catalog.default_name_ = catalog.infos_.front().name;
+  }
+  return catalog;
+}
+
+const Engine* DatasetCatalog::Find(const std::string& name) const {
+  const auto it = engines_.find(name);
+  return it == engines_.end() ? nullptr : &it->second;
+}
+
+const Engine* DatasetCatalog::Default() const {
+  return default_name_.empty() ? nullptr : Find(default_name_);
+}
+
+}  // namespace egp

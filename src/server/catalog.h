@@ -1,0 +1,74 @@
+// DatasetCatalog: the multi-dataset layer of the serving subsystem — one
+// immutable egp::Engine per loaded entity graph, addressed by name.
+//
+// egp_server is started with repeated `--dataset name=path` flags; the
+// catalog loads each graph (.nt or .egt by extension, same rule as the
+// CLI), derives its Engine, and serves lookups from then on without
+// locks: the catalog is immutable after Load, and the Engines themselves
+// are thread-safe.
+#ifndef EGP_SERVER_CATALOG_H_
+#define EGP_SERVER_CATALOG_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/engine.h"
+
+namespace egp {
+
+/// One `--dataset name=path` argument.
+struct DatasetSpec {
+  std::string name;
+  std::string path;
+};
+
+/// Parses "name=path". The name becomes part of URLs and metric labels,
+/// so it is restricted to [A-Za-z0-9_.-], non-empty.
+Result<DatasetSpec> ParseDatasetSpec(const std::string& spec);
+
+class DatasetCatalog {
+ public:
+  /// Summary of one loaded dataset, computed at load time.
+  struct Info {
+    std::string name;
+    std::string path;
+    size_t entities = 0;
+    size_t relationships = 0;
+    size_t entity_types = 0;
+    size_t relationship_types = 0;
+  };
+
+  /// Loads every spec from disk; duplicate names, unloadable files, and
+  /// an empty spec list are errors.
+  static Result<DatasetCatalog> Load(const std::vector<DatasetSpec>& specs,
+                                     const EngineOptions& options = {});
+
+  /// Builds a catalog from already-constructed engines (in-process tests
+  /// and the latency bench; `path` in Info is the given label).
+  static Result<DatasetCatalog> FromEngines(
+      std::vector<std::pair<std::string, Engine>> engines);
+
+  /// The engine serving `name`, or nullptr.
+  const Engine* Find(const std::string& name) const;
+
+  /// The single engine when exactly one dataset is loaded (so requests
+  /// may omit "dataset"), nullptr otherwise.
+  const Engine* Default() const;
+  const std::string& default_name() const { return default_name_; }
+
+  /// Sorted by name.
+  const std::vector<Info>& infos() const { return infos_; }
+  size_t size() const { return infos_.size(); }
+
+ private:
+  std::map<std::string, Engine> engines_;
+  std::vector<Info> infos_;
+  std::string default_name_;
+};
+
+}  // namespace egp
+
+#endif  // EGP_SERVER_CATALOG_H_

@@ -1,0 +1,150 @@
+#include "server/http_client.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace egp {
+
+const std::string* HttpClientResponse::FindHeader(
+    std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+Status HttpClient::EnsureConnected() {
+  if (fd_.valid()) return Status::OK();
+  leftover_.clear();
+  EGP_ASSIGN_OR_RETURN(fd_, ConnectTcp(host_, port_, timeout_ms_));
+  return Status::OK();
+}
+
+Result<HttpClientResponse> HttpClient::Request(std::string_view method,
+                                               std::string_view target,
+                                               std::string_view body,
+                                               std::string_view content_type) {
+  EGP_RETURN_IF_ERROR(EnsureConnected());
+
+  std::string request;
+  request.reserve(128 + body.size());
+  request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
+  request.append("Host: ").append(host_).append("\r\n");
+  if (!content_type.empty()) {
+    request.append("Content-Type: ").append(content_type).append("\r\n");
+  }
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request.append("Content-Length: ")
+        .append(std::to_string(body.size()))
+        .append("\r\n");
+  }
+  request.append("\r\n").append(body);
+
+  const IoResult sent = SendAll(fd_.get(), request, timeout_ms_);
+  if (sent.status != IoStatus::kOk) {
+    fd_.Reset();
+    return Status::IOError("send failed");
+  }
+  auto response = ReadResponse();
+  if (!response.ok() || !response->keep_alive) fd_.Reset();
+  return response;
+}
+
+Result<HttpClientResponse> HttpClient::RawExchange(std::string_view bytes) {
+  EGP_RETURN_IF_ERROR(EnsureConnected());
+  const IoResult sent = SendAll(fd_.get(), bytes, timeout_ms_);
+  if (sent.status != IoStatus::kOk) {
+    fd_.Reset();
+    return Status::IOError("send failed");
+  }
+  auto response = ReadResponse();
+  if (!response.ok() || !response->keep_alive) fd_.Reset();
+  return response;
+}
+
+Result<HttpClientResponse> HttpClient::ReadResponse() {
+  std::string buffer = std::move(leftover_);
+  leftover_.clear();
+  char chunk[16 * 1024];
+
+  // ---- Head
+  size_t head_end;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer.size() > 64 * 1024) {
+      return Status::Corruption("response head too large");
+    }
+    const IoResult r = RecvSome(fd_.get(), chunk, sizeof(chunk), timeout_ms_);
+    if (r.status == IoStatus::kTimeout) {
+      return Status::IOError("timed out reading response head");
+    }
+    if (r.status != IoStatus::kOk) {
+      return Status::IOError("connection closed mid-response");
+    }
+    buffer.append(chunk, r.bytes);
+  }
+
+  HttpClientResponse response;
+  const std::string_view head = std::string_view(buffer).substr(0, head_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string_view status_line =
+      head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                        : line_end);
+  // "HTTP/1.1 200 OK"
+  if (status_line.size() < 12 || status_line.substr(0, 7) != "HTTP/1.") {
+    return Status::Corruption("malformed status line");
+  }
+  response.status = 0;
+  for (size_t i = 9; i < 12 && i < status_line.size(); ++i) {
+    const char c = status_line[i];
+    if (c < '0' || c > '9') return Status::Corruption("malformed status code");
+    response.status = response.status * 10 + (c - '0');
+  }
+
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view field = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = field.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string_view value = field.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    response.headers.emplace_back(std::string(field.substr(0, colon)),
+                                  std::string(value));
+  }
+
+  // ---- Body (Content-Length framing; that's all egp_server emits).
+  size_t content_length = 0;
+  if (const std::string* value = response.FindHeader("Content-Length")) {
+    char* end = nullptr;
+    content_length = std::strtoull(value->c_str(), &end, 10);
+    if (end == value->c_str() || *end != '\0') {
+      return Status::Corruption("malformed Content-Length");
+    }
+  }
+  buffer.erase(0, head_end + 4);
+  while (buffer.size() < content_length) {
+    const IoResult r = RecvSome(fd_.get(), chunk, sizeof(chunk), timeout_ms_);
+    if (r.status == IoStatus::kTimeout) {
+      return Status::IOError("timed out reading response body");
+    }
+    if (r.status != IoStatus::kOk) {
+      return Status::IOError("connection closed mid-body");
+    }
+    buffer.append(chunk, r.bytes);
+  }
+  response.body = buffer.substr(0, content_length);
+  leftover_ = buffer.substr(content_length);
+
+  const std::string* connection = response.FindHeader("Connection");
+  response.keep_alive =
+      connection != nullptr && EqualsIgnoreCase(*connection, "keep-alive");
+  return response;
+}
+
+}  // namespace egp

@@ -1,0 +1,76 @@
+// Minimal blocking HTTP/1.1 client over the same socket layer the server
+// uses. Exists for the subsystem's own consumers — the load generator,
+// the latency bench, and the end-to-end tests — not as a general client:
+// it speaks exactly the dialect egp_server emits (Content-Length framed
+// responses, keep-alive).
+#ifndef EGP_SERVER_HTTP_CLIENT_H_
+#define EGP_SERVER_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "server/socket.h"
+
+namespace egp {
+
+struct HttpClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// What the server negotiated; when false the client reconnects before
+  /// the next request.
+  bool keep_alive = false;
+
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+class HttpClient {
+ public:
+  /// All stall budgets (connect, read, write) in one knob; the client is
+  /// a test/bench tool, not a tunable surface.
+  HttpClient(std::string host, uint16_t port, int timeout_ms = 10'000)
+      : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+  /// One request/response exchange. Connects lazily, reuses the
+  /// connection while the server keeps it alive, reconnects after a
+  /// close. An empty `content_type` omits the header.
+  Result<HttpClientResponse> Request(std::string_view method,
+                                     std::string_view target,
+                                     std::string_view body = {},
+                                     std::string_view content_type =
+                                         "application/json");
+
+  Result<HttpClientResponse> Get(std::string_view target) {
+    return Request("GET", target, {}, {});
+  }
+  Result<HttpClientResponse> Post(std::string_view target,
+                                  std::string_view body) {
+    return Request("POST", target, body);
+  }
+
+  /// Drops the connection (next Request reconnects).
+  void Disconnect() { fd_.Reset(); }
+  bool connected() const { return fd_.valid(); }
+
+  /// Sends raw bytes on the (possibly newly opened) connection and
+  /// reads one response — for tests that need malformed requests.
+  Result<HttpClientResponse> RawExchange(std::string_view bytes);
+
+ private:
+  Status EnsureConnected();
+  Result<HttpClientResponse> ReadResponse();
+
+  std::string host_;
+  uint16_t port_;
+  int timeout_ms_;
+  UniqueFd fd_;
+  std::string leftover_;  // bytes past the previous response
+};
+
+}  // namespace egp
+
+#endif  // EGP_SERVER_HTTP_CLIENT_H_

@@ -1,0 +1,279 @@
+#include "server/http_server.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+namespace egp {
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(
+    Handler handler, const HttpServerOptions& options) {
+  if (!handler) return Status::InvalidArgument("null handler");
+  if (options.max_connections == 0) {
+    return Status::InvalidArgument("max_connections must be >= 1");
+  }
+  if (options.read_timeout_ms <= 0 || options.write_timeout_ms <= 0) {
+    return Status::InvalidArgument("timeouts must be positive");
+  }
+
+  // unique_ptr because threads capture `this`: the server must never move.
+  std::unique_ptr<HttpServer> server(new HttpServer());
+  server->options_ = options;
+  server->handler_ = std::move(handler);
+  server->host_ = options.host;
+
+  EGP_ASSIGN_OR_RETURN(
+      server->listen_fd_,
+      ListenTcp(options.host, options.port, options.listen_backlog,
+                &server->port_));
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::IOError("pipe: failed to create shutdown pipe");
+  }
+  server->shutdown_pipe_read_ = UniqueFd(pipe_fds[0]);
+  server->shutdown_pipe_write_ = UniqueFd(pipe_fds[1]);
+
+  const unsigned workers =
+      options.workers == 0 ? std::max(2u, Threads()) : options.workers;
+  if (workers > 1) {
+    // ThreadPool(n) supplies n-1 worker threads; the accept thread never
+    // participates, so ask for workers+1 to get `workers` real threads.
+    server->pool_ = std::make_unique<ThreadPool>(workers + 1);
+  }
+  server->accept_started_ = true;  // before spawn: Wait() keys off this
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+HttpServer::~HttpServer() {
+  Shutdown();
+  Wait();
+  // Workers may still be finishing their final FinishConnection() notify;
+  // pool destruction joins them (its queue is already empty: Wait()
+  // returned only after every connection task completed).
+  pool_.reset();
+}
+
+void HttpServer::Shutdown() {
+  draining_.store(true, std::memory_order_release);
+  // Wake the accept loop's poll. A full pipe is impossible here (we write
+  // at most one byte per Shutdown call and the loop drains it), but even
+  // EAGAIN would be fine: draining_ is already visible.
+  const char byte = 'q';
+  [[maybe_unused]] const ssize_t n =
+      ::write(shutdown_pipe_write_.get(), &byte, 1);
+}
+
+void HttpServer::Wait() {
+  {
+    // A server whose Start failed before the accept thread spawned has
+    // nothing to wait for (its destructor still runs this path).
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return accept_exited_ || !accept_started_; });
+  }
+  // Serialize the join so concurrent Wait() callers (say, the owner and
+  // the destructor) can't race on the thread object.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+HttpServerStats HttpServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    struct pollfd fds[2];
+    fds[0].fd = listen_fd_.get();
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = shutdown_pipe_read_.get();
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll on our own sockets failing is unrecoverable
+    }
+    if ((fds[1].revents & POLLIN) != 0 ||
+        draining_.load(std::memory_order_acquire)) {
+      // A byte on the self-pipe (signal handler path) must have the same
+      // effect as Shutdown(): make the drain visible to workers too.
+      draining_.store(true, std::memory_order_release);
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    auto conn = AcceptConnection(listen_fd_.get());
+    if (!conn.ok()) {
+      // Transient (ECONNABORTED, EMFILE, ...): keep serving. A hard
+      // listener failure shows up as poll errors next round.
+      continue;
+    }
+
+    if (active_connections_.load(std::memory_order_acquire) >=
+        options_.max_connections) {
+      // Backpressure: answer 503 right here (short write budget; a peer
+      // too slow to take 120 bytes forfeits the courtesy) and move on.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.rejected_connections;
+      }
+      HttpResponse response;
+      response.status = 503;
+      response.body = JsonErrorBody(503, "server at connection capacity");
+      response.headers.emplace_back("Retry-After", "1");
+      SendAll(conn->get(), SerializeResponse(response, false), 100);
+      continue;
+    }
+
+    active_connections_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.accepted_connections;
+    }
+    if (pool_ != nullptr) {
+      // std::function needs copyable captures: pass the raw fd through
+      // and re-wrap inside the task.
+      const int raw = conn->Release();
+      pool_->Submit([this, raw] {
+        ServeConnection(UniqueFd(raw));
+        FinishConnection();
+      });
+    } else {
+      ServeConnection(std::move(conn).value());
+      FinishConnection();
+    }
+  }
+
+  // Drain: no new connections; in-flight ones observe draining_ and
+  // close after their current request.
+  listen_fd_.Reset();
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] {
+    return active_connections_.load(std::memory_order_acquire) == 0;
+  });
+  accept_exited_ = true;
+  idle_.notify_all();
+}
+
+void HttpServer::FinishConnection() {
+  if (active_connections_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last one out: wake the drain wait (and anyone in Wait()). The lock
+    // pairs with the condition check so the notify can't be missed.
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.notify_all();
+  }
+}
+
+void HttpServer::ServeConnection(UniqueFd fd) {
+  HttpRequestParser parser(options_.limits);
+  char buf[16 * 1024];
+  size_t served = 0;
+
+  for (;;) {
+    // ---- Read one full request, staying responsive to drain: the
+    // timeout budget is spent in short poll slices so a drain never
+    // waits out a 10 s idle keep-alive read.
+    HttpRequestParser::State state = parser.Continue();
+    int waited_ms = 0;
+    bool connection_dead = false;
+    while (state == HttpRequestParser::State::kNeedMore) {
+      if (draining_.load(std::memory_order_acquire) &&
+          parser.AtMessageBoundary()) {
+        return;  // idle between requests: close immediately
+      }
+      const int slice = std::min(250, options_.read_timeout_ms - waited_ms);
+      if (slice <= 0) {
+        // Timed out. Mid-request gets a 408; silence would leave the
+        // client guessing. Between requests it is just an idle close.
+        // (Stats update precedes the send so a client that reads the
+        // response immediately observes them.)
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.timed_out_connections;
+        }
+        if (!parser.AtMessageBoundary()) {
+          HttpResponse timeout;
+          timeout.status = 408;
+          timeout.body = JsonErrorBody(408, "timed out reading request");
+          SendAll(fd.get(), SerializeResponse(timeout, false),
+                  options_.write_timeout_ms);
+        }
+        return;
+      }
+      const IoResult r = RecvSome(fd.get(), buf, sizeof(buf), slice);
+      if (r.status == IoStatus::kTimeout) {
+        waited_ms += slice;
+        continue;
+      }
+      if (r.status != IoStatus::kOk) {
+        connection_dead = true;  // EOF or socket error
+        break;
+      }
+      waited_ms = 0;  // progress resets the stall budget
+      state = parser.Feed(std::string_view(buf, r.bytes));
+    }
+    if (connection_dead) return;
+
+    if (state == HttpRequestParser::State::kError) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.parse_errors;
+        ++stats_.handled_requests;
+      }
+      HttpResponse error;
+      error.status = parser.error_status();
+      error.body = JsonErrorBody(parser.error_status(), parser.error_message());
+      SendAll(fd.get(), SerializeResponse(error, false),
+              options_.write_timeout_ms);
+      return;
+    }
+
+    // ---- Dispatch.
+    const HttpRequest request = parser.Take();
+    ++served;
+    HttpResponse response;
+    try {
+      response = handler_(request);
+    } catch (const std::exception& e) {
+      response = HttpResponse{};
+      response.status = 500;
+      response.body = JsonErrorBody(500, std::string("handler error: ") + e.what());
+      response.close_connection = true;
+    } catch (...) {
+      response = HttpResponse{};
+      response.status = 500;
+      response.body = JsonErrorBody(500, "handler error");
+      response.close_connection = true;
+    }
+
+    const bool keep = request.KeepAlive() &&
+                      served < options_.max_requests_per_connection &&
+                      !draining_.load(std::memory_order_acquire) &&
+                      !response.close_connection;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.handled_requests;
+    }
+    // HEAD gets the head only; Content-Length still describes the body
+    // the corresponding GET would have sent.
+    const IoResult w = SendAll(
+        fd.get(),
+        SerializeResponse(response, keep,
+                          /*omit_body=*/request.method == "HEAD"),
+        options_.write_timeout_ms);
+    if (w.status == IoStatus::kTimeout) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.timed_out_connections;
+    }
+    if (w.status != IoStatus::kOk || !keep) return;
+  }
+}
+
+}  // namespace egp

@@ -1,0 +1,147 @@
+// HttpServer: the transport half of the serving subsystem — a POSIX
+// listener thread plus a ThreadPool of connection workers.
+//
+// Architecture (the ROADMAP's "serving heavy traffic" layer):
+//   * one accept thread polls the listening socket and a self-pipe;
+//   * each accepted connection becomes one task on the shared ThreadPool
+//     (src/common/parallel.h) and is served start-to-finish by one
+//     worker: read (timed) → parse (HttpRequestParser) → handler →
+//     write (timed), looping while keep-alive holds;
+//   * in-flight connections are bounded: beyond the cap the accept
+//     thread answers 503 immediately instead of queueing unboundedly —
+//     backpressure, not collapse;
+//   * Shutdown() (or a byte on shutdown_fd(), which is the only
+//     async-signal-safe way in) stops accepting, lets each in-flight
+//     connection finish its current request with Connection: close, and
+//     Wait() returns once the last worker is done — a graceful drain.
+//
+// The handler runs on worker threads concurrently: it must be
+// thread-safe (PreviewService is; the Engine it wraps was built for
+// this).
+#ifndef EGP_SERVER_HTTP_SERVER_H_
+#define EGP_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/parallel.h"
+#include "common/result.h"
+#include "server/http.h"
+#include "server/socket.h"
+
+namespace egp {
+
+struct HttpServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the result from port().
+  uint16_t port = 0;
+  /// Connection workers. 0 resolves to max(2, egp::Threads()). 1 means
+  /// no worker threads at all: connections are served inline on the
+  /// accept thread (useful for debugging; serial, but still correct).
+  unsigned workers = 0;
+  /// listen(2) backlog for the kernel's accept queue.
+  int listen_backlog = 128;
+  /// In-flight connection cap (accepted, not yet closed). Beyond it new
+  /// connections get an immediate 503. Must be >= 1.
+  size_t max_connections = 256;
+  /// Longest stall while reading one request before the connection is
+  /// closed (408 if mid-request; silently if between keep-alive
+  /// requests).
+  int read_timeout_ms = 10'000;
+  /// Longest stall while writing one response.
+  int write_timeout_ms = 10'000;
+  /// Requests served on one connection before it is closed (bounds how
+  /// long a client can pin a worker).
+  size_t max_requests_per_connection = 1'000;
+  HttpParserLimits limits;
+};
+
+/// Counters for /metrics and tests; all monotone since Start().
+struct HttpServerStats {
+  uint64_t accepted_connections = 0;
+  uint64_t rejected_connections = 0;  // 503 at the accept gate
+  uint64_t handled_requests = 0;      // responses written (any status)
+  uint64_t parse_errors = 0;          // 4xx/5xx from the parser itself
+  uint64_t timed_out_connections = 0;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Binds, spawns the worker pool and the accept thread. The returned
+  /// server is already serving.
+  static Result<std::unique_ptr<HttpServer>> Start(
+      Handler handler, const HttpServerOptions& options);
+
+  /// Destructor shuts down and drains if the caller didn't.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (the actual one when options.port was 0).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return host_; }
+
+  /// Begins a graceful drain: stop accepting, finish in-flight requests,
+  /// close. Safe to call from any thread, and idempotent. NOT
+  /// async-signal-safe — from a signal handler, write a byte to
+  /// shutdown_fd() instead.
+  void Shutdown();
+
+  /// Write end of the self-pipe the accept loop polls; write(2) one byte
+  /// to trigger the same drain as Shutdown(). Valid for the server's
+  /// lifetime.
+  int shutdown_fd() const { return shutdown_pipe_write_.get(); }
+
+  /// Blocks until the drain completes (all connections closed, accept
+  /// thread exited). Returns immediately if already drained.
+  void Wait();
+
+  /// True once Shutdown()/shutdown_fd() has been triggered.
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  HttpServerStats stats() const;
+
+ private:
+  HttpServer() = default;
+
+  void AcceptLoop();
+  void ServeConnection(UniqueFd fd);
+  void FinishConnection();
+
+  std::string host_;
+  uint16_t port_ = 0;
+  HttpServerOptions options_;
+  Handler handler_;
+
+  UniqueFd listen_fd_;
+  UniqueFd shutdown_pipe_read_;
+  UniqueFd shutdown_pipe_write_;
+
+  std::unique_ptr<ThreadPool> pool_;  // null when workers == 1 (inline)
+  std::thread accept_thread_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<size_t> active_connections_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_;  // active_connections_ reached 0
+  bool accept_started_ = false;   // thread spawned (false on failed Start)
+  bool accept_exited_ = false;
+  std::mutex join_mu_;  // serializes accept_thread_.join()
+  HttpServerStats stats_;
+};
+
+}  // namespace egp
+
+#endif  // EGP_SERVER_HTTP_SERVER_H_

@@ -1,0 +1,129 @@
+#include "server/metrics.h"
+
+#include "common/strings.h"
+
+namespace egp {
+
+void LatencyHistogram::Observe(double seconds) {
+  if (seconds < 0) seconds = 0;
+  size_t bucket = kBounds.size();  // +Inf
+  for (size_t i = 0; i < kBounds.size(); ++i) {
+    if (seconds <= kBounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  uint64_t running = 0;
+  for (size_t i = 0; i < kBounds.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    snap.cumulative[i] = running;
+  }
+  snap.count =
+      running + buckets_[kBounds.size()].load(std::memory_order_relaxed);
+  snap.sum_seconds =
+      static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return snap;
+}
+
+double LatencyHistogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double rank = q * static_cast<double>(count);
+  uint64_t previous = 0;
+  for (size_t i = 0; i < kBounds.size(); ++i) {
+    if (static_cast<double>(cumulative[i]) >= rank) {
+      const uint64_t in_bucket = cumulative[i] - previous;
+      const double lower = i == 0 ? 0.0 : kBounds[i - 1];
+      const double upper = kBounds[i];
+      if (in_bucket == 0) return upper;
+      const double frac =
+          (rank - static_cast<double>(previous)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * frac;
+    }
+    previous = cumulative[i];
+  }
+  return kBounds.back();  // fell in +Inf: report the largest finite bound
+}
+
+void ServerMetrics::RecordRequest(std::string_view endpoint, int status,
+                                  double seconds) {
+  latency_.Observe(seconds);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[{std::string(endpoint), status}];
+}
+
+std::vector<ServerMetrics::RequestCount> ServerMetrics::request_counts()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestCount> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    out.push_back(RequestCount{key.first, key.second, count});
+  }
+  return out;
+}
+
+uint64_t ServerMetrics::total_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, count] : counts_) total += count;
+  return total;
+}
+
+void AppendMetricHeader(std::string* out, std::string_view name,
+                        std::string_view type) {
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+void AppendMetric(std::string* out, std::string_view name,
+                  std::string_view labels, double value) {
+  out->append(name);
+  if (!labels.empty()) out->append("{").append(labels).append("}");
+  out->append(" ").append(StrFormat("%.9g", value)).append("\n");
+}
+
+void AppendMetric(std::string* out, std::string_view name,
+                  std::string_view labels, uint64_t value) {
+  out->append(name);
+  if (!labels.empty()) out->append("{").append(labels).append("}");
+  out->append(" ").append(std::to_string(value)).append("\n");
+}
+
+std::string ServerMetrics::PrometheusText() const {
+  std::string out;
+  out.reserve(2048);
+
+  AppendMetricHeader(&out, "egp_http_requests_total", "counter");
+  for (const RequestCount& rc : request_counts()) {
+    AppendMetric(&out, "egp_http_requests_total",
+                 "endpoint=\"" + rc.endpoint +
+                     "\",status=\"" + std::to_string(rc.status) + "\"",
+                 rc.count);
+  }
+
+  const LatencyHistogram::Snapshot snap = latency_.snapshot();
+  AppendMetricHeader(&out, "egp_http_request_duration_seconds", "histogram");
+  for (size_t i = 0; i < LatencyHistogram::kBounds.size(); ++i) {
+    AppendMetric(&out, "egp_http_request_duration_seconds_bucket",
+                 "le=\"" + StrFormat("%g", LatencyHistogram::kBounds[i]) +
+                     "\"",
+                 snap.cumulative[i]);
+  }
+  AppendMetric(&out, "egp_http_request_duration_seconds_bucket", "le=\"+Inf\"",
+               snap.count);
+  AppendMetric(&out, "egp_http_request_duration_seconds_sum", "",
+               snap.sum_seconds);
+  AppendMetric(&out, "egp_http_request_duration_seconds_count", "",
+               snap.count);
+  return out;
+}
+
+}  // namespace egp

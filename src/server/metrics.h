@@ -1,0 +1,93 @@
+// Request metrics for the serving subsystem: per-endpoint counters and a
+// fixed-bucket latency histogram, exported in the Prometheus text
+// exposition format on GET /metrics.
+//
+// Lock-light by design: Observe() on the histogram is a couple of
+// relaxed atomic increments (serving-path cost ~nothing); only the
+// per-(endpoint, status) counter map takes a mutex, and that map is tiny
+// and hit once per request.
+#ifndef EGP_SERVER_METRICS_H_
+#define EGP_SERVER_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace egp {
+
+/// Cumulative histogram over fixed latency bucket bounds (seconds),
+/// Prometheus-style: bucket i counts observations <= bounds[i], plus an
+/// implicit +Inf bucket, a total count, and a sum.
+class LatencyHistogram {
+ public:
+  /// 500µs .. 10s in roughly 2.5× steps — wide enough for a cache-hit
+  /// preview (sub-ms) and a cold multi-second prepare on a big graph.
+  static constexpr std::array<double, 12> kBounds = {
+      0.0005, 0.001, 0.0025, 0.005, 0.010, 0.025,
+      0.050,  0.100, 0.250,  0.500, 1.0,   10.0};
+
+  void Observe(double seconds);
+
+  struct Snapshot {
+    std::array<uint64_t, kBounds.size()> cumulative{};  // counts <= bound
+    uint64_t count = 0;
+    double sum_seconds = 0.0;
+
+    /// Latency below which `q` (0..1) of observations fall, estimated by
+    /// linear interpolation inside the winning bucket; an empty
+    /// histogram gives 0.
+    double Quantile(double q) const;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBounds.size() + 1> buckets_{};
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+/// All metrics the server exports. One instance per server, shared by
+/// worker threads.
+class ServerMetrics {
+ public:
+  /// Records one served request. `endpoint` should be the route label
+  /// ("/v1/preview"), not the raw target (no per-query-string series).
+  void RecordRequest(std::string_view endpoint, int status, double seconds);
+
+  struct RequestCount {
+    std::string endpoint;
+    int status = 0;
+    uint64_t count = 0;
+  };
+  std::vector<RequestCount> request_counts() const;
+  LatencyHistogram::Snapshot latency() const { return latency_.snapshot(); }
+  uint64_t total_requests() const;
+
+  /// The Prometheus exposition text for everything recorded here.
+  /// Caller appends its own gauges (Engine cache stats, connection
+  /// counters) via PrometheusText's helpers below.
+  std::string PrometheusText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, int>, uint64_t> counts_;
+  LatencyHistogram latency_;
+};
+
+/// Appends one "# TYPE name type" header followed by samples; tiny
+/// helpers so ad-hoc gauges (cache stats, uptime) format consistently.
+void AppendMetricHeader(std::string* out, std::string_view name,
+                        std::string_view type);
+void AppendMetric(std::string* out, std::string_view name,
+                  std::string_view labels, double value);
+void AppendMetric(std::string* out, std::string_view name,
+                  std::string_view labels, uint64_t value);
+
+}  // namespace egp
+
+#endif  // EGP_SERVER_METRICS_H_

@@ -1,0 +1,199 @@
+#include "server/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace egp {
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::IOError(what + ": " + std::strerror(err));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  // Best effort: latency tuning, not correctness.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void SetCloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/// Connections must be non-blocking: the timed I/O below is poll + a
+/// non-blocking syscall per step. On a *blocking* socket, send() past
+/// POLLOUT can still park the thread until the peer drains its window —
+/// which would let a stalled reader defeat the write timeout entirely.
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// poll() for `events`, retrying on EINTR with the remaining budget. A
+/// negative timeout waits forever.
+IoResult PollFor(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    pfd.revents = 0;
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n > 0) return IoResult{IoStatus::kOk, 0, 0};
+    if (n == 0) return IoResult{IoStatus::kTimeout, 0, 0};
+    if (errno != EINTR) return IoResult{IoStatus::kError, 0, errno};
+    // EINTR: retry. The residual-budget bookkeeping isn't worth it for
+    // the coarse timeouts used here; a signal storm only extends the
+    // wait, never shortens it below the request.
+  }
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog, uint16_t* bound_port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket", errno);
+  SetCloexec(fd.get());
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return ErrnoStatus("bind " + host + ":" + std::to_string(port), errno);
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return ErrnoStatus("listen", errno);
+  }
+  if (bound_port != nullptr) {
+    struct sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<struct sockaddr*>(&bound),
+                      &len) != 0) {
+      return ErrnoStatus("getsockname", errno);
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+Result<UniqueFd> AcceptConnection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      UniqueFd conn(fd);
+      SetCloexec(fd);
+      SetNoDelay(fd);
+      SetNonBlocking(fd);
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("accept", errno);
+  }
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int timeout_ms) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) return ErrnoStatus("socket", errno);
+  SetCloexec(fd.get());
+
+  if (::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      return ErrnoStatus("connect " + host + ":" + std::to_string(port),
+                         errno);
+    }
+    const IoResult wait = PollFor(fd.get(), POLLOUT, timeout_ms);
+    if (wait.status == IoStatus::kTimeout) {
+      return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                             ": timed out");
+    }
+    if (wait.status == IoStatus::kError) {
+      return ErrnoStatus("connect poll", wait.error);
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      return ErrnoStatus("getsockopt", errno);
+    }
+    if (so_error != 0) {
+      return ErrnoStatus("connect " + host + ":" + std::to_string(port),
+                         so_error);
+    }
+  }
+
+  // Stays non-blocking: all I/O on it goes through the timed helpers.
+  SetNoDelay(fd.get());
+  return fd;
+}
+
+IoResult RecvSome(int fd, char* buf, size_t len, int timeout_ms) {
+  for (;;) {
+    const IoResult wait = PollFor(fd, POLLIN, timeout_ms);
+    if (wait.status != IoStatus::kOk) return wait;
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n > 0) return IoResult{IoStatus::kOk, static_cast<size_t>(n), 0};
+    if (n == 0) return IoResult{IoStatus::kEof, 0, 0};
+    // EAGAIN after POLLIN is a spurious wakeup on a non-blocking socket:
+    // re-poll rather than spin.
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return IoResult{IoStatus::kError, 0, errno};
+  }
+}
+
+IoResult SendAll(int fd, std::string_view data, int timeout_ms) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const IoResult wait = PollFor(fd, POLLOUT, timeout_ms);
+    if (wait.status != IoStatus::kOk) {
+      return IoResult{wait.status, sent, wait.error};
+    }
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return IoResult{IoStatus::kError, sent, errno};
+  }
+  return IoResult{IoStatus::kOk, sent, 0};
+}
+
+IoResult WaitReadable(int fd, int timeout_ms) {
+  return PollFor(fd, POLLIN, timeout_ms);
+}
+
+}  // namespace egp

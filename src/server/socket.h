@@ -1,0 +1,94 @@
+// Thin POSIX TCP layer for the serving subsystem: RAII descriptors,
+// listener/connect helpers, and poll-based timed I/O. No third-party
+// network dependency — everything sits directly on <sys/socket.h>.
+//
+// All I/O here is *timed*: a slow or stalled peer can never park a server
+// worker forever. Timeouts are per poll wait (time to the next byte of
+// progress), not per whole message — the HTTP layer above composes them
+// into per-request behaviour.
+#ifndef EGP_SERVER_SOCKET_H_
+#define EGP_SERVER_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace egp {
+
+/// Owns one file descriptor; closes it on destruction. Movable.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of one timed I/O step.
+enum class IoStatus : uint8_t {
+  kOk = 0,    // made progress (bytes transferred)
+  kEof,       // orderly shutdown from the peer (recv only)
+  kTimeout,   // no progress within the allowed time
+  kError,     // socket error (errno captured)
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  size_t bytes = 0;  // transferred this call (kOk only)
+  int error = 0;     // errno for kError
+};
+
+/// A listening IPv4 TCP socket bound to host:port (REUSEADDR set).
+/// `port` 0 binds an ephemeral port; `bound_port` receives the actual
+/// one. `host` must be a dotted-quad address ("127.0.0.1", "0.0.0.0").
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog, uint16_t* bound_port);
+
+/// Accepts one pending connection (the caller polled for readiness);
+/// sets TCP_NODELAY so small request/response exchanges aren't Nagled.
+Result<UniqueFd> AcceptConnection(int listen_fd);
+
+/// Connects to host:port with a handshake timeout. TCP_NODELAY set.
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int timeout_ms);
+
+/// Receives up to `len` bytes, waiting at most `timeout_ms` for the
+/// first byte (-1 waits forever).
+IoResult RecvSome(int fd, char* buf, size_t len, int timeout_ms);
+
+/// Sends all of `data`, allowing up to `timeout_ms` of stall between
+/// progress steps. Partial progress then a stall is a kTimeout.
+IoResult SendAll(int fd, std::string_view data, int timeout_ms);
+
+/// Blocks until `fd` is readable or `timeout_ms` expires. Used by accept
+/// loops (with the shutdown pipe) and test clients.
+IoResult WaitReadable(int fd, int timeout_ms);
+
+}  // namespace egp
+
+#endif  // EGP_SERVER_SOCKET_H_

@@ -90,6 +90,7 @@ struct Engine::State {
   mutable uint64_t tick = 0;
   mutable uint64_t hits = 0;
   mutable uint64_t misses = 0;
+  mutable uint64_t evictions = 0;
 };
 
 Engine Engine::FromGraph(EntityGraph graph, const EngineOptions& options) {
@@ -115,7 +116,8 @@ const SchemaGraph& Engine::schema() const { return state_->schema; }
 
 Engine::CacheStats Engine::cache_stats() const {
   std::lock_guard<std::mutex> lock(state_->mu);
-  return CacheStats{state_->hits, state_->misses, state_->cache.size()};
+  return CacheStats{state_->hits, state_->misses, state_->evictions,
+                    state_->cache.size()};
 }
 
 Result<std::shared_ptr<const PreparedSchema>> Engine::Prepared(
@@ -153,6 +155,7 @@ Result<std::shared_ptr<const PreparedSchema>> Engine::PreparedInternal(
           if (e->second.last_used < lru->second.last_used) lru = e;
         }
         state.cache.erase(lru);
+        ++state.evictions;
       }
       future = promise.get_future().share();
       my_generation = ++state.tick;

@@ -157,9 +157,13 @@ class Engine {
   const EntityGraph* graph() const;
   const SchemaGraph& schema() const;
 
+  /// Prepared-schema cache introspection (served on /metrics by the
+  /// HTTP subsystem and printed by `egp_cli --verbose`). Counters are
+  /// cumulative since construction; `entries` is the current size.
   struct CacheStats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;  // LRU capacity evictions (not failure drops)
     size_t entries = 0;
   };
   CacheStats cache_stats() const;

@@ -166,18 +166,71 @@ TEST(CliTest, UnknownMeasureOrAlgorithmValueIsUsageError) {
 TEST(CliTest, NegativeFlagValueIsParsedAsValue) {
   // A value starting with '-' must bind to the preceding flag instead of
   // being dropped or misread as the next flag; the CLI then rejects the
-  // negative constraint itself.
+  // out-of-range value itself.
   const std::string out = TempPath("cli_negative_out.txt");
   const std::string err = TempPath("cli_negative_err.txt");
-  for (const char* args : {"--k -1", "--rows -3"}) {
+  EXPECT_EQ(testing_util::RunCommandCapture(
+                std::string(EGP_CLI_PATH) + " preview " + EGP_SAMPLE_NT +
+                    " --k -1",
+                out, err),
+            2);
+  EXPECT_NE(Slurp(err).find(">= 1"), std::string::npos);
+  EXPECT_EQ(testing_util::RunCommandCapture(
+                std::string(EGP_CLI_PATH) + " preview " + EGP_SAMPLE_NT +
+                    " --rows -3",
+                out, err),
+            2);
+  EXPECT_NE(Slurp(err).find("non-negative"), std::string::npos);
+}
+
+TEST(CliTest, ZeroAndNegativeNumericFlagsAreUsageErrors) {
+  // --threads/--k/--n/--tight/--diverse must be >= 1: zero is as wrong
+  // as a negative value or garbage, and all exit 2 without touching the
+  // engine. (--rows 0 stays valid: it means "skip materialization".)
+  const std::string out = TempPath("cli_zero_out.txt");
+  const std::string err = TempPath("cli_zero_err.txt");
+  for (const char* args :
+       {"--k 0", "--n 0", "--k -2", "--n -7", "--threads 0", "--threads -1",
+        "--tight 0", "--diverse 0", "--tight -4", "--k abc"}) {
     EXPECT_EQ(testing_util::RunCommandCapture(
                   std::string(EGP_CLI_PATH) + " preview " + EGP_SAMPLE_NT +
                       " " + args,
                   out, err),
               2)
         << args;
-    EXPECT_NE(Slurp(err).find("non-negative"), std::string::npos) << args;
+    EXPECT_NE(Slurp(err).find("usage: egp"), std::string::npos) << args;
+    EXPECT_EQ(Slurp(out), "") << args;
   }
+  // suggest and report share the hardened parsers.
+  EXPECT_EQ(testing_util::RunCommandCapture(
+                std::string(EGP_CLI_PATH) + " suggest " + EGP_SAMPLE_NT +
+                    " --threads 0",
+                out, err),
+            2);
+  EXPECT_EQ(testing_util::RunCommandCapture(
+                std::string(EGP_CLI_PATH) + " report " + EGP_SAMPLE_NT +
+                    " --k 0",
+                out, err),
+            2);
+  // A valid explicit value still works.
+  EXPECT_EQ(RunCli(std::string("preview ") + EGP_SAMPLE_NT +
+                       " --k 2 --n 4 --threads 1",
+                   out),
+            0);
+}
+
+TEST(CliTest, VerbosePrintsCacheStats) {
+  const std::string out = TempPath("cli_verbose_out.txt");
+  const std::string err = TempPath("cli_verbose_err.txt");
+  ASSERT_EQ(testing_util::RunCommandCapture(
+                std::string(EGP_CLI_PATH) + " preview " + EGP_SAMPLE_NT +
+                    " --k 2 --n 4 --verbose",
+                out, err),
+            0);
+  const std::string text = Slurp(err);
+  EXPECT_NE(text.find("cache   : 1 entry, 0 hit(s), 1 miss(es)"),
+            std::string::npos)
+      << text;
 }
 
 TEST(CliTest, BadUsagePrintsToStderrWithExitCode2) {

@@ -1,0 +1,255 @@
+// PreviewService: JSON request mapping, routing, error statuses, and the
+// bit-identity of served previews with in-process Engine results — all
+// without a socket (the transport is covered by server_test).
+#include "server/api.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datagen/paper_example.h"
+#include "io/json_export.h"
+
+namespace egp {
+namespace {
+
+PreviewService MakeService() {
+  std::vector<std::pair<std::string, Engine>> engines;
+  engines.emplace_back("paper", Engine::FromGraph(BuildPaperExampleGraph()));
+  auto catalog = DatasetCatalog::FromEngines(std::move(engines));
+  EXPECT_TRUE(catalog.ok());
+  return PreviewService(std::move(catalog).value(), "test");
+}
+
+HttpRequest Post(std::string_view target, std::string body) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = std::string(target);
+  request.body = std::move(body);
+  return request;
+}
+
+HttpRequest Get(std::string_view target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = std::string(target);
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Request JSON mapping
+// ---------------------------------------------------------------------------
+
+TEST(ParsePreviewRequestTest, DefaultsMatchPreviewRequest) {
+  const auto parsed = ParsePreviewRequestJson(*ParseJson("{}"));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->dataset.empty());
+  EXPECT_EQ(parsed->request.size.k, 2u);
+  EXPECT_EQ(parsed->request.size.n, 6u);
+  EXPECT_EQ(parsed->request.distance.mode, DistanceMode::kNone);
+  EXPECT_EQ(parsed->request.measures.key, "coverage");
+  EXPECT_EQ(parsed->request.algorithm, "auto");
+  EXPECT_EQ(parsed->request.sample_rows, 0u);
+}
+
+TEST(ParsePreviewRequestTest, ParsesTheFullSurface) {
+  const auto parsed = ParsePreviewRequestJson(*ParseJson(R"({
+    "dataset": "paper",
+    "k": 3, "n": 5, "diverse": 2,
+    "measures": {"key": "randomwalk", "nonkey": "entropy",
+                 "walk": {"smoothing": 0.001, "maxIterations": 100,
+                          "tolerance": 1e-9}},
+    "algorithm": "apriori",
+    "sample": {"rows": 4, "seed": 99, "strategy": "frequency",
+               "mergeMultiway": true}
+  })"));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->dataset, "paper");
+  EXPECT_EQ(parsed->request.size.k, 3u);
+  EXPECT_EQ(parsed->request.size.n, 5u);
+  EXPECT_EQ(parsed->request.distance.mode, DistanceMode::kDiverse);
+  EXPECT_EQ(parsed->request.distance.d, 2u);
+  EXPECT_EQ(parsed->request.measures.key, "randomwalk");
+  EXPECT_EQ(parsed->request.measures.nonkey, "entropy");
+  EXPECT_DOUBLE_EQ(parsed->request.measures.walk.smoothing, 0.001);
+  EXPECT_EQ(parsed->request.measures.walk.max_iterations, 100);
+  EXPECT_EQ(parsed->request.algorithm, "apriori");
+  EXPECT_EQ(parsed->request.sample_rows, 4u);
+  EXPECT_EQ(parsed->request.sample_seed, 99u);
+  EXPECT_EQ(parsed->request.sample_strategy,
+            SamplingStrategy::kFrequencyWeighted);
+  EXPECT_TRUE(parsed->request.merge_multiway_columns);
+}
+
+TEST(ParsePreviewRequestTest, BudgetModeParses) {
+  const auto parsed = ParsePreviewRequestJson(*ParseJson(R"({
+    "budget": {"widthChars": 100, "heightRows": 30},
+    "suggestedDistance": "tight"
+  })"));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->request.budget.has_value());
+  EXPECT_EQ(parsed->request.budget->width_chars, 100u);
+  EXPECT_EQ(parsed->request.suggested_distance, DistanceMode::kTight);
+}
+
+TEST(ParsePreviewRequestTest, RejectsBadShapes) {
+  for (const char* bad : {
+           R"([1,2])",                                   // not an object
+           R"({"k": 0})",                                // zero k
+           R"({"n": -3})",                               // negative n
+           R"({"k": 2.5})",                              // non-integer
+           R"({"k": "2"})",                              // wrong kind
+           R"({"tight": 1, "diverse": 1})",              // exclusive
+           R"({"tight": 0})",                            // zero distance
+           R"({"budget": {"widthChars": 10}, "k": 2})",  // budget+explicit
+           R"({"suggestedDistance": "tight"})",          // needs budget
+           R"({"algoritm": "dp"})",                      // unknown field
+           R"({"sample": {"rows": -1}})",                // negative rows
+           R"({"sample": {"strategy": "best"}})",        // unknown strategy
+           R"({"measures": {"walk": {"smoothing": -1}}})",
+           R"({"budget": {"widthChars": 0}})",
+       }) {
+    const auto doc = ParseJson(bad);
+    ASSERT_TRUE(doc.ok()) << bad;
+    EXPECT_FALSE(ParsePreviewRequestJson(*doc).ok()) << bad;
+  }
+}
+
+TEST(ParseSuggestRequestTest, ParsesBudgetAndMeasures) {
+  const auto parsed = ParseSuggestRequestJson(*ParseJson(R"({
+    "budget": {"widthChars": 80, "heightRows": 24},
+    "measures": {"key": "randomwalk"}
+  })"));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->budget.width_chars, 80u);
+  EXPECT_EQ(parsed->measures.key, "randomwalk");
+  EXPECT_FALSE(ParseSuggestRequestJson(*ParseJson(R"({"k": 2})")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Routing + serving
+// ---------------------------------------------------------------------------
+
+TEST(PreviewServiceTest, HealthzAndDatasets) {
+  PreviewService service = MakeService();
+  const HttpResponse health = service.Handle(Get("/healthz"));
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos);
+
+  const HttpResponse datasets = service.Handle(Get("/v1/datasets"));
+  EXPECT_EQ(datasets.status, 200);
+  EXPECT_NE(datasets.body.find("\"name\":\"paper\""), std::string::npos);
+}
+
+TEST(PreviewServiceTest, ServedPreviewIsBitIdenticalToEngine) {
+  PreviewService service = MakeService();
+  const HttpResponse response = service.Handle(
+      Post("/v1/preview", R"({"k":2,"n":6,"sample":{"rows":3,"seed":11}})"));
+  ASSERT_EQ(response.status, 200) << response.body;
+
+  // In-process golden: same request through the Engine directly.
+  const Engine engine = Engine::FromGraph(BuildPaperExampleGraph());
+  PreviewRequest request;
+  request.size = {2, 6};
+  request.sample_rows = 3;
+  request.sample_seed = 11;
+  const auto served = engine.Preview(request);
+  ASSERT_TRUE(served.ok());
+  EXPECT_DOUBLE_EQ(served->score, 84.0);  // §4's worked optimum
+
+  const std::string preview_json =
+      "\"preview\":" + PreviewToJson(*served->prepared, served->preview);
+  EXPECT_NE(response.body.find(preview_json), std::string::npos)
+      << "server preview JSON diverges from in-process export";
+  const std::string materialized_json =
+      "\"materialized\":" +
+      MaterializedPreviewToJson(*engine.graph(), served->materialized);
+  EXPECT_NE(response.body.find(materialized_json), std::string::npos)
+      << "server materialized JSON diverges from in-process export";
+  EXPECT_NE(response.body.find("\"score\":84"), std::string::npos);
+  EXPECT_NE(response.body.find("\"algorithm\":\"dp\""), std::string::npos);
+}
+
+TEST(PreviewServiceTest, SuggestMatchesEngine) {
+  PreviewService service = MakeService();
+  const HttpResponse response = service.Handle(
+      Post("/v1/suggest", R"({"budget":{"widthChars":90,"heightRows":28}})"));
+  ASSERT_EQ(response.status, 200) << response.body;
+
+  const Engine engine = Engine::FromGraph(BuildPaperExampleGraph());
+  DisplayBudget budget;
+  budget.width_chars = 90;
+  budget.height_rows = 28;
+  const auto suggestion = engine.Suggest(budget);
+  ASSERT_TRUE(suggestion.ok());
+  EXPECT_NE(
+      response.body.find("\"k\":" + std::to_string(suggestion->size.k)),
+      std::string::npos);
+  EXPECT_NE(
+      response.body.find("\"n\":" + std::to_string(suggestion->size.n)),
+      std::string::npos);
+}
+
+TEST(PreviewServiceTest, ErrorStatuses) {
+  PreviewService service = MakeService();
+  // Malformed JSON body → 400 with parse context.
+  EXPECT_EQ(service.Handle(Post("/v1/preview", "{")).status, 400);
+  // Unknown dataset → 404.
+  EXPECT_EQ(
+      service.Handle(Post("/v1/preview", R"({"dataset":"nope"})")).status,
+      404);
+  // Unknown measure → 400 (bad parameter, not bad URL).
+  EXPECT_EQ(service
+                .Handle(Post("/v1/preview",
+                             R"({"measures":{"key":"wat"}})"))
+                .status,
+            400);
+  // DP with a distance constraint → 400 (Engine InvalidArgument).
+  EXPECT_EQ(service
+                .Handle(Post("/v1/preview",
+                             R"({"algorithm":"dp","tight":2})"))
+                .status,
+            400);
+  // Wrong method → 405; unknown path → 404.
+  EXPECT_EQ(service.Handle(Get("/v1/preview")).status, 405);
+  EXPECT_EQ(service.Handle(Post("/healthz", "{}")).status, 405);
+  EXPECT_EQ(service.Handle(Get("/wat")).status, 404);
+}
+
+TEST(PreviewServiceTest, MetricsReflectServedRequests) {
+  PreviewService service = MakeService();
+  service.Handle(Post("/v1/preview", R"({"k":2,"n":4})"));
+  service.Handle(Post("/v1/preview", R"({"k":3,"n":4})"));  // cache hit
+  service.Handle(Post("/v1/preview", "{"));                 // 400
+  const HttpResponse metrics = service.Handle(Get("/metrics"));
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find(
+                "egp_http_requests_total{endpoint=\"/v1/preview\","
+                "status=\"200\"} 2"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find(
+                "egp_http_requests_total{endpoint=\"/v1/preview\","
+                "status=\"400\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      metrics.body.find("egp_prepared_cache_hits_total{dataset=\"paper\"} 1"),
+      std::string::npos);
+  EXPECT_NE(metrics.body.find(
+                "egp_prepared_cache_misses_total{dataset=\"paper\"} 1"),
+            std::string::npos);
+  EXPECT_EQ(metrics.content_type.rfind("text/plain", 0), 0u);
+}
+
+TEST(PreviewServiceTest, CacheHitFlagAppearsInResponse) {
+  PreviewService service = MakeService();
+  const HttpResponse cold =
+      service.Handle(Post("/v1/preview", R"({"k":2,"n":6})"));
+  EXPECT_NE(cold.body.find("\"cacheHit\":false"), std::string::npos);
+  const HttpResponse warm =
+      service.Handle(Post("/v1/preview", R"({"k":3,"n":4})"));
+  EXPECT_NE(warm.body.find("\"cacheHit\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace egp

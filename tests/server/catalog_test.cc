@@ -1,0 +1,80 @@
+// DatasetCatalog: spec parsing, loading from disk, multi-dataset lookup.
+#include "server/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/paper_example.h"
+
+namespace egp {
+namespace {
+
+#ifndef EGP_SAMPLE_NT
+#error "EGP_SAMPLE_NT must be defined by the build"
+#endif
+
+TEST(DatasetSpecTest, ParsesNameEqualsPath) {
+  const auto spec = ParseDatasetSpec("sample=/data/x.nt");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "sample");
+  EXPECT_EQ(spec->path, "/data/x.nt");
+  // '=' in the path survives (split at the first '=').
+  EXPECT_EQ(ParseDatasetSpec("a=/p/x=y.nt")->path, "/p/x=y.nt");
+}
+
+TEST(DatasetSpecTest, RejectsBadSpecs) {
+  EXPECT_FALSE(ParseDatasetSpec("noequals").ok());
+  EXPECT_FALSE(ParseDatasetSpec("=path").ok());         // empty name
+  EXPECT_FALSE(ParseDatasetSpec("name=").ok());         // empty path
+  EXPECT_FALSE(ParseDatasetSpec("bad name=x").ok());    // space in name
+  EXPECT_FALSE(ParseDatasetSpec("a/b=x").ok());         // URL-hostile char
+  EXPECT_TRUE(ParseDatasetSpec("ok-Name_1.2=x").ok());
+}
+
+TEST(DatasetCatalogTest, LoadsFromDisk) {
+  const auto catalog =
+      DatasetCatalog::Load({DatasetSpec{"sample", EGP_SAMPLE_NT}});
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  ASSERT_EQ(catalog->size(), 1u);
+  const DatasetCatalog::Info& info = catalog->infos()[0];
+  EXPECT_EQ(info.name, "sample");
+  EXPECT_EQ(info.path, EGP_SAMPLE_NT);
+  EXPECT_EQ(info.entities, 20u);
+  EXPECT_EQ(info.relationships, 22u);
+  EXPECT_EQ(info.entity_types, 5u);
+  ASSERT_NE(catalog->Find("sample"), nullptr);
+  EXPECT_EQ(catalog->Find("nope"), nullptr);
+  // Single dataset: it is the default.
+  EXPECT_EQ(catalog->Default(), catalog->Find("sample"));
+  EXPECT_EQ(catalog->default_name(), "sample");
+}
+
+TEST(DatasetCatalogTest, LoadErrorsNameTheDataset) {
+  const auto catalog =
+      DatasetCatalog::Load({DatasetSpec{"gone", "/no/such/file.nt"}});
+  ASSERT_FALSE(catalog.ok());
+  EXPECT_NE(catalog.status().message().find("gone"), std::string::npos);
+}
+
+TEST(DatasetCatalogTest, MultiDatasetHasNoDefault) {
+  std::vector<std::pair<std::string, Engine>> engines;
+  engines.emplace_back("b", Engine::FromGraph(BuildPaperExampleGraph()));
+  engines.emplace_back("a", Engine::FromGraph(BuildPaperExampleGraph()));
+  const auto catalog = DatasetCatalog::FromEngines(std::move(engines));
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->size(), 2u);
+  EXPECT_EQ(catalog->infos()[0].name, "a");  // sorted
+  EXPECT_EQ(catalog->Default(), nullptr);
+  EXPECT_NE(catalog->Find("a"), nullptr);
+  EXPECT_NE(catalog->Find("b"), nullptr);
+}
+
+TEST(DatasetCatalogTest, RejectsDuplicatesAndEmpty) {
+  std::vector<std::pair<std::string, Engine>> engines;
+  engines.emplace_back("x", Engine::FromGraph(BuildPaperExampleGraph()));
+  engines.emplace_back("x", Engine::FromGraph(BuildPaperExampleGraph()));
+  EXPECT_FALSE(DatasetCatalog::FromEngines(std::move(engines)).ok());
+  EXPECT_FALSE(DatasetCatalog::Load({}).ok());
+}
+
+}  // namespace
+}  // namespace egp

@@ -99,9 +99,11 @@ TEST(EngineTest, CacheCapacityEvictsLeastRecentlyUsed) {
 
   ASSERT_TRUE(engine.Preview(a).ok());
   ASSERT_TRUE(engine.Preview(b).ok());
+  EXPECT_EQ(engine.cache_stats().evictions, 0u);  // still within capacity
   ASSERT_TRUE(engine.Preview(a).ok());  // touch a: b is now the LRU
   ASSERT_TRUE(engine.Preview(c).ok());  // at capacity: evicts b
   EXPECT_EQ(engine.cache_stats().entries, 2u);
+  EXPECT_EQ(engine.cache_stats().evictions, 1u);
 
   const auto a_again = engine.Preview(a);
   ASSERT_TRUE(a_again.ok());
@@ -109,6 +111,12 @@ TEST(EngineTest, CacheCapacityEvictsLeastRecentlyUsed) {
   const auto b_again = engine.Preview(b);
   ASSERT_TRUE(b_again.ok());
   EXPECT_FALSE(b_again->prepared_cache_hit);  // b was evicted, rebuilt
+  EXPECT_EQ(engine.cache_stats().evictions, 2u);  // rebuilding b evicted a|c
+
+  // The counters reconcile: every miss either sits in the cache, was
+  // LRU-evicted, or was a failure drop (none here).
+  const Engine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, stats.entries + stats.evictions);
 }
 
 TEST(EngineTest, FailedPreparationsAreNotCached) {

@@ -1,19 +1,30 @@
 #!/usr/bin/env bash
-# Records the PreparedSchema perf trajectory: builds the Release bench,
-# runs bench_prepare_scale, and writes the JSON document the repo tracks
-# as BENCH_prepare.json.
+# Records the repo's perf trajectory: builds the requested Release bench,
+# runs it, and writes the JSON document the repo tracks.
 #
-#   tools/bench_to_json.sh                        # defaults below
-#   tools/bench_to_json.sh --scale 2.0 --repeat 5 # extra bench args pass through
+#   tools/bench_to_json.sh                          # prepare trajectory
+#   BENCH=serve tools/bench_to_json.sh              # serving trajectory
+#   tools/bench_to_json.sh --scale 2.0 --repeat 5   # extra args pass through
 #
 # Environment:
+#   BENCH      which trajectory: prepare (default) -> bench_prepare_scale
+#              -> BENCH_prepare.json; serve -> bench_serve_latency ->
+#              BENCH_serve.json
 #   BUILD_DIR  cmake build tree for the bench (default: build-bench)
-#   OUT        output JSON path (default: BENCH_prepare.json at repo root)
+#   OUT        output JSON path (default: BENCH_<name>.json at repo root)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build-bench}"
-OUT="${OUT:-$ROOT/BENCH_prepare.json}"
+BENCH="${BENCH:-prepare}"
+
+case "$BENCH" in
+  prepare) TARGET=bench_prepare_scale ;;
+  serve)   TARGET=bench_serve_latency ;;
+  *) echo "error: BENCH must be 'prepare' or 'serve', got '$BENCH'" >&2
+     exit 2 ;;
+esac
+OUT="${OUT:-$ROOT/BENCH_$BENCH.json}"
 
 # The script owns --out (set OUT= instead): a second --out in the
 # pass-through args would make the bench write elsewhere while the shape
@@ -30,9 +41,9 @@ cmake -B "$BUILD_DIR" -S "$ROOT" \
   -DEGP_BUILD_BENCH=ON \
   -DEGP_BUILD_TESTS=OFF \
   -DEGP_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "$BUILD_DIR" -j --target bench_prepare_scale >/dev/null
+cmake --build "$BUILD_DIR" -j --target "$TARGET" >/dev/null
 
-"$BUILD_DIR/bench/bench_prepare_scale" --out "$OUT" "$@"
+"$BUILD_DIR/bench/$TARGET" --out "$OUT" "$@"
 
 # Shape check: fail loudly rather than commit a malformed trajectory.
 python3 "$ROOT/tools/validate_bench_json.py" "$OUT"

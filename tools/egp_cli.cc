@@ -53,12 +53,12 @@ const char kUsage[] =
     "statistics\n"
     "  preview  <graph.(egt|nt)> [flags]          discover and render a "
     "preview\n"
-    "           --k N --n N  size constraints (default 2, 6)\n"
-    "           --tight D | --diverse D  distance constraint\n"
+    "           --k N --n N  size constraints, >= 1 (default 2, 6)\n"
+    "           --tight D | --diverse D  distance constraint, D >= 1\n"
     "           --key coverage|randomwalk  --nonkey coverage|entropy\n"
     "           --algo auto|bf|dp|apriori|beam  --rows N  --seed S\n"
-    "           --threads N  (0 = all hardware threads; EGP_THREADS also "
-    "works)\n"
+    "           --threads N  (N >= 1; omit for all hardware threads, "
+    "EGP_THREADS also works)\n"
     "           --verbose  (per-phase prepare timings to stderr)\n"
     "           --json  --merge-multiway\n"
     "  suggest  <graph.(egt|nt)> [--width W] [--height H] [--threads N]\n"
@@ -189,13 +189,17 @@ int UsageError(const std::string& message) {
 }
 
 /// Parses --k/--n/--tight/--diverse into the request's constraint fields.
+/// All four must be >= 1 when given: zero tables, zero attributes, or a
+/// zero distance bound are degenerate requests that the discovery layer
+/// would only reject later (or answer vacuously); they are usage errors
+/// here, like any malformed value.
 Status ParseConstraintFlags(const Flags& flags, uint32_t default_k,
                             uint32_t default_n, SizeConstraint* size,
                             DistanceConstraint* distance) {
   EGP_ASSIGN_OR_RETURN(const long k, flags.GetInt("k", default_k));
   EGP_ASSIGN_OR_RETURN(const long n, flags.GetInt("n", default_n));
-  if (k < 0 || n < 0) {
-    return Status::InvalidArgument("--k and --n must be non-negative");
+  if (k <= 0 || n <= 0) {
+    return Status::InvalidArgument("--k and --n must be >= 1");
   }
   size->k = static_cast<uint32_t>(k);
   size->n = static_cast<uint32_t>(n);
@@ -204,11 +208,11 @@ Status ParseConstraintFlags(const Flags& flags, uint32_t default_k,
   }
   if (flags.Has("tight")) {
     EGP_ASSIGN_OR_RETURN(const long d, flags.GetInt("tight", 2));
-    if (d < 0) return Status::InvalidArgument("--tight must be >= 0");
+    if (d <= 0) return Status::InvalidArgument("--tight must be >= 1");
     *distance = DistanceConstraint::Tight(static_cast<uint32_t>(d));
   } else if (flags.Has("diverse")) {
     EGP_ASSIGN_OR_RETURN(const long d, flags.GetInt("diverse", 2));
-    if (d < 0) return Status::InvalidArgument("--diverse must be >= 0");
+    if (d <= 0) return Status::InvalidArgument("--diverse must be >= 1");
     *distance = DistanceConstraint::Diverse(static_cast<uint32_t>(d));
   }
   return Status::OK();
@@ -239,12 +243,20 @@ int CmdStats(const std::string& path) {
   return 0;
 }
 
-/// Parses --threads into engine options. 0 (the default) resolves to
-/// egp::Threads(); a negative value is a usage error.
+/// Parses --threads into engine options. When absent, 0 ("auto") resolves
+/// to egp::Threads(); an explicit value must be >= 1 — `--threads 0`
+/// almost always means a script computed the value wrong, so it is a
+/// usage error rather than a silent alias for auto (which spelling the
+/// flag out or EGP_THREADS already provide).
 Status ParseThreadsFlag(const Flags& flags, EngineOptions* options) {
+  if (!flags.Has("threads")) {
+    options->threads = 0;  // auto
+    return Status::OK();
+  }
   EGP_ASSIGN_OR_RETURN(const long threads, flags.GetInt("threads", 0));
-  if (threads < 0) {
-    return Status::InvalidArgument("--threads must be non-negative");
+  if (threads <= 0) {
+    return Status::InvalidArgument(
+        "--threads must be >= 1 (omit the flag for all hardware threads)");
   }
   options->threads = static_cast<unsigned>(threads);
   return Status::OK();
@@ -307,6 +319,14 @@ int CmdPreview(const std::string& path, const Flags& flags) {
       std::fprintf(stderr, "sample  : %.3f ms\n",
                    response->sample_seconds * 1e3);
     }
+    const Engine::CacheStats cache = engine.cache_stats();
+    std::fprintf(stderr,
+                 "cache   : %zu entr%s, %llu hit(s), %llu miss(es), %llu "
+                 "eviction(s)\n",
+                 cache.entries, cache.entries == 1 ? "y" : "ies",
+                 (unsigned long long)cache.hits,
+                 (unsigned long long)cache.misses,
+                 (unsigned long long)cache.evictions);
   }
 
   if (flags.Has("json")) {

@@ -1,0 +1,216 @@
+// egp_loadgen: concurrent load generator for egp_server.
+//
+//   egp_loadgen [--host H] [--port P] [--connections N] [--requests M]
+//               [--target /v1/preview] [--method POST]
+//               [--body JSON | --body-file PATH] [--no-keepalive]
+//               [--timeout-ms N] [--json]
+//
+// Opens N concurrent connections; each issues M requests back-to-back
+// (keep-alive by default) and records per-request latency. Prints
+// achieved throughput and the latency distribution; --json emits a
+// machine-readable document instead.
+//
+// The default body is a small POST /v1/preview request against the
+// catalog's default dataset — point --body/--body-file elsewhere for
+// other workloads.
+//
+// Exit codes: 0 all requests succeeded (HTTP 2xx), 1 any failure,
+// 2 bad usage.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stat_util.h"
+#include "common/timer.h"
+#include "server/http_client.h"
+
+namespace {
+
+using namespace egp;
+
+const char kUsage[] =
+    "usage: egp_loadgen [--host H] [--port P] [--connections N]\n"
+    "                   [--requests M] [--target T] [--method GET|POST]\n"
+    "                   [--body JSON | --body-file PATH] [--no-keepalive]\n"
+    "                   [--timeout-ms N] [--json]\n";
+
+const char kDefaultBody[] =
+    R"({"k":2,"n":4,"sample":{"rows":2,"seed":7}})";
+
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "egp_loadgen: %s\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;
+  uint64_t failures = 0;       // transport errors
+  uint64_t bad_statuses = 0;   // non-2xx responses
+};
+
+/// egp::Quantile with the all-requests-failed case mapped to 0.
+double Percentile(const std::vector<double>& values, double q) {
+  return values.empty() ? 0.0 : Quantile(values, q);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  long port = 8080;
+  long connections = 8;
+  long requests = 100;
+  std::string target = "/v1/preview";
+  std::string method = "POST";
+  std::string body = kDefaultBody;
+  bool keepalive = true;
+  long timeout_ms = 30'000;
+  bool json_output = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](std::string* out) -> bool {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    auto next_long = [&](long min, long max, long* out) -> bool {
+      std::string value;
+      if (!next_value(&value)) return false;
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < min ||
+          parsed > max) {
+        return false;
+      }
+      *out = parsed;
+      return true;
+    };
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--host") {
+      if (!next_value(&host)) return UsageError("--host needs a value");
+    } else if (arg == "--port") {
+      if (!next_long(1, 65535, &port)) return UsageError("bad --port");
+    } else if (arg == "--connections") {
+      if (!next_long(1, 4096, &connections)) {
+        return UsageError("bad --connections");
+      }
+    } else if (arg == "--requests") {
+      if (!next_long(1, 10'000'000, &requests)) {
+        return UsageError("bad --requests");
+      }
+    } else if (arg == "--target") {
+      if (!next_value(&target)) return UsageError("--target needs a value");
+    } else if (arg == "--method") {
+      if (!next_value(&method)) return UsageError("--method needs a value");
+      if (method != "GET" && method != "POST") {
+        return UsageError("--method must be GET or POST");
+      }
+    } else if (arg == "--body") {
+      if (!next_value(&body)) return UsageError("--body needs a value");
+    } else if (arg == "--body-file") {
+      if (!next_value(&value)) return UsageError("--body-file needs a value");
+      std::ifstream in(value);
+      if (!in) return UsageError("cannot read --body-file '" + value + "'");
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      body = buffer.str();
+    } else if (arg == "--no-keepalive") {
+      keepalive = false;
+    } else if (arg == "--timeout-ms") {
+      if (!next_long(1, 3600 * 1000, &timeout_ms)) {
+        return UsageError("bad --timeout-ms");
+      }
+    } else if (arg == "--json") {
+      json_output = true;
+    } else {
+      return UsageError("unknown argument '" + arg + "'");
+    }
+  }
+  if (method == "GET") body.clear();
+
+  std::vector<WorkerResult> results(static_cast<size_t>(connections));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(connections));
+  Timer wall;
+  for (long c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      WorkerResult& result = results[static_cast<size_t>(c)];
+      HttpClient client(host, static_cast<uint16_t>(port),
+                        static_cast<int>(timeout_ms));
+      for (long r = 0; r < requests; ++r) {
+        Timer timer;
+        const auto response =
+            method == "GET" ? client.Get(target)
+                            : client.Post(target, body);
+        if (!response.ok()) {
+          ++result.failures;
+          client.Disconnect();
+          continue;
+        }
+        result.latencies_ms.push_back(timer.ElapsedMillis());
+        if (response->status < 200 || response->status >= 300) {
+          ++result.bad_statuses;
+        }
+        if (!keepalive) client.Disconnect();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  std::vector<double> latencies;
+  uint64_t failures = 0;
+  uint64_t bad_statuses = 0;
+  for (WorkerResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_ms.begin(),
+                     result.latencies_ms.end());
+    failures += result.failures;
+    bad_statuses += result.bad_statuses;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const uint64_t completed = latencies.size();
+  const double rps =
+      wall_seconds > 0 ? static_cast<double>(completed) / wall_seconds : 0.0;
+  double mean = 0.0;
+  for (const double l : latencies) mean += l;
+  if (completed > 0) mean /= static_cast<double>(completed);
+
+  if (json_output) {
+    std::printf(
+        "{\"connections\":%ld,\"requests_per_connection\":%ld,"
+        "\"completed\":%llu,\"failures\":%llu,\"bad_statuses\":%llu,"
+        "\"wall_seconds\":%.6f,\"throughput_rps\":%.2f,"
+        "\"latency_ms\":{\"mean\":%.3f,\"p50\":%.3f,\"p90\":%.3f,"
+        "\"p99\":%.3f,\"max\":%.3f}}\n",
+        connections, requests, static_cast<unsigned long long>(completed),
+        static_cast<unsigned long long>(failures),
+        static_cast<unsigned long long>(bad_statuses), wall_seconds, rps,
+        mean, Percentile(latencies, 0.50), Percentile(latencies, 0.90),
+        Percentile(latencies, 0.99),
+        latencies.empty() ? 0.0 : latencies.back());
+  } else {
+    std::printf("%ld connection(s) x %ld request(s) -> %s %s\n", connections,
+                requests, method.c_str(), target.c_str());
+    std::printf("completed : %llu (%llu transport failure(s), %llu non-2xx)\n",
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(failures),
+                static_cast<unsigned long long>(bad_statuses));
+    std::printf("wall      : %.3f s  (%.1f req/s)\n", wall_seconds, rps);
+    std::printf("latency   : mean %.3f ms, p50 %.3f, p90 %.3f, p99 %.3f, "
+                "max %.3f\n",
+                mean, Percentile(latencies, 0.50),
+                Percentile(latencies, 0.90), Percentile(latencies, 0.99),
+                latencies.empty() ? 0.0 : latencies.back());
+  }
+  return failures == 0 && bad_statuses == 0 ? 0 : 1;
+}

@@ -1,0 +1,258 @@
+// egp_server: the HTTP preview-serving daemon.
+//
+//   egp_server --dataset name=path [--dataset name2=path2 ...]
+//              [--host H] [--port P] [--workers N] [--engine-threads N]
+//              [--max-connections N] [--read-timeout-ms N]
+//              [--write-timeout-ms N] [--max-body-bytes N]
+//              [--max-requests-per-connection N] [--cache-capacity N]
+//
+// Serves the JSON API of src/server/api.h (POST /v1/preview, POST
+// /v1/suggest, GET /v1/datasets, GET /healthz, GET /metrics) over the
+// listener + worker-pool transport of src/server/http_server.h.
+//
+// --port 0 binds an ephemeral port; the chosen one is printed on the
+// "listening" line (machine-parsed by the integration smoke test).
+// SIGINT/SIGTERM trigger a graceful drain: stop accepting, finish
+// in-flight requests, exit 0.
+//
+// Exit codes: 0 clean shutdown, 1 runtime failure, 2 bad usage.
+#include <csignal>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/api.h"
+#include "server/catalog.h"
+#include "server/http_server.h"
+
+#ifndef EGP_VERSION_STRING
+#define EGP_VERSION_STRING "unknown"
+#endif
+
+namespace {
+
+using namespace egp;
+
+const char kUsage[] =
+    "usage: egp_server --dataset name=path [--dataset name2=path2 ...]\n"
+    "                  [--host H] [--port P] [--workers N]\n"
+    "                  [--engine-threads N] [--max-connections N]\n"
+    "                  [--read-timeout-ms N] [--write-timeout-ms N]\n"
+    "                  [--max-body-bytes N]\n"
+    "                  [--max-requests-per-connection N]\n"
+    "                  [--cache-capacity N]\n"
+    "\n"
+    "  --dataset name=path   load an entity graph (.nt or .egt) as\n"
+    "                        'name'; repeat for a multi-dataset catalog\n"
+    "  --host H              bind address (default 127.0.0.1)\n"
+    "  --port P              TCP port; 0 picks an ephemeral one\n"
+    "                        (default 8080)\n"
+    "  --workers N           connection worker threads (default\n"
+    "                        max(2, hardware))\n"
+    "  --engine-threads N    threads per PreparedSchema build (default\n"
+    "                        hardware; 1 = serial)\n"
+    "  --max-connections N   in-flight connection cap; beyond it new\n"
+    "                        connections get 503 (default 256)\n"
+    "  --read-timeout-ms N   per-request read stall budget (default\n"
+    "                        10000)\n"
+    "  --write-timeout-ms N  per-response write stall budget (default\n"
+    "                        10000)\n"
+    "  --max-body-bytes N    request body cap (default 4194304)\n"
+    "  --max-requests-per-connection N\n"
+    "                        keep-alive requests before close\n"
+    "                        (default 1000)\n"
+    "  --cache-capacity N    prepared-schema cache entries per dataset\n"
+    "                        (default 16; 0 = unbounded)\n"
+    "\n"
+    "endpoints: POST /v1/preview, POST /v1/suggest, GET /v1/datasets,\n"
+    "           GET /healthz, GET /metrics\n";
+
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "egp_server: %s\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+/// The write end of the server's shutdown pipe, for the signal handler.
+/// Plain volatile int: set once before handlers are installed.
+volatile sig_atomic_t g_shutdown_fd = -1;
+
+void OnTerminateSignal(int /*signum*/) {
+  // write(2) is async-signal-safe; everything else happens on the main
+  // thread after Wait() returns.
+  if (g_shutdown_fd >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] ssize_t n = write(g_shutdown_fd, &byte, 1);
+  }
+}
+
+/// Strict flag scan. Every flag takes a value; --dataset repeats.
+struct ServerArgs {
+  std::vector<DatasetSpec> datasets;
+  HttpServerOptions http;
+  EngineOptions engine;
+  bool ok = false;
+  int exit_code = 0;
+};
+
+ServerArgs ParseArgs(int argc, char** argv) {
+  ServerArgs args;
+  args.http.port = 8080;
+  long cache_capacity = 16;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      args.exit_code = 0;
+      return args;
+    }
+    if (arg == "--version") {
+      std::printf("egp_server %s\n", EGP_VERSION_STRING);
+      args.exit_code = 0;
+      return args;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      args.exit_code = UsageError("unexpected argument '" + arg + "'");
+      return args;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else {
+      if (i + 1 >= argc) {
+        args.exit_code = UsageError("flag '--" + name + "' needs a value");
+        return args;
+      }
+      value = argv[++i];
+    }
+
+    auto parse_long = [&](long min, long max, long* out) -> bool {
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < min ||
+          parsed > max) {
+        args.exit_code = UsageError(
+            "flag '--" + name + "' expects an integer in [" +
+            std::to_string(min) + ", " + std::to_string(max) + "], got '" +
+            value + "'");
+        return false;
+      }
+      *out = parsed;
+      return true;
+    };
+
+    long parsed = 0;
+    if (name == "dataset") {
+      auto spec = ParseDatasetSpec(value);
+      if (!spec.ok()) {
+        args.exit_code = UsageError(spec.status().message());
+        return args;
+      }
+      args.datasets.push_back(std::move(spec).value());
+    } else if (name == "host") {
+      args.http.host = value;
+    } else if (name == "port") {
+      if (!parse_long(0, 65535, &parsed)) return args;
+      args.http.port = static_cast<uint16_t>(parsed);
+    } else if (name == "workers") {
+      if (!parse_long(1, kMaxThreads, &parsed)) return args;
+      args.http.workers = static_cast<unsigned>(parsed);
+    } else if (name == "engine-threads") {
+      if (!parse_long(1, kMaxThreads, &parsed)) return args;
+      args.engine.threads = static_cast<unsigned>(parsed);
+    } else if (name == "max-connections") {
+      if (!parse_long(1, 1 << 20, &parsed)) return args;
+      args.http.max_connections = static_cast<size_t>(parsed);
+    } else if (name == "read-timeout-ms") {
+      if (!parse_long(1, 3600 * 1000, &parsed)) return args;
+      args.http.read_timeout_ms = static_cast<int>(parsed);
+    } else if (name == "write-timeout-ms") {
+      if (!parse_long(1, 3600 * 1000, &parsed)) return args;
+      args.http.write_timeout_ms = static_cast<int>(parsed);
+    } else if (name == "max-body-bytes") {
+      if (!parse_long(1, 1L << 30, &parsed)) return args;
+      args.http.limits.max_body_bytes = static_cast<size_t>(parsed);
+    } else if (name == "max-requests-per-connection") {
+      if (!parse_long(1, 1L << 30, &parsed)) return args;
+      args.http.max_requests_per_connection = static_cast<size_t>(parsed);
+    } else if (name == "cache-capacity") {
+      if (!parse_long(0, 1 << 20, &cache_capacity)) return args;
+    } else {
+      args.exit_code = UsageError("unknown flag '--" + name + "'");
+      return args;
+    }
+  }
+
+  if (args.datasets.empty()) {
+    args.exit_code =
+        UsageError("at least one --dataset name=path is required");
+    return args;
+  }
+  args.engine.prepared_cache_capacity =
+      static_cast<size_t>(cache_capacity);
+  args.ok = true;
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerArgs args = ParseArgs(argc, argv);
+  if (!args.ok) return args.exit_code;
+
+  auto catalog = DatasetCatalog::Load(args.datasets, args.engine);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "egp_server: %s\n",
+                 catalog.status().ToString().c_str());
+    return 1;
+  }
+  for (const DatasetCatalog::Info& info : catalog->infos()) {
+    std::fprintf(stderr,
+                 "loaded dataset '%s' from %s: %zu entities, %zu "
+                 "relationships, %zu types\n",
+                 info.name.c_str(), info.path.c_str(), info.entities,
+                 info.relationships, info.entity_types);
+  }
+
+  PreviewService service(std::move(catalog).value(), EGP_VERSION_STRING);
+  auto server = HttpServer::Start(
+      [&service](const HttpRequest& request) {
+        return service.Handle(request);
+      },
+      args.http);
+  if (!server.ok()) {
+    std::fprintf(stderr, "egp_server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  service.AttachServer(server->get());
+
+  g_shutdown_fd = (*server)->shutdown_fd();
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnTerminateSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  // Machine-parsed by tests ("listening on HOST:PORT"); keep the shape.
+  std::printf("egp_server %s listening on %s:%u (%zu dataset%s)\n",
+              EGP_VERSION_STRING, (*server)->host().c_str(),
+              static_cast<unsigned>((*server)->port()),
+              service.catalog().size(),
+              service.catalog().size() == 1 ? "" : "s");
+  std::fflush(stdout);
+
+  (*server)->Wait();
+  const HttpServerStats stats = (*server)->stats();
+  std::printf("drained: %llu connections accepted, %llu requests served\n",
+              static_cast<unsigned long long>(stats.accepted_connections),
+              static_cast<unsigned long long>(stats.handled_requests));
+  return 0;
+}

@@ -1,14 +1,14 @@
 #!/usr/bin/env python3
-"""Shape check for BENCH_prepare.json — shared by tools/bench_to_json.sh
-and the CI bench-smoke job so the two can't drift."""
+"""Shape check for the tracked perf-trajectory documents
+(BENCH_prepare.json from bench_prepare_scale, BENCH_serve.json from
+bench_serve_latency) — shared by tools/bench_to_json.sh and the CI
+bench-smoke / server-smoke jobs so the emitters and checks can't drift.
+Dispatches on the document's "bench" id."""
 import json
 import sys
 
 
-def main(path: str) -> int:
-    with open(path) as f:
-        doc = json.load(f)
-    assert doc["bench"] == "bench_prepare_scale", "unexpected bench id"
+def check_prepare(doc) -> None:
     assert isinstance(doc["hardware_threads"], int), "missing hardware_threads"
     assert doc["datasets"], "no datasets recorded"
     for dataset in doc["datasets"]:
@@ -19,7 +19,44 @@ def main(path: str) -> int:
             assert build["total_seconds"] > 0, "non-positive build time"
             for phase in ("key", "nonkey", "distance", "candidate_sort"):
                 assert build[f"{phase}_seconds"] >= 0, f"missing {phase} phase"
-    print(f"OK: {path} ({len(doc['datasets'])} dataset(s))")
+    print(f"OK: {len(doc['datasets'])} dataset(s)")
+
+
+def check_serve(doc) -> None:
+    assert isinstance(doc["hardware_threads"], int), "missing hardware_threads"
+    assert isinstance(doc["workers"], int) and doc["workers"] >= 1, \
+        "missing workers"
+    assert doc["datasets"], "no datasets recorded"
+    for dataset in doc["datasets"]:
+        assert dataset["entities"] > 0, "empty dataset"
+    assert doc["runs"], "no runs recorded"
+    for run in doc["runs"]:
+        assert run["connections"] >= 1, "bad connection count"
+        assert run["errors"] == 0, \
+            f"run at c={run['connections']} had {run['errors']} error(s)"
+        assert run["completed"] > 0, "no completed requests"
+        assert run["wall_seconds"] > 0, "non-positive wall time"
+        assert run["throughput_rps"] > 0, "non-positive throughput"
+        assert run["p50_ms"] > 0, "non-positive p50"
+        assert run["p99_ms"] >= run["p50_ms"], "p99 below p50"
+        assert run["max_ms"] >= run["p99_ms"], "max below p99"
+    print(f"OK: {len(doc['runs'])} run(s) over "
+          f"{len(doc['datasets'])} dataset(s)")
+
+
+CHECKS = {
+    "bench_prepare_scale": check_prepare,
+    "bench_serve_latency": check_serve,
+}
+
+
+def main(path: str) -> int:
+    with open(path) as f:
+        doc = json.load(f)
+    bench = doc.get("bench")
+    assert bench in CHECKS, f"unexpected bench id {bench!r}"
+    print(f"{path}: {bench} ... ", end="")
+    CHECKS[bench](doc)
     return 0
 
 
