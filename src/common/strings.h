@@ -2,6 +2,7 @@
 #ifndef EGP_COMMON_STRINGS_H_
 #define EGP_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,6 +28,14 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
 bool StartsWith(std::string_view text, std::string_view prefix);
 bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Value of an ASCII hex digit, or -1 (the \u-escape decoders of the
+/// N-Triples and JSON parsers).
+int HexDigitValue(char c);
+
+/// Appends `code` UTF-8 encoded; false (appending nothing) for UTF-16
+/// surrogate halves and code points above U+10FFFF.
+bool AppendUtf8(std::string* out, uint32_t code);
 
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* format, ...)

@@ -29,7 +29,8 @@ const char* NonKeyMeasureRegistryName(NonKeyMeasure m) {
 Result<PreparedSchema> PreparedSchema::Create(SchemaGraph schema,
                                               const MeasureSelection& measures,
                                               const EntityGraph* graph,
-                                              ThreadPool* pool) {
+                                              ThreadPool* pool,
+                                              const FrozenGraph* frozen) {
   const Timer total_timer;
   Timer phase_timer;
   PreparedSchema prepared;
@@ -44,7 +45,7 @@ Result<PreparedSchema> PreparedSchema::Create(SchemaGraph schema,
                                          : NonKeyMeasure::kCoverage;
   prepared.options_.walk = measures.walk;
 
-  const ScoringContext context{schema, graph, measures.walk, pool};
+  const ScoringContext context{schema, graph, measures.walk, pool, frozen};
   ScoringRegistry& registry = ScoringRegistry::Global();
 
   KeyScorerFn key_scorer;
@@ -121,12 +122,12 @@ Result<PreparedSchema> PreparedSchema::Create(SchemaGraph schema,
 
 Result<PreparedSchema> PreparedSchema::Create(
     SchemaGraph schema, const PreparedSchemaOptions& options,
-    const EntityGraph* graph, ThreadPool* pool) {
+    const EntityGraph* graph, ThreadPool* pool, const FrozenGraph* frozen) {
   MeasureSelection measures;
   measures.key = KeyMeasureRegistryName(options.key_measure);
   measures.nonkey = NonKeyMeasureRegistryName(options.nonkey_measure);
   measures.walk = options.walk;
-  return Create(std::move(schema), measures, graph, pool);
+  return Create(std::move(schema), measures, graph, pool, frozen);
 }
 
 size_t PreparedSchema::TotalCandidates() const {

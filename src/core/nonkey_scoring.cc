@@ -147,7 +147,8 @@ double RelationshipEntropyCsr(const FrozenGraph& frozen,
 
 Result<NonKeyScores> ComputeNonKeyEntropy(const EntityGraph& graph,
                                           const SchemaGraph& schema,
-                                          ThreadPool* pool) {
+                                          ThreadPool* pool,
+                                          const FrozenGraph* prebuilt) {
   for (uint32_t i = 0; i < schema.num_edges(); ++i) {
     if (schema.RelTypeOfEdge(i) == kInvalidId) {
       return Status::FailedPrecondition(
@@ -158,8 +159,11 @@ Result<NonKeyScores> ComputeNonKeyEntropy(const EntityGraph& graph,
 
   // One freeze serves every (relationship, direction) job: outgoing reads
   // the forward CSR index, incoming the reverse — the single pass over
-  // the edges happens here, not per direction.
-  const FrozenGraph frozen = FrozenGraph::Freeze(graph, pool);
+  // the edges happens here, not per direction. A caller-supplied CSR
+  // (snapshot-loaded graphs) skips even that; copying the handle is
+  // cheap (shared backing).
+  const FrozenGraph frozen =
+      prebuilt != nullptr ? *prebuilt : FrozenGraph::Freeze(graph, pool);
 
   NonKeyScores scores;
   scores.outgoing.resize(schema.num_edges());

@@ -38,10 +38,13 @@ NonKeyScores ComputeNonKeyCoverage(const SchemaGraph& schema);
 /// both orientations come from the forward and reverse CSR index, so no
 /// per-direction edge-list copy or global edge sort is ever made. The
 /// independent (relationship, direction) jobs run on `pool` when one is
-/// given, with bit-identical scores at any parallelism.
+/// given, with bit-identical scores at any parallelism. When `frozen`
+/// (the prebuilt CSR of `graph`, e.g. loaded from an .egps snapshot) is
+/// given, the freeze is skipped entirely.
 Result<NonKeyScores> ComputeNonKeyEntropy(const EntityGraph& graph,
                                           const SchemaGraph& schema,
-                                          ThreadPool* pool = nullptr);
+                                          ThreadPool* pool = nullptr,
+                                          const FrozenGraph* frozen = nullptr);
 
 /// Entropy of a single relationship type from the perspective of one
 /// endpoint (exposed for tests of the paper's worked example). Reference

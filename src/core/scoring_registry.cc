@@ -34,7 +34,8 @@ ScoringRegistry::ScoringRegistry() {
           "the 'entropy' non-key measure requires the entity graph, but "
           "only a schema graph is available"));
     }
-    return ComputeNonKeyEntropy(*context.graph, context.schema, context.pool);
+    return ComputeNonKeyEntropy(*context.graph, context.schema, context.pool,
+                                context.frozen);
   };
 }
 

@@ -83,6 +83,9 @@ class EntityGraph {
 
  private:
   friend class EntityGraphBuilder;
+  // The .egps snapshot loader (src/store/) reconstructs graphs directly
+  // from validated binary sections, bypassing the per-record builder.
+  friend struct GraphAssembler;
 
   StringPool entity_names_;
   StringPool type_names_;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/strings.h"
 
 namespace egp {
 namespace {
@@ -25,33 +27,81 @@ bool ArcLess(const FrozenGraph::Arc& a, const FrozenGraph::Arc& b) {
   }
 }
 
+/// Shape + bounds check of one direction's (offsets, arcs) pair; `label`
+/// names the direction in error messages.
+Status ValidateCsrSide(const char* label, size_t num_entities,
+                       size_t num_rel_types,
+                       std::span<const uint64_t> offsets,
+                       std::span<const FrozenGraph::Arc> arcs) {
+  if (offsets.size() != num_entities + 1) {
+    return Status::Corruption(StrFormat(
+        "%s offsets: %zu entries for %zu entities (want %zu)", label,
+        offsets.size(), num_entities, num_entities + 1));
+  }
+  if (offsets[0] != 0) {
+    return Status::Corruption(
+        StrFormat("%s offsets do not start at 0", label));
+  }
+  if (offsets[num_entities] != arcs.size()) {
+    return Status::Corruption(StrFormat(
+        "%s offsets end at %llu but there are %zu arcs", label,
+        (unsigned long long)offsets[num_entities], arcs.size()));
+  }
+  // The whole offset table must be proven monotone BEFORE any
+  // offsets[i]-based arc access: monotone + back() == arcs.size()
+  // bounds every entry, whereas interleaving the check with the scan
+  // would read arcs[a] out of bounds for a large entry whose decrease
+  // only shows up later.
+  for (size_t i = 0; i < num_entities; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::Corruption(StrFormat(
+          "%s offsets decrease at entity %zu", label, i));
+    }
+  }
+  for (size_t i = 0; i < num_entities; ++i) {
+    for (uint64_t a = offsets[i]; a < offsets[i + 1]; ++a) {
+      const FrozenGraph::Arc& arc = arcs[a];
+      if (arc.neighbor >= num_entities || arc.rel_type >= num_rel_types) {
+        return Status::Corruption(StrFormat(
+            "%s arc %llu of entity %zu out of range", label,
+            (unsigned long long)a, i));
+      }
+      if (a > offsets[i] && ArcLess(arc, arcs[a - 1])) {
+        return Status::Corruption(StrFormat(
+            "%s arcs of entity %zu not sorted by (rel_type, neighbor)",
+            label, i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 FrozenGraph FrozenGraph::Freeze(const EntityGraph& graph, ThreadPool* pool) {
-  FrozenGraph frozen;
+  auto arrays = std::make_shared<OwnedArrays>();
   const size_t n = graph.num_entities();
-  frozen.num_entities_ = n;
-  frozen.out_offsets_.assign(n + 1, 0);
-  frozen.in_offsets_.assign(n + 1, 0);
+  arrays->out_offsets.assign(n + 1, 0);
+  arrays->in_offsets.assign(n + 1, 0);
 
   for (const EdgeRecord& e : graph.edges()) {
-    ++frozen.out_offsets_[e.src + 1];
-    ++frozen.in_offsets_[e.dst + 1];
+    ++arrays->out_offsets[e.src + 1];
+    ++arrays->in_offsets[e.dst + 1];
   }
   for (size_t i = 0; i < n; ++i) {
-    frozen.out_offsets_[i + 1] += frozen.out_offsets_[i];
-    frozen.in_offsets_[i + 1] += frozen.in_offsets_[i];
+    arrays->out_offsets[i + 1] += arrays->out_offsets[i];
+    arrays->in_offsets[i + 1] += arrays->in_offsets[i];
   }
 
-  frozen.out_arcs_.resize(graph.num_edges());
-  frozen.in_arcs_.resize(graph.num_edges());
-  std::vector<uint64_t> out_cursor(frozen.out_offsets_.begin(),
-                                   frozen.out_offsets_.end() - 1);
-  std::vector<uint64_t> in_cursor(frozen.in_offsets_.begin(),
-                                  frozen.in_offsets_.end() - 1);
+  arrays->out_arcs.resize(graph.num_edges());
+  arrays->in_arcs.resize(graph.num_edges());
+  std::vector<uint64_t> out_cursor(arrays->out_offsets.begin(),
+                                   arrays->out_offsets.end() - 1);
+  std::vector<uint64_t> in_cursor(arrays->in_offsets.begin(),
+                                  arrays->in_offsets.end() - 1);
   for (const EdgeRecord& e : graph.edges()) {
-    frozen.out_arcs_[out_cursor[e.src]++] = Arc{e.dst, e.rel_type};
-    frozen.in_arcs_[in_cursor[e.dst]++] = Arc{e.src, e.rel_type};
+    arrays->out_arcs[out_cursor[e.src]++] = Arc{e.dst, e.rel_type};
+    arrays->in_arcs[in_cursor[e.dst]++] = Arc{e.src, e.rel_type};
   }
 
   // Sort each entity's run by (rel_type, neighbor): per-relationship
@@ -59,28 +109,61 @@ FrozenGraph FrozenGraph::Freeze(const EntityGraph& graph, ThreadPool* pool) {
   // per-entity sorts parallelize without affecting the result.
   ParallelFor(
       pool, 0, n,
-      [&frozen](size_t i) {
-        std::sort(frozen.out_arcs_.begin() + frozen.out_offsets_[i],
-                  frozen.out_arcs_.begin() + frozen.out_offsets_[i + 1],
+      [&arrays](size_t i) {
+        std::sort(arrays->out_arcs.begin() + arrays->out_offsets[i],
+                  arrays->out_arcs.begin() + arrays->out_offsets[i + 1],
                   ArcLess);
-        std::sort(frozen.in_arcs_.begin() + frozen.in_offsets_[i],
-                  frozen.in_arcs_.begin() + frozen.in_offsets_[i + 1],
+        std::sort(arrays->in_arcs.begin() + arrays->in_offsets[i],
+                  arrays->in_arcs.begin() + arrays->in_offsets[i + 1],
                   ArcLess);
       },
       /*grain=*/64);
+
+  FrozenGraph frozen;
+  frozen.num_entities_ = n;
+  frozen.out_offsets_ = arrays->out_offsets;
+  frozen.in_offsets_ = arrays->in_offsets;
+  frozen.out_arcs_ = arrays->out_arcs;
+  frozen.in_arcs_ = arrays->in_arcs;
+  frozen.backing_ = std::move(arrays);
+  return frozen;
+}
+
+Result<FrozenGraph> FrozenGraph::FromCsr(
+    size_t num_entities, size_t num_rel_types,
+    std::span<const uint64_t> out_offsets,
+    std::span<const uint64_t> in_offsets, std::span<const Arc> out_arcs,
+    std::span<const Arc> in_arcs, std::shared_ptr<const void> backing) {
+  EGP_RETURN_IF_ERROR(ValidateCsrSide("forward", num_entities, num_rel_types,
+                                      out_offsets, out_arcs));
+  EGP_RETURN_IF_ERROR(ValidateCsrSide("reverse", num_entities, num_rel_types,
+                                      in_offsets, in_arcs));
+  if (out_arcs.size() != in_arcs.size()) {
+    return Status::Corruption(StrFormat(
+        "forward/reverse arc counts differ: %zu vs %zu", out_arcs.size(),
+        in_arcs.size()));
+  }
+  FrozenGraph frozen;
+  frozen.num_entities_ = num_entities;
+  frozen.view_ = true;
+  frozen.out_offsets_ = out_offsets;
+  frozen.in_offsets_ = in_offsets;
+  frozen.out_arcs_ = out_arcs;
+  frozen.in_arcs_ = in_arcs;
+  frozen.backing_ = std::move(backing);
   return frozen;
 }
 
 std::span<const FrozenGraph::Arc> FrozenGraph::OutArcs(EntityId e) const {
   EGP_CHECK(e < num_entities_) << "bad entity id";
-  return {out_arcs_.data() + out_offsets_[e],
-          out_arcs_.data() + out_offsets_[e + 1]};
+  return out_arcs_.subspan(out_offsets_[e], out_offsets_[e + 1] -
+                                                out_offsets_[e]);
 }
 
 std::span<const FrozenGraph::Arc> FrozenGraph::InArcs(EntityId e) const {
   EGP_CHECK(e < num_entities_) << "bad entity id";
-  return {in_arcs_.data() + in_offsets_[e],
-          in_arcs_.data() + in_offsets_[e + 1]};
+  return in_arcs_.subspan(in_offsets_[e], in_offsets_[e + 1] -
+                                              in_offsets_[e]);
 }
 
 std::span<const FrozenGraph::Arc> FrozenGraph::RelArcs(
@@ -108,10 +191,9 @@ std::vector<EntityId> FrozenGraph::NeighborSet(EntityId e, RelTypeId rel_type,
 }
 
 size_t FrozenGraph::MemoryBytes() const {
-  return out_offsets_.capacity() * sizeof(uint64_t) +
-         in_offsets_.capacity() * sizeof(uint64_t) +
-         out_arcs_.capacity() * sizeof(Arc) +
-         in_arcs_.capacity() * sizeof(Arc);
+  return out_offsets_.size() * sizeof(uint64_t) +
+         in_offsets_.size() * sizeof(uint64_t) +
+         out_arcs_.size() * sizeof(Arc) + in_arcs_.size() * sizeof(Arc);
 }
 
 }  // namespace egp

@@ -7,13 +7,21 @@
 // relationship-type) pairs contiguously per entity, in both directions,
 // for one-allocation storage and sequential scans. It is a read-only
 // view for algorithms; derive it once after ingestion.
+//
+// Storage is reference-counted: the four CSR arrays live behind a shared
+// backing object, so copying a FrozenGraph is a cheap handle copy. The
+// backing is either arrays built by Freeze() or externally owned memory
+// wrapped by FromCsr() — the zero-copy path the .egps snapshot store
+// (src/store/) uses to serve adjacency straight out of a mapped file.
 #ifndef EGP_GRAPH_FROZEN_GRAPH_H_
 #define EGP_GRAPH_FROZEN_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/result.h"
 #include "graph/entity_graph.h"
 
 namespace egp {
@@ -29,11 +37,29 @@ class FrozenGraph {
     RelTypeId rel_type;
   };
 
+  FrozenGraph() = default;
+
   /// O(V + E): counts, prefix sums, one fill pass per direction. The
   /// per-entity adjacency sorts (the dominant cost) run on `pool` when
   /// one is given; the result is identical at any parallelism.
   static FrozenGraph Freeze(const EntityGraph& graph,
                             ThreadPool* pool = nullptr);
+
+  /// Wraps externally owned CSR arrays without copying (the mmap'd .egps
+  /// open path). `backing` keeps the memory the spans point into alive
+  /// for the lifetime of every handle. Validates the invariants the
+  /// accessors rely on — offset arrays of size `num_entities + 1`,
+  /// offsets monotonically non-decreasing and ending at the arc counts,
+  /// arcs in bounds (`neighbor < num_entities`, `rel_type <
+  /// num_rel_types`) and each entity's run sorted by (rel_type,
+  /// neighbor) — so corrupt input yields a Status, never UB later.
+  static Result<FrozenGraph> FromCsr(size_t num_entities,
+                                     size_t num_rel_types,
+                                     std::span<const uint64_t> out_offsets,
+                                     std::span<const uint64_t> in_offsets,
+                                     std::span<const Arc> out_arcs,
+                                     std::span<const Arc> in_arcs,
+                                     std::shared_ptr<const void> backing);
 
   size_t num_entities() const { return num_entities_; }
   size_t num_arcs() const { return out_arcs_.size(); }
@@ -59,17 +85,37 @@ class FrozenGraph {
   std::span<const Arc> RelArcs(EntityId e, RelTypeId rel_type,
                                Direction direction) const;
 
-  /// Heap footprint of the frozen structure, in bytes.
+  /// Resident footprint of the CSR arrays, in bytes (for a FromCsr view
+  /// this counts the backing bytes viewed, e.g. mapped file pages).
   size_t MemoryBytes() const;
 
+  /// Raw array access for serialization (the .egps snapshot writer).
+  std::span<const uint64_t> out_offsets() const { return out_offsets_; }
+  std::span<const uint64_t> in_offsets() const { return in_offsets_; }
+  std::span<const Arc> out_arcs() const { return out_arcs_; }
+  std::span<const Arc> in_arcs() const { return in_arcs_; }
+
+  /// Whether this handle views externally owned memory (FromCsr) rather
+  /// than arrays built by Freeze.
+  bool is_view() const { return view_; }
+
  private:
-  FrozenGraph() = default;
+  struct OwnedArrays {
+    std::vector<uint64_t> out_offsets;
+    std::vector<uint64_t> in_offsets;
+    std::vector<Arc> out_arcs;
+    std::vector<Arc> in_arcs;
+  };
 
   size_t num_entities_ = 0;
-  std::vector<uint64_t> out_offsets_;  // num_entities_ + 1
-  std::vector<uint64_t> in_offsets_;
-  std::vector<Arc> out_arcs_;
-  std::vector<Arc> in_arcs_;
+  bool view_ = false;
+  std::span<const uint64_t> out_offsets_;  // num_entities_ + 1
+  std::span<const uint64_t> in_offsets_;
+  std::span<const Arc> out_arcs_;
+  std::span<const Arc> in_arcs_;
+  // Owns whatever the spans point into: OwnedArrays for Freeze results,
+  // caller-supplied memory (a mapped snapshot) for FromCsr views.
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace egp

@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "graph/entity_graph_builder.h"
+#include "io/ntriples.h"
 
 namespace egp {
 
@@ -89,6 +90,47 @@ Status WriteEntityGraphFile(const EntityGraph& graph,
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for writing: " + path);
   return WriteEntityGraph(graph, out);
+}
+
+const char* GraphStorageName(GraphStorage storage) {
+  switch (storage) {
+    case GraphStorage::kNTriples:
+      return "nt";
+    case GraphStorage::kEgt:
+      return "egt";
+    case GraphStorage::kSnapshot:
+      return "snapshot";
+  }
+  return "unknown";
+}
+
+Result<LoadedGraph> LoadGraphFileAuto(
+    const std::string& path, const SnapshotOpenOptions& snapshot_options) {
+  bool is_snapshot = false;
+  EGP_ASSIGN_OR_RETURN(is_snapshot, FileHasSnapshotMagic(path));
+  LoadedGraph loaded;
+  if (is_snapshot) {
+    StoredGraph stored;
+    EGP_ASSIGN_OR_RETURN(stored, OpenSnapshot(path, snapshot_options));
+    loaded.graph = std::move(stored.graph);
+    loaded.frozen = std::move(stored.frozen);
+    loaded.storage = GraphStorage::kSnapshot;
+    loaded.zero_copy = stored.zero_copy;
+    return loaded;
+  }
+  if (EndsWith(path, ".egps")) {
+    return Status::Corruption(path +
+                              ": named .egps but does not start with the "
+                              "EGPS magic (corrupt or not a snapshot)");
+  }
+  if (EndsWith(path, ".nt")) {
+    EGP_ASSIGN_OR_RETURN(loaded.graph, ReadNTriplesFile(path));
+    loaded.storage = GraphStorage::kNTriples;
+    return loaded;
+  }
+  EGP_ASSIGN_OR_RETURN(loaded.graph, ReadEntityGraphFile(path));
+  loaded.storage = GraphStorage::kEgt;
+  return loaded;
 }
 
 }  // namespace egp

@@ -13,10 +13,13 @@
 #define EGP_IO_GRAPH_IO_H_
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "common/result.h"
 #include "graph/entity_graph.h"
+#include "graph/frozen_graph.h"
+#include "store/snapshot_reader.h"
 
 namespace egp {
 
@@ -26,6 +29,36 @@ Result<EntityGraph> ReadEntityGraphFile(const std::string& path);
 Status WriteEntityGraph(const EntityGraph& graph, std::ostream& out);
 Status WriteEntityGraphFile(const EntityGraph& graph,
                             const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Unified loading: one entry point for every on-disk graph representation
+// (.nt text, .egt text, .egps binary snapshot), shared by the CLI and the
+// server's DatasetCatalog.
+// ---------------------------------------------------------------------------
+
+/// How a graph file is stored on disk.
+enum class GraphStorage { kNTriples, kEgt, kSnapshot };
+
+/// Stable lower-case label for logs and the /v1/datasets API:
+/// "nt", "egt", or "snapshot".
+const char* GraphStorageName(GraphStorage storage);
+
+struct LoadedGraph {
+  EntityGraph graph;
+  /// The prebuilt CSR; set iff storage == kSnapshot (possibly viewing
+  /// the mapped file zero-copy — see StoredGraph::zero_copy).
+  std::optional<FrozenGraph> frozen;
+  GraphStorage storage = GraphStorage::kEgt;
+  bool zero_copy = false;
+};
+
+/// Loads a graph with content sniffing: a file starting with the EGPS
+/// magic opens as a binary snapshot whatever its name; otherwise a
+/// ".nt" extension parses N-Triples and anything else the EGT text
+/// format. A file *named* .egps without the magic is rejected outright
+/// (a mangled snapshot should not fall through to a text parse).
+Result<LoadedGraph> LoadGraphFileAuto(
+    const std::string& path, const SnapshotOpenOptions& snapshot_options = {});
 
 }  // namespace egp
 

@@ -3,6 +3,7 @@
 #include <charconv>
 
 #include "common/check.h"
+#include "common/strings.h"
 
 namespace egp {
 
@@ -390,40 +391,16 @@ class Parser {
     }
     uint32_t value = 0;
     for (size_t i = 0; i < 4; ++i) {
-      const char c = text_[pos_ + i];
-      value <<= 4;
-      if (c >= '0' && c <= '9') {
-        value |= static_cast<uint32_t>(c - '0');
-      } else if (c >= 'a' && c <= 'f') {
-        value |= static_cast<uint32_t>(c - 'a' + 10);
-      } else if (c >= 'A' && c <= 'F') {
-        value |= static_cast<uint32_t>(c - 'A' + 10);
-      } else {
+      const int digit = HexDigitValue(text_[pos_ + i]);
+      if (digit < 0) {
         Error("non-hex digit in \\u escape");
         return false;
       }
+      value = (value << 4) | static_cast<uint32_t>(digit);
     }
     pos_ += 4;
     *out = value;
     return true;
-  }
-
-  static void AppendUtf8(uint32_t code, std::string* out) {
-    if (code < 0x80) {
-      out->push_back(static_cast<char>(code));
-    } else if (code < 0x800) {
-      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
-      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else if (code < 0x10000) {
-      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
-      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else {
-      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
-      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    }
   }
 
   bool ParseString(std::string* out) {
@@ -503,7 +480,12 @@ class Parser {
             }
             code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
           }
-          AppendUtf8(code, out);
+          // `code` is a validated scalar value by now; the shared
+          // encoder re-checks and cannot fail here.
+          if (!egp::AppendUtf8(out, code)) {
+            Error("invalid \\u escape");
+            return false;
+          }
           break;
         }
         default:

@@ -1,6 +1,6 @@
 // N-Triples-lite loader for RDF-shaped inputs.
 //
-//   <subject> <predicate> <object> .
+//   <subject> <predicate> <object> .      # trailing comments allowed
 //
 // `a` (or rdf:type) predicates assert entity types; any other predicate is
 // a relationship whose type is inferred as (predicate surface, primary type
@@ -8,6 +8,13 @@
 // This mirrors how a raw Freebase/Linked-Data dump would be ingested when
 // relationship types are not pre-declared; triples whose endpoints have no
 // asserted type yet are buffered until all type assertions are seen.
+//
+// Tokens: <bracketed> IRIs (raw bytes, may contain spaces), "quoted"
+// literals with the W3C escape set (\t \b \n \r \f \" \' \\ and \uXXXX /
+// \UXXXXXXXX encoded as UTF-8), and bare words. Lines may end CRLF;
+// blank lines and full-line or post-terminator `#` comments are
+// ignored. Malformed lines are rejected with the 1-based line and
+// column of the offending byte.
 #ifndef EGP_IO_NTRIPLES_H_
 #define EGP_IO_NTRIPLES_H_
 
@@ -30,6 +37,24 @@ Result<EntityGraph> ReadNTriples(std::istream& in,
                                  NTriplesStats* stats = nullptr);
 Result<EntityGraph> ReadNTriplesFile(const std::string& path,
                                      NTriplesStats* stats = nullptr);
+
+/// Serializes `graph` as N-Triples-lite: one `a` triple per (entity,
+/// type) assertion in assertion order, then one triple per edge in edge
+/// order. Names print as <bracketed> IRIs unless they contain bytes the
+/// bracket form cannot carry ('>', '"', '\', control characters), which
+/// are written as escaped quoted literals instead.
+///
+/// Round-trip caveat (inherent to the format, not the writer): reading
+/// the output back reconstructs the same graph only when every edge's
+/// relationship type is anchored on its endpoints' primary types, no
+/// surface name collides with the `a` / rdf:type predicates, and every
+/// entity carries at least one type — untyped entities have no triple
+/// to appear in (they cannot be edge endpoints either), so they are
+/// dropped and later EntityIds shift. All of this holds for .nt-parsed
+/// and datagen graphs; EGT (graph_io.h) or .egps (store/) snapshots
+/// are the exact formats.
+Status WriteNTriples(const EntityGraph& graph, std::ostream& out);
+Status WriteNTriplesFile(const EntityGraph& graph, const std::string& path);
 
 }  // namespace egp
 

@@ -485,6 +485,7 @@ HttpResponse PreviewService::HandleDatasets() const {
     first = false;
     body += "{\"name\":" + Quoted(info.name);
     body += ",\"path\":" + Quoted(info.path);
+    body += ",\"storage\":" + Quoted(info.storage);
     body += ",\"entities\":" + std::to_string(info.entities);
     body += ",\"relationships\":" + std::to_string(info.relationships);
     body += ",\"entityTypes\":" + std::to_string(info.entity_types);

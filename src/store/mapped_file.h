@@ -1,0 +1,44 @@
+// MappedFile: RAII read-only mmap of a whole file.
+//
+// The zero-copy open path of the .egps store serves CSR spans straight
+// out of the mapping: pages are faulted on demand, live in the shared
+// page cache, and any number of server processes mapping the same
+// snapshot share one physical copy. POSIX-only, like src/server/.
+#ifndef EGP_STORE_MAPPED_FILE_H_
+#define EGP_STORE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/result.h"
+
+namespace egp {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only (MAP_SHARED, PROT_READ). Fails with IOError
+  /// on open/stat/map errors; an empty file maps to a valid object with
+  /// size() == 0 and no mapping.
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::span<const uint8_t> bytes() const { return {data_, size_}; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace egp
+
+#endif  // EGP_STORE_MAPPED_FILE_H_

@@ -1,0 +1,294 @@
+#include "store/snapshot_writer.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+#include "common/strings.h"
+#include "store/format.h"
+
+namespace egp {
+namespace {
+
+/// One section payload as a list of contiguous chunks; length and
+/// checksum are computed over the concatenation, so large arrays are
+/// written straight from library memory without a staging copy.
+struct SectionChunks {
+  uint32_t id = 0;
+  std::vector<std::pair<const void*, size_t>> chunks;
+
+  void Add(const void* data, size_t size) {
+    if (size > 0) chunks.emplace_back(data, size);
+  }
+  size_t Length() const {
+    size_t total = 0;
+    for (const auto& [data, size] : chunks) total += size;
+    return total;
+  }
+  uint64_t Checksum() const {
+    uint64_t hash = kFnvOffsetBasis;
+    for (const auto& [data, size] : chunks) hash = Fnv1a64(data, size, hash);
+    return hash;
+  }
+};
+
+/// Staging buffers for one string pool: u64 count, offsets, blob.
+struct StringTableBuffers {
+  uint64_t count = 0;
+  std::vector<uint64_t> offsets;
+  std::string blob;
+
+  explicit StringTableBuffers(const StringPool& pool) {
+    count = pool.size();
+    offsets.reserve(count + 1);
+    offsets.push_back(0);
+    for (uint32_t i = 0; i < count; ++i) {
+      blob += pool.Get(i);
+      offsets.push_back(blob.size());
+    }
+  }
+  void FillSection(SectionChunks* section) const {
+    section->Add(&count, sizeof(count));
+    section->Add(offsets.data(), offsets.size() * sizeof(uint64_t));
+    section->Add(blob.data(), blob.size());
+  }
+};
+
+/// Staging buffers for a CSR of u32 lists (entity types, type members).
+struct ListCsrBuffers {
+  uint64_t count = 0;
+  std::vector<uint64_t> offsets;
+  std::vector<uint32_t> flat;
+
+  template <typename ListOf>
+  ListCsrBuffers(size_t n, const ListOf& list_of) {
+    count = n;
+    offsets.reserve(n + 1);
+    offsets.push_back(0);
+    for (size_t i = 0; i < n; ++i) {
+      const auto& list = list_of(i);
+      flat.insert(flat.end(), list.begin(), list.end());
+      offsets.push_back(flat.size());
+    }
+  }
+  void FillSection(SectionChunks* section) const {
+    section->Add(&count, sizeof(count));
+    section->Add(offsets.data(), offsets.size() * sizeof(uint64_t));
+    section->Add(flat.data(), flat.size() * sizeof(uint32_t));
+  }
+};
+
+constexpr char kPadding[8] = {0};
+
+size_t AlignUp8(size_t value) { return (value + 7) & ~size_t{7}; }
+
+}  // namespace
+
+Status WriteSnapshot(const EntityGraph& graph, const FrozenGraph& frozen,
+                     std::ostream& out) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Unimplemented(
+        ".egps snapshots are little-endian only; this host is big-endian");
+  }
+  if (graph.num_entities() == 0) {
+    return Status::InvalidArgument("refusing to snapshot an empty graph");
+  }
+  if (frozen.num_entities() != graph.num_entities() ||
+      frozen.num_arcs() != graph.num_edges()) {
+    return Status::InvalidArgument(StrFormat(
+        "frozen graph (%zu entities, %zu arcs) was not derived from this "
+        "entity graph (%zu entities, %zu edges)",
+        frozen.num_entities(), frozen.num_arcs(), graph.num_entities(),
+        graph.num_edges()));
+  }
+
+  // --- Stage the variable-width payloads -------------------------------
+  uint64_t meta[kMetaFieldCount] = {};
+  meta[kMetaNumEntities] = graph.num_entities();
+  meta[kMetaNumEdges] = graph.num_edges();
+  meta[kMetaNumTypes] = graph.num_types();
+  meta[kMetaNumRelTypes] = graph.num_rel_types();
+  meta[kMetaNumSurfaceNames] = graph.surface_names().size();
+  meta[kMetaNumOutArcs] = frozen.out_arcs().size();
+  meta[kMetaNumInArcs] = frozen.in_arcs().size();
+
+  const StringTableBuffers entity_names(graph.entity_names());
+  const StringTableBuffers type_names(graph.type_names());
+  const StringTableBuffers surface_names(graph.surface_names());
+
+  std::vector<RelTypeRecord> rel_types;
+  rel_types.reserve(graph.num_rel_types());
+  for (RelTypeId r = 0; r < graph.num_rel_types(); ++r) {
+    const RelTypeInfo& info = graph.RelType(r);
+    rel_types.push_back(
+        RelTypeRecord{info.surface_name, info.src_type, info.dst_type});
+  }
+
+  const ListCsrBuffers entity_types(
+      graph.num_entities(),
+      [&graph](size_t e) -> const std::vector<TypeId>& {
+        return graph.TypesOf(static_cast<EntityId>(e));
+      });
+  const ListCsrBuffers type_members(
+      graph.num_types(),
+      [&graph](size_t t) -> const std::vector<EntityId>& {
+        return graph.EntitiesOfType(static_cast<TypeId>(t));
+      });
+
+  std::vector<EdgeTriple> edges;
+  edges.reserve(graph.num_edges());
+  for (const EdgeRecord& e : graph.edges()) {
+    edges.push_back(EdgeTriple{e.src, e.dst, e.rel_type});
+  }
+
+  // --- Assemble the section list (ids in TOC order) --------------------
+  std::vector<SectionChunks> sections(kSnapshotSectionCount);
+  sections[0].id = kSectionMeta;
+  sections[0].Add(meta, sizeof(meta));
+  sections[1].id = kSectionEntityNames;
+  entity_names.FillSection(&sections[1]);
+  sections[2].id = kSectionTypeNames;
+  type_names.FillSection(&sections[2]);
+  sections[3].id = kSectionSurfaceNames;
+  surface_names.FillSection(&sections[3]);
+  sections[4].id = kSectionRelTypes;
+  sections[4].Add(rel_types.data(), rel_types.size() * sizeof(RelTypeRecord));
+  sections[5].id = kSectionEntityTypes;
+  entity_types.FillSection(&sections[5]);
+  sections[6].id = kSectionTypeMembers;
+  type_members.FillSection(&sections[6]);
+  sections[7].id = kSectionEdges;
+  sections[7].Add(edges.data(), edges.size() * sizeof(EdgeTriple));
+  sections[8].id = kSectionOutOffsets;
+  sections[8].Add(frozen.out_offsets().data(),
+                  frozen.out_offsets().size() * sizeof(uint64_t));
+  sections[9].id = kSectionInOffsets;
+  sections[9].Add(frozen.in_offsets().data(),
+                  frozen.in_offsets().size() * sizeof(uint64_t));
+  sections[10].id = kSectionOutArcs;
+  sections[10].Add(frozen.out_arcs().data(),
+                   frozen.out_arcs().size() * sizeof(FrozenGraph::Arc));
+  sections[11].id = kSectionInArcs;
+  sections[11].Add(frozen.in_arcs().data(),
+                   frozen.in_arcs().size() * sizeof(FrozenGraph::Arc));
+
+  // --- Lay out the TOC --------------------------------------------------
+  std::vector<SectionEntry> toc(sections.size());
+  size_t offset = AlignUp8(sizeof(SnapshotHeader) +
+                           sections.size() * sizeof(SectionEntry));
+  for (size_t i = 0; i < sections.size(); ++i) {
+    toc[i].id = sections[i].id;
+    toc[i].reserved = 0;
+    toc[i].offset = offset;
+    toc[i].length = sections[i].Length();
+    toc[i].checksum = sections[i].Checksum();
+    offset = AlignUp8(offset + toc[i].length);
+  }
+
+  SnapshotHeader header;
+  std::memcpy(header.magic, kSnapshotMagic, sizeof(header.magic));
+  header.version = kSnapshotVersion;
+  header.endian_tag = kSnapshotEndianTag;
+  header.file_bytes = offset;
+  header.section_count = static_cast<uint32_t>(sections.size());
+  header.reserved = 0;
+  header.toc_checksum =
+      Fnv1a64(toc.data(), toc.size() * sizeof(SectionEntry));
+
+  // --- Emit --------------------------------------------------------------
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(toc.data()),
+            toc.size() * sizeof(SectionEntry));
+  size_t written = sizeof(header) + toc.size() * sizeof(SectionEntry);
+  for (size_t i = 0; i < sections.size(); ++i) {
+    if (written < toc[i].offset) {
+      out.write(kPadding, toc[i].offset - written);
+      written = toc[i].offset;
+    }
+    for (const auto& [data, size] : sections[i].chunks) {
+      out.write(reinterpret_cast<const char*>(data), size);
+      written += size;
+    }
+  }
+  if (written < header.file_bytes) {
+    out.write(kPadding, header.file_bytes - written);
+  }
+  out.flush();
+  if (!out) return Status::IOError("snapshot write failed");
+  return Status::OK();
+}
+
+namespace {
+
+/// fsyncs `path` (a file or directory) so the write/rename is durable
+/// before we report success.
+Status SyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open for fsync: " + path + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int fsync_errno = errno;  // close() may clobber errno
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync failed: " + path + ": " +
+                           std::strerror(fsync_errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSnapshotFile(const EntityGraph& graph, const FrozenGraph& frozen,
+                         const std::string& path) {
+  // Write temp + fsync + rename + fsync(dir), never truncate in place:
+  // a running server may be serving `path` through a MAP_SHARED mapping
+  // (the old inode survives the rename untouched), and neither a crash,
+  // a full disk, nor a power loss mid-replace may destroy the previous
+  // good snapshot — the data blocks are durable before the rename
+  // becomes visible.
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for writing: " + temp);
+    const Status written = WriteSnapshot(graph, frozen, out);
+    if (!written.ok()) {
+      out.close();
+      std::remove(temp.c_str());
+      return written;
+    }
+  }
+  const Status synced = SyncPath(temp);
+  if (!synced.ok()) {
+    std::remove(temp.c_str());
+    return synced;
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    const Status failed = Status::IOError(
+        "cannot rename " + temp + " to " + path + ": " +
+        std::strerror(errno));
+    std::remove(temp.c_str());
+    return failed;
+  }
+  // Make the rename itself durable. Best-effort semantics are not
+  // enough here — the whole point of the dance is crash safety.
+  const size_t slash = path.find_last_of('/');
+  return SyncPath(slash == std::string::npos ? "."
+                                             : path.substr(0, slash + 1));
+}
+
+Status CompileSnapshotFile(const EntityGraph& graph, const std::string& path,
+                           ThreadPool* pool) {
+  return WriteSnapshotFile(graph, FrozenGraph::Freeze(graph, pool), path);
+}
+
+}  // namespace egp

@@ -119,6 +119,130 @@ TEST(NTriplesTest, MissingFileIsIOError) {
             StatusCode::kIOError);
 }
 
+TEST(NTriplesTest, EscapeSequencesInLiterals) {
+  std::stringstream in(
+      "\"Tab\\there\" a T .\n"
+      "\"quote \\\" backslash \\\\ newline \\n\" a T .\n"
+      "\"uni \\u00E9 astral \\U0001F600\" a T .\n");
+  auto graph = ReadNTriples(in);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_TRUE(graph->entity_names().Find("Tab\there").has_value());
+  EXPECT_TRUE(graph->entity_names()
+                  .Find("quote \" backslash \\ newline \n")
+                  .has_value());
+  EXPECT_TRUE(graph->entity_names()
+                  .Find("uni \xC3\xA9 astral \xF0\x9F\x98\x80")
+                  .has_value());
+}
+
+TEST(NTriplesTest, InvalidEscapesRejectedWithOffset) {
+  {
+    // \q is not in the escape set; its backslash sits at column 8.
+    std::stringstream in("\"abcdef\\q\" a T .\n");
+    const auto result = ReadNTriples(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+    EXPECT_NE(result.status().message().find("line 1, col 8"),
+              std::string::npos)
+        << result.status().message();
+    EXPECT_NE(result.status().message().find("escape"), std::string::npos);
+  }
+  {
+    std::stringstream in("\"bad \\uZZZZ\" a T .\n");
+    EXPECT_FALSE(ReadNTriples(in).ok());
+  }
+  {
+    std::stringstream in("\"surrogate \\uD800\" a T .\n");
+    EXPECT_FALSE(ReadNTriples(in).ok());
+  }
+  {
+    std::stringstream in("\"trunc \\u12\" a T .\n");
+    EXPECT_FALSE(ReadNTriples(in).ok());
+  }
+  {
+    std::stringstream in("\"dangling \\");
+    EXPECT_FALSE(ReadNTriples(in).ok());
+  }
+}
+
+TEST(NTriplesTest, EscapedQuoteDoesNotTerminateLiteral) {
+  std::stringstream in(
+      "\"say \\\"hi\\\"\" a T .\n"
+      "x a T .\n"
+      "x knows \"say \\\"hi\\\"\" .\n");
+  auto graph = ReadNTriples(in);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_edges(), 1u);
+  EXPECT_TRUE(graph->entity_names().Find("say \"hi\"").has_value());
+}
+
+TEST(NTriplesTest, CrlfLineEndings) {
+  std::stringstream in(
+      "x a T .\r\n"
+      "y a T .\r\n"
+      "x rel y .\r\n");
+  NTriplesStats stats;
+  auto graph = ReadNTriples(in, &stats);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(stats.triples, 3u);
+  EXPECT_EQ(graph->num_edges(), 1u);
+  // No stray \r in any interned name.
+  EXPECT_TRUE(graph->entity_names().Find("y").has_value());
+  EXPECT_FALSE(graph->entity_names().Find("y\r").has_value());
+}
+
+TEST(NTriplesTest, TrailingCommentsAndBlankVariants) {
+  std::stringstream in(
+      "x a T . # trailing comment\n"
+      "   \t  \n"
+      "# full-line comment\n"
+      "  # indented comment\n"
+      "y a T .   #no space after hash\n"
+      "x rel y .\n");
+  NTriplesStats stats;
+  auto graph = ReadNTriples(in, &stats);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(stats.triples, 3u);
+  EXPECT_EQ(graph->num_edges(), 1u);
+}
+
+TEST(NTriplesTest, MalformedLineReportsColumnOffset) {
+  // Both tokens parse; the stray fourth token starts at column 11 and
+  // the error points at the position where parsing stopped.
+  std::stringstream in("x a T .\nab cd ef gh .\n");
+  const auto result = ReadNTriples(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("line 2, col 10"),
+            std::string::npos)
+      << result.status().message();
+  // Leading indentation shifts the reported column accordingly.
+  std::stringstream indented("   <unterminated\n");
+  const auto shifted = ReadNTriples(indented);
+  ASSERT_FALSE(shifted.ok());
+  EXPECT_NE(shifted.status().message().find("line 1, col 4"),
+            std::string::npos)
+      << shifted.status().message();
+}
+
+TEST(NTriplesTest, WriterRoundTripsEscapedNames) {
+  std::stringstream in(
+      "\"weird > name \\\" with \\\\ stuff\\n\" a T .\n"
+      "plain a T .\n"
+      "plain rel \"weird > name \\\" with \\\\ stuff\\n\" .\n");
+  auto graph = ReadNTriples(in);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  std::stringstream out;
+  ASSERT_TRUE(WriteNTriples(*graph, out).ok());
+  auto reparsed = ReadNTriples(out);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->num_entities(), graph->num_entities());
+  ASSERT_EQ(reparsed->num_edges(), graph->num_edges());
+  for (EntityId e = 0; e < graph->num_entities(); ++e) {
+    EXPECT_EQ(reparsed->EntityName(e), graph->EntityName(e));
+  }
+}
+
 TEST(NTriplesTest, DuplicatePredicatesBecomeOneRelType) {
   std::stringstream in(
       "a1 a T .\n"

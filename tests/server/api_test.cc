@@ -139,6 +139,16 @@ TEST(PreviewServiceTest, HealthzAndDatasets) {
   const HttpResponse datasets = service.Handle(Get("/v1/datasets"));
   EXPECT_EQ(datasets.status, 200);
   EXPECT_NE(datasets.body.find("\"name\":\"paper\""), std::string::npos);
+  // Operators can see what a catalog serves: per-dataset counts and the
+  // storage kind ("memory" for FromEngines catalogs, "nt"/"egt"/
+  // "snapshot" for disk loads).
+  EXPECT_NE(datasets.body.find("\"storage\":\"memory\""),
+            std::string::npos);
+  EXPECT_NE(datasets.body.find("\"entities\":"), std::string::npos);
+  EXPECT_NE(datasets.body.find("\"relationships\":"), std::string::npos);
+  EXPECT_NE(datasets.body.find("\"entityTypes\":"), std::string::npos);
+  EXPECT_NE(datasets.body.find("\"relationshipTypes\":"),
+            std::string::npos);
 }
 
 TEST(PreviewServiceTest, ServedPreviewIsBitIdenticalToEngine) {

@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "datagen/paper_example.h"
+#include "io/ntriples.h"
+#include "store/snapshot_writer.h"
+#include "tests/testing/subprocess.h"
 
 namespace egp {
 namespace {
@@ -46,6 +51,72 @@ TEST(DatasetCatalogTest, LoadsFromDisk) {
   // Single dataset: it is the default.
   EXPECT_EQ(catalog->Default(), catalog->Find("sample"));
   EXPECT_EQ(catalog->default_name(), "sample");
+}
+
+TEST(DatasetCatalogTest, ReportsStorageKindAndLoadTime) {
+  const auto catalog =
+      DatasetCatalog::Load({DatasetSpec{"sample", EGP_SAMPLE_NT}});
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->infos()[0].storage, "nt");
+  EXPECT_GT(catalog->infos()[0].load_seconds, 0.0);
+}
+
+TEST(DatasetCatalogTest, LoadsSnapshotsAndHandsFrozenToEngine) {
+  auto graph = ReadNTriplesFile(EGP_SAMPLE_NT);
+  ASSERT_TRUE(graph.ok());
+  const std::string path = testing_util::TempPath("catalog_sample.egps");
+  ASSERT_TRUE(CompileSnapshotFile(*graph, path).ok());
+
+  for (const auto mode : {SnapshotOpenOptions::Mode::kMmap,
+                          SnapshotOpenOptions::Mode::kStream}) {
+    CatalogLoadOptions options;
+    options.snapshot.mode = mode;
+    const auto catalog = DatasetCatalog::Load(
+        {DatasetSpec{"snap", path}, DatasetSpec{"text", EGP_SAMPLE_NT}},
+        options);
+    ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+    ASSERT_EQ(catalog->size(), 2u);
+    EXPECT_EQ(catalog->infos()[0].name, "snap");
+    EXPECT_EQ(catalog->infos()[0].storage, "snapshot");
+    EXPECT_EQ(catalog->infos()[1].storage, "nt");
+    // The snapshot engine carries the prebuilt CSR; the text one not.
+    ASSERT_NE(catalog->Find("snap"), nullptr);
+    EXPECT_NE(catalog->Find("snap")->frozen(), nullptr);
+    EXPECT_EQ(catalog->Find("text")->frozen(), nullptr);
+    // Both serve the same graph.
+    EXPECT_EQ(catalog->infos()[0].entities, catalog->infos()[1].entities);
+    EXPECT_EQ(catalog->infos()[0].relationships,
+              catalog->infos()[1].relationships);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCatalogTest, ParallelLoadMatchesSequential) {
+  // Eight datasets (same file under different names) loaded with one
+  // thread and with the auto fan-out must produce identical catalogs.
+  std::vector<DatasetSpec> specs;
+  for (int i = 0; i < 8; ++i) {
+    specs.push_back(DatasetSpec{"d" + std::to_string(i), EGP_SAMPLE_NT});
+  }
+  CatalogLoadOptions sequential;
+  sequential.load_threads = 1;
+  const auto serial = DatasetCatalog::Load(specs, sequential);
+  ASSERT_TRUE(serial.ok());
+  CatalogLoadOptions fanout;
+  fanout.load_threads = 0;  // auto
+  const auto parallel = DatasetCatalog::Load(specs, fanout);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ(serial->infos()[i].name, parallel->infos()[i].name);
+    EXPECT_EQ(serial->infos()[i].entities, parallel->infos()[i].entities);
+    EXPECT_EQ(serial->infos()[i].storage, parallel->infos()[i].storage);
+  }
+  // A failing dataset still names itself under parallel load.
+  specs.push_back(DatasetSpec{"broken", "/no/such/file.nt"});
+  const auto failed = DatasetCatalog::Load(specs, fanout);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("broken"), std::string::npos);
 }
 
 TEST(DatasetCatalogTest, LoadErrorsNameTheDataset) {

@@ -1,0 +1,251 @@
+// Round-trip fidelity of the .egps snapshot store: a written snapshot
+// reopens (streaming and mmap) into a graph that matches the original
+// structure for structure — names, multi-typing, membership order,
+// relationship types, edge order, CSR arrays — and previews served from
+// it are byte-identical to previews from the source graph.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "graph/entity_graph_builder.h"
+#include "graph/frozen_graph.h"
+#include "io/graph_io.h"
+#include "io/json_export.h"
+#include "io/ntriples.h"
+#include "service/engine.h"
+#include "store/snapshot_reader.h"
+#include "store/snapshot_writer.h"
+#include "tests/testing/subprocess.h"
+
+namespace egp {
+namespace {
+
+#ifndef EGP_SAMPLE_NT
+#error "EGP_SAMPLE_NT must be defined by the build"
+#endif
+
+using testing_util::TempPath;
+
+/// A graph exercising the corners the format must carry: multi-typed
+/// entities, membership order that differs from entity-id order, two
+/// relationship types sharing a surface name, parallel edges, names
+/// needing escapes, and an untyped entity.
+EntityGraph CornersGraph() {
+  EntityGraphBuilder builder;
+  const TypeId person = builder.AddEntityType("PERSON");
+  const TypeId film = builder.AddEntityType("FILM");
+  const TypeId award = builder.AddEntityType("AWARD");
+  const EntityId grace = builder.AddEntity("Grace \"Amazing\" Hopper");
+  const EntityId mib = builder.AddEntity("Men in Black\t<1997>");
+  const EntityId oscar = builder.AddEntity("Oscar");
+  const EntityId will = builder.AddEntity("Will Smith");
+  builder.AddEntity("loner");  // no types, no edges
+  // Membership order differs from id order: will before grace.
+  builder.AddEntityToType(will, person);
+  builder.AddEntityToType(grace, person);
+  builder.AddEntityToType(grace, film);  // multi-typed
+  builder.AddEntityToType(mib, film);
+  builder.AddEntityToType(oscar, award);
+  // Same surface name, distinct endpoint types.
+  const RelTypeId won_p =
+      builder.AddRelationshipType("Award Winners", person, award);
+  const RelTypeId won_f =
+      builder.AddRelationshipType("Award Winners", film, award);
+  const RelTypeId acted =
+      builder.AddRelationshipType("Actor", person, film);
+  EXPECT_TRUE(builder.AddEdge(will, acted, mib).ok());
+  EXPECT_TRUE(builder.AddEdge(will, acted, mib).ok());  // parallel edge
+  EXPECT_TRUE(builder.AddEdge(will, won_p, oscar).ok());
+  EXPECT_TRUE(builder.AddEdge(mib, won_f, oscar).ok());
+  EXPECT_TRUE(builder.AddEdge(grace, won_p, oscar).ok());
+  auto graph = builder.Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+void ExpectSameGraph(const EntityGraph& a, const EntityGraph& b) {
+  ASSERT_EQ(a.num_entities(), b.num_entities());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_types(), b.num_types());
+  ASSERT_EQ(a.num_rel_types(), b.num_rel_types());
+  for (EntityId e = 0; e < a.num_entities(); ++e) {
+    EXPECT_EQ(a.EntityName(e), b.EntityName(e));
+    EXPECT_EQ(a.TypesOf(e), b.TypesOf(e));
+    EXPECT_EQ(a.OutEdges(e), b.OutEdges(e));
+    EXPECT_EQ(a.InEdges(e), b.InEdges(e));
+  }
+  for (TypeId t = 0; t < a.num_types(); ++t) {
+    EXPECT_EQ(a.TypeName(t), b.TypeName(t));
+    // Order preserved, not just the set: sampling is order-sensitive.
+    EXPECT_EQ(a.EntitiesOfType(t), b.EntitiesOfType(t));
+  }
+  for (RelTypeId r = 0; r < a.num_rel_types(); ++r) {
+    EXPECT_EQ(a.RelSurfaceName(r), b.RelSurfaceName(r));
+    EXPECT_EQ(a.RelType(r).src_type, b.RelType(r).src_type);
+    EXPECT_EQ(a.RelType(r).dst_type, b.RelType(r).dst_type);
+    EXPECT_EQ(a.EdgesOfRelType(r), b.EdgesOfRelType(r));
+  }
+  for (EdgeId id = 0; id < a.num_edges(); ++id) {
+    EXPECT_EQ(a.Edge(id).src, b.Edge(id).src);
+    EXPECT_EQ(a.Edge(id).dst, b.Edge(id).dst);
+    EXPECT_EQ(a.Edge(id).rel_type, b.Edge(id).rel_type);
+  }
+}
+
+void ExpectSameFrozen(const FrozenGraph& a, const FrozenGraph& b) {
+  ASSERT_EQ(a.num_entities(), b.num_entities());
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  for (EntityId e = 0; e < a.num_entities(); ++e) {
+    const auto out_a = a.OutArcs(e), out_b = b.OutArcs(e);
+    const auto in_a = a.InArcs(e), in_b = b.InArcs(e);
+    ASSERT_EQ(out_a.size(), out_b.size());
+    ASSERT_EQ(in_a.size(), in_b.size());
+    for (size_t i = 0; i < out_a.size(); ++i) {
+      EXPECT_EQ(out_a[i].neighbor, out_b[i].neighbor);
+      EXPECT_EQ(out_a[i].rel_type, out_b[i].rel_type);
+    }
+    for (size_t i = 0; i < in_a.size(); ++i) {
+      EXPECT_EQ(in_a[i].neighbor, in_b[i].neighbor);
+      EXPECT_EQ(in_a[i].rel_type, in_b[i].rel_type);
+    }
+  }
+}
+
+TEST(SnapshotRoundtripTest, CornersGraphBothOpenModes) {
+  const EntityGraph graph = CornersGraph();
+  const FrozenGraph frozen = FrozenGraph::Freeze(graph);
+  const std::string path = TempPath("corners.egps");
+  ASSERT_TRUE(WriteSnapshotFile(graph, frozen, path).ok());
+
+  for (const auto mode : {SnapshotOpenOptions::Mode::kStream,
+                          SnapshotOpenOptions::Mode::kMmap}) {
+    SCOPED_TRACE(mode == SnapshotOpenOptions::Mode::kMmap ? "mmap"
+                                                          : "stream");
+    SnapshotOpenOptions options;
+    options.mode = mode;
+    auto stored = OpenSnapshot(path, options);
+    ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+    EXPECT_EQ(stored->zero_copy,
+              mode == SnapshotOpenOptions::Mode::kMmap);
+    EXPECT_EQ(stored->frozen.is_view(), true);
+    ExpectSameGraph(graph, stored->graph);
+    ExpectSameFrozen(frozen, stored->frozen);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRoundtripTest, DatagenDomainSurvives) {
+  GeneratorOptions options;
+  options.scale = 0.05;
+  auto domain = GenerateDomainByName("basketball", options);
+  ASSERT_TRUE(domain.ok());
+  const FrozenGraph frozen = FrozenGraph::Freeze(domain->graph);
+  std::stringstream buffer(std::ios::in | std::ios::out |
+                           std::ios::binary);
+  ASSERT_TRUE(WriteSnapshot(domain->graph, frozen, buffer).ok());
+  const std::string bytes = buffer.str();
+  auto owned = std::make_shared<std::vector<uint8_t>>(bytes.begin(),
+                                                      bytes.end());
+  auto stored = OpenSnapshotBytes({owned->data(), owned->size()}, owned);
+  ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+  ExpectSameGraph(domain->graph, stored->graph);
+  ExpectSameFrozen(frozen, stored->frozen);
+}
+
+TEST(SnapshotRoundtripTest, PreviewBitIdentityAllMeasures) {
+  auto parsed = ReadNTriplesFile(EGP_SAMPLE_NT);
+  ASSERT_TRUE(parsed.ok());
+  const std::string path = TempPath("sample_identity.egps");
+  ASSERT_TRUE(CompileSnapshotFile(*parsed, path).ok());
+
+  PreviewRequest request;
+  request.size = {2, 4};
+  request.sample_rows = 3;
+  request.sample_seed = 7;
+  request.measures.key = "randomwalk";
+  request.measures.nonkey = "entropy";  // exercises the prebuilt CSR path
+
+  const Engine golden_engine = Engine::FromGraph(EntityGraph(*parsed));
+  const auto golden = golden_engine.Preview(request);
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  const std::string golden_preview =
+      PreviewToJson(*golden->prepared, golden->preview);
+  const std::string golden_tuples = MaterializedPreviewToJson(
+      *golden_engine.graph(), golden->materialized);
+
+  for (const auto mode : {SnapshotOpenOptions::Mode::kStream,
+                          SnapshotOpenOptions::Mode::kMmap}) {
+    SCOPED_TRACE(mode == SnapshotOpenOptions::Mode::kMmap ? "mmap"
+                                                          : "stream");
+    SnapshotOpenOptions options;
+    options.mode = mode;
+    auto stored = OpenSnapshot(path, options);
+    ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+    const Engine engine = Engine::FromFrozen(std::move(stored->graph),
+                                             std::move(stored->frozen));
+    ASSERT_NE(engine.frozen(), nullptr);
+    const auto served = engine.Preview(request);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_EQ(golden->score, served->score);
+    EXPECT_EQ(golden_preview,
+              PreviewToJson(*served->prepared, served->preview));
+    EXPECT_EQ(golden_tuples, MaterializedPreviewToJson(*engine.graph(),
+                                                       served->materialized));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRoundtripTest, AutoLoaderDetectsByMagicNotExtension) {
+  auto parsed = ReadNTriplesFile(EGP_SAMPLE_NT);
+  ASSERT_TRUE(parsed.ok());
+  // Snapshot written under a .nt name still opens as a snapshot.
+  const std::string disguised = TempPath("disguised_snapshot.nt");
+  ASSERT_TRUE(CompileSnapshotFile(*parsed, disguised).ok());
+  auto magic = FileHasSnapshotMagic(disguised);
+  ASSERT_TRUE(magic.ok());
+  EXPECT_TRUE(*magic);
+  auto loaded = LoadGraphFileAuto(disguised);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->storage, GraphStorage::kSnapshot);
+  ASSERT_TRUE(loaded->frozen.has_value());
+  ExpectSameGraph(*parsed, loaded->graph);
+  std::remove(disguised.c_str());
+
+  // A text file named .egps is rejected, not mis-parsed.
+  const std::string fake = TempPath("fake.egps");
+  {
+    std::ofstream out(fake);
+    out << "x a T .\n";
+  }
+  EXPECT_EQ(LoadGraphFileAuto(fake).status().code(),
+            StatusCode::kCorruption);
+  std::remove(fake.c_str());
+}
+
+TEST(SnapshotRoundtripTest, NTriplesWriterRoundTrips) {
+  auto parsed = ReadNTriplesFile(EGP_SAMPLE_NT);
+  ASSERT_TRUE(parsed.ok());
+  std::stringstream out;
+  ASSERT_TRUE(WriteNTriples(*parsed, out).ok());
+  auto reparsed = ReadNTriples(out);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ExpectSameGraph(*parsed, *reparsed);
+}
+
+TEST(SnapshotRoundtripTest, FrozenHandleSharesBacking) {
+  const EntityGraph graph = CornersGraph();
+  FrozenGraph frozen = FrozenGraph::Freeze(graph);
+  // Copies are cheap handles onto the same arrays.
+  const FrozenGraph copy = frozen;
+  EXPECT_EQ(copy.out_arcs().data(), frozen.out_arcs().data());
+  // The backing outlives the original handle.
+  frozen = FrozenGraph();
+  EXPECT_EQ(copy.num_arcs(), graph.num_edges());
+  EXPECT_EQ(copy.OutArcs(0).size(), copy.OutDegree(0));
+}
+
+}  // namespace
+}  // namespace egp

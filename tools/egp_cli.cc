@@ -3,21 +3,22 @@
 // Serving goes through egp::Engine (src/service/engine.h); this file only
 // parses arguments, loads graphs, and renders responses.
 //
-//   egp stats    <graph.(egt|nt)>
-//   egp preview  <graph.(egt|nt)> [--k N] [--n N] [--tight D | --diverse D]
+//   egp stats    <graph.(egt|nt|egps)>
+//   egp preview  <graph.(egt|nt|egps)> [--k N] [--n N] [--tight D | --diverse D]
 //                [--key coverage|randomwalk] [--nonkey coverage|entropy]
 //                [--algo auto|bf|dp|apriori|beam] [--rows N] [--seed S]
 //                [--threads N] [--verbose] [--json] [--merge-multiway]
-//   egp suggest  <graph.(egt|nt)> [--width W] [--height H] [--threads N]
-//   egp report   <graph.(egt|nt)> [--title T] [--k N] [--n N] [--dot]
+//   egp suggest  <graph.(egt|nt|egps)> [--width W] [--height H] [--threads N]
+//   egp report   <graph.(egt|nt|egps)> [--title T] [--k N] [--n N] [--dot]
 //                [--tight D | --diverse D] [--key ...] [--nonkey ...]
 //   egp generate <domain> <out.egt> [--scale S] [--seed S]
-//   egp convert  <in.(nt|egt)> <out.egt>
+//   egp convert  <in.(nt|egt|egps)> <out.(egt|egps)>
 //   egp help     [or -h / --help]
 //   egp version  [or --version]
 //
-// Input format is chosen by extension: .nt parses N-Triples-lite,
-// anything else the EGT snapshot format.
+// Input format is sniffed: files starting with the EGPS magic open as
+// binary snapshots (tools/egp_compile writes them), then .nt parses
+// N-Triples-lite and anything else the EGT text format.
 //
 // Exit codes: 0 success, 1 runtime failure (I/O, infeasible constraints),
 // 2 bad usage (unknown subcommand or flag, malformed value).
@@ -36,6 +37,7 @@
 #include "io/preview_renderer.h"
 #include "io/report.h"
 #include "service/engine.h"
+#include "store/snapshot_writer.h"
 
 #ifndef EGP_VERSION_STRING
 #define EGP_VERSION_STRING "unknown"
@@ -49,9 +51,9 @@ const char kUsage[] =
     "usage: egp <subcommand> [args]\n"
     "\n"
     "subcommands:\n"
-    "  stats    <graph.(egt|nt)>                  dataset and schema "
+    "  stats    <graph.(egt|nt|egps)>                  dataset and schema "
     "statistics\n"
-    "  preview  <graph.(egt|nt)> [flags]          discover and render a "
+    "  preview  <graph.(egt|nt|egps)> [flags]          discover and render a "
     "preview\n"
     "           --k N --n N  size constraints, >= 1 (default 2, 6)\n"
     "           --tight D | --diverse D  distance constraint, D >= 1\n"
@@ -61,15 +63,15 @@ const char kUsage[] =
     "EGP_THREADS also works)\n"
     "           --verbose  (per-phase prepare timings to stderr)\n"
     "           --json  --merge-multiway\n"
-    "  suggest  <graph.(egt|nt)> [--width W] [--height H] [--threads N]\n"
+    "  suggest  <graph.(egt|nt|egps)> [--width W] [--height H] [--threads N]\n"
     "                                             advisor-suggested "
     "constraints\n"
-    "  report   <graph.(egt|nt)> [--title T] [--k N] [--n N] [--dot]\n"
+    "  report   <graph.(egt|nt|egps)> [--title T] [--k N] [--n N] [--dot]\n"
     "           [--tight D | --diverse D] [--key ...] [--nonkey ...]\n"
     "                                             Markdown dataset report\n"
     "  generate <domain> <out.egt> [--scale S] [--seed S]\n"
     "                                             synthesize a domain graph\n"
-    "  convert  <in.(nt|egt)> <out.egt>           convert between formats\n"
+    "  convert  <in.(nt|egt|egps)> <out.(egt|egps)>    convert between formats\n"
     "  help                                       this message\n"
     "  version                                    print the version\n";
 
@@ -167,11 +169,20 @@ class Flags {
   std::vector<std::string> positional_;
 };
 
-Result<EntityGraph> LoadGraph(const std::string& path) {
-  if (EndsWith(path, ".nt")) {
-    return ReadNTriplesFile(path);
+/// Content-sniffing loader: .egps snapshots by magic, then .nt / EGT by
+/// extension (io/graph_io.h).
+Result<LoadedGraph> LoadGraph(const std::string& path) {
+  return LoadGraphFileAuto(path);
+}
+
+/// Engine over a loaded graph; snapshot loads hand their prebuilt CSR to
+/// the engine so nothing is re-frozen.
+Engine MakeEngine(LoadedGraph loaded, const EngineOptions& options = {}) {
+  if (loaded.frozen) {
+    return Engine::FromFrozen(std::move(loaded.graph),
+                              std::move(*loaded.frozen), options);
   }
-  return ReadEntityGraphFile(path);
+  return Engine::FromGraph(std::move(loaded.graph), options);
 }
 
 /// Runtime failure (exit 1): the request was well-formed but could not be
@@ -221,7 +232,7 @@ Status ParseConstraintFlags(const Flags& flags, uint32_t default_k,
 int CmdStats(const std::string& path) {
   auto graph = LoadGraph(path);
   if (!graph.ok()) return Fail(graph.status());
-  const Engine engine = Engine::FromGraph(std::move(graph).value());
+  const Engine engine = MakeEngine(std::move(graph).value());
   const EntityGraphStats g = ComputeEntityGraphStats(*engine.graph());
   const SchemaGraphStats s = ComputeSchemaGraphStats(engine.schema());
   std::printf("entity graph : %llu entities, %llu relationships\n",
@@ -268,8 +279,7 @@ int CmdPreview(const std::string& path, const Flags& flags) {
   EngineOptions engine_options;
   const Status threads = ParseThreadsFlag(flags, &engine_options);
   if (!threads.ok()) return UsageError(threads.message());
-  const Engine engine =
-      Engine::FromGraph(std::move(graph).value(), engine_options);
+  const Engine engine = MakeEngine(std::move(graph).value(), engine_options);
 
   PreviewRequest request;
   const Status constraints = ParseConstraintFlags(
@@ -350,8 +360,7 @@ int CmdSuggest(const std::string& path, const Flags& flags) {
   EngineOptions engine_options;
   const Status threads = ParseThreadsFlag(flags, &engine_options);
   if (!threads.ok()) return UsageError(threads.message());
-  const Engine engine =
-      Engine::FromGraph(std::move(graph).value(), engine_options);
+  const Engine engine = MakeEngine(std::move(graph).value(), engine_options);
   DisplayBudget budget;
   const auto width = flags.GetInt("width", 120);
   const auto height = flags.GetInt("height", 40);
@@ -393,7 +402,9 @@ int CmdReport(const std::string& path, const Flags& flags) {
                       "' (available: coverage, entropy)");
   }
   options.include_dot = flags.Has("dot");
-  const auto report = GeneratePreviewReport(*graph, options);
+  // Snapshot loads carry a prebuilt CSR; the report's scoring reuses it.
+  options.frozen = graph->frozen ? &*graph->frozen : nullptr;
+  const auto report = GeneratePreviewReport(graph->graph, options);
   if (!report.ok()) return Fail(report.status());
   std::printf("%s", report->c_str());
   return 0;
@@ -423,15 +434,22 @@ int CmdGenerate(const Flags& flags) {
 
 int CmdConvert(const Flags& flags) {
   if (flags.positional().size() != 2) {
-    return UsageError("convert needs <in.(nt|egt)> <out.egt>");
+    return UsageError("convert needs <in.(nt|egt|egps)> <out.(egt|egps)>");
   }
   auto graph = LoadGraph(flags.positional()[0]);
   if (!graph.ok()) return Fail(graph.status());
-  const Status write = WriteEntityGraphFile(*graph, flags.positional()[1]);
+  // The output format follows the output extension: .egps gets a real
+  // binary snapshot (what egp_compile writes), anything else EGT text —
+  // never text bytes under a snapshot name, which every loader rejects.
+  const std::string& out_path = flags.positional()[1];
+  const Status write =
+      EndsWith(out_path, ".egps")
+          ? CompileSnapshotFile(graph->graph, out_path)
+          : WriteEntityGraphFile(graph->graph, out_path);
   if (!write.ok()) return Fail(write);
   std::printf("converted %s -> %s (%zu entities, %zu relationships)\n",
-              flags.positional()[0].c_str(), flags.positional()[1].c_str(),
-              graph->num_entities(), graph->num_edges());
+              flags.positional()[0].c_str(), out_path.c_str(),
+              graph->graph.num_entities(), graph->graph.num_edges());
   return 0;
 }
 
@@ -483,7 +501,7 @@ int main(int argc, char** argv) {
   if (command == "stats") {
     if (!ParseOrUsage(argc, argv, {}, &flags, &exit_code)) return exit_code;
     if (flags.positional().size() != 1) {
-      return UsageError("stats needs <graph.(egt|nt)>");
+      return UsageError("stats needs <graph.(egt|nt|egps)>");
     }
     return CmdStats(flags.positional()[0]);
   }
@@ -492,7 +510,7 @@ int main(int argc, char** argv) {
       return exit_code;
     }
     if (flags.positional().size() != 1) {
-      return UsageError("preview needs <graph.(egt|nt)>");
+      return UsageError("preview needs <graph.(egt|nt|egps)>");
     }
     return CmdPreview(flags.positional()[0], flags);
   }
@@ -505,7 +523,7 @@ int main(int argc, char** argv) {
       return exit_code;
     }
     if (flags.positional().size() != 1) {
-      return UsageError("suggest needs <graph.(egt|nt)>");
+      return UsageError("suggest needs <graph.(egt|nt|egps)>");
     }
     return CmdSuggest(flags.positional()[0], flags);
   }
@@ -514,7 +532,7 @@ int main(int argc, char** argv) {
       return exit_code;
     }
     if (flags.positional().size() != 1) {
-      return UsageError("report needs <graph.(egt|nt)>");
+      return UsageError("report needs <graph.(egt|nt|egps)>");
     }
     return CmdReport(flags.positional()[0], flags);
   }

@@ -2,6 +2,7 @@
 //
 //   egp_server --dataset name=path [--dataset name2=path2 ...]
 //              [--host H] [--port P] [--workers N] [--engine-threads N]
+//              [--load-threads N] [--no-mmap]
 //              [--max-connections N] [--read-timeout-ms N]
 //              [--write-timeout-ms N] [--max-body-bytes N]
 //              [--max-requests-per-connection N] [--cache-capacity N]
@@ -40,14 +41,20 @@ using namespace egp;
 const char kUsage[] =
     "usage: egp_server --dataset name=path [--dataset name2=path2 ...]\n"
     "                  [--host H] [--port P] [--workers N]\n"
-    "                  [--engine-threads N] [--max-connections N]\n"
+    "                  [--engine-threads N] [--load-threads N] [--no-mmap]\n"
+    "                  [--max-connections N]\n"
     "                  [--read-timeout-ms N] [--write-timeout-ms N]\n"
     "                  [--max-body-bytes N]\n"
     "                  [--max-requests-per-connection N]\n"
     "                  [--cache-capacity N]\n"
     "\n"
-    "  --dataset name=path   load an entity graph (.nt or .egt) as\n"
-    "                        'name'; repeat for a multi-dataset catalog\n"
+    "  --dataset name=path   load an entity graph (.egps snapshot, .nt,\n"
+    "                        or .egt — detected by content) as 'name';\n"
+    "                        repeat for a multi-dataset catalog\n"
+    "  --load-threads N      concurrent dataset loads at startup\n"
+    "                        (default: one per dataset up to hardware)\n"
+    "  --no-mmap             open .egps snapshots with a plain read\n"
+    "                        instead of the zero-copy mmap path\n"
     "  --host H              bind address (default 127.0.0.1)\n"
     "  --port P              TCP port; 0 picks an ephemeral one\n"
     "                        (default 8080)\n"
@@ -93,7 +100,7 @@ void OnTerminateSignal(int /*signum*/) {
 struct ServerArgs {
   std::vector<DatasetSpec> datasets;
   HttpServerOptions http;
-  EngineOptions engine;
+  CatalogLoadOptions catalog;
   bool ok = false;
   int exit_code = 0;
 };
@@ -118,6 +125,10 @@ ServerArgs ParseArgs(int argc, char** argv) {
     if (arg.rfind("--", 0) != 0) {
       args.exit_code = UsageError("unexpected argument '" + arg + "'");
       return args;
+    }
+    if (arg == "--no-mmap") {  // the only valueless flag
+      args.catalog.snapshot.mode = SnapshotOpenOptions::Mode::kStream;
+      continue;
     }
     std::string name = arg.substr(2);
     std::string value;
@@ -166,7 +177,10 @@ ServerArgs ParseArgs(int argc, char** argv) {
       args.http.workers = static_cast<unsigned>(parsed);
     } else if (name == "engine-threads") {
       if (!parse_long(1, kMaxThreads, &parsed)) return args;
-      args.engine.threads = static_cast<unsigned>(parsed);
+      args.catalog.engine.threads = static_cast<unsigned>(parsed);
+    } else if (name == "load-threads") {
+      if (!parse_long(1, kMaxThreads, &parsed)) return args;
+      args.catalog.load_threads = static_cast<unsigned>(parsed);
     } else if (name == "max-connections") {
       if (!parse_long(1, 1 << 20, &parsed)) return args;
       args.http.max_connections = static_cast<size_t>(parsed);
@@ -195,7 +209,7 @@ ServerArgs ParseArgs(int argc, char** argv) {
         UsageError("at least one --dataset name=path is required");
     return args;
   }
-  args.engine.prepared_cache_capacity =
+  args.catalog.engine.prepared_cache_capacity =
       static_cast<size_t>(cache_capacity);
   args.ok = true;
   return args;
@@ -207,7 +221,7 @@ int main(int argc, char** argv) {
   ServerArgs args = ParseArgs(argc, argv);
   if (!args.ok) return args.exit_code;
 
-  auto catalog = DatasetCatalog::Load(args.datasets, args.engine);
+  auto catalog = DatasetCatalog::Load(args.datasets, args.catalog);
   if (!catalog.ok()) {
     std::fprintf(stderr, "egp_server: %s\n",
                  catalog.status().ToString().c_str());
@@ -215,10 +229,11 @@ int main(int argc, char** argv) {
   }
   for (const DatasetCatalog::Info& info : catalog->infos()) {
     std::fprintf(stderr,
-                 "loaded dataset '%s' from %s: %zu entities, %zu "
-                 "relationships, %zu types\n",
-                 info.name.c_str(), info.path.c_str(), info.entities,
-                 info.relationships, info.entity_types);
+                 "loaded dataset '%s' from %s (%s) in %.1f ms: %zu "
+                 "entities, %zu relationships, %zu types\n",
+                 info.name.c_str(), info.path.c_str(), info.storage.c_str(),
+                 info.load_seconds * 1e3, info.entities, info.relationships,
+                 info.entity_types);
   }
 
   PreviewService service(std::move(catalog).value(), EGP_VERSION_STRING);

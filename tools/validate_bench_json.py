@@ -44,9 +44,27 @@ def check_serve(doc) -> None:
           f"{len(doc['datasets'])} dataset(s)")
 
 
+def check_store_load(doc) -> None:
+    assert isinstance(doc["hardware_threads"], int), "missing hardware_threads"
+    assert doc["datasets"], "no datasets recorded"
+    for dataset in doc["datasets"]:
+        assert dataset["entities"] > 0, "empty dataset"
+        assert dataset["nt_bytes"] > 0, "missing .nt file size"
+        assert dataset["egps_bytes"] > 0, "missing .egps file size"
+        for phase in ("compile", "parse", "snapshot_stream", "snapshot_mmap",
+                      "snapshot_mmap_noverify"):
+            assert dataset[f"{phase}_seconds"] > 0, f"non-positive {phase}"
+        assert dataset["speedup_stream_vs_parse"] > 0, "missing speedup"
+        assert dataset["speedup_mmap_vs_parse"] > 0, "missing speedup"
+        assert dataset["previews_identical"] is True, \
+            "snapshot preview diverged from text parse"
+    print(f"OK: {len(doc['datasets'])} dataset(s)")
+
+
 CHECKS = {
     "bench_prepare_scale": check_prepare,
     "bench_serve_latency": check_serve,
+    "bench_store_load": check_store_load,
 }
 
 
