@@ -10,17 +10,36 @@
 // sample → serialize → socket round-trip), not cold scoring builds.
 //
 //   bench_serve_latency [--domains basketball] [--scale 0.2]
-//                       [--connections 1,8,64] [--requests 200]
+//                       [--connections 1,8,64,256+1024s] [--requests 200]
 //                       [--warmup 20] [--workers 0] [--rows 2]
+//                       [--trickle-bytes 16] [--trickle-interval-ms 50]
 //                       [--out FILE]
+//
+// Each --connections item is a run spec: a count of well-behaved
+// (measured) connections, optionally followed by +Ns trickling slow
+// clients and/or +Mc cold clients — e.g. "256+1024s" is 256 measured
+// connections alongside 1024 clients dribbling their request bytes, and
+// "64+4c" mixes in 4 clients issuing never-cached (cold) preview
+// requests that exercise the admission controller. Slow and cold
+// clients run for the whole measured window; only the well-behaved
+// connections' latencies feed the percentiles, which is the point: the
+// tracked regression gate is that misbehaving neighbors cost the server
+// idle connections, not the well-behaved clients' tail.
+//
+// Every connection performs one unmeasured warmup request and then
+// parks on a start barrier, so the measured window observes a steady
+// state rather than the connect/accept storm.
 //
 // Emits one JSON document (stdout or --out) validated by
 // tools/validate_bench_json.py and recorded by tools/bench_to_json.sh
 // (BENCH=serve).
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,27 +56,68 @@
 namespace egp {
 namespace {
 
+/// One run: `hot` measured connections plus misbehaving neighbors.
+struct RunSpec {
+  int hot = 0;   // well-behaved, measured
+  int slow = 0;  // trickling request bytes for the whole window
+  int cold = 0;  // issuing never-cached (cold) preview requests
+};
+
 struct Options {
   std::vector<std::string> domains = {"basketball"};
   double scale = 0.2;
-  std::vector<int> connections = {1, 8, 64};
+  std::vector<RunSpec> connections = {{1, 0, 0}, {8, 0, 0}, {64, 0, 0}};
   int requests = 200;
   int warmup = 20;
   unsigned workers = 0;  // 0 = server default: max(2, hardware)
   int rows = 2;
+  size_t trickle_bytes = 16;
+  int trickle_interval_ms = 50;
   std::string out;
 };
 
 struct RunResult {
-  int connections = 0;
+  RunSpec spec;
   uint64_t completed = 0;
   uint64_t errors = 0;
+  uint64_t slow_completed = 0;
+  uint64_t slow_errors = 0;
+  uint64_t cold_completed = 0;  // admitted cold builds served 200
+  uint64_t cold_shed = 0;       // 503s from the admission controller
+  uint64_t cold_errors = 0;     // anything else
   double wall_seconds = 0.0;
   double throughput_rps = 0.0;
   double p50_ms = 0.0;
   double p90_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+};
+
+/// Releases every warmed-up worker thread at once so the measured
+/// window starts from a steady state.
+class StartBarrier {
+ public:
+  explicit StartBarrier(int parties) : waiting_for_(parties) {}
+
+  void Arrive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--waiting_for_ == 0) cv_.notify_all();
+    cv_.wait(lock, [this] { return released_; });
+  }
+
+  /// Blocks until all parties arrived, then releases them.
+  void Release() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return waiting_for_ == 0; });
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int waiting_for_;
+  bool released_ = false;
 };
 
 /// egp::Quantile with the empty (all-errors) case mapped to 0.
@@ -83,18 +143,37 @@ std::string RequestBody(int index, int rows,
   return body;
 }
 
-RunResult DriveLoad(uint16_t port, int connections, int requests, int rows,
-                    const std::vector<std::string>& datasets) {
-  std::vector<std::vector<double>> latencies(
-      static_cast<size_t>(connections));
-  std::vector<uint64_t> errors(static_cast<size_t>(connections), 0);
-  std::vector<std::thread> threads;
-  Timer wall;
-  for (int c = 0; c < connections; ++c) {
-    threads.emplace_back([&, c] {
+/// A preview request whose measure configuration has never been (and
+/// will never again be) requested: the walk smoothing perturbation puts
+/// it on a unique prepared-cache key, so serving it always means a cold
+/// PreparedSchema build — the admission controller's cold path.
+std::string ColdRequestBody(uint64_t unique, int rows) {
+  return StrFormat(
+      "{\"k\":2,\"n\":4,\"measures\":{\"key\":\"randomwalk\","
+      "\"nonkey\":\"coverage\",\"walk\":{\"smoothing\":%.17g}},"
+      "\"sample\":{\"rows\":%d,\"seed\":7}}",
+      1e-5 * (1.0 + static_cast<double>(unique) * 1e-9), rows);
+}
+
+RunResult DriveLoad(uint16_t port, const RunSpec& spec, int requests,
+                    int rows, const std::vector<std::string>& datasets,
+                    size_t trickle_bytes, int trickle_interval_ms) {
+  const int total = spec.hot + spec.slow + spec.cold;
+  StartBarrier barrier(total);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(spec.hot));
+  std::vector<uint64_t> errors(static_cast<size_t>(spec.hot), 0);
+  std::vector<std::thread> hot_threads;
+  for (int c = 0; c < spec.hot; ++c) {
+    hot_threads.emplace_back([&, c] {
       HttpClient client("127.0.0.1", port, 60'000);
       auto& mine = latencies[static_cast<size_t>(c)];
       mine.reserve(static_cast<size_t>(requests));
+      // Per-connection warmup: absorb the connect + first-request cost
+      // outside the measured window.
+      client.Post("/v1/preview", RequestBody(c, rows, datasets));
+      barrier.Arrive();
       for (int r = 0; r < requests; ++r) {
         Timer timer;
         const auto response = client.Post(
@@ -109,16 +188,76 @@ RunResult DriveLoad(uint16_t port, int connections, int requests, int rows,
       }
     });
   }
-  for (std::thread& thread : threads) thread.join();
+
+  std::vector<std::thread> noise_threads;
+  std::vector<uint64_t> slow_completed(static_cast<size_t>(spec.slow), 0);
+  std::vector<uint64_t> slow_errors(static_cast<size_t>(spec.slow), 0);
+  for (int s = 0; s < spec.slow; ++s) {
+    noise_threads.emplace_back([&, s] {
+      HttpClient client("127.0.0.1", port, 60'000);
+      client.Post("/v1/preview", RequestBody(s, rows, datasets));  // warmup
+      client.SetTrickle(trickle_bytes, trickle_interval_ms);
+      barrier.Arrive();
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto response = client.Post(
+            "/v1/preview", RequestBody(s, rows, datasets));
+        if (response.ok() && response->status == 200) {
+          ++slow_completed[static_cast<size_t>(s)];
+        } else {
+          ++slow_errors[static_cast<size_t>(s)];
+          client.Disconnect();
+        }
+      }
+    });
+  }
+
+  std::vector<uint64_t> cold_completed(static_cast<size_t>(spec.cold), 0);
+  std::vector<uint64_t> cold_shed(static_cast<size_t>(spec.cold), 0);
+  std::vector<uint64_t> cold_errors(static_cast<size_t>(spec.cold), 0);
+  for (int k = 0; k < spec.cold; ++k) {
+    noise_threads.emplace_back([&, k] {
+      HttpClient client("127.0.0.1", port, 60'000);
+      client.Post("/v1/preview", RequestBody(k, rows, datasets));  // warmup
+      barrier.Arrive();
+      for (uint64_t r = 0; !stop.load(std::memory_order_acquire); ++r) {
+        const uint64_t unique =
+            static_cast<uint64_t>(k) * 1'000'003 + r;  // globally distinct
+        const auto response =
+            client.Post("/v1/preview", ColdRequestBody(unique, rows));
+        if (!response.ok()) {
+          ++cold_errors[static_cast<size_t>(k)];
+          client.Disconnect();
+        } else if (response->status == 200) {
+          ++cold_completed[static_cast<size_t>(k)];
+        } else if (response->status == 503) {
+          ++cold_shed[static_cast<size_t>(k)];
+        } else {
+          ++cold_errors[static_cast<size_t>(k)];
+        }
+      }
+    });
+  }
+
+  barrier.Release();
+  Timer wall;
+  for (std::thread& thread : hot_threads) thread.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& thread : noise_threads) thread.join();
 
   RunResult result;
-  result.connections = connections;
-  result.wall_seconds = wall.ElapsedSeconds();
+  result.spec = spec;
+  result.wall_seconds = wall_seconds;
   std::vector<double> all;
   for (const auto& per_connection : latencies) {
     all.insert(all.end(), per_connection.begin(), per_connection.end());
   }
   for (const uint64_t e : errors) result.errors += e;
+  for (const uint64_t n : slow_completed) result.slow_completed += n;
+  for (const uint64_t n : slow_errors) result.slow_errors += n;
+  for (const uint64_t n : cold_completed) result.cold_completed += n;
+  for (const uint64_t n : cold_shed) result.cold_shed += n;
+  for (const uint64_t n : cold_errors) result.cold_errors += n;
   std::sort(all.begin(), all.end());
   result.completed = all.size();
   result.throughput_rps =
@@ -169,7 +308,10 @@ int Run(const Options& options) {
   PreviewService service(std::move(catalog).value(), "bench");
   HttpServerOptions server_options;
   server_options.workers = options.workers;
-  server_options.max_connections = 4096;
+  server_options.max_connections = 8192;
+  // The 1k+-connection runs open their sockets in one burst before the
+  // start barrier; the default backlog would refuse part of the storm.
+  server_options.listen_backlog = 4096;
   auto server = HttpServer::Start(
       [&service](const HttpRequest& request) {
         return service.Handle(request);
@@ -203,16 +345,30 @@ int Run(const Options& options) {
   }
 
   std::vector<RunResult> runs;
-  for (const int connections : options.connections) {
-    const RunResult result = DriveLoad(port, connections, options.requests,
-                                       options.rows, options.domains);
+  for (const RunSpec& spec : options.connections) {
+    const RunResult result =
+        DriveLoad(port, spec, options.requests, options.rows, options.domains,
+                  options.trickle_bytes, options.trickle_interval_ms);
     std::fprintf(stderr,
-                 "[c=%d] %llu ok, %llu err, %.0f req/s, p50 %.3f ms, "
-                 "p99 %.3f ms\n",
-                 connections,
+                 "[c=%d slow=%d cold=%d] %llu ok, %llu err, %.0f req/s, "
+                 "p50 %.3f ms, p99 %.3f ms, max %.3f ms",
+                 spec.hot, spec.slow, spec.cold,
                  static_cast<unsigned long long>(result.completed),
                  static_cast<unsigned long long>(result.errors),
-                 result.throughput_rps, result.p50_ms, result.p99_ms);
+                 result.throughput_rps, result.p50_ms, result.p99_ms,
+                 result.max_ms);
+    if (spec.slow > 0) {
+      std::fprintf(stderr, ", slow %llu ok/%llu err",
+                   static_cast<unsigned long long>(result.slow_completed),
+                   static_cast<unsigned long long>(result.slow_errors));
+    }
+    if (spec.cold > 0) {
+      std::fprintf(stderr, ", cold %llu built/%llu shed/%llu err",
+                   static_cast<unsigned long long>(result.cold_completed),
+                   static_cast<unsigned long long>(result.cold_shed),
+                   static_cast<unsigned long long>(result.cold_errors));
+    }
+    std::fputc('\n', stderr);
     runs.push_back(result);
   }
   (*server)->Shutdown();
@@ -240,9 +396,20 @@ int Run(const Options& options) {
   json += "  ],\n  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {
     const RunResult& run = runs[i];
-    json += "    {\"connections\": " + std::to_string(run.connections);
+    json += "    {\"connections\": " + std::to_string(run.spec.hot);
+    json += ", \"slow_connections\": " + std::to_string(run.spec.slow);
+    json += ", \"cold_connections\": " + std::to_string(run.spec.cold);
     json += ", \"completed\": " + std::to_string(run.completed);
     json += ", \"errors\": " + std::to_string(run.errors);
+    if (run.spec.slow > 0) {
+      json += ", \"slow_completed\": " + std::to_string(run.slow_completed);
+      json += ", \"slow_errors\": " + std::to_string(run.slow_errors);
+    }
+    if (run.spec.cold > 0) {
+      json += ", \"cold_completed\": " + std::to_string(run.cold_completed);
+      json += ", \"cold_shed\": " + std::to_string(run.cold_shed);
+      json += ", \"cold_errors\": " + std::to_string(run.cold_errors);
+    }
     json += ", \"wall_seconds\": " + StrFormat("%.6f", run.wall_seconds);
     json += ", \"throughput_rps\": " + StrFormat("%.2f", run.throughput_rps);
     json += ", \"p50_ms\": " + StrFormat("%.3f", run.p50_ms);
@@ -266,6 +433,41 @@ int Run(const Options& options) {
     std::fprintf(stderr, "wrote %s\n", options.out.c_str());
   }
   return 0;
+}
+
+/// Parses one --connections item: "H", "H+Ns", "H+Mc", "H+Ns+Mc" (order
+/// of the suffixed parts is free). Returns false on anything else.
+bool ParseRunSpec(const std::string& item, RunSpec* spec) {
+  *spec = RunSpec{};
+  size_t start = 0;
+  bool saw_hot = false;
+  while (start <= item.size()) {
+    const size_t plus = item.find('+', start);
+    const std::string part = item.substr(
+        start, plus == std::string::npos ? std::string::npos : plus - start);
+    if (part.empty()) return false;
+    char suffix = part.back();
+    const bool tagged = suffix == 's' || suffix == 'c';
+    const std::string digits =
+        tagged ? part.substr(0, part.size() - 1) : part;
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    const int count = std::atoi(digits.c_str());
+    if (tagged && suffix == 's') {
+      spec->slow = count;
+    } else if (tagged) {
+      spec->cold = count;
+    } else {
+      if (saw_hot) return false;
+      spec->hot = count;
+      saw_hot = true;
+    }
+    if (plus == std::string::npos) break;
+    start = plus + 1;
+  }
+  return saw_hot;
 }
 
 std::vector<std::string> SplitList(const std::string& csv) {
@@ -304,7 +506,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--connections") {
       options.connections.clear();
       for (const std::string& item : egp::SplitList(value())) {
-        options.connections.push_back(std::atoi(item.c_str()));
+        egp::RunSpec spec;
+        if (!egp::ParseRunSpec(item, &spec)) {
+          std::fprintf(stderr,
+                       "error: bad --connections item '%s' (want e.g. "
+                       "64, 256+1024s, 64+4c)\n",
+                       item.c_str());
+          return 2;
+        }
+        options.connections.push_back(spec);
       }
     } else if (arg == "--requests") {
       options.requests = std::atoi(value());
@@ -314,13 +524,19 @@ int main(int argc, char** argv) {
       options.workers = static_cast<unsigned>(std::atoi(value()));
     } else if (arg == "--rows") {
       options.rows = std::atoi(value());
+    } else if (arg == "--trickle-bytes") {
+      options.trickle_bytes = static_cast<size_t>(std::atoi(value()));
+    } else if (arg == "--trickle-interval-ms") {
+      options.trickle_interval_ms = std::atoi(value());
     } else if (arg == "--out") {
       options.out = value();
     } else {
       std::fprintf(stderr,
                    "usage: bench_serve_latency [--domains d1,d2] "
-                   "[--scale S] [--connections c1,c2] [--requests N] "
-                   "[--warmup N] [--workers N] [--rows N] [--out FILE]\n");
+                   "[--scale S] [--connections c1,c2+Ns+Mc] [--requests N] "
+                   "[--warmup N] [--workers N] [--rows N] "
+                   "[--trickle-bytes B] [--trickle-interval-ms I] "
+                   "[--out FILE]\n");
       return 2;
     }
   }
@@ -330,9 +546,16 @@ int main(int argc, char** argv) {
                          "requests < 1\n");
     return 2;
   }
-  for (const int connections : options.connections) {
-    if (connections < 1 || connections > 4096) {
-      std::fprintf(stderr, "error: connections must be in [1, 4096]\n");
+  if (options.trickle_bytes < 1 || options.trickle_interval_ms < 0) {
+    std::fprintf(stderr, "error: bad trickle parameters\n");
+    return 2;
+  }
+  for (const egp::RunSpec& spec : options.connections) {
+    if (spec.hot < 1 || spec.hot > 4096 || spec.slow < 0 ||
+        spec.slow > 4096 || spec.cold < 0 || spec.cold > 4096) {
+      std::fprintf(stderr,
+                   "error: each run needs 1..4096 measured connections and "
+                   "0..4096 slow/cold ones\n");
       return 2;
     }
   }

@@ -1,0 +1,61 @@
+#include "server/admission.h"
+
+#include <chrono>
+
+namespace egp {
+
+AdmissionController::Ticket AdmissionController::AcquireCold() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.max_cold_inflight == 0) {  // admission control off
+    ++cold_inflight_;
+    ++cold_admitted_;
+    return Ticket(this);
+  }
+  if (cold_inflight_ < options_.max_cold_inflight) {
+    ++cold_inflight_;
+    ++cold_admitted_;
+    return Ticket(this);
+  }
+  if (waiting_ >= options_.max_cold_queue) {
+    ++cold_shed_;
+    return Ticket();
+  }
+  ++waiting_;
+  ++cold_queued_;
+  const bool got_slot = slot_freed_.wait_for(
+      lock, std::chrono::milliseconds(options_.queue_timeout_ms),
+      [this] { return cold_inflight_ < options_.max_cold_inflight; });
+  --waiting_;
+  if (!got_slot) {
+    ++cold_shed_;
+    return Ticket();
+  }
+  ++cold_inflight_;
+  ++cold_admitted_;
+  return Ticket(this);
+}
+
+void AdmissionController::RecordHot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++hot_admitted_;
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --cold_inflight_;
+  slot_freed_.notify_one();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats stats;
+  stats.hot_admitted = hot_admitted_;
+  stats.cold_admitted = cold_admitted_;
+  stats.cold_queued = cold_queued_;
+  stats.cold_shed = cold_shed_;
+  stats.cold_inflight = cold_inflight_;
+  stats.cold_queue_depth = waiting_;
+  return stats;
+}
+
+}  // namespace egp

@@ -1,0 +1,121 @@
+// Cost-based admission for /v1/preview: not every request costs the
+// same. A request whose measure configuration is already prepared (an
+// Engine cache hit) is "hot" — discovery only, milliseconds. A request
+// needing a PreparedSchema build is "cold" — seconds of scoring work
+// that can monopolize every handler thread and starve the cheap
+// traffic behind it.
+//
+// Hot requests pass through under the server's flat in-flight cap
+// (HttpServerOptions::max_connections) — they are cheap enough that the
+// connection bound is the right bound. Cold requests go through a
+// bounded build gate: at most `max_cold_inflight` builds run at once,
+// at most `max_cold_queue` more wait (up to `queue_timeout_ms`), and
+// everything beyond that is shed immediately with 503 + Retry-After so
+// clients back off instead of piling up.
+//
+// Caveat, by design: a *queued* cold request holds its handler thread
+// while it waits — the queue bounds how many threads can be parked this
+// way, it does not free them. Size max_cold_queue well below the
+// worker count if cold storms must never exhaust the pool.
+#ifndef EGP_SERVER_ADMISSION_H_
+#define EGP_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace egp {
+
+struct AdmissionOptions {
+  /// Concurrent PreparedSchema builds allowed; 0 = unlimited (admission
+  /// control off for cold requests).
+  size_t max_cold_inflight = 2;
+  /// Cold requests allowed to wait for a build slot; beyond this they
+  /// are shed at once.
+  size_t max_cold_queue = 16;
+  /// How long a queued cold request waits for a slot before being shed.
+  int queue_timeout_ms = 2'000;
+  /// Retry-After value (seconds) stamped on shed responses.
+  int retry_after_seconds = 1;
+};
+
+/// Counters (monotone) and gauges (instantaneous) for /metrics.
+struct AdmissionStats {
+  uint64_t hot_admitted = 0;
+  uint64_t cold_admitted = 0;
+  uint64_t cold_queued = 0;  // waited for a slot (later admitted or shed)
+  uint64_t cold_shed = 0;    // 503'd: queue full or wait timed out
+  size_t cold_inflight = 0;     // gauge: builds holding a slot now
+  size_t cold_queue_depth = 0;  // gauge: requests waiting now
+};
+
+/// Thread-safe gate; one instance per PreviewService.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options)
+      : options_(options) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII cold-build slot: releases (and wakes one queued waiter) on
+  /// destruction. A default-constructed ticket holds nothing —
+  /// admitted() says which kind this is.
+  class Ticket {
+   public:
+    Ticket() = default;
+    ~Ticket() {
+      if (controller_ != nullptr) controller_->Release();
+    }
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        if (controller_ != nullptr) controller_->Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    bool admitted() const { return controller_ != nullptr; }
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* controller)
+        : controller_(controller) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Acquires a cold-build slot, waiting in the bounded queue if all
+  /// slots are busy. Returns an empty ticket when shed (queue full, or
+  /// no slot freed within queue_timeout_ms) — answer 503 then.
+  Ticket AcquireCold();
+
+  /// Counts a hot (cache-hit) pass-through.
+  void RecordHot();
+
+  AdmissionStats stats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  void Release();
+
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_freed_;
+  size_t cold_inflight_ = 0;
+  size_t waiting_ = 0;
+  uint64_t hot_admitted_ = 0;
+  uint64_t cold_admitted_ = 0;
+  uint64_t cold_queued_ = 0;
+  uint64_t cold_shed_ = 0;
+};
+
+}  // namespace egp
+
+#endif  // EGP_SERVER_ADMISSION_H_

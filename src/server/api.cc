@@ -357,8 +357,11 @@ std::string PreviewResponseToJson(const Engine& engine,
   return out;
 }
 
-PreviewService::PreviewService(DatasetCatalog catalog, std::string version)
-    : catalog_(std::move(catalog)), version_(std::move(version)) {}
+PreviewService::PreviewService(DatasetCatalog catalog, std::string version,
+                               const AdmissionOptions& admission)
+    : catalog_(std::move(catalog)),
+      version_(std::move(version)),
+      admission_(admission) {}
 
 Result<const Engine*> PreviewService::ResolveDataset(
     const std::string& name, std::string* resolved_name) const {
@@ -437,6 +440,28 @@ HttpResponse PreviewService::HandlePreview(const HttpRequest& request) {
     return JsonErrorResponse(HttpStatusForDataset(engine.status()),
                              engine.status().message());
   }
+
+  // Cost-based admission: a prepared measure configuration is hot
+  // (discovery only — the flat connection cap bounds it); an unprepared
+  // one is cold (a PreparedSchema build) and must take a bounded build
+  // slot or be shed, so a burst of expensive requests can't starve the
+  // cheap traffic behind it.
+  AdmissionController::Ticket ticket;
+  if ((*engine)->IsPrepared(parsed->request.measures)) {
+    admission_.RecordHot();
+  } else {
+    ticket = admission_.AcquireCold();
+    if (!ticket.admitted()) {
+      HttpResponse shed = JsonErrorResponse(
+          503, "cold preview capacity exhausted (schema build slots and "
+               "queue are full); retry shortly");
+      shed.headers.emplace_back(
+          "Retry-After",
+          std::to_string(admission_.options().retry_after_seconds));
+      return shed;
+    }
+  }
+
   const auto served = (*engine)->Preview(parsed->request);
   if (!served.ok()) {
     return JsonErrorResponse(HttpStatusFor(served.status()),
@@ -536,6 +561,27 @@ HttpResponse PreviewService::HandleMetrics() const {
     AppendMetric(&out, "egp_prepared_cache_entries",
                  "dataset=\"" + info.name + "\"",
                  static_cast<uint64_t>(stats.entries));
+  }
+
+  {
+    const AdmissionStats admission = admission_.stats();
+    AppendMetricHeader(&out, "egp_admission_hot_total", "counter");
+    AppendMetric(&out, "egp_admission_hot_total", "", admission.hot_admitted);
+    AppendMetricHeader(&out, "egp_admission_cold_admitted_total", "counter");
+    AppendMetric(&out, "egp_admission_cold_admitted_total", "",
+                 admission.cold_admitted);
+    AppendMetricHeader(&out, "egp_admission_cold_queued_total", "counter");
+    AppendMetric(&out, "egp_admission_cold_queued_total", "",
+                 admission.cold_queued);
+    AppendMetricHeader(&out, "egp_admission_cold_shed_total", "counter");
+    AppendMetric(&out, "egp_admission_cold_shed_total", "",
+                 admission.cold_shed);
+    AppendMetricHeader(&out, "egp_admission_cold_inflight", "gauge");
+    AppendMetric(&out, "egp_admission_cold_inflight", "",
+                 static_cast<uint64_t>(admission.cold_inflight));
+    AppendMetricHeader(&out, "egp_admission_cold_queue_depth", "gauge");
+    AppendMetric(&out, "egp_admission_cold_queue_depth", "",
+                 static_cast<uint64_t>(admission.cold_queue_depth));
   }
 
   if (const HttpServer* server = server_.load(std::memory_order_acquire)) {

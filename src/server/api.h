@@ -26,6 +26,7 @@
 
 #include "common/result.h"
 #include "io/json_parser.h"
+#include "server/admission.h"
 #include "server/catalog.h"
 #include "server/http.h"
 #include "server/http_server.h"
@@ -61,7 +62,10 @@ std::string PreviewResponseToJson(const Engine& engine,
 class PreviewService {
  public:
   /// `version` lands in /healthz and the Server response header.
-  PreviewService(DatasetCatalog catalog, std::string version);
+  /// `admission` gates cold (PreparedSchema-building) /v1/preview
+  /// requests; see admission.h. Defaults admit 2 concurrent builds.
+  PreviewService(DatasetCatalog catalog, std::string version,
+                 const AdmissionOptions& admission = {});
 
   /// The HttpServer handler: routes, serves, and records metrics.
   HttpResponse Handle(const HttpRequest& request);
@@ -74,6 +78,9 @@ class PreviewService {
 
   const DatasetCatalog& catalog() const { return catalog_; }
   ServerMetrics& metrics() { return metrics_; }
+  /// The cold-build gate (exposed so tests can assert shed behavior
+  /// deterministically).
+  AdmissionController& admission() { return admission_; }
 
  private:
   HttpResponse Route(const HttpRequest& request, std::string* endpoint);
@@ -90,6 +97,7 @@ class PreviewService {
   DatasetCatalog catalog_;
   std::string version_;
   ServerMetrics metrics_;
+  AdmissionController admission_;
   std::atomic<const HttpServer*> server_{nullptr};
 };
 

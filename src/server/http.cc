@@ -78,11 +78,30 @@ std::string_view HttpRequest::Query() const {
   return q == std::string_view::npos ? std::string_view() : t.substr(q + 1);
 }
 
+bool HeaderListContainsToken(std::string_view value, std::string_view token) {
+  // RFC 9110 §5.6.1 list syntax: elements separated by commas, OWS
+  // around each, empty elements ignored.
+  while (!value.empty()) {
+    const size_t comma = value.find(',');
+    const std::string_view element =
+        TrimOws(value.substr(0, comma == std::string_view::npos
+                                    ? value.size()
+                                    : comma));
+    if (EqualsIgnoreCase(element, token)) return true;
+    if (comma == std::string_view::npos) break;
+    value.remove_prefix(comma + 1);
+  }
+  return false;
+}
+
 bool HttpRequest::KeepAlive() const {
+  // Connection is a comma-separated token list (RFC 9110 §7.6.1):
+  // "Connection: close, TE" closes just like "Connection: close".
+  // close wins over keep-alive when a confused client sends both.
   const std::string* connection = FindHeader("Connection");
   if (connection != nullptr) {
-    if (EqualsIgnoreCase(*connection, "close")) return false;
-    if (EqualsIgnoreCase(*connection, "keep-alive")) return true;
+    if (HeaderListContainsToken(*connection, "close")) return false;
+    if (HeaderListContainsToken(*connection, "keep-alive")) return true;
   }
   return minor_version >= 1;
 }

@@ -109,6 +109,12 @@ struct HttpResponse {
 /// Canonical reason phrase ("OK", "Not Found", ...).
 std::string_view HttpStatusReason(int status);
 
+/// True when the comma-separated token list `value` (an RFC 9110 list
+/// header value like Connection's) contains `token`, case-insensitively
+/// and ignoring optional whitespace around elements. "close, TE"
+/// contains "close"; "closet" does not.
+bool HeaderListContainsToken(std::string_view value, std::string_view token);
+
 /// The API's uniform error document: {"error":{"status":...,
 /// "message":...}} with full JSON escaping. Shared by the transport
 /// (parse/timeout errors) and the API layer so clients parse one shape.

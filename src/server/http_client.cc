@@ -1,9 +1,12 @@
 #include "server/http_client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/strings.h"
+#include "server/http.h"
 
 namespace egp {
 
@@ -19,6 +22,33 @@ Status HttpClient::EnsureConnected() {
   if (fd_.valid()) return Status::OK();
   leftover_.clear();
   EGP_ASSIGN_OR_RETURN(fd_, ConnectTcp(host_, port_, timeout_ms_));
+  return Status::OK();
+}
+
+Status HttpClient::SendBytes(std::string_view bytes) {
+  if (trickle_bytes_ == 0) {
+    const IoResult sent = SendAll(fd_.get(), bytes, timeout_ms_);
+    if (sent.status != IoStatus::kOk) {
+      fd_.Reset();
+      return Status::IOError("send failed");
+    }
+    return Status::OK();
+  }
+  // Trickle mode: each chunk gets the full timeout (the point is to be
+  // slow on purpose, not to time ourselves out).
+  for (size_t offset = 0; offset < bytes.size();
+       offset += trickle_bytes_) {
+    if (offset > 0 && trickle_interval_ms_ > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(trickle_interval_ms_));
+    }
+    const IoResult sent = SendAll(
+        fd_.get(), bytes.substr(offset, trickle_bytes_), timeout_ms_);
+    if (sent.status != IoStatus::kOk) {
+      fd_.Reset();
+      return Status::IOError("send failed");
+    }
+  }
   return Status::OK();
 }
 
@@ -42,11 +72,7 @@ Result<HttpClientResponse> HttpClient::Request(std::string_view method,
   }
   request.append("\r\n").append(body);
 
-  const IoResult sent = SendAll(fd_.get(), request, timeout_ms_);
-  if (sent.status != IoStatus::kOk) {
-    fd_.Reset();
-    return Status::IOError("send failed");
-  }
+  EGP_RETURN_IF_ERROR(SendBytes(request));
   auto response = ReadResponse();
   if (!response.ok() || !response->keep_alive) fd_.Reset();
   return response;
@@ -54,11 +80,7 @@ Result<HttpClientResponse> HttpClient::Request(std::string_view method,
 
 Result<HttpClientResponse> HttpClient::RawExchange(std::string_view bytes) {
   EGP_RETURN_IF_ERROR(EnsureConnected());
-  const IoResult sent = SendAll(fd_.get(), bytes, timeout_ms_);
-  if (sent.status != IoStatus::kOk) {
-    fd_.Reset();
-    return Status::IOError("send failed");
-  }
+  EGP_RETURN_IF_ERROR(SendBytes(bytes));
   auto response = ReadResponse();
   if (!response.ok() || !response->keep_alive) fd_.Reset();
   return response;
@@ -95,6 +117,7 @@ Result<HttpClientResponse> HttpClient::ReadResponse() {
   if (status_line.size() < 12 || status_line.substr(0, 7) != "HTTP/1.") {
     return Status::Corruption("malformed status line");
   }
+  const int minor_version = status_line[7] == '0' ? 0 : 1;
   response.status = 0;
   for (size_t i = 9; i < 12 && i < status_line.size(); ++i) {
     const char c = status_line[i];
@@ -141,9 +164,18 @@ Result<HttpClientResponse> HttpClient::ReadResponse() {
   response.body = buffer.substr(0, content_length);
   leftover_ = buffer.substr(content_length);
 
+  // Connection is a token list (RFC 9110); an HTTP/1.1 response without
+  // the header defaults to keep-alive, HTTP/1.0 to close.
   const std::string* connection = response.FindHeader("Connection");
-  response.keep_alive =
-      connection != nullptr && EqualsIgnoreCase(*connection, "keep-alive");
+  if (connection != nullptr &&
+      HeaderListContainsToken(*connection, "close")) {
+    response.keep_alive = false;
+  } else if (connection != nullptr &&
+             HeaderListContainsToken(*connection, "keep-alive")) {
+    response.keep_alive = true;
+  } else {
+    response.keep_alive = minor_version >= 1;
+  }
   return response;
 }
 

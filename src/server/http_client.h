@@ -56,17 +56,28 @@ class HttpClient {
   void Disconnect() { fd_.Reset(); }
   bool connected() const { return fd_.valid(); }
 
+  /// Slow-client simulation (loadgen's --trickle-* flags): when `bytes`
+  /// is non-zero, request bytes go out in `bytes`-sized chunks with
+  /// `interval_ms` of sleep between chunks. 0 restores normal sends.
+  void SetTrickle(size_t bytes, int interval_ms) {
+    trickle_bytes_ = bytes;
+    trickle_interval_ms_ = interval_ms;
+  }
+
   /// Sends raw bytes on the (possibly newly opened) connection and
   /// reads one response — for tests that need malformed requests.
   Result<HttpClientResponse> RawExchange(std::string_view bytes);
 
  private:
   Status EnsureConnected();
+  Status SendBytes(std::string_view bytes);
   Result<HttpClientResponse> ReadResponse();
 
   std::string host_;
   uint16_t port_;
   int timeout_ms_;
+  size_t trickle_bytes_ = 0;
+  int trickle_interval_ms_ = 0;
   UniqueFd fd_;
   std::string leftover_;  // bytes past the previous response
 };

@@ -1,6 +1,8 @@
 #include "server/http_server.h"
 
-#include <poll.h>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -8,6 +10,14 @@
 #include <utility>
 
 namespace egp {
+namespace {
+
+/// One epoll_wait batch. Level-triggered epoll re-reports anything left
+/// unconsumed, so a small batch only costs extra wakeups, never lost
+/// events.
+constexpr int kMaxEvents = 64;
+
+}  // namespace
 
 Result<std::unique_ptr<HttpServer>> HttpServer::Start(
     Handler handler, const HttpServerOptions& options) {
@@ -19,7 +29,8 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(
     return Status::InvalidArgument("timeouts must be positive");
   }
 
-  // unique_ptr because threads capture `this`: the server must never move.
+  // unique_ptr because the loop thread captures `this`: the server must
+  // never move.
   std::unique_ptr<HttpServer> server(new HttpServer());
   server->options_ = options;
   server->handler_ = std::move(handler);
@@ -29,40 +40,63 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(
       server->listen_fd_,
       ListenTcp(options.host, options.port, options.listen_backlog,
                 &server->port_));
+  // The loop accepts until EAGAIN; a connection that is gone by the time
+  // we accept it must not block the whole loop.
+  SetNonBlocking(server->listen_fd_.get());
+
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) return Status::IOError("epoll_create1 failed");
+  server->epoll_fd_ = UniqueFd(epoll_fd);
 
   int pipe_fds[2];
-  if (::pipe(pipe_fds) != 0) {
-    return Status::IOError("pipe: failed to create shutdown pipe");
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return Status::IOError("pipe2: failed to create shutdown pipe");
   }
   server->shutdown_pipe_read_ = UniqueFd(pipe_fds[0]);
   server->shutdown_pipe_write_ = UniqueFd(pipe_fds[1]);
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return Status::IOError("pipe2: failed to create wakeup pipe");
+  }
+  server->wakeup_pipe_read_ = UniqueFd(pipe_fds[0]);
+  server->wakeup_pipe_write_ = UniqueFd(pipe_fds[1]);
+
+  const int static_fds[3] = {server->listen_fd_.get(),
+                             server->shutdown_pipe_read_.get(),
+                             server->wakeup_pipe_read_.get()};
+  for (const int fd : static_fds) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return Status::IOError("epoll_ctl: failed to register fd");
+    }
+  }
 
   const unsigned workers =
       options.workers == 0 ? std::max(2u, Threads()) : options.workers;
   if (workers > 1) {
-    // ThreadPool(n) supplies n-1 worker threads; the accept thread never
+    // ThreadPool(n) supplies n-1 worker threads; the loop thread never
     // participates, so ask for workers+1 to get `workers` real threads.
     server->pool_ = std::make_unique<ThreadPool>(workers + 1);
   }
-  server->accept_started_ = true;  // before spawn: Wait() keys off this
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  server->loop_started_ = true;  // before spawn: Wait() keys off this
+  server->loop_thread_ = std::thread([s = server.get()] { s->Loop(); });
   return server;
 }
 
 HttpServer::~HttpServer() {
   Shutdown();
   Wait();
-  // Workers may still be finishing their final FinishConnection() notify;
-  // pool destruction joins them (its queue is already empty: Wait()
-  // returned only after every connection task completed).
+  // The loop exits only once every connection closed, which implies every
+  // handler task completed; pool destruction joins idle workers.
   pool_.reset();
 }
 
 void HttpServer::Shutdown() {
   draining_.store(true, std::memory_order_release);
-  // Wake the accept loop's poll. A full pipe is impossible here (we write
-  // at most one byte per Shutdown call and the loop drains it), but even
-  // EAGAIN would be fine: draining_ is already visible.
+  // Wake the event loop. A full pipe is impossible here (one byte per
+  // Shutdown call, drained by the loop), but even EAGAIN would be fine:
+  // draining_ is already visible.
   const char byte = 'q';
   [[maybe_unused]] const ssize_t n =
       ::write(shutdown_pipe_write_.get(), &byte, 1);
@@ -70,15 +104,15 @@ void HttpServer::Shutdown() {
 
 void HttpServer::Wait() {
   {
-    // A server whose Start failed before the accept thread spawned has
+    // A server whose Start failed before the loop thread spawned has
     // nothing to wait for (its destructor still runs this path).
     std::unique_lock<std::mutex> lock(mu_);
-    idle_.wait(lock, [this] { return accept_exited_ || !accept_started_; });
+    idle_.wait(lock, [this] { return loop_exited_ || !loop_started_; });
   }
   // Serialize the join so concurrent Wait() callers (say, the owner and
   // the destructor) can't race on the thread object.
   std::lock_guard<std::mutex> join_lock(join_mu_);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  if (loop_thread_.joinable()) loop_thread_.join();
 }
 
 HttpServerStats HttpServer::stats() const {
@@ -86,40 +120,93 @@ HttpServerStats HttpServer::stats() const {
   return stats_;
 }
 
-void HttpServer::AcceptLoop() {
+// ---------------------------------------------------------------------------
+// Event loop. Everything below runs on the loop thread unless noted.
+
+void HttpServer::Loop() {
+  epoll_event events[kMaxEvents];
   for (;;) {
-    struct pollfd fds[2];
-    fds[0].fd = listen_fd_.get();
-    fds[0].events = POLLIN;
-    fds[0].revents = 0;
-    fds[1].fd = shutdown_pipe_read_.get();
-    fds[1].events = POLLIN;
-    fds[1].revents = 0;
-    const int n = ::poll(fds, 2, -1);
+    const int timeout_ms = NextTimeoutMillis();
+    const int n = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
-      break;  // poll on our own sockets failing is unrecoverable
+      break;  // epoll on our own fds failing is unrecoverable
     }
-    if ((fds[1].revents & POLLIN) != 0 ||
-        draining_.load(std::memory_order_acquire)) {
-      // A byte on the self-pipe (signal handler path) must have the same
-      // effect as Shutdown(): make the drain visible to workers too.
-      draining_.store(true, std::memory_order_release);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t mask = events[i].events;
+      if (fd == shutdown_pipe_read_.get()) {
+        char buf[64];
+        while (::read(fd, buf, sizeof(buf)) > 0) {
+        }
+        BeginDrain();
+        continue;
+      }
+      if (fd == wakeup_pipe_read_.get()) {
+        char buf[64];
+        while (::read(fd, buf, sizeof(buf)) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      if (fd == listen_fd_.get()) {
+        AcceptPending();
+        continue;
+      }
+      // A connection event. The connection may have been closed earlier
+      // in this same batch (completion or sibling event) — and the fd
+      // even reused by a fresh accept; the phase checks inside the
+      // handlers make a misdelivered stale event harmless.
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second.get();
+      if ((mask & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0 &&
+          conn->phase == Connection::Phase::kReading) {
+        // EPOLLHUP/ERR while reading: recv() reports the EOF or error.
+        OnReadable(conn);
+      } else if ((mask & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0 &&
+                 conn->phase == Connection::Phase::kWriting) {
+        OnWritable(conn);
+      }
+    }
+    ExpireDeadlines();
+    // Completions are also drained inline (not just on wakeup bytes) so a
+    // wakeup write that raced with this pass can't strand a response
+    // until the next unrelated event.
+    DrainCompletions();
+    if (draining_.load(std::memory_order_acquire) && connections_.empty()) {
       break;
     }
-    if ((fds[0].revents & POLLIN) == 0) continue;
+  }
 
-    auto conn = AcceptConnection(listen_fd_.get());
-    if (!conn.ok()) {
-      // Transient (ECONNABORTED, EMFILE, ...): keep serving. A hard
-      // listener failure shows up as poll errors next round.
-      continue;
+  std::lock_guard<std::mutex> lock(mu_);
+  loop_exited_ = true;
+  idle_.notify_all();
+}
+
+void HttpServer::AcceptPending() {
+  if (draining_.load(std::memory_order_acquire)) return;
+  for (;;) {
+    const int raw =
+        ::accept4(listen_fd_.get(), nullptr, nullptr,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (raw < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN: backlog drained. Anything else (ECONNABORTED, EMFILE,
+      // ...) is transient for us: keep serving.
+      return;
     }
+    auto conn = std::make_unique<Connection>(UniqueFd(raw),
+                                             ++next_generation_,
+                                             options_.limits);
+    Connection* c = conn.get();
+    connections_.emplace(raw, std::move(conn));
 
-    if (active_connections_.load(std::memory_order_acquire) >=
-        options_.max_connections) {
-      // Backpressure: answer 503 right here (short write budget; a peer
-      // too slow to take 120 bytes forfeits the courtesy) and move on.
+    if (admitted_connections_ >= options_.max_connections) {
+      // Backpressure: queue a 503 as a plain non-blocking write. A slow
+      // rejected peer costs one connection object on a short deadline —
+      // it can no longer stall the accept path (the old thread-per-
+      // connection design blocked the accept thread right here).
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.rejected_connections;
@@ -128,151 +215,343 @@ void HttpServer::AcceptLoop() {
       response.status = 503;
       response.body = JsonErrorBody(503, "server at connection capacity");
       response.headers.emplace_back("Retry-After", "1");
-      SendAll(conn->get(), SerializeResponse(response, false), 100);
+      c->phase = Connection::Phase::kWriting;
+      c->close_after_write = true;
+      c->outbox = SerializeResponse(response, /*keep_alive=*/false);
+      ArmDeadline(c, std::min(1'000, options_.write_timeout_ms));
+      FlushOutbox(c);  // may close c
       continue;
     }
 
-    active_connections_.fetch_add(1, std::memory_order_acq_rel);
+    ++admitted_connections_;
+    c->counted = true;
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.accepted_connections;
     }
-    if (pool_ != nullptr) {
-      // std::function needs copyable captures: pass the raw fd through
-      // and re-wrap inside the task.
-      const int raw = conn->Release();
-      pool_->Submit([this, raw] {
-        ServeConnection(UniqueFd(raw));
-        FinishConnection();
-      });
-    } else {
-      ServeConnection(std::move(conn).value());
-      FinishConnection();
+    ArmDeadline(c, options_.read_timeout_ms);
+    SetEpoll(c, EPOLLIN);
+  }
+}
+
+void HttpServer::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+  if (listen_fd_.valid()) {
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
+    listen_fd_.Reset();  // new connects fail immediately
+  }
+  // Idle keep-alive connections close now; anything mid-exchange finishes
+  // its current request (with Connection: close — CompleteRequest and
+  // BeginNextRequest both observe draining_).
+  std::vector<Connection*> idle;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->phase == Connection::Phase::kReading &&
+        conn->parser.AtMessageBoundary()) {
+      idle.push_back(conn.get());
     }
   }
-
-  // Drain: no new connections; in-flight ones observe draining_ and
-  // close after their current request.
-  listen_fd_.Reset();
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] {
-    return active_connections_.load(std::memory_order_acquire) == 0;
-  });
-  accept_exited_ = true;
-  idle_.notify_all();
+  for (Connection* conn : idle) CloseConnection(conn);
 }
 
-void HttpServer::FinishConnection() {
-  if (active_connections_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // Last one out: wake the drain wait (and anyone in Wait()). The lock
-    // pairs with the condition check so the notify can't be missed.
-    std::lock_guard<std::mutex> lock(mu_);
-    idle_.notify_all();
-  }
-}
-
-void HttpServer::ServeConnection(UniqueFd fd) {
-  HttpRequestParser parser(options_.limits);
+void HttpServer::OnReadable(Connection* conn) {
   char buf[16 * 1024];
-  size_t served = 0;
-
   for (;;) {
-    // ---- Read one full request, staying responsive to drain: the
-    // timeout budget is spent in short poll slices so a drain never
-    // waits out a 10 s idle keep-alive read.
-    HttpRequestParser::State state = parser.Continue();
-    int waited_ms = 0;
-    bool connection_dead = false;
-    while (state == HttpRequestParser::State::kNeedMore) {
-      if (draining_.load(std::memory_order_acquire) &&
-          parser.AtMessageBoundary()) {
-        return;  // idle between requests: close immediately
-      }
-      const int slice = std::min(250, options_.read_timeout_ms - waited_ms);
-      if (slice <= 0) {
-        // Timed out. Mid-request gets a 408; silence would leave the
-        // client guessing. Between requests it is just an idle close.
-        // (Stats update precedes the send so a client that reads the
-        // response immediately observes them.)
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          ++stats_.timed_out_connections;
-        }
-        if (!parser.AtMessageBoundary()) {
-          HttpResponse timeout;
-          timeout.status = 408;
-          timeout.body = JsonErrorBody(408, "timed out reading request");
-          SendAll(fd.get(), SerializeResponse(timeout, false),
-                  options_.write_timeout_ms);
-        }
+    const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      const HttpRequestParser::State state =
+          conn->parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      if (state == HttpRequestParser::State::kComplete) {
+        DispatchRequest(conn);
         return;
       }
-      const IoResult r = RecvSome(fd.get(), buf, sizeof(buf), slice);
-      if (r.status == IoStatus::kTimeout) {
-        waited_ms += slice;
-        continue;
+      if (state == HttpRequestParser::State::kError) {
+        FailParse(conn);
+        return;
       }
-      if (r.status != IoStatus::kOk) {
-        connection_dead = true;  // EOF or socket error
-        break;
-      }
-      waited_ms = 0;  // progress resets the stall budget
-      state = parser.Feed(std::string_view(buf, r.bytes));
+      continue;  // kNeedMore: keep reading until EAGAIN
     }
-    if (connection_dead) return;
-
-    if (state == HttpRequestParser::State::kError) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.parse_errors;
-        ++stats_.handled_requests;
-      }
-      HttpResponse error;
-      error.status = parser.error_status();
-      error.body = JsonErrorBody(parser.error_status(), parser.error_message());
-      SendAll(fd.get(), SerializeResponse(error, false),
-              options_.write_timeout_ms);
+    if (n == 0) {  // peer closed
+      CloseConnection(conn);
       return;
     }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConnection(conn);
+    return;
+  }
+}
 
-    // ---- Dispatch.
-    const HttpRequest request = parser.Take();
-    ++served;
+void HttpServer::OnWritable(Connection* conn) { FlushOutbox(conn); }
+
+void HttpServer::OnDeadline(Connection* conn) {
+  switch (conn->phase) {
+    case Connection::Phase::kReading: {
+      if (conn->counted && !conn->timed_out_counted) {
+        conn->timed_out_counted = true;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.timed_out_connections;
+      }
+      if (conn->parser.AtMessageBoundary()) {
+        // Idle between keep-alive requests: just an idle close.
+        CloseConnection(conn);
+        return;
+      }
+      // Mid-request gets a 408; silence would leave the client guessing.
+      HttpResponse timeout;
+      timeout.status = 408;
+      timeout.body = JsonErrorBody(408, "timed out reading request");
+      SendResponse(conn, timeout, /*keep=*/false, /*omit_body=*/false);
+      return;
+    }
+    case Connection::Phase::kWriting: {
+      if (conn->counted && !conn->timed_out_counted) {
+        conn->timed_out_counted = true;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.timed_out_connections;
+      }
+      CloseConnection(conn);
+      return;
+    }
+    case Connection::Phase::kHandling:
+      // Unreachable: dispatch disarms the deadline, and TimerEntryLive
+      // filters the stale heap entry.
+      return;
+  }
+}
+
+void HttpServer::DispatchRequest(Connection* conn) {
+  // shared_ptr because ThreadPool::Submit takes std::function, which
+  // demands copyable captures.
+  auto request = std::make_shared<HttpRequest>(conn->parser.Take());
+  ++conn->served;
+  conn->phase = Connection::Phase::kHandling;
+  conn->request_was_head = request->method == "HEAD";
+  conn->request_keep_alive =
+      request->KeepAlive() &&
+      conn->served < options_.max_requests_per_connection;
+  conn->deadline_ms = kNoDeadline;  // no I/O deadline while computing
+  // Out of epoll entirely: a level-triggered EPOLLIN (or a peer hangup)
+  // would otherwise busy-loop the poll while the handler runs.
+  SetEpoll(conn, 0);
+
+  if (pool_ != nullptr) {
+    const int fd = conn->fd.get();
+    const uint64_t generation = conn->generation;
+    pool_->Submit([this, fd, generation, request] {
+      Completion completion;
+      completion.fd = fd;
+      completion.generation = generation;
+      completion.response = RunHandler(*request);
+      PushCompletion(std::move(completion));
+    });
+  } else {
+    // workers == 1: inline on the loop thread (ThreadPool(1) has no
+    // workers, a submitted task would never run).
+    const HttpResponse response = RunHandler(*request);
+    CompleteRequest(conn, response);
+  }
+}
+
+HttpResponse HttpServer::RunHandler(const HttpRequest& request) {
+  // Runs on a pool thread (or the loop thread in inline mode).
+  try {
+    return handler_(request);
+  } catch (const std::exception& e) {
     HttpResponse response;
-    try {
-      response = handler_(request);
-    } catch (const std::exception& e) {
-      response = HttpResponse{};
-      response.status = 500;
-      response.body = JsonErrorBody(500, std::string("handler error: ") + e.what());
-      response.close_connection = true;
-    } catch (...) {
-      response = HttpResponse{};
-      response.status = 500;
-      response.body = JsonErrorBody(500, "handler error");
-      response.close_connection = true;
-    }
+    response.status = 500;
+    response.body =
+        JsonErrorBody(500, std::string("handler error: ") + e.what());
+    response.close_connection = true;
+    return response;
+  } catch (...) {
+    HttpResponse response;
+    response.status = 500;
+    response.body = JsonErrorBody(500, "handler error");
+    response.close_connection = true;
+    return response;
+  }
+}
 
-    const bool keep = request.KeepAlive() &&
-                      served < options_.max_requests_per_connection &&
-                      !draining_.load(std::memory_order_acquire) &&
-                      !response.close_connection;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.handled_requests;
+void HttpServer::PushCompletion(Completion completion) {
+  // Pool thread → loop thread handoff.
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    completions_.push_back(std::move(completion));
+  }
+  // EAGAIN (pipe full) is fine: a full pipe is already readable, so the
+  // loop is waking up regardless and drains the queue inline.
+  const char byte = 'c';
+  [[maybe_unused]] const ssize_t n =
+      ::write(wakeup_pipe_write_.get(), &byte, 1);
+}
+
+void HttpServer::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    const auto it = connections_.find(completion.fd);
+    if (it == connections_.end() ||
+        it->second->generation != completion.generation ||
+        it->second->phase != Connection::Phase::kHandling) {
+      // The loop never closes a kHandling connection, so this is only
+      // reachable through fd-reuse races; drop the orphan.
+      continue;
     }
-    // HEAD gets the head only; Content-Length still describes the body
-    // the corresponding GET would have sent.
-    const IoResult w = SendAll(
-        fd.get(),
-        SerializeResponse(response, keep,
-                          /*omit_body=*/request.method == "HEAD"),
-        options_.write_timeout_ms);
-    if (w.status == IoStatus::kTimeout) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.timed_out_connections;
+    CompleteRequest(it->second.get(), completion.response);
+  }
+}
+
+void HttpServer::CompleteRequest(Connection* conn,
+                                 const HttpResponse& response) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.handled_requests;
+  }
+  const bool keep = conn->request_keep_alive && !response.close_connection &&
+                    !draining_.load(std::memory_order_acquire);
+  // HEAD gets the head only; Content-Length still describes the body the
+  // corresponding GET would have sent.
+  SendResponse(conn, response, keep, /*omit_body=*/conn->request_was_head);
+}
+
+void HttpServer::FailParse(Connection* conn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.parse_errors;
+    ++stats_.handled_requests;
+  }
+  HttpResponse error;
+  error.status = conn->parser.error_status();
+  error.body =
+      JsonErrorBody(conn->parser.error_status(), conn->parser.error_message());
+  SendResponse(conn, error, /*keep=*/false, /*omit_body=*/false);
+}
+
+void HttpServer::SendResponse(Connection* conn, const HttpResponse& response,
+                              bool keep, bool omit_body) {
+  conn->phase = Connection::Phase::kWriting;
+  conn->close_after_write = !keep || response.close_connection;
+  conn->outbox = SerializeResponse(response, keep, omit_body);
+  conn->outbox_sent = 0;
+  // One absolute budget for the whole response: progress (a trickle-
+  // reading peer taking a byte at a time) does not restart it.
+  ArmDeadline(conn, options_.write_timeout_ms);
+  FlushOutbox(conn);
+}
+
+void HttpServer::FlushOutbox(Connection* conn) {
+  while (conn->outbox_sent < conn->outbox.size()) {
+    const ssize_t n =
+        ::send(conn->fd.get(), conn->outbox.data() + conn->outbox_sent,
+               conn->outbox.size() - conn->outbox_sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outbox_sent += static_cast<size_t>(n);
+      continue;
     }
-    if (w.status != IoStatus::kOk || !keep) return;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      SetEpoll(conn, EPOLLOUT);  // resume when the socket drains
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn);  // peer reset mid-response
+    return;
+  }
+  // Fully flushed.
+  if (conn->close_after_write) {
+    CloseConnection(conn);
+    return;
+  }
+  BeginNextRequest(conn);
+}
+
+void HttpServer::BeginNextRequest(Connection* conn) {
+  if (draining_.load(std::memory_order_acquire)) {
+    // Raced with drain after the keep-alive response was serialized.
+    CloseConnection(conn);
+    return;
+  }
+  conn->phase = Connection::Phase::kReading;
+  conn->outbox.clear();
+  conn->outbox_sent = 0;
+  ArmDeadline(conn, options_.read_timeout_ms);
+  SetEpoll(conn, EPOLLIN);
+  // A pipelined request may already be buffered in the parser.
+  const HttpRequestParser::State state = conn->parser.Continue();
+  if (state == HttpRequestParser::State::kComplete) {
+    DispatchRequest(conn);
+  } else if (state == HttpRequestParser::State::kError) {
+    FailParse(conn);
+  }
+}
+
+void HttpServer::CloseConnection(Connection* conn) {
+  SetEpoll(conn, 0);
+  if (conn->counted) --admitted_connections_;
+  connections_.erase(conn->fd.get());  // destroys conn, closes the fd
+}
+
+void HttpServer::ArmDeadline(Connection* conn, int timeout_ms) {
+  conn->deadline_ms = DeadlineAfterMillis(timeout_ms);
+  if (conn->deadline_ms == kNoDeadline) return;
+  // Lazy deletion: re-arming just pushes a fresh entry; stale ones are
+  // filtered by TimerEntryLive when they surface.
+  timers_.push(TimerEntry{conn->deadline_ms, conn->fd.get(),
+                          conn->generation});
+}
+
+void HttpServer::SetEpoll(Connection* conn, uint32_t events) {
+  if (events == 0) {
+    if (conn->in_epoll) {
+      ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, conn->fd.get(), nullptr);
+      conn->in_epoll = false;
+      conn->epoll_events = 0;
+    }
+    return;
+  }
+  if (conn->in_epoll && conn->epoll_events == events) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = conn->fd.get();
+  const int op = conn->in_epoll ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
+  if (::epoll_ctl(epoll_fd_.get(), op, conn->fd.get(), &ev) != 0) {
+    // Only plausible for a dead fd; the close path tolerates that too.
+    CloseConnection(conn);
+    return;
+  }
+  conn->in_epoll = true;
+  conn->epoll_events = events;
+}
+
+bool HttpServer::TimerEntryLive(const TimerEntry& entry) const {
+  const auto it = connections_.find(entry.fd);
+  return it != connections_.end() &&
+         it->second->generation == entry.generation &&
+         it->second->deadline_ms == entry.deadline_ms;
+}
+
+int HttpServer::NextTimeoutMillis() {
+  while (!timers_.empty() && !TimerEntryLive(timers_.top())) {
+    timers_.pop();
+  }
+  if (timers_.empty()) return -1;  // epoll_wait blocks until an event
+  const int64_t remaining = timers_.top().deadline_ms - MonotonicMillis();
+  if (remaining <= 0) return 0;
+  return static_cast<int>(std::min<int64_t>(remaining, 60'000));
+}
+
+void HttpServer::ExpireDeadlines() {
+  const int64_t now = MonotonicMillis();
+  for (;;) {
+    while (!timers_.empty() && !TimerEntryLive(timers_.top())) {
+      timers_.pop();
+    }
+    if (timers_.empty() || timers_.top().deadline_ms > now) return;
+    const TimerEntry entry = timers_.top();
+    timers_.pop();
+    OnDeadline(connections_.find(entry.fd)->second.get());
   }
 }
 

@@ -1,23 +1,36 @@
-// HttpServer: the transport half of the serving subsystem — a POSIX
-// listener thread plus a ThreadPool of connection workers.
+// HttpServer: the transport half of the serving subsystem — a single
+// epoll (level-triggered) event-loop thread plus a ThreadPool used ONLY
+// for handler compute.
 //
-// Architecture (the ROADMAP's "serving heavy traffic" layer):
-//   * one accept thread polls the listening socket and a self-pipe;
-//   * each accepted connection becomes one task on the shared ThreadPool
-//     (src/common/parallel.h) and is served start-to-finish by one
-//     worker: read (timed) → parse (HttpRequestParser) → handler →
-//     write (timed), looping while keep-alive holds;
-//   * in-flight connections are bounded: beyond the cap the accept
-//     thread answers 503 immediately instead of queueing unboundedly —
-//     backpressure, not collapse;
+// Architecture (the ROADMAP's "event-loop serving core" layer):
+//   * one loop thread owns every connection: it accepts, does all
+//     non-blocking reads and writes, and arms one deadline timer per
+//     connection (a lazy-deletion min-heap; epoll_wait's timeout is the
+//     nearest deadline). No thread ever blocks on a socket.
+//   * when a full request has been parsed, the connection is taken out
+//     of epoll and the handler runs as one ThreadPool task; the finished
+//     response comes back to the loop over a completion queue + wakeup
+//     pipe and is flushed non-blockingly. A slow or stalled client
+//     therefore costs one idle connection object, never a pinned worker
+//     — tail latency survives trickle-readers and trickle-writers.
+//   * deadlines are whole-exchange budgets on the CLOCK_MONOTONIC base:
+//     read_timeout_ms bounds receiving one complete request (408 if it
+//     expires mid-request, a silent close if the connection was idle
+//     between keep-alive requests), write_timeout_ms bounds flushing one
+//     complete response (expiry disconnects). Progress does not restart
+//     either clock.
+//   * in-flight connections are bounded: beyond the cap the loop queues
+//     an immediate 503 on the new connection as just another
+//     non-blocking write — a slow rejected client can no longer stall
+//     accepting (it used to block the accept thread).
 //   * Shutdown() (or a byte on shutdown_fd(), which is the only
-//     async-signal-safe way in) stops accepting, lets each in-flight
-//     connection finish its current request with Connection: close, and
-//     Wait() returns once the last worker is done — a graceful drain.
+//     async-signal-safe way in) stops accepting, closes idle keep-alive
+//     connections, lets each in-flight exchange finish with
+//     Connection: close, and Wait() returns once the loop exits — a
+//     graceful drain.
 //
-// The handler runs on worker threads concurrently: it must be
-// thread-safe (PreviewService is; the Engine it wraps was built for
-// this).
+// The handler runs on pool threads concurrently: it must be thread-safe
+// (PreviewService is; the Engine it wraps was built for this).
 #ifndef EGP_SERVER_HTTP_SERVER_H_
 #define EGP_SERVER_HTTP_SERVER_H_
 
@@ -27,8 +40,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "common/parallel.h"
 #include "common/result.h"
@@ -41,23 +57,25 @@ struct HttpServerOptions {
   std::string host = "127.0.0.1";
   /// 0 binds an ephemeral port; read the result from port().
   uint16_t port = 0;
-  /// Connection workers. 0 resolves to max(2, egp::Threads()). 1 means
-  /// no worker threads at all: connections are served inline on the
-  /// accept thread (useful for debugging; serial, but still correct).
+  /// Handler compute threads. 0 resolves to max(2, egp::Threads()). 1
+  /// means no pool at all: handlers run inline on the loop thread
+  /// (useful for debugging; serializes compute, but I/O still never
+  /// blocks).
   unsigned workers = 0;
   /// listen(2) backlog for the kernel's accept queue.
   int listen_backlog = 128;
   /// In-flight connection cap (accepted, not yet closed). Beyond it new
-  /// connections get an immediate 503. Must be >= 1.
+  /// connections get an immediate non-blocking 503. Must be >= 1.
   size_t max_connections = 256;
-  /// Longest stall while reading one request before the connection is
-  /// closed (408 if mid-request; silently if between keep-alive
-  /// requests).
+  /// Total budget for reading one complete request (and for keep-alive
+  /// idle time between requests). Expiry mid-request answers 408;
+  /// between requests it closes silently. Absolute deadline: trickled
+  /// bytes do not restart the clock.
   int read_timeout_ms = 10'000;
-  /// Longest stall while writing one response.
+  /// Total budget for flushing one complete response; expiry
+  /// disconnects. Absolute deadline, as above.
   int write_timeout_ms = 10'000;
-  /// Requests served on one connection before it is closed (bounds how
-  /// long a client can pin a worker).
+  /// Requests served on one connection before it is closed.
   size_t max_requests_per_connection = 1'000;
   HttpParserLimits limits;
 };
@@ -65,18 +83,18 @@ struct HttpServerOptions {
 /// Counters for /metrics and tests; all monotone since Start().
 struct HttpServerStats {
   uint64_t accepted_connections = 0;
-  uint64_t rejected_connections = 0;  // 503 at the accept gate
-  uint64_t handled_requests = 0;      // responses written (any status)
+  uint64_t rejected_connections = 0;  // 503 at the connection cap
+  uint64_t handled_requests = 0;      // responses queued (any status)
   uint64_t parse_errors = 0;          // 4xx/5xx from the parser itself
-  uint64_t timed_out_connections = 0;
+  uint64_t timed_out_connections = 0;  // read or write deadline expiries
 };
 
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
-  /// Binds, spawns the worker pool and the accept thread. The returned
-  /// server is already serving.
+  /// Binds, spawns the worker pool and the event-loop thread. The
+  /// returned server is already serving.
   static Result<std::unique_ptr<HttpServer>> Start(
       Handler handler, const HttpServerOptions& options);
 
@@ -90,18 +108,18 @@ class HttpServer {
   uint16_t port() const { return port_; }
   const std::string& host() const { return host_; }
 
-  /// Begins a graceful drain: stop accepting, finish in-flight requests,
-  /// close. Safe to call from any thread, and idempotent. NOT
-  /// async-signal-safe — from a signal handler, write a byte to
+  /// Begins a graceful drain: stop accepting, finish in-flight
+  /// exchanges, close. Safe to call from any thread, and idempotent.
+  /// NOT async-signal-safe — from a signal handler, write a byte to
   /// shutdown_fd() instead.
   void Shutdown();
 
-  /// Write end of the self-pipe the accept loop polls; write(2) one byte
+  /// Write end of the self-pipe the event loop polls; write(2) one byte
   /// to trigger the same drain as Shutdown(). Valid for the server's
   /// lifetime.
   int shutdown_fd() const { return shutdown_pipe_write_.get(); }
 
-  /// Blocks until the drain completes (all connections closed, accept
+  /// Blocks until the drain completes (all connections closed, loop
   /// thread exited). Returns immediately if already drained.
   void Wait();
 
@@ -113,32 +131,105 @@ class HttpServer {
   HttpServerStats stats() const;
 
  private:
+  /// Per-connection state, owned and touched by the loop thread only.
+  struct Connection {
+    UniqueFd fd;
+    uint64_t generation = 0;  // guards timer/completion entries across fd reuse
+    enum class Phase : uint8_t { kReading, kHandling, kWriting } phase =
+        Phase::kReading;
+    HttpRequestParser parser;
+    std::string outbox;     // serialized response bytes still to write
+    size_t outbox_sent = 0;
+    bool counted = false;   // admitted (counts against max_connections)
+    bool close_after_write = false;
+    bool request_was_head = false;
+    bool request_keep_alive = false;
+    bool timed_out_counted = false;  // at most one stats_ tick per conn
+    size_t served = 0;      // requests dispatched on this connection
+    int64_t deadline_ms = kNoDeadline;  // armed absolute deadline
+    bool in_epoll = false;
+    uint32_t epoll_events = 0;
+
+    Connection(UniqueFd fd_in, uint64_t generation_in,
+               const HttpParserLimits& limits)
+        : fd(std::move(fd_in)), generation(generation_in), parser(limits) {}
+  };
+
+  /// A finished handler result on its way back to the loop thread.
+  struct Completion {
+    int fd = -1;
+    uint64_t generation = 0;
+    HttpResponse response;
+  };
+
+  struct TimerEntry {
+    int64_t deadline_ms = 0;
+    int fd = -1;
+    uint64_t generation = 0;
+    bool operator>(const TimerEntry& other) const {
+      return deadline_ms > other.deadline_ms;
+    }
+  };
+
   HttpServer() = default;
 
-  void AcceptLoop();
-  void ServeConnection(UniqueFd fd);
-  void FinishConnection();
+  void Loop();
+  void AcceptPending();
+  void BeginDrain();
+  void OnReadable(Connection* conn);
+  void OnWritable(Connection* conn);
+  void OnDeadline(Connection* conn);
+  void DispatchRequest(Connection* conn);
+  void CompleteRequest(Connection* conn, const HttpResponse& response);
+  void FailParse(Connection* conn);
+  void SendResponse(Connection* conn, const HttpResponse& response, bool keep,
+                    bool omit_body);
+  void FlushOutbox(Connection* conn);
+  void BeginNextRequest(Connection* conn);
+  void CloseConnection(Connection* conn);
+  void ArmDeadline(Connection* conn, int timeout_ms);
+  void SetEpoll(Connection* conn, uint32_t events);
+  bool TimerEntryLive(const TimerEntry& entry) const;
+  int NextTimeoutMillis();
+  void ExpireDeadlines();
+  void DrainCompletions();
+  HttpResponse RunHandler(const HttpRequest& request);
+  void PushCompletion(Completion completion);
 
   std::string host_;
   uint16_t port_ = 0;
   HttpServerOptions options_;
   Handler handler_;
 
+  UniqueFd epoll_fd_;
   UniqueFd listen_fd_;
   UniqueFd shutdown_pipe_read_;
   UniqueFd shutdown_pipe_write_;
+  UniqueFd wakeup_pipe_read_;
+  UniqueFd wakeup_pipe_write_;
 
   std::unique_ptr<ThreadPool> pool_;  // null when workers == 1 (inline)
-  std::thread accept_thread_;
+  std::thread loop_thread_;
 
   std::atomic<bool> draining_{false};
-  std::atomic<size_t> active_connections_{0};
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_;  // active_connections_ reached 0
-  bool accept_started_ = false;   // thread spawned (false on failed Start)
-  bool accept_exited_ = false;
-  std::mutex join_mu_;  // serializes accept_thread_.join()
+  // ---- Loop-thread state (no locking: one owner).
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  size_t admitted_connections_ = 0;  // excludes 503-reject writers
+  uint64_t next_generation_ = 0;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>>
+      timers_;
+
+  // ---- Cross-thread state.
+  std::mutex completion_mu_;
+  std::vector<Completion> completions_;
+
+  mutable std::mutex mu_;         // stats + loop lifecycle flags
+  std::condition_variable idle_;  // loop_exited_ flipped
+  bool loop_started_ = false;     // thread spawned (false on failed Start)
+  bool loop_exited_ = false;
+  std::mutex join_mu_;  // serializes loop_thread_.join()
   HttpServerStats stats_;
 };
 

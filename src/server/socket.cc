@@ -6,9 +6,12 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <climits>
 #include <cstring>
 
 namespace egp {
@@ -29,40 +32,55 @@ void SetCloexec(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
 }
 
-/// Connections must be non-blocking: the timed I/O below is poll + a
-/// non-blocking syscall per step. On a *blocking* socket, send() past
-/// POLLOUT can still park the thread until the peer drains its window —
-/// which would let a stalled reader defeat the write timeout entirely.
-void SetNonBlocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
-
-/// poll() for `events`, retrying on EINTR with the remaining budget. A
-/// negative timeout waits forever.
-IoResult PollFor(int fd, short events, int timeout_ms) {
+/// poll() for `events` until the absolute deadline, retrying on EINTR
+/// with the *remaining* budget — the clock never restarts, so neither a
+/// signal storm nor a trickling peer can stretch the wait past the
+/// deadline. kNoDeadline waits forever.
+IoResult PollUntil(int fd, short events, int64_t deadline_ms) {
   struct pollfd pfd;
   pfd.fd = fd;
   pfd.events = events;
   for (;;) {
+    int wait_ms = -1;
+    if (deadline_ms != kNoDeadline) {
+      const int64_t remaining = deadline_ms - MonotonicMillis();
+      if (remaining <= 0) return IoResult{IoStatus::kTimeout, 0, 0};
+      wait_ms = static_cast<int>(std::min<int64_t>(remaining, INT_MAX));
+    }
     pfd.revents = 0;
-    const int n = ::poll(&pfd, 1, timeout_ms);
+    const int n = ::poll(&pfd, 1, wait_ms);
     if (n > 0) return IoResult{IoStatus::kOk, 0, 0};
     if (n == 0) return IoResult{IoStatus::kTimeout, 0, 0};
     if (errno != EINTR) return IoResult{IoStatus::kError, 0, errno};
-    // EINTR: retry. The residual-budget bookkeeping isn't worth it for
-    // the coarse timeouts used here; a signal storm only extends the
-    // wait, never shortens it below the request.
   }
 }
 
 }  // namespace
+
+int64_t MonotonicMillis() {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1'000'000;
+}
+
+int64_t DeadlineAfterMillis(int timeout_ms) {
+  return timeout_ms < 0 ? kNoDeadline : MonotonicMillis() + timeout_ms;
+}
 
 void UniqueFd::Reset() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+/// Connections must be non-blocking: the timed I/O below is poll + a
+/// non-blocking syscall per step. On a *blocking* socket, send() past
+/// POLLOUT can still park the thread until the peer drains its window —
+/// which would let a stalled reader defeat the write deadline entirely.
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
@@ -135,7 +153,8 @@ Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
       return ErrnoStatus("connect " + host + ":" + std::to_string(port),
                          errno);
     }
-    const IoResult wait = PollFor(fd.get(), POLLOUT, timeout_ms);
+    const IoResult wait =
+        PollUntil(fd.get(), POLLOUT, DeadlineAfterMillis(timeout_ms));
     if (wait.status == IoStatus::kTimeout) {
       return Status::IOError("connect " + host + ":" + std::to_string(port) +
                              ": timed out");
@@ -159,24 +178,24 @@ Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
   return fd;
 }
 
-IoResult RecvSome(int fd, char* buf, size_t len, int timeout_ms) {
+IoResult RecvSomeUntil(int fd, char* buf, size_t len, int64_t deadline_ms) {
   for (;;) {
-    const IoResult wait = PollFor(fd, POLLIN, timeout_ms);
+    const IoResult wait = PollUntil(fd, POLLIN, deadline_ms);
     if (wait.status != IoStatus::kOk) return wait;
     const ssize_t n = ::recv(fd, buf, len, 0);
     if (n > 0) return IoResult{IoStatus::kOk, static_cast<size_t>(n), 0};
     if (n == 0) return IoResult{IoStatus::kEof, 0, 0};
     // EAGAIN after POLLIN is a spurious wakeup on a non-blocking socket:
-    // re-poll rather than spin.
+    // re-poll (against the same deadline) rather than spin.
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
     return IoResult{IoStatus::kError, 0, errno};
   }
 }
 
-IoResult SendAll(int fd, std::string_view data, int timeout_ms) {
+IoResult SendAllUntil(int fd, std::string_view data, int64_t deadline_ms) {
   size_t sent = 0;
   while (sent < data.size()) {
-    const IoResult wait = PollFor(fd, POLLOUT, timeout_ms);
+    const IoResult wait = PollUntil(fd, POLLOUT, deadline_ms);
     if (wait.status != IoStatus::kOk) {
       return IoResult{wait.status, sent, wait.error};
     }
@@ -192,8 +211,16 @@ IoResult SendAll(int fd, std::string_view data, int timeout_ms) {
   return IoResult{IoStatus::kOk, sent, 0};
 }
 
+IoResult RecvSome(int fd, char* buf, size_t len, int timeout_ms) {
+  return RecvSomeUntil(fd, buf, len, DeadlineAfterMillis(timeout_ms));
+}
+
+IoResult SendAll(int fd, std::string_view data, int timeout_ms) {
+  return SendAllUntil(fd, data, DeadlineAfterMillis(timeout_ms));
+}
+
 IoResult WaitReadable(int fd, int timeout_ms) {
-  return PollFor(fd, POLLIN, timeout_ms);
+  return PollUntil(fd, POLLIN, DeadlineAfterMillis(timeout_ms));
 }
 
 }  // namespace egp

@@ -1,11 +1,13 @@
 // Thin POSIX TCP layer for the serving subsystem: RAII descriptors,
-// listener/connect helpers, and poll-based timed I/O. No third-party
+// listener/connect helpers, and deadline-based timed I/O. No third-party
 // network dependency — everything sits directly on <sys/socket.h>.
 //
-// All I/O here is *timed*: a slow or stalled peer can never park a server
-// worker forever. Timeouts are per poll wait (time to the next byte of
-// progress), not per whole message — the HTTP layer above composes them
-// into per-request behaviour.
+// All timed I/O here is budgeted against an *absolute* CLOCK_MONOTONIC
+// deadline, not a per-poll-iteration stall allowance. A peer that
+// trickles one byte per poll window therefore cannot extend a "timed"
+// operation past its total budget (that restart-the-clock bug is exactly
+// how slow clients used to pin workers forever). The convenience
+// timeout_ms entry points convert to a deadline exactly once, on entry.
 #ifndef EGP_SERVER_SOCKET_H_
 #define EGP_SERVER_SOCKET_H_
 
@@ -53,15 +55,25 @@ class UniqueFd {
 enum class IoStatus : uint8_t {
   kOk = 0,    // made progress (bytes transferred)
   kEof,       // orderly shutdown from the peer (recv only)
-  kTimeout,   // no progress within the allowed time
+  kTimeout,   // the deadline passed before the operation completed
   kError,     // socket error (errno captured)
 };
 
 struct IoResult {
   IoStatus status = IoStatus::kOk;
-  size_t bytes = 0;  // transferred this call (kOk only)
+  size_t bytes = 0;  // transferred this call (kOk; partial on kTimeout too)
   int error = 0;     // errno for kError
 };
+
+/// CLOCK_MONOTONIC now, in milliseconds. The time base for every
+/// deadline below (and for the event loop's per-connection timers).
+int64_t MonotonicMillis();
+
+/// No-deadline sentinel: wait forever.
+inline constexpr int64_t kNoDeadline = -1;
+
+/// `timeout_ms` from now as an absolute deadline (negative → kNoDeadline).
+int64_t DeadlineAfterMillis(int timeout_ms);
 
 /// A listening IPv4 TCP socket bound to host:port (REUSEADDR set).
 /// `port` 0 binds an ephemeral port; `bound_port` receives the actual
@@ -77,16 +89,30 @@ Result<UniqueFd> AcceptConnection(int listen_fd);
 Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
                             int timeout_ms);
 
-/// Receives up to `len` bytes, waiting at most `timeout_ms` for the
-/// first byte (-1 waits forever).
+/// Makes `fd` non-blocking (best effort). Connections from
+/// AcceptConnection/ConnectTcp already are; this is for descriptors
+/// created elsewhere (listen sockets feeding an event loop, pipes).
+void SetNonBlocking(int fd);
+
+/// Receives up to `len` bytes, waiting until `deadline_ms` (absolute,
+/// MonotonicMillis base; kNoDeadline waits forever) for the first byte.
+IoResult RecvSomeUntil(int fd, char* buf, size_t len, int64_t deadline_ms);
+
+/// Sends all of `data` before `deadline_ms` passes. The deadline bounds
+/// the WHOLE send: partial progress never restarts the clock. On
+/// kTimeout, `bytes` reports how much was sent.
+IoResult SendAllUntil(int fd, std::string_view data, int64_t deadline_ms);
+
+/// Receives up to `len` bytes within a total budget of `timeout_ms` from
+/// now (-1 waits forever).
 IoResult RecvSome(int fd, char* buf, size_t len, int timeout_ms);
 
-/// Sends all of `data`, allowing up to `timeout_ms` of stall between
-/// progress steps. Partial progress then a stall is a kTimeout.
+/// Sends all of `data` within a total budget of `timeout_ms` from now
+/// (-1 waits forever).
 IoResult SendAll(int fd, std::string_view data, int timeout_ms);
 
-/// Blocks until `fd` is readable or `timeout_ms` expires. Used by accept
-/// loops (with the shutdown pipe) and test clients.
+/// Blocks until `fd` is readable or `timeout_ms` expires. Used by
+/// test clients and tools.
 IoResult WaitReadable(int fd, int timeout_ms);
 
 }  // namespace egp

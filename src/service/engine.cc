@@ -1,5 +1,6 @@
 #include "service/engine.h"
 
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <utility>
@@ -150,6 +151,21 @@ Engine::CacheStats Engine::cache_stats() const {
 Result<std::shared_ptr<const PreparedSchema>> Engine::Prepared(
     const MeasureSelection& measures) const {
   return PreparedInternal(measures, nullptr);
+}
+
+bool Engine::IsPrepared(const MeasureSelection& measures) const {
+  const std::string key = MeasureCacheKey(measures);
+  State& state = *state_;
+  std::lock_guard<std::mutex> lock(state.mu);
+  const auto it = state.cache.find(key);
+  if (it == state.cache.end()) return false;
+  // An in-flight build is still a cold request for admission purposes:
+  // the caller would block on the future for build-scale time.
+  if (it->second.future.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return false;
+  }
+  return it->second.future.get().ok();
 }
 
 Result<std::shared_ptr<const PreparedSchema>> Engine::PreparedInternal(

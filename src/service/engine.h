@@ -162,6 +162,18 @@ class Engine {
   Result<std::shared_ptr<const PreparedSchema>> Prepared(
       const MeasureSelection& measures = {}) const;
 
+  /// True when the prepared snapshot for `measures` is already built and
+  /// usable — a request for it would be a cache hit that pays no build.
+  /// A pure probe: no build is started, no hit/miss counter moves, and
+  /// LRU recency is untouched. An entry still being built (or one that
+  /// failed) reports false. The serving layer uses this to classify
+  /// requests as hot (cache hit) vs cold (PreparedSchema build) for
+  /// cost-based admission. Thread-safe; the answer is advisory — another
+  /// thread may complete or evict the entry right after. Eviction only
+  /// happens under cache-capacity pressure, so a "hot" answer going
+  /// stale is rare and costs one mis-classified build.
+  bool IsPrepared(const MeasureSelection& measures = {}) const;
+
   /// The entity graph, or nullptr for a schema-only engine.
   const EntityGraph* graph() const;
   const SchemaGraph& schema() const;

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "datagen/paper_example.h"
 #include "io/json_export.h"
@@ -259,6 +263,101 @@ TEST(PreviewServiceTest, CacheHitFlagAppearsInResponse) {
   const HttpResponse warm =
       service.Handle(Post("/v1/preview", R"({"k":3,"n":4})"));
   EXPECT_NE(warm.body.find("\"cacheHit\":true"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based admission: cold (schema-building) previews are gated, hot
+// (cache-hit) ones pass under the flat connection cap.
+// ---------------------------------------------------------------------------
+
+const std::string* FindHeader(const HttpResponse& response,
+                              std::string_view name) {
+  for (const auto& [key, value] : response.headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+TEST(PreviewServiceTest, ColdRequestsShedWith503WhileHotOnesServe) {
+  AdmissionOptions admission;
+  admission.max_cold_inflight = 1;
+  admission.max_cold_queue = 0;  // shed immediately: deterministic test
+  admission.queue_timeout_ms = 50;
+  admission.retry_after_seconds = 7;
+  std::vector<std::pair<std::string, Engine>> engines;
+  engines.emplace_back("paper", Engine::FromGraph(BuildPaperExampleGraph()));
+  auto catalog = DatasetCatalog::FromEngines(std::move(engines));
+  ASSERT_TRUE(catalog.ok());
+  PreviewService service(std::move(catalog).value(), "test", admission);
+
+  // Occupy the only cold-build slot, as a concurrent build would.
+  AdmissionController::Ticket slot = service.admission().AcquireCold();
+  ASSERT_TRUE(slot.admitted());
+
+  // An unprepared measure configuration is cold → shed with Retry-After.
+  const HttpResponse shed =
+      service.Handle(Post("/v1/preview", R"({"k":2,"n":6})"));
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_NE(shed.body.find("cold preview capacity"), std::string::npos);
+  const std::string* retry_after = FindHeader(shed, "Retry-After");
+  ASSERT_NE(retry_after, nullptr);
+  EXPECT_EQ(*retry_after, "7");
+
+  // Slot freed → the same request is admitted and builds the schema.
+  slot = AdmissionController::Ticket();
+  const HttpResponse built =
+      service.Handle(Post("/v1/preview", R"({"k":2,"n":6})"));
+  EXPECT_EQ(built.status, 200);
+
+  // Now the configuration is prepared: the request is hot and serves
+  // even while the cold slot is busy again.
+  slot = service.admission().AcquireCold();
+  ASSERT_TRUE(slot.admitted());
+  const HttpResponse hot =
+      service.Handle(Post("/v1/preview", R"({"k":3,"n":4})"));
+  EXPECT_EQ(hot.status, 200);
+
+  const AdmissionStats stats = service.admission().stats();
+  EXPECT_EQ(stats.cold_shed, 1u);
+  EXPECT_EQ(stats.cold_admitted, 3u);  // two manual slots + the build
+  EXPECT_EQ(stats.hot_admitted, 1u);
+  EXPECT_EQ(stats.cold_inflight, 1u);  // the still-held manual slot
+
+  // The gate is visible on /metrics (queue depths included).
+  const HttpResponse metrics = service.Handle(Get("/metrics"));
+  EXPECT_NE(metrics.body.find("egp_admission_cold_shed_total 1"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("egp_admission_hot_total"), std::string::npos);
+  EXPECT_NE(metrics.body.find("egp_admission_cold_queue_depth 0"),
+            std::string::npos);
+}
+
+TEST(PreviewServiceTest, ColdRequestsQueueForAFreedSlot) {
+  AdmissionOptions admission;
+  admission.max_cold_inflight = 1;
+  admission.max_cold_queue = 4;
+  admission.queue_timeout_ms = 2'000;
+  std::vector<std::pair<std::string, Engine>> engines;
+  engines.emplace_back("paper", Engine::FromGraph(BuildPaperExampleGraph()));
+  auto catalog = DatasetCatalog::FromEngines(std::move(engines));
+  ASSERT_TRUE(catalog.ok());
+  PreviewService service(std::move(catalog).value(), "test", admission);
+
+  AdmissionController::Ticket slot = service.admission().AcquireCold();
+  ASSERT_TRUE(slot.admitted());
+  std::thread releaser([&slot] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    slot = AdmissionController::Ticket();  // free the slot
+  });
+  // Queues (rather than sheds), gets the slot once freed, serves 200.
+  const HttpResponse queued =
+      service.Handle(Post("/v1/preview", R"({"k":2,"n":6})"));
+  releaser.join();
+  EXPECT_EQ(queued.status, 200);
+  const AdmissionStats stats = service.admission().stats();
+  EXPECT_EQ(stats.cold_queued, 1u);
+  EXPECT_EQ(stats.cold_shed, 0u);
 }
 
 }  // namespace

@@ -80,6 +80,42 @@ TEST(HttpParserTest, ConnectionHeaderControlsKeepAlive) {
   EXPECT_TRUE(parser.Take().KeepAlive());
 }
 
+TEST(HttpParserTest, ConnectionHeaderIsATokenList) {
+  // RFC 9110 §7.6.1: Connection is a comma-separated token list.
+  // "close, TE" must close exactly like a lone "close"; matching must be
+  // case-insensitive and whole-token ("closet" is not "close").
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Feed("GET / HTTP/1.1\r\nConnection: close, TE\r\n\r\n"),
+            State::kComplete);
+  EXPECT_FALSE(parser.Take().KeepAlive());
+  ASSERT_EQ(parser.Feed("GET / HTTP/1.1\r\nConnection: TE ,Close\r\n\r\n"),
+            State::kComplete);
+  EXPECT_FALSE(parser.Take().KeepAlive());
+  ASSERT_EQ(parser.Feed("GET / HTTP/1.1\r\nConnection: closet\r\n\r\n"),
+            State::kComplete);
+  EXPECT_TRUE(parser.Take().KeepAlive());  // not the close token
+  ASSERT_EQ(
+      parser.Feed("GET / HTTP/1.0\r\nConnection: TE, Keep-Alive\r\n\r\n"),
+      State::kComplete);
+  EXPECT_TRUE(parser.Take().KeepAlive());
+  // close wins when a confused client sends both.
+  ASSERT_EQ(parser.Feed(
+                "GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n"),
+            State::kComplete);
+  EXPECT_FALSE(parser.Take().KeepAlive());
+}
+
+TEST(HeaderListContainsTokenTest, MatchesTokensNotSubstrings) {
+  EXPECT_TRUE(HeaderListContainsToken("close", "close"));
+  EXPECT_TRUE(HeaderListContainsToken("close, TE", "close"));
+  EXPECT_TRUE(HeaderListContainsToken("TE , close", "close"));
+  EXPECT_TRUE(HeaderListContainsToken("CLOSE", "close"));
+  EXPECT_TRUE(HeaderListContainsToken(", ,close", "close"));  // empty elems
+  EXPECT_FALSE(HeaderListContainsToken("closet", "close"));
+  EXPECT_FALSE(HeaderListContainsToken("pre-close", "close"));
+  EXPECT_FALSE(HeaderListContainsToken("", "close"));
+}
+
 TEST(HttpParserTest, RejectsMalformedRequestLines) {
   for (const char* bad : {
            "GET\r\n\r\n",                        // no target/version

@@ -259,6 +259,189 @@ TEST(HttpServerTest, InlineModeServesWithoutWorkers) {
   EXPECT_EQ(response->status, 200);
 }
 
+TEST(HttpServerTest, SlowReaderGets408WhileOthersAreServed) {
+  // A trickling client must cost the server one idle connection, not a
+  // pinned worker: while it dribbles header bytes, other clients keep
+  // getting served, and at the read deadline it gets its 408. (Under the
+  // old thread-per-connection transport each byte of progress restarted
+  // the read budget, so this client could hold its worker forever.)
+  HttpServerOptions options = FastOptions();
+  options.read_timeout_ms = 600;
+  auto server = StartEcho(options);
+
+  auto conn = ConnectTcp("127.0.0.1", server->port(), 2000);
+  ASSERT_TRUE(conn.ok());
+  const int64_t start = MonotonicMillis();
+  std::thread trickler([fd = conn->get()] {
+    // One header byte per 50 ms: steady progress, never a full request.
+    const std::string_view head = "POST /x HTTP/1.1\r\nX-Slow: yes\r\n";
+    for (char c : head) {
+      if (SendAll(fd, std::string_view(&c, 1), 1000).status != IoStatus::kOk) {
+        return;
+      }
+      std::this_thread::sleep_for(50ms);
+    }
+  });
+
+  // Meanwhile well-behaved clients are unaffected. Scoped so the
+  // keep-alive connection closes before it could idle out itself (an
+  // idle reap at the message boundary also counts as timed out).
+  {
+    HttpClient fast("127.0.0.1", server->port());
+    for (int i = 0; i < 5; ++i) {
+      const auto response = fast.Get("/fast");
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      EXPECT_EQ(response->status, 200);
+    }
+  }
+
+  // The trickler's total read budget expires despite its progress.
+  std::string answer;
+  char buf[4096];
+  for (;;) {
+    const IoResult r = RecvSome(conn->get(), buf, sizeof(buf), 3000);
+    if (r.status != IoStatus::kOk) break;
+    answer.append(buf, r.bytes);
+  }
+  trickler.join();
+  const int64_t elapsed = MonotonicMillis() - start;
+  EXPECT_NE(answer.find("HTTP/1.1 408"), std::string::npos);
+  EXPECT_GE(elapsed, 500);
+  EXPECT_LE(elapsed, 5000);  // bounded by the deadline, not the trickle
+  EXPECT_EQ(server->stats().timed_out_connections, 1u);
+}
+
+TEST(HttpServerTest, SlowResponseReaderIsCutOffAtTheWriteDeadline) {
+  // A client that requests a large response and then never reads it
+  // stalls the send once the socket buffers fill. The write deadline is
+  // a budget on the WHOLE response: the server must drop the connection
+  // at the deadline instead of nursing it along.
+  HttpServerOptions options = FastOptions();
+  options.write_timeout_ms = 500;
+  auto server = HttpServer::Start(
+      [](const HttpRequest&) {
+        HttpResponse response;
+        response.content_type = "application/octet-stream";
+        response.body.assign(32 * 1024 * 1024, 'z');  // >> socket buffers
+        return response;
+      },
+      options);
+  ASSERT_TRUE(server.ok());
+
+  auto conn = ConnectTcp("127.0.0.1", (*server)->port(), 2000);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_EQ(SendAll(conn->get(), "GET /big HTTP/1.1\r\n\r\n", 2000).status,
+            IoStatus::kOk);
+  // Read nothing. The server must give up on its own schedule.
+  const int64_t start = MonotonicMillis();
+  while ((*server)->stats().timed_out_connections == 0 &&
+         MonotonicMillis() - start < 5000) {
+    std::this_thread::sleep_for(10ms);
+  }
+  const int64_t elapsed = MonotonicMillis() - start;
+  EXPECT_EQ((*server)->stats().timed_out_connections, 1u);
+  EXPECT_GE(elapsed, 400);
+  EXPECT_LE(elapsed, 5000);
+}
+
+TEST(HttpServerTest, RejectsStayPromptWhileSlowRejectedClientsLinger) {
+  // 503s at the connection cap are non-blocking writes on the event
+  // loop: a pile of rejected clients that never read their 503 must not
+  // delay either new rejects or the admitted connection.
+  HttpServerOptions options = FastOptions();
+  options.max_connections = 1;
+  auto server = StartEcho(options);
+
+  HttpClient holder("127.0.0.1", server->port());
+  auto hold = std::thread([&holder] {
+    const auto response = holder.RawExchange("POST /x HTTP/1.1\r\nA: b");
+    (void)response;
+  });
+  for (int i = 0; i < 200 && server->stats().accepted_connections == 0; ++i) {
+    std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_EQ(server->stats().accepted_connections, 1u);
+
+  // Ten connections that never read their 503 (and never send a byte).
+  std::vector<UniqueFd> lingerers;
+  for (int i = 0; i < 10; ++i) {
+    auto conn = ConnectTcp("127.0.0.1", server->port(), 2000);
+    ASSERT_TRUE(conn.ok());
+    lingerers.push_back(std::move(conn).value());
+  }
+  // A well-behaved client still gets its 503 promptly.
+  const int64_t start = MonotonicMillis();
+  HttpClient polite("127.0.0.1", server->port());
+  const auto response = polite.Get("/x");
+  const int64_t elapsed = MonotonicMillis() - start;
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 503);
+  EXPECT_NE(response->FindHeader("Retry-After"), nullptr);
+  EXPECT_LE(elapsed, 1000);
+  EXPECT_GE(server->stats().rejected_connections, 11u);
+  EXPECT_EQ(server->stats().accepted_connections, 1u);
+  hold.join();
+}
+
+TEST(HttpServerTest, DrainLetsAMidReadRequestFinish) {
+  // Shutdown during the *read* phase of an exchange (not just
+  // mid-handler): the in-flight request may finish arriving, is served,
+  // and the response carries Connection: close.
+  auto server = StartEcho();
+  auto conn = ConnectTcp("127.0.0.1", server->port(), 2000);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_EQ(SendAll(conn->get(),
+                    "POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nab", 2000)
+                .status,
+            IoStatus::kOk);
+  for (int i = 0; i < 200 && server->stats().accepted_connections == 0; ++i) {
+    std::this_thread::sleep_for(10ms);
+  }
+  server->Shutdown();
+  std::this_thread::sleep_for(30ms);  // let the drain pass run
+  ASSERT_EQ(SendAll(conn->get(), "cde", 2000).status, IoStatus::kOk);
+
+  std::string answer;
+  char buf[4096];
+  for (;;) {
+    const IoResult r = RecvSome(conn->get(), buf, sizeof(buf), 3000);
+    if (r.status != IoStatus::kOk) break;
+    answer.append(buf, r.bytes);
+  }
+  EXPECT_NE(answer.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(answer.find("\"bytes\":5"), std::string::npos);
+  EXPECT_NE(answer.find("Connection: close"), std::string::npos);
+  server->Wait();
+}
+
+TEST(HttpServerTest, PipelinedRequestsAreServedInOrder) {
+  // Two requests in one write: the event loop must serve both from its
+  // parser buffer (the second arrives before the first response is out).
+  auto server = StartEcho();
+  auto conn = ConnectTcp("127.0.0.1", server->port(), 2000);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_EQ(SendAll(conn->get(),
+                    "GET /first HTTP/1.1\r\n\r\n"
+                    "GET /second HTTP/1.1\r\nConnection: close\r\n\r\n",
+                    2000)
+                .status,
+            IoStatus::kOk);
+  std::string answer;
+  char buf[4096];
+  for (;;) {
+    const IoResult r = RecvSome(conn->get(), buf, sizeof(buf), 3000);
+    if (r.status != IoStatus::kOk) break;
+    answer.append(buf, r.bytes);
+  }
+  const size_t first = answer.find("\"target\":\"/first\"");
+  const size_t second = answer.find("\"target\":\"/second\"");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_EQ(server->stats().handled_requests, 2u);
+  EXPECT_EQ(server->stats().accepted_connections, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // The real API over the real transport.
 // ---------------------------------------------------------------------------

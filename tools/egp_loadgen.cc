@@ -4,11 +4,22 @@
 //               [--target /v1/preview] [--method POST]
 //               [--body JSON | --body-file PATH] [--no-keepalive]
 //               [--timeout-ms N] [--json]
+//               [--slow-connections N] [--trickle-bytes B]
+//               [--trickle-interval-ms I]
 //
 // Opens N concurrent connections; each issues M requests back-to-back
 // (keep-alive by default) and records per-request latency. Prints
 // achieved throughput and the latency distribution; --json emits a
 // machine-readable document instead.
+//
+// Slow-client mix: with --trickle-bytes B (and optionally
+// --trickle-interval-ms I), the first --slow-connections connections
+// (default: all, when trickling is on) send each request in B-byte
+// chunks with I ms of sleep between chunks — the misbehaving-client
+// shape that must cost the server an idle connection, not a pinned
+// worker. Their latencies are pooled with the rest; the point of the
+// flag in CI is that the run still exits 0 (every request completes,
+// none 408s) while well-behaved connections stay fast.
 //
 // The default body is a small POST /v1/preview request against the
 // catalog's default dataset — point --body/--body-file elsewhere for
@@ -38,7 +49,9 @@ const char kUsage[] =
     "usage: egp_loadgen [--host H] [--port P] [--connections N]\n"
     "                   [--requests M] [--target T] [--method GET|POST]\n"
     "                   [--body JSON | --body-file PATH] [--no-keepalive]\n"
-    "                   [--timeout-ms N] [--json]\n";
+    "                   [--timeout-ms N] [--json]\n"
+    "                   [--slow-connections N] [--trickle-bytes B]\n"
+    "                   [--trickle-interval-ms I]\n";
 
 const char kDefaultBody[] =
     R"({"k":2,"n":4,"sample":{"rows":2,"seed":7}})";
@@ -72,6 +85,9 @@ int main(int argc, char** argv) {
   bool keepalive = true;
   long timeout_ms = 30'000;
   bool json_output = false;
+  long slow_connections = -1;  // -1: all connections, when trickling is on
+  long trickle_bytes = 0;      // 0: no trickling
+  long trickle_interval_ms = 25;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -132,11 +148,28 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--json") {
       json_output = true;
+    } else if (arg == "--slow-connections") {
+      if (!next_long(0, 4096, &slow_connections)) {
+        return UsageError("bad --slow-connections");
+      }
+    } else if (arg == "--trickle-bytes") {
+      if (!next_long(1, 1 << 20, &trickle_bytes)) {
+        return UsageError("bad --trickle-bytes");
+      }
+    } else if (arg == "--trickle-interval-ms") {
+      if (!next_long(0, 60'000, &trickle_interval_ms)) {
+        return UsageError("bad --trickle-interval-ms");
+      }
     } else {
       return UsageError("unknown argument '" + arg + "'");
     }
   }
   if (method == "GET") body.clear();
+  if (trickle_bytes == 0) {
+    slow_connections = 0;
+  } else if (slow_connections < 0 || slow_connections > connections) {
+    slow_connections = connections;
+  }
 
   std::vector<WorkerResult> results(static_cast<size_t>(connections));
   std::vector<std::thread> workers;
@@ -147,6 +180,10 @@ int main(int argc, char** argv) {
       WorkerResult& result = results[static_cast<size_t>(c)];
       HttpClient client(host, static_cast<uint16_t>(port),
                         static_cast<int>(timeout_ms));
+      if (c < slow_connections) {
+        client.SetTrickle(static_cast<size_t>(trickle_bytes),
+                          static_cast<int>(trickle_interval_ms));
+      }
       for (long r = 0; r < requests; ++r) {
         Timer timer;
         const auto response =
@@ -187,12 +224,14 @@ int main(int argc, char** argv) {
 
   if (json_output) {
     std::printf(
-        "{\"connections\":%ld,\"requests_per_connection\":%ld,"
+        "{\"connections\":%ld,\"slow_connections\":%ld,"
+        "\"requests_per_connection\":%ld,"
         "\"completed\":%llu,\"failures\":%llu,\"bad_statuses\":%llu,"
         "\"wall_seconds\":%.6f,\"throughput_rps\":%.2f,"
         "\"latency_ms\":{\"mean\":%.3f,\"p50\":%.3f,\"p90\":%.3f,"
         "\"p99\":%.3f,\"max\":%.3f}}\n",
-        connections, requests, static_cast<unsigned long long>(completed),
+        connections, slow_connections, requests,
+        static_cast<unsigned long long>(completed),
         static_cast<unsigned long long>(failures),
         static_cast<unsigned long long>(bad_statuses), wall_seconds, rps,
         mean, Percentile(latencies, 0.50), Percentile(latencies, 0.90),
@@ -201,6 +240,11 @@ int main(int argc, char** argv) {
   } else {
     std::printf("%ld connection(s) x %ld request(s) -> %s %s\n", connections,
                 requests, method.c_str(), target.c_str());
+    if (slow_connections > 0) {
+      std::printf("slow      : %ld connection(s) trickling %ld byte(s) "
+                  "every %ld ms\n",
+                  slow_connections, trickle_bytes, trickle_interval_ms);
+    }
     std::printf("completed : %llu (%llu transport failure(s), %llu non-2xx)\n",
                 static_cast<unsigned long long>(completed),
                 static_cast<unsigned long long>(failures),

@@ -6,6 +6,8 @@
 //              [--max-connections N] [--read-timeout-ms N]
 //              [--write-timeout-ms N] [--max-body-bytes N]
 //              [--max-requests-per-connection N] [--cache-capacity N]
+//              [--max-cold-builds N] [--max-cold-queue N]
+//              [--cold-queue-timeout-ms N] [--retry-after-s N]
 //
 // Serves the JSON API of src/server/api.h (POST /v1/preview, POST
 // /v1/suggest, GET /v1/datasets, GET /healthz, GET /metrics) over the
@@ -47,6 +49,8 @@ const char kUsage[] =
     "                  [--max-body-bytes N]\n"
     "                  [--max-requests-per-connection N]\n"
     "                  [--cache-capacity N]\n"
+    "                  [--max-cold-builds N] [--max-cold-queue N]\n"
+    "                  [--cold-queue-timeout-ms N] [--retry-after-s N]\n"
     "\n"
     "  --dataset name=path   load an entity graph (.egps snapshot, .nt,\n"
     "                        or .egt — detected by content) as 'name';\n"
@@ -74,6 +78,17 @@ const char kUsage[] =
     "                        (default 1000)\n"
     "  --cache-capacity N    prepared-schema cache entries per dataset\n"
     "                        (default 16; 0 = unbounded)\n"
+    "  --max-cold-builds N   concurrent cold /v1/preview requests\n"
+    "                        (PreparedSchema builds); beyond it they\n"
+    "                        queue (default 2; 0 = unlimited)\n"
+    "  --max-cold-queue N    cold requests allowed to wait for a build\n"
+    "                        slot; beyond it they are shed with 503\n"
+    "                        (default 16)\n"
+    "  --cold-queue-timeout-ms N\n"
+    "                        max wait for a build slot before a 503\n"
+    "                        (default 2000)\n"
+    "  --retry-after-s N     Retry-After stamped on shed 503s\n"
+    "                        (default 1)\n"
     "\n"
     "endpoints: POST /v1/preview, POST /v1/suggest, GET /v1/datasets,\n"
     "           GET /healthz, GET /metrics\n";
@@ -101,6 +116,7 @@ struct ServerArgs {
   std::vector<DatasetSpec> datasets;
   HttpServerOptions http;
   CatalogLoadOptions catalog;
+  AdmissionOptions admission;
   bool ok = false;
   int exit_code = 0;
 };
@@ -198,6 +214,18 @@ ServerArgs ParseArgs(int argc, char** argv) {
       args.http.max_requests_per_connection = static_cast<size_t>(parsed);
     } else if (name == "cache-capacity") {
       if (!parse_long(0, 1 << 20, &cache_capacity)) return args;
+    } else if (name == "max-cold-builds") {
+      if (!parse_long(0, 1 << 20, &parsed)) return args;
+      args.admission.max_cold_inflight = static_cast<size_t>(parsed);
+    } else if (name == "max-cold-queue") {
+      if (!parse_long(0, 1 << 20, &parsed)) return args;
+      args.admission.max_cold_queue = static_cast<size_t>(parsed);
+    } else if (name == "cold-queue-timeout-ms") {
+      if (!parse_long(0, 3600 * 1000, &parsed)) return args;
+      args.admission.queue_timeout_ms = static_cast<int>(parsed);
+    } else if (name == "retry-after-s") {
+      if (!parse_long(0, 86400, &parsed)) return args;
+      args.admission.retry_after_seconds = static_cast<int>(parsed);
     } else {
       args.exit_code = UsageError("unknown flag '--" + name + "'");
       return args;
@@ -236,7 +264,8 @@ int main(int argc, char** argv) {
                  info.entity_types);
   }
 
-  PreviewService service(std::move(catalog).value(), EGP_VERSION_STRING);
+  PreviewService service(std::move(catalog).value(), EGP_VERSION_STRING,
+                         args.admission);
   auto server = HttpServer::Start(
       [&service](const HttpRequest& request) {
         return service.Handle(request);

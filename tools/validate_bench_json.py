@@ -40,6 +40,26 @@ def check_serve(doc) -> None:
         assert run["p50_ms"] > 0, "non-positive p50"
         assert run["p99_ms"] >= run["p50_ms"], "p99 below p50"
         assert run["max_ms"] >= run["p99_ms"], "max below p99"
+        slow = run.get("slow_connections", 0)
+        if slow:
+            # The slow-client regression gate: trickling neighbors must
+            # not blow out the well-behaved tail. Under the old
+            # thread-per-connection transport each trickler pinned a
+            # worker and this ratio exploded.
+            assert run["max_ms"] <= 10 * run["p99_ms"], (
+                f"slow-mix run (c={run['connections']}, slow={slow}): "
+                f"well-behaved max {run['max_ms']} ms exceeds 10x p99 "
+                f"{run['p99_ms']} ms")
+            assert run["slow_completed"] > 0, "tricklers never completed"
+            assert run["slow_errors"] == 0, \
+                f"{run['slow_errors']} trickled request(s) failed"
+        if run.get("cold_connections", 0):
+            # Cold requests either build (200) or are shed (503);
+            # anything else is a failure.
+            assert run["cold_completed"] + run["cold_shed"] > 0, \
+                "cold clients made no progress"
+            assert run["cold_errors"] == 0, \
+                f"{run['cold_errors']} cold request(s) failed"
     print(f"OK: {len(doc['runs'])} run(s) over "
           f"{len(doc['datasets'])} dataset(s)")
 
