@@ -35,15 +35,14 @@
 // (BENCH=serve).
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/parallel.h"
 #include "common/stat_util.h"
 #include "common/strings.h"
@@ -100,24 +99,24 @@ class StartBarrier {
   explicit StartBarrier(int parties) : waiting_for_(parties) {}
 
   void Arrive() {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (--waiting_for_ == 0) cv_.notify_all();
-    cv_.wait(lock, [this] { return released_; });
+    MutexLock lock(&mu_);
+    if (--waiting_for_ == 0) cv_.NotifyAll();
+    while (!released_) cv_.Wait(mu_);
   }
 
   /// Blocks until all parties arrived, then releases them.
   void Release() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return waiting_for_ == 0; });
+    MutexLock lock(&mu_);
+    while (waiting_for_ != 0) cv_.Wait(mu_);
     released_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int waiting_for_;
-  bool released_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  int waiting_for_ EGP_GUARDED_BY(mu_);
+  bool released_ EGP_GUARDED_BY(mu_) = false;
 };
 
 /// egp::Quantile with the empty (all-errors) case mapped to 0.
@@ -172,7 +171,7 @@ RunResult DriveLoad(uint16_t port, const RunSpec& spec, int requests,
       mine.reserve(static_cast<size_t>(requests));
       // Per-connection warmup: absorb the connect + first-request cost
       // outside the measured window.
-      client.Post("/v1/preview", RequestBody(c, rows, datasets));
+      (void)client.Post("/v1/preview", RequestBody(c, rows, datasets));
       barrier.Arrive();
       for (int r = 0; r < requests; ++r) {
         Timer timer;
@@ -195,7 +194,7 @@ RunResult DriveLoad(uint16_t port, const RunSpec& spec, int requests,
   for (int s = 0; s < spec.slow; ++s) {
     noise_threads.emplace_back([&, s] {
       HttpClient client("127.0.0.1", port, 60'000);
-      client.Post("/v1/preview", RequestBody(s, rows, datasets));  // warmup
+      (void)client.Post("/v1/preview", RequestBody(s, rows, datasets));  // warmup
       client.SetTrickle(trickle_bytes, trickle_interval_ms);
       barrier.Arrive();
       while (!stop.load(std::memory_order_acquire)) {
@@ -217,7 +216,7 @@ RunResult DriveLoad(uint16_t port, const RunSpec& spec, int requests,
   for (int k = 0; k < spec.cold; ++k) {
     noise_threads.emplace_back([&, k] {
       HttpClient client("127.0.0.1", port, 60'000);
-      client.Post("/v1/preview", RequestBody(k, rows, datasets));  // warmup
+      (void)client.Post("/v1/preview", RequestBody(k, rows, datasets));  // warmup
       barrier.Arrive();
       for (uint64_t r = 0; !stop.load(std::memory_order_acquire); ++r) {
         const uint64_t unique =

@@ -3,10 +3,21 @@
 #include <atomic>
 #include <iostream>
 
+#include "common/mutex.h"
+
 namespace egp {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// Serializes sink writes: without it, the message and its newline are
+/// two stream operations, and lines from concurrent threads interleave.
+/// Leaked (never destroyed) so logging stays safe during static
+/// destruction, mirroring ScoringRegistry::Global().
+Mutex& SinkMutex() {
+  static Mutex* mu = new Mutex;
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -42,7 +53,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << "\n";
+  if (!enabled_) return;
+  MutexLock lock(&SinkMutex());
+  std::cerr << stream_.str() << "\n";
 }
 
 }  // namespace internal

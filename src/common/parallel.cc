@@ -52,28 +52,27 @@ ThreadPool::ThreadPool(unsigned parallelism)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) work_available_.Wait(mu_);
       // Drain the queue even when stopping: chunks belong to ParallelFor
       // calls that are blocked waiting for them.
       if (queue_.empty()) return;
@@ -115,15 +114,14 @@ void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
   // caller observing remaining == 0 — so the batch, and the exception
   // object the caller rethrows, are never destroyed from a worker.
   struct Batch {
-    std::mutex mu;
-    std::condition_variable done;
-    size_t remaining;
-    size_t error_chunk;
-    std::exception_ptr error;
+    explicit Batch(size_t parts) : remaining(parts), error_chunk(parts) {}
+    Mutex mu;
+    CondVar done;
+    size_t remaining EGP_GUARDED_BY(mu);
+    size_t error_chunk EGP_GUARDED_BY(mu);
+    std::exception_ptr error EGP_GUARDED_BY(mu);
   };
-  Batch batch;
-  batch.remaining = parts;
-  batch.error_chunk = parts;
+  Batch batch(parts);
 
   auto run_chunk = [&batch, begin, n, parts, &body](size_t c) {
     std::exception_ptr error;
@@ -136,12 +134,12 @@ void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
         error = std::current_exception();
       }
     }
-    std::lock_guard<std::mutex> lock(batch.mu);
+    MutexLock lock(&batch.mu);
     if (error && c < batch.error_chunk) {
       batch.error_chunk = c;
       batch.error = std::move(error);
     }
-    if (--batch.remaining == 0) batch.done.notify_all();
+    if (--batch.remaining == 0) batch.done.NotifyAll();
   };
 
   // If Submit itself throws (queue allocation under memory pressure),
@@ -158,23 +156,22 @@ void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
     }
   } catch (...) {
     submit_error = std::current_exception();
-    std::lock_guard<std::mutex> lock(batch.mu);
+    MutexLock lock(&batch.mu);
     batch.remaining -= parts - 1 - launched;
   }
   run_chunk(0);
 
-  std::unique_lock<std::mutex> lock(batch.mu);
-  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+  std::exception_ptr chunk_error;
+  {
+    MutexLock lock(&batch.mu);
+    while (batch.remaining != 0) batch.done.Wait(batch.mu);
+    chunk_error = std::move(batch.error);
+  }
   if (submit_error) {
     // Some chunks never ran: the submit failure is the primary error.
-    lock.unlock();
     std::rethrow_exception(std::move(submit_error));
   }
-  if (batch.error) {
-    std::exception_ptr error = std::move(batch.error);
-    lock.unlock();
-    std::rethrow_exception(std::move(error));
-  }
+  if (chunk_error) std::rethrow_exception(std::move(chunk_error));
 }
 
 void ParallelForDynamic(ThreadPool* pool, size_t begin, size_t end,
@@ -199,15 +196,14 @@ void ParallelForDynamic(ThreadPool* pool, size_t begin, size_t end,
   // runner moves on, mirroring the static path where other chunks still
   // complete.
   struct Batch {
-    std::mutex mu;
-    std::condition_variable done;
-    size_t remaining;
-    size_t error_index;
-    std::exception_ptr error;
+    Batch(size_t runners, size_t end) : remaining(runners), error_index(end) {}
+    Mutex mu;
+    CondVar done;
+    size_t remaining EGP_GUARDED_BY(mu);
+    size_t error_index EGP_GUARDED_BY(mu);
+    std::exception_ptr error EGP_GUARDED_BY(mu);
   };
-  Batch batch;
-  batch.remaining = runners;
-  batch.error_index = end;
+  Batch batch(runners, end);
   std::atomic<size_t> next{begin};
 
   auto run = [&batch, &next, end, &body] {
@@ -219,7 +215,7 @@ void ParallelForDynamic(ThreadPool* pool, size_t begin, size_t end,
         try {
           body(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(batch.mu);
+          MutexLock lock(&batch.mu);
           if (i < batch.error_index) {
             batch.error_index = i;
             batch.error = std::current_exception();
@@ -227,8 +223,8 @@ void ParallelForDynamic(ThreadPool* pool, size_t begin, size_t end,
         }
       }
     }
-    std::lock_guard<std::mutex> lock(batch.mu);
-    if (--batch.remaining == 0) batch.done.notify_all();
+    MutexLock lock(&batch.mu);
+    if (--batch.remaining == 0) batch.done.NotifyAll();
   };
 
   // A Submit failure here only costs parallelism, not coverage: the
@@ -241,18 +237,18 @@ void ParallelForDynamic(ThreadPool* pool, size_t begin, size_t end,
       ++launched;
     }
   } catch (...) {
-    std::lock_guard<std::mutex> lock(batch.mu);
+    MutexLock lock(&batch.mu);
     batch.remaining -= runners - 1 - launched;
   }
   run();
 
-  std::unique_lock<std::mutex> lock(batch.mu);
-  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
-  if (batch.error) {
-    std::exception_ptr error = std::move(batch.error);
-    lock.unlock();
-    std::rethrow_exception(std::move(error));
+  std::exception_ptr index_error;
+  {
+    MutexLock lock(&batch.mu);
+    while (batch.remaining != 0) batch.done.Wait(batch.mu);
+    index_error = std::move(batch.error);
   }
+  if (index_error) std::rethrow_exception(std::move(index_error));
 }
 
 }  // namespace egp

@@ -26,14 +26,14 @@
 #define EGP_COMMON_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace egp {
 
@@ -81,10 +81,10 @@ class ThreadPool {
   void WorkerLoop();
 
   const unsigned parallelism_;
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar work_available_;
+  std::deque<std::function<void()>> queue_ EGP_GUARDED_BY(mu_);
+  bool stopping_ EGP_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

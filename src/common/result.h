@@ -13,8 +13,11 @@ namespace egp {
 /// Holds either a T (status OK) or an error Status. Accessing the value of
 /// an errored Result aborts — callers must check ok() first, mirroring
 /// absl::StatusOr semantics without exceptions.
+///
+/// [[nodiscard]] on the class: dropping a Result drops both the payload
+/// and the error; use `(void)` to discard one deliberately.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
   // conversions so `return value;` and `return status;` both work.

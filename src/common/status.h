@@ -29,7 +29,11 @@ std::string_view StatusCodeName(StatusCode code);
 
 /// Value-semantic error carrier. An OK status carries no message and is
 /// cheap to copy; error statuses carry a code and a message.
-class Status {
+///
+/// [[nodiscard]] on the class: a dropped Status is a swallowed error, so
+/// every Status-returning call must be checked, propagated, or
+/// explicitly discarded with a `(void)` cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -1,0 +1,100 @@
+// Clang Thread Safety Analysis annotations.
+//
+// These macros attach compile-time locking contracts to data and
+// functions: which mutex guards a field, which mutex a function needs
+// held, what a scope acquires and releases. Under clang the analysis
+// runs on every build (-Wthread-safety is promoted to an error in
+// CMakeLists.txt), proving the locking discipline statically — the
+// static complement to the TSan job, which only sees interleavings the
+// tests happen to schedule. Under GCC (and anything else without the
+// attribute) every macro expands to nothing, so annotated code stays
+// portable.
+//
+// Conventions for this repo (see README "Static analysis"):
+//   * every lock is an egp::Mutex (common/mutex.h) — the invariant
+//     linter rejects naked std::mutex elsewhere;
+//   * every field a mutex protects carries EGP_GUARDED_BY(mu_);
+//   * a private helper that expects the lock already held is annotated
+//     EGP_REQUIRES(mu_) and named *Locked when the unlocked variant
+//     also exists;
+//   * public entry points that take the lock themselves are annotated
+//     EGP_EXCLUDES(mu_) when confusing them with locked helpers is
+//     plausible.
+//
+// The spellings mirror the capability-based names in the clang
+// documentation (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html),
+// prefixed EGP_ like every other macro in this codebase.
+#ifndef EGP_COMMON_THREAD_ANNOTATIONS_H_
+#define EGP_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define EGP_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define EGP_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a class as a lockable capability ("mutex").
+#define EGP_CAPABILITY(x) EGP_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define EGP_SCOPED_CAPABILITY \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// The annotated field may only be read or written while holding `x`.
+#define EGP_GUARDED_BY(x) EGP_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// The pointee of the annotated pointer is guarded by `x` (the pointer
+/// itself is not).
+#define EGP_PT_GUARDED_BY(x) \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define EGP_ACQUIRED_BEFORE(...) \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define EGP_ACQUIRED_AFTER(...) \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+/// The function may only be called with the listed capabilities held
+/// (exclusively / shared); it does not acquire or release them.
+#define EGP_REQUIRES(...) \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define EGP_REQUIRES_SHARED(...) \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define EGP_ACQUIRE(...) \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define EGP_ACQUIRE_SHARED(...) \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller holds on entry.
+#define EGP_RELEASE(...) \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define EGP_RELEASE_SHARED(...) \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability and returns `b` on
+/// success (e.g. EGP_TRY_ACQUIRE(true) for a try_lock returning bool).
+#define EGP_TRY_ACQUIRE(...) \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (the function takes
+/// them itself; calling with them held would self-deadlock).
+#define EGP_EXCLUDES(...) \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion to the analysis that the capability is held.
+#define EGP_ASSERT_CAPABILITY(x) \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define EGP_RETURN_CAPABILITY(x) \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with
+/// a comment explaining why the contract cannot be expressed.
+#define EGP_NO_THREAD_SAFETY_ANALYSIS \
+  EGP_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // EGP_COMMON_THREAD_ANNOTATIONS_H_

@@ -50,7 +50,7 @@ Status ScoringRegistry::RegisterKeyMeasure(const std::string& name,
     return Status::InvalidArgument(
         "key measure registration needs a name and a scorer");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!key_measures_.emplace(name, std::move(scorer)).second) {
     return Status::AlreadyExists("key measure '" + name +
                                  "' is already registered");
@@ -64,7 +64,7 @@ Status ScoringRegistry::RegisterNonKeyMeasure(const std::string& name,
     return Status::InvalidArgument(
         "non-key measure registration needs a name and a scorer");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!nonkey_measures_.emplace(name, std::move(scorer)).second) {
     return Status::AlreadyExists("non-key measure '" + name +
                                  "' is already registered");
@@ -74,7 +74,7 @@ Status ScoringRegistry::RegisterNonKeyMeasure(const std::string& name,
 
 Result<KeyScorerFn> ScoringRegistry::FindKeyMeasure(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = key_measures_.find(name);
   if (it == key_measures_.end()) {
     return Status::NotFound("unknown key measure '" + name +
@@ -86,7 +86,7 @@ Result<KeyScorerFn> ScoringRegistry::FindKeyMeasure(
 
 Result<NonKeyScorerFn> ScoringRegistry::FindNonKeyMeasure(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = nonkey_measures_.find(name);
   if (it == nonkey_measures_.end()) {
     return Status::NotFound("unknown non-key measure '" + name +
@@ -97,24 +97,24 @@ Result<NonKeyScorerFn> ScoringRegistry::FindNonKeyMeasure(
 }
 
 bool ScoringRegistry::HasKeyMeasure(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return key_measures_.count(name) > 0;
 }
 
 bool ScoringRegistry::HasNonKeyMeasure(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return nonkey_measures_.count(name) > 0;
 }
 
 std::vector<std::string> ScoringRegistry::KeyMeasureNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   for (const auto& [name, fn] : key_measures_) names.push_back(name);
   return names;
 }
 
 std::vector<std::string> ScoringRegistry::NonKeyMeasureNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   for (const auto& [name, fn] : nonkey_measures_) names.push_back(name);
   return names;

@@ -11,10 +11,10 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/key_scoring.h"
 #include "core/nonkey_scoring.h"
@@ -88,9 +88,9 @@ class ScoringRegistry {
   friend class ScoringRegistryTestPeer;
   ScoringRegistry();
 
-  mutable std::mutex mu_;
-  std::map<std::string, KeyScorerFn> key_measures_;
-  std::map<std::string, NonKeyScorerFn> nonkey_measures_;
+  mutable Mutex mu_;
+  std::map<std::string, KeyScorerFn> key_measures_ EGP_GUARDED_BY(mu_);
+  std::map<std::string, NonKeyScorerFn> nonkey_measures_ EGP_GUARDED_BY(mu_);
 };
 
 }  // namespace egp

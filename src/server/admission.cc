@@ -5,7 +5,7 @@
 namespace egp {
 
 AdmissionController::Ticket AdmissionController::AcquireCold() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (options_.max_cold_inflight == 0) {  // admission control off
     ++cold_inflight_;
     ++cold_admitted_;
@@ -22,11 +22,14 @@ AdmissionController::Ticket AdmissionController::AcquireCold() {
   }
   ++waiting_;
   ++cold_queued_;
-  const bool got_slot = slot_freed_.wait_for(
-      lock, std::chrono::milliseconds(options_.queue_timeout_ms),
-      [this] { return cold_inflight_ < options_.max_cold_inflight; });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.queue_timeout_ms);
+  bool timed_out = false;
+  while (!timed_out && cold_inflight_ >= options_.max_cold_inflight) {
+    timed_out = !slot_freed_.WaitUntil(mu_, deadline);
+  }
   --waiting_;
-  if (!got_slot) {
+  if (cold_inflight_ >= options_.max_cold_inflight) {
     ++cold_shed_;
     return Ticket();
   }
@@ -36,18 +39,18 @@ AdmissionController::Ticket AdmissionController::AcquireCold() {
 }
 
 void AdmissionController::RecordHot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++hot_admitted_;
 }
 
 void AdmissionController::Release() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   --cold_inflight_;
-  slot_freed_.notify_one();
+  slot_freed_.NotifyOne();
 }
 
 AdmissionStats AdmissionController::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   AdmissionStats stats;
   stats.hot_admitted = hot_admitted_;
   stats.cold_admitted = cold_admitted_;

@@ -20,10 +20,10 @@
 #ifndef EGP_SERVER_ADMISSION_H_
 #define EGP_SERVER_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace egp {
 
@@ -106,14 +106,14 @@ class AdmissionController {
   void Release();
 
   const AdmissionOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable slot_freed_;
-  size_t cold_inflight_ = 0;
-  size_t waiting_ = 0;
-  uint64_t hot_admitted_ = 0;
-  uint64_t cold_admitted_ = 0;
-  uint64_t cold_queued_ = 0;
-  uint64_t cold_shed_ = 0;
+  mutable Mutex mu_;
+  CondVar slot_freed_;
+  size_t cold_inflight_ EGP_GUARDED_BY(mu_) = 0;
+  size_t waiting_ EGP_GUARDED_BY(mu_) = 0;
+  uint64_t hot_admitted_ EGP_GUARDED_BY(mu_) = 0;
+  uint64_t cold_admitted_ EGP_GUARDED_BY(mu_) = 0;
+  uint64_t cold_queued_ EGP_GUARDED_BY(mu_) = 0;
+  uint64_t cold_shed_ EGP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace egp

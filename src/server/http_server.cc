@@ -79,8 +79,14 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(
     // participates, so ask for workers+1 to get `workers` real threads.
     server->pool_ = std::make_unique<ThreadPool>(workers + 1);
   }
-  server->loop_started_ = true;  // before spawn: Wait() keys off this
-  server->loop_thread_ = std::thread([s = server.get()] { s->Loop(); });
+  {
+    MutexLock lock(&server->mu_);
+    server->loop_started_ = true;  // before spawn: Wait() keys off this
+  }
+  {
+    MutexLock join_lock(&server->join_mu_);
+    server->loop_thread_ = std::thread([s = server.get()] { s->Loop(); });
+  }
   return server;
 }
 
@@ -106,17 +112,17 @@ void HttpServer::Wait() {
   {
     // A server whose Start failed before the loop thread spawned has
     // nothing to wait for (its destructor still runs this path).
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_.wait(lock, [this] { return loop_exited_ || !loop_started_; });
+    MutexLock lock(&mu_);
+    while (!loop_exited_ && loop_started_) idle_.Wait(mu_);
   }
   // Serialize the join so concurrent Wait() callers (say, the owner and
   // the destructor) can't race on the thread object.
-  std::lock_guard<std::mutex> join_lock(join_mu_);
+  MutexLock join_lock(&join_mu_);
   if (loop_thread_.joinable()) loop_thread_.join();
 }
 
 HttpServerStats HttpServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
@@ -179,9 +185,11 @@ void HttpServer::Loop() {
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  loop_exited_ = true;
-  idle_.notify_all();
+  {
+    MutexLock lock(&mu_);
+    loop_exited_ = true;
+  }
+  idle_.NotifyAll();
 }
 
 void HttpServer::AcceptPending() {
@@ -208,7 +216,7 @@ void HttpServer::AcceptPending() {
       // it can no longer stall the accept path (the old thread-per-
       // connection design blocked the accept thread right here).
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         ++stats_.rejected_connections;
       }
       HttpResponse response;
@@ -226,7 +234,7 @@ void HttpServer::AcceptPending() {
     ++admitted_connections_;
     c->counted = true;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++stats_.accepted_connections;
     }
     ArmDeadline(c, options_.read_timeout_ms);
@@ -288,7 +296,7 @@ void HttpServer::OnDeadline(Connection* conn) {
     case Connection::Phase::kReading: {
       if (conn->counted && !conn->timed_out_counted) {
         conn->timed_out_counted = true;
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         ++stats_.timed_out_connections;
       }
       if (conn->parser.AtMessageBoundary()) {
@@ -306,7 +314,7 @@ void HttpServer::OnDeadline(Connection* conn) {
     case Connection::Phase::kWriting: {
       if (conn->counted && !conn->timed_out_counted) {
         conn->timed_out_counted = true;
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         ++stats_.timed_out_connections;
       }
       CloseConnection(conn);
@@ -375,7 +383,7 @@ HttpResponse HttpServer::RunHandler(const HttpRequest& request) {
 void HttpServer::PushCompletion(Completion completion) {
   // Pool thread → loop thread handoff.
   {
-    std::lock_guard<std::mutex> lock(completion_mu_);
+    MutexLock lock(&completion_mu_);
     completions_.push_back(std::move(completion));
   }
   // EAGAIN (pipe full) is fine: a full pipe is already readable, so the
@@ -388,7 +396,7 @@ void HttpServer::PushCompletion(Completion completion) {
 void HttpServer::DrainCompletions() {
   std::vector<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(completion_mu_);
+    MutexLock lock(&completion_mu_);
     batch.swap(completions_);
   }
   for (Completion& completion : batch) {
@@ -407,7 +415,7 @@ void HttpServer::DrainCompletions() {
 void HttpServer::CompleteRequest(Connection* conn,
                                  const HttpResponse& response) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.handled_requests;
   }
   const bool keep = conn->request_keep_alive && !response.close_connection &&
@@ -419,7 +427,7 @@ void HttpServer::CompleteRequest(Connection* conn,
 
 void HttpServer::FailParse(Connection* conn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.parse_errors;
     ++stats_.handled_requests;
   }

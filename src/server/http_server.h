@@ -35,17 +35,16 @@
 #define EGP_SERVER_HTTP_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/parallel.h"
 #include "common/result.h"
 #include "server/http.h"
@@ -209,7 +208,6 @@ class HttpServer {
   UniqueFd wakeup_pipe_write_;
 
   std::unique_ptr<ThreadPool> pool_;  // null when workers == 1 (inline)
-  std::thread loop_thread_;
 
   std::atomic<bool> draining_{false};
 
@@ -222,15 +220,20 @@ class HttpServer {
       timers_;
 
   // ---- Cross-thread state.
-  std::mutex completion_mu_;
-  std::vector<Completion> completions_;
+  Mutex completion_mu_;
+  std::vector<Completion> completions_ EGP_GUARDED_BY(completion_mu_);
 
-  mutable std::mutex mu_;         // stats + loop lifecycle flags
-  std::condition_variable idle_;  // loop_exited_ flipped
-  bool loop_started_ = false;     // thread spawned (false on failed Start)
-  bool loop_exited_ = false;
-  std::mutex join_mu_;  // serializes loop_thread_.join()
-  HttpServerStats stats_;
+  mutable Mutex mu_;  // stats + loop lifecycle flags
+  CondVar idle_;      // loop_exited_ flipped
+  /// Thread spawned (stays false when Start fails early). Written once
+  /// by Start before the thread exists, then read-only — but guarded
+  /// anyway so the proof does not rest on "Start happens-before Wait".
+  bool loop_started_ EGP_GUARDED_BY(mu_) = false;
+  bool loop_exited_ EGP_GUARDED_BY(mu_) = false;
+  HttpServerStats stats_ EGP_GUARDED_BY(mu_);
+
+  Mutex join_mu_;  // serializes loop_thread_.join() across Wait() callers
+  std::thread loop_thread_ EGP_GUARDED_BY(join_mu_);
 };
 
 }  // namespace egp

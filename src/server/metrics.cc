@@ -56,13 +56,13 @@ double LatencyHistogram::Snapshot::Quantile(double q) const {
 void ServerMetrics::RecordRequest(std::string_view endpoint, int status,
                                   double seconds) {
   latency_.Observe(seconds);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++counts_[{std::string(endpoint), status}];
 }
 
 std::vector<ServerMetrics::RequestCount> ServerMetrics::request_counts()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<RequestCount> out;
   out.reserve(counts_.size());
   for (const auto& [key, count] : counts_) {
@@ -72,7 +72,7 @@ std::vector<ServerMetrics::RequestCount> ServerMetrics::request_counts()
 }
 
 uint64_t ServerMetrics::total_requests() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [key, count] : counts_) total += count;
   return total;

@@ -13,11 +13,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace egp {
 
@@ -74,8 +75,8 @@ class ServerMetrics {
   std::string PrometheusText() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::pair<std::string, int>, uint64_t> counts_;
+  mutable Mutex mu_;
+  std::map<std::pair<std::string, int>, uint64_t> counts_ EGP_GUARDED_BY(mu_);
   LatencyHistogram latency_;
 };
 

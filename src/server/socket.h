@@ -59,7 +59,7 @@ enum class IoStatus : uint8_t {
   kError,     // socket error (errno captured)
 };
 
-struct IoResult {
+struct [[nodiscard]] IoResult {
   IoStatus status = IoStatus::kOk;
   size_t bytes = 0;  // transferred this call (kOk; partial on kTimeout too)
   int error = 0;     // errno for kError

@@ -5,6 +5,7 @@
 #include <future>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "core/apriori.h"
@@ -63,14 +64,17 @@ struct Engine::State {
   // engine builds serially. Created lazily by the first cold-
   // configuration build — an engine that only ever serves cached state
   // never holds idle workers — then shared by all later builds (the
-  // pool's own queue makes concurrent ParallelFor calls safe).
-  std::unique_ptr<ThreadPool> pool;  // guarded by mu until created
+  // pool's own queue makes concurrent ParallelFor calls safe). The
+  // unique_ptr is guarded by mu; the pointee is never destroyed or
+  // replaced once created, so the returned raw pointer outlives the
+  // lock safely.
+  std::unique_ptr<ThreadPool> pool EGP_GUARDED_BY(mu);
 
-  ThreadPool* BuildPool() {
+  ThreadPool* BuildPool() EGP_EXCLUDES(mu) {
     const unsigned threads =
         options.threads == 0 ? Threads() : options.threads;
     if (threads <= 1) return nullptr;
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     if (!pool) pool = std::make_unique<ThreadPool>(threads);
     return pool.get();
   }
@@ -89,12 +93,12 @@ struct Engine::State {
   // Guards the cache map, the LRU tick, and the hit/miss counters. The
   // cached PreparedSchema instances themselves are immutable and shared
   // out as shared_ptr<const>, so only the map needs the lock.
-  mutable std::mutex mu;
-  mutable std::map<std::string, Entry> cache;
-  mutable uint64_t tick = 0;
-  mutable uint64_t hits = 0;
-  mutable uint64_t misses = 0;
-  mutable uint64_t evictions = 0;
+  mutable Mutex mu;
+  mutable std::map<std::string, Entry> cache EGP_GUARDED_BY(mu);
+  mutable uint64_t tick EGP_GUARDED_BY(mu) = 0;
+  mutable uint64_t hits EGP_GUARDED_BY(mu) = 0;
+  mutable uint64_t misses EGP_GUARDED_BY(mu) = 0;
+  mutable uint64_t evictions EGP_GUARDED_BY(mu) = 0;
 };
 
 Engine Engine::FromGraph(EntityGraph graph, const EngineOptions& options) {
@@ -143,7 +147,7 @@ const FrozenGraph* Engine::frozen() const {
 }
 
 Engine::CacheStats Engine::cache_stats() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   return CacheStats{state_->hits, state_->misses, state_->evictions,
                     state_->cache.size()};
 }
@@ -156,7 +160,7 @@ Result<std::shared_ptr<const PreparedSchema>> Engine::Prepared(
 bool Engine::IsPrepared(const MeasureSelection& measures) const {
   const std::string key = MeasureCacheKey(measures);
   State& state = *state_;
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   const auto it = state.cache.find(key);
   if (it == state.cache.end()) return false;
   // An in-flight build is still a cold request for admission purposes:
@@ -179,7 +183,7 @@ Result<std::shared_ptr<const PreparedSchema>> Engine::PreparedInternal(
   bool builder = false;
   uint64_t my_generation = 0;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(&state.mu);
     auto it = state.cache.find(key);
     if (it != state.cache.end()) {
       ++state.hits;
@@ -225,7 +229,7 @@ Result<std::shared_ptr<const PreparedSchema>> Engine::PreparedInternal(
       // this builder's own insert: after an LRU eviction another thread
       // may have re-inserted the key with a fresh (possibly succeeding)
       // build, which must survive.
-      std::lock_guard<std::mutex> lock(state.mu);
+      MutexLock lock(&state.mu);
       auto it = state.cache.find(key);
       if (it != state.cache.end() &&
           it->second.generation == my_generation) {

@@ -1,0 +1,42 @@
+// Positive control for the negative-compilation suite: idiomatic use of
+// egp::Mutex / MutexLock / CondVar that must compile cleanly under
+// -Wthread-safety -Werror. If this file fails, the sibling WILL_FAIL
+// tests are meaningless (everything would "fail").
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EGP_EXCLUDES(mu_) {
+    egp::MutexLock lock(&mu_);
+    ++value_;
+    changed_.NotifyAll();
+  }
+
+  int WaitForAtLeast(int target) EGP_EXCLUDES(mu_) {
+    egp::MutexLock lock(&mu_);
+    while (value_ < target) changed_.Wait(mu_);
+    return value_;
+  }
+
+  int ValueLocked() const EGP_REQUIRES(mu_) { return value_; }
+
+  int Value() const EGP_EXCLUDES(mu_) {
+    egp::MutexLock lock(&mu_);
+    return ValueLocked();
+  }
+
+ private:
+  mutable egp::Mutex mu_;
+  egp::CondVar changed_;
+  int value_ EGP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Value() == 1 ? 0 : 1;
+}

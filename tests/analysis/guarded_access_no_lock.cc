@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: reads and writes a
+// guarded field without holding its mutex. The matching
+// *_is_tsa_specific test proves this is valid C++ otherwise.
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // No lock taken, no EGP_REQUIRES: the analysis must reject both the
+  // write and the read of value_.
+  void Increment() { ++value_; }
+  int Value() const { return value_; }
+
+ private:
+  mutable egp::Mutex mu_;
+  int value_ EGP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Value();
+}

@@ -1,0 +1,33 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: releases a mutex
+// through a helper that is not annotated EGP_RELEASE, so the analysis
+// sees the capability still held at scope exit (and a double-unlock at
+// the explicit Unlock call). The matching *_is_tsa_specific test proves
+// this is valid C++ otherwise.
+#include "common/mutex.h"
+
+namespace {
+
+class Widget {
+ public:
+  void Poke() EGP_EXCLUDES(mu_) {
+    mu_.Lock();
+    ++value_;
+    SneakyUnlock();  // analysis: mu_ still held here...
+    mu_.Unlock();    // ...so this is releasing a lock twice
+  }
+
+ private:
+  // Missing EGP_RELEASE(mu_): the unlock is invisible to the analysis.
+  void SneakyUnlock() { mu_.Unlock(); }
+
+  egp::Mutex mu_;
+  int value_ EGP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Widget widget;
+  widget.Poke();
+  return 0;
+}

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/timer.h"
 
 namespace egp {
@@ -53,6 +58,48 @@ TEST(LoggingTest, LevelFiltering) {
   const std::string captured = ::testing::internal::GetCapturedStderr();
   EXPECT_EQ(captured.find("hidden"), std::string::npos);
   EXPECT_NE(captured.find("shown"), std::string::npos);
+}
+
+// Regression: the sink write used to be two stream operations (message,
+// then "\n") with no lock, so lines from concurrent threads could
+// interleave mid-line. Every captured line must now be exactly one
+// complete message.
+TEST(LoggingTest, ConcurrentMessagesNeverInterleave) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kMessagesPerThread = 200;
+  // A long tail makes a torn write overwhelmingly likely to split a line.
+  const std::string tail(512, 'x');
+  ::testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &tail] {
+      for (int i = 0; i < kMessagesPerThread; ++i) {
+        EGP_LOG(Info) << "thread=" << t << " msg=" << i << " " << tail;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+
+  int complete_lines = 0;
+  std::istringstream stream(captured);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    // One complete message: starts with its prefix, ends with the tail,
+    // and contains no second prefix spliced into the middle.
+    EXPECT_EQ(line.rfind("[INFO", 0), 0u) << "torn line: " << line;
+    ASSERT_GE(line.size(), tail.size());
+    EXPECT_EQ(line.substr(line.size() - tail.size()), tail)
+        << "torn line: " << line;
+    EXPECT_EQ(line.find("[INFO", 1), std::string::npos)
+        << "spliced line: " << line;
+    ++complete_lines;
+  }
+  EXPECT_EQ(complete_lines, kThreads * kMessagesPerThread);
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {

@@ -143,7 +143,8 @@ Result<HttpClientResponse> ExchangeWithCannedServer(
       if (r.status != IoStatus::kOk) return;
       request.append(buf, r.bytes);
     }
-    SendAll(conn->get(), response_bytes, 5'000);
+    // Best-effort: the test asserts on the client side, not this send.
+    (void)SendAll(conn->get(), response_bytes, 5'000);
     while (!done.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: rules generic tools can't express.
+
+Scope: first-party C++ under src/, tools/, bench/ (tests are exempt —
+they deliberately poke at internals, e.g. raw sockets for misbehaving
+clients). Four rule families, each born from a real bug class here:
+
+  blocking-io   The event-loop serving core must never block on a
+                socket. The convenience blocking wrappers (SendAll,
+                RecvSome, WaitReadable — the non-`Until` variants) are
+                for clients and tools only; server-side code uses the
+                absolute-deadline `*Until` forms or non-blocking I/O.
+
+  system-clock  Deadlines live on the CLOCK_MONOTONIC /steady_clock
+                base. std::chrono::system_clock jumps with NTP/clock
+                changes — a deadline on it can fire early, late, or
+                never (PR 6 fixed exactly this bug class).
+
+  naked-mutex   All locking goes through egp::Mutex / egp::MutexLock /
+                egp::CondVar (src/common/mutex.h), which carry the
+                Clang thread-safety annotations. A naked std::mutex is
+                invisible to the -Wthread-safety proof.
+
+  layering      Modules form a DAG; an #include against the arrow
+                (core/ including server/, say) couples the algorithm
+                layer to the serving layer and eventually deadlocks the
+                build graph. The matrix below is the whole truth.
+
+Exit status 0 when clean; 1 with `path:line: [rule] message` findings
+otherwise. Run from anywhere: paths resolve against the repo root.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SCAN_DIRS = ("src", "tools", "bench")
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# ---------------------------------------------------------------------------
+# Rule: blocking-io
+# ---------------------------------------------------------------------------
+# The blocking convenience wrappers. `SendAllUntil(`/`RecvSomeUntil(` do
+# not match: the character after the name must be `(`.
+BLOCKING_IO_RE = re.compile(r"\b(SendAll|RecvSome|WaitReadable)\s*\(")
+BLOCKING_IO_ALLOWED = {
+    "src/server/socket.h",     # declares them
+    "src/server/socket.cc",    # defines them
+    "src/server/http_client.cc",  # a client: blocking by design
+}
+
+# ---------------------------------------------------------------------------
+# Rule: system-clock
+# ---------------------------------------------------------------------------
+SYSTEM_CLOCK_RE = re.compile(r"\bsystem_clock\b")
+SYSTEM_CLOCK_ALLOWED: set = set()  # no legitimate use exists today
+
+# ---------------------------------------------------------------------------
+# Rule: naked-mutex
+# ---------------------------------------------------------------------------
+NAKED_MUTEX_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable"
+    r"|condition_variable_any|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|#\s*include\s*<(mutex|condition_variable|shared_mutex)>"
+)
+NAKED_MUTEX_ALLOWED = {
+    "src/common/mutex.h",  # the one wrapper over the standard primitives
+}
+
+# ---------------------------------------------------------------------------
+# Rule: layering
+# ---------------------------------------------------------------------------
+# module -> modules it may #include from (first path component of a
+# quoted include). Keep alphabetized; a module may always include
+# itself. Tools and benches sit above every module and are unrestricted.
+LAYERING = {
+    "baseline": {"common", "graph"},
+    "common": set(),
+    "core": {"common", "graph"},
+    "datagen": {"common", "graph"},
+    "eval": {"common"},
+    "graph": {"common"},
+    "io": {"common", "core", "graph", "store"},
+    "reduction": {"common", "core", "graph"},
+    "server": {"common", "core", "graph", "io", "service"},
+    "service": {"common", "core", "graph"},
+    "store": {"common", "graph"},
+}
+QUOTED_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out comments, preserving line numbers (and newlines inside
+    block comments) so findings point at real code."""
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = BLOCK_COMMENT_RE.sub(blank, text)
+    return "\n".join(line.split("//", 1)[0] for line in text.split("\n"))
+
+
+def scan_file(rel_path: str, findings: list) -> None:
+    abs_path = os.path.join(REPO_ROOT, rel_path)
+    with open(abs_path, encoding="utf-8") as f:
+        raw = f.read()
+    code = strip_comments(raw)
+    lines = code.split("\n")
+
+    parts = rel_path.split("/")
+    module = parts[1] if parts[0] == "src" and len(parts) > 2 else None
+
+    for lineno, line in enumerate(lines, start=1):
+        if rel_path not in BLOCKING_IO_ALLOWED:
+            m = BLOCKING_IO_RE.search(line)
+            if m:
+                findings.append(
+                    f"{rel_path}:{lineno}: [blocking-io] blocking {m.group(1)}() "
+                    f"outside the socket/client layer — use the deadline-based "
+                    f"*Until form or non-blocking I/O")
+        if rel_path not in SYSTEM_CLOCK_ALLOWED and SYSTEM_CLOCK_RE.search(line):
+            findings.append(
+                f"{rel_path}:{lineno}: [system-clock] system_clock in a "
+                f"deadline/timing path — use steady_clock or CLOCK_MONOTONIC "
+                f"(system time jumps)")
+        if rel_path not in NAKED_MUTEX_ALLOWED and NAKED_MUTEX_RE.search(line):
+            findings.append(
+                f"{rel_path}:{lineno}: [naked-mutex] raw standard-library "
+                f"locking — use egp::Mutex/MutexLock/CondVar from "
+                f"common/mutex.h (they carry the thread-safety annotations)")
+        if module is not None:
+            for inc in QUOTED_INCLUDE_RE.findall(line):
+                target = inc.split("/", 1)[0]
+                if target not in LAYERING:
+                    continue  # tests/testing helpers etc. — not a module
+                allowed = LAYERING.get(module)
+                if allowed is None:
+                    findings.append(
+                        f"{rel_path}:{lineno}: [layering] unknown module "
+                        f"'{module}' — add it to LAYERING in "
+                        f"tools/lint_invariants.py")
+                    break
+                if target != module and target not in allowed:
+                    findings.append(
+                        f"{rel_path}:{lineno}: [layering] {module}/ must not "
+                        f"include {target}/ (allowed: "
+                        f"{', '.join(sorted(allowed)) or 'nothing'})")
+
+
+def main() -> int:
+    findings: list = []
+    scanned = 0
+    for scan_dir in SCAN_DIRS:
+        root = os.path.join(REPO_ROOT, scan_dir)
+        for dirpath, _, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if not name.endswith(CXX_EXTENSIONS):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name), REPO_ROOT)
+                rel = rel.replace(os.sep, "/")
+                scan_file(rel, findings)
+                scanned += 1
+    for finding in sorted(findings):
+        print(finding)
+    status = 1 if findings else 0
+    print(f"lint_invariants: {scanned} files scanned, "
+          f"{len(findings)} finding(s)", file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party translation unit, using the compilation database of an
+# existing build tree.
+#
+# Usage:  tools/run_clang_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#
+#   BUILD_DIR  a configured build tree containing compile_commands.json
+#              (default: build). Configure one with e.g.
+#                cmake -S . -B build -DEGP_BUILD_BENCH=ON
+#              compile_commands.json export is on by default.
+#
+# Scope: src/, tools/, bench/ .cc/.cpp files that appear in the
+# database. Tests are excluded — they trip lint rules (deliberate
+# misuse, giant literal tables) that first-party code must not.
+#
+# Exit status: non-zero if clang-tidy reports any finding (the repo
+# baseline is zero) or if prerequisites are missing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift $(( $# > 0 ? 1 : 0 )) || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "error: '$TIDY' not found (set CLANG_TIDY=/path/to/clang-tidy)" >&2
+  exit 2
+fi
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "error: $BUILD_DIR/compile_commands.json not found." >&2
+  echo "  configure first: cmake -S . -B $BUILD_DIR" >&2
+  exit 2
+fi
+
+# First-party TUs only, and only ones the database knows how to compile.
+mapfile -t FILES < <(
+  python3 - "$BUILD_DIR/compile_commands.json" <<'EOF'
+import json, os, sys
+db = json.load(open(sys.argv[1]))
+root = os.getcwd()
+seen = set()
+for entry in db:
+    path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith(("src/", "tools/", "bench/")) and rel not in seen:
+        seen.add(rel)
+        print(rel)
+EOF
+)
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "error: no src/tools/bench TUs in the compilation database" >&2
+  exit 2
+fi
+
+echo "clang-tidy over ${#FILES[@]} translation units ($BUILD_DIR)"
+status=0
+for f in "${FILES[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet "$@" "$f"; then
+    status=1
+  fi
+done
+if [[ $status -ne 0 ]]; then
+  echo "clang-tidy: findings above — the repo baseline is zero" >&2
+fi
+exit $status
