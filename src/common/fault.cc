@@ -1,0 +1,344 @@
+#include "common/fault.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/strings.h"
+
+namespace egp {
+namespace {
+
+struct FaultRule {
+  std::string site;
+  FaultOutcome::Kind kind = FaultOutcome::Kind::kNone;
+  int err = 0;        // kErrno
+  size_t len = 1;     // kShort
+  std::string token;  // kFail: fire only when context == token (empty: any)
+
+  enum class Trigger : uint8_t { kNth, kFromNth, kEveryNth, kProb };
+  Trigger trigger = Trigger::kFromNth;
+  uint64_t n = 1;
+  double probability = 0.0;
+  uint64_t seed = 0;
+
+  uint64_t calls = 0;     // matching calls seen
+  uint64_t injected = 0;  // times this rule fired
+};
+
+Mutex& RegistryMutex() {
+  static Mutex* mu = new Mutex;
+  return *mu;
+}
+
+std::vector<FaultRule>& Registry() {
+  static std::vector<FaultRule>* rules = new std::vector<FaultRule>;
+  return *rules;
+}
+
+/// splitmix64: a full-period mix of (seed, call index) — the same
+/// schedule replays the same decision sequence on every run.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool TriggerFires(FaultRule* rule) {
+  switch (rule->trigger) {
+    case FaultRule::Trigger::kNth:
+      return rule->calls == rule->n;
+    case FaultRule::Trigger::kFromNth:
+      return rule->calls >= rule->n;
+    case FaultRule::Trigger::kEveryNth:
+      return rule->calls % rule->n == 0;
+    case FaultRule::Trigger::kProb: {
+      const double roll =
+          static_cast<double>(Mix64(rule->seed ^ rule->calls) >> 11) *
+          0x1.0p-53;
+      return roll < rule->probability;
+    }
+  }
+  return false;
+}
+
+struct ErrnoName {
+  const char* name;
+  int value;
+};
+
+constexpr ErrnoName kErrnoNames[] = {
+    {"EACCES", EACCES},         {"EAGAIN", EAGAIN},
+    {"EBADF", EBADF},           {"ECONNABORTED", ECONNABORTED},
+    {"ECONNREFUSED", ECONNREFUSED}, {"ECONNRESET", ECONNRESET},
+    {"EDQUOT", EDQUOT},         {"EFBIG", EFBIG},
+    {"EINTR", EINTR},           {"EINVAL", EINVAL},
+    {"EIO", EIO},               {"EMFILE", EMFILE},
+    {"ENFILE", ENFILE},         {"ENOBUFS", ENOBUFS},
+    {"ENOENT", ENOENT},         {"ENOMEM", ENOMEM},
+    {"ENOSPC", ENOSPC},         {"EPIPE", EPIPE},
+    {"EPROTO", EPROTO},         {"ETIMEDOUT", ETIMEDOUT},
+};
+
+Result<int> ParseErrno(std::string_view text) {
+  for (const ErrnoName& e : kErrnoNames) {
+    if (text == e.name) return e.value;
+  }
+  int value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9' || value > 100000) {
+      return Status::InvalidArgument("unknown errno name '" +
+                                     std::string(text) + "'");
+    }
+    value = value * 10 + (c - '0');
+  }
+  if (text.empty() || value == 0) {
+    return Status::InvalidArgument("unknown errno name '" +
+                                   std::string(text) + "'");
+  }
+  return value;
+}
+
+Result<uint64_t> ParseCount(std::string_view text) {
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9' || value > 1'000'000'000ull) {
+      return Status::InvalidArgument("expected a positive integer, got '" +
+                                     std::string(text) + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (value == 0) {
+    return Status::InvalidArgument("expected a positive integer, got '" +
+                                   std::string(text) + "'");
+  }
+  return value;
+}
+
+bool ValidSiteName(std::string_view site) {
+  if (site.empty()) return false;
+  for (const char c : site) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Status ParseAction(std::string_view text, FaultRule* rule) {
+  const size_t colon = text.find(':');
+  const std::string_view verb = text.substr(0, colon);
+  const std::string_view arg =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : text.substr(colon + 1);
+  if (verb == "err") {
+    rule->kind = FaultOutcome::Kind::kErrno;
+    EGP_ASSIGN_OR_RETURN(rule->err, ParseErrno(arg));
+    return Status::OK();
+  }
+  if (verb == "eintr") {
+    if (!arg.empty()) {
+      return Status::InvalidArgument("'eintr' takes no argument");
+    }
+    rule->kind = FaultOutcome::Kind::kErrno;
+    rule->err = EINTR;
+    return Status::OK();
+  }
+  if (verb == "short") {
+    rule->kind = FaultOutcome::Kind::kShort;
+    rule->len = 1;
+    if (!arg.empty()) {
+      uint64_t len = 0;
+      EGP_ASSIGN_OR_RETURN(len, ParseCount(arg));
+      rule->len = static_cast<size_t>(len);
+    }
+    return Status::OK();
+  }
+  if (verb == "fail") {
+    rule->kind = FaultOutcome::Kind::kFail;
+    rule->token = std::string(arg);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown fault action '" +
+                                 std::string(verb) +
+                                 "' (err:NAME, eintr, short[:N], fail[:tok])");
+}
+
+Status ParseTrigger(std::string_view text, FaultRule* rule) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty trigger after '@'");
+  }
+  if (text.rfind("every:", 0) == 0) {
+    rule->trigger = FaultRule::Trigger::kEveryNth;
+    EGP_ASSIGN_OR_RETURN(rule->n, ParseCount(text.substr(6)));
+    return Status::OK();
+  }
+  if (text.rfind("p:", 0) == 0) {
+    rule->trigger = FaultRule::Trigger::kProb;
+    std::string_view rest = text.substr(2);
+    const size_t colon = rest.find(':');
+    const std::string prob(rest.substr(0, colon));
+    char* end = nullptr;
+    rule->probability = std::strtod(prob.c_str(), &end);
+    if (end == prob.c_str() || *end != '\0' || rule->probability < 0.0 ||
+        rule->probability > 1.0) {
+      return Status::InvalidArgument("probability must be in [0, 1], got '" +
+                                     prob + "'");
+    }
+    if (colon != std::string_view::npos) {
+      EGP_ASSIGN_OR_RETURN(rule->seed, ParseCount(rest.substr(colon + 1)));
+    }
+    return Status::OK();
+  }
+  if (text.back() == '+') {
+    rule->trigger = FaultRule::Trigger::kFromNth;
+    EGP_ASSIGN_OR_RETURN(rule->n,
+                         ParseCount(text.substr(0, text.size() - 1)));
+    return Status::OK();
+  }
+  rule->trigger = FaultRule::Trigger::kNth;
+  EGP_ASSIGN_OR_RETURN(rule->n, ParseCount(text));
+  return Status::OK();
+}
+
+std::string_view TrimWs(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+Result<FaultRule> ParseEntry(std::string_view entry) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string_view::npos) {
+    return Status::InvalidArgument("fault entry '" + std::string(entry) +
+                                   "' is not site=action[@trigger]");
+  }
+  FaultRule rule;
+  rule.site = std::string(TrimWs(entry.substr(0, eq)));
+  if (!ValidSiteName(rule.site)) {
+    return Status::InvalidArgument("invalid fault site name '" + rule.site +
+                                   "'");
+  }
+  std::string_view rest = TrimWs(entry.substr(eq + 1));
+  const size_t at = rest.find('@');
+  EGP_RETURN_IF_ERROR(ParseAction(rest.substr(0, at), &rule));
+  if (at != std::string_view::npos) {
+    EGP_RETURN_IF_ERROR(ParseTrigger(rest.substr(at + 1), &rule));
+  }
+  return rule;
+}
+
+std::string DescribeAction(const FaultRule& rule) {
+  switch (rule.kind) {
+    case FaultOutcome::Kind::kErrno:
+      return std::string("err:") + std::strerror(rule.err);
+    case FaultOutcome::Kind::kShort:
+      return "short:" + std::to_string(rule.len);
+    case FaultOutcome::Kind::kFail:
+      return rule.token.empty() ? "fail" : "fail:" + rule.token;
+    case FaultOutcome::Kind::kNone:
+      break;
+  }
+  return "none";
+}
+
+}  // namespace
+
+namespace fault_internal {
+
+std::atomic<bool> g_armed{false};
+
+FaultOutcome Next(std::string_view site, std::string_view context) {
+  FaultOutcome outcome;
+  MutexLock lock(&RegistryMutex());
+  for (FaultRule& rule : Registry()) {
+    if (rule.site != site) continue;
+    if (!rule.token.empty() && context != rule.token) continue;
+    ++rule.calls;
+    if (outcome.kind == FaultOutcome::Kind::kNone && TriggerFires(&rule)) {
+      ++rule.injected;
+      outcome.kind = rule.kind;
+      outcome.err = rule.err;
+      outcome.len = rule.len;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace fault_internal
+
+Status FaultInjectStatus(std::string_view site, std::string_view context) {
+  const FaultOutcome outcome = FaultCheck(site, context);
+  switch (outcome.kind) {
+    case FaultOutcome::Kind::kNone:
+    case FaultOutcome::Kind::kShort:
+      return Status::OK();
+    case FaultOutcome::Kind::kErrno:
+      return Status::IOError("injected fault at " + std::string(site) +
+                             ": " + std::strerror(outcome.err));
+    case FaultOutcome::Kind::kFail:
+      return Status::IOError("injected fault at " + std::string(site));
+  }
+  return Status::OK();
+}
+
+Status ConfigureFaults(std::string_view schedule) {
+  std::vector<FaultRule> rules;
+  std::string_view rest = schedule;
+  while (!rest.empty()) {
+    const size_t semi = rest.find(';');
+    const std::string_view entry = TrimWs(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (entry.empty()) continue;
+    FaultRule rule;
+    EGP_ASSIGN_OR_RETURN(rule, ParseEntry(entry));
+    rules.push_back(std::move(rule));
+  }
+  {
+    MutexLock lock(&RegistryMutex());
+    Registry() = std::move(rules);
+    fault_internal::g_armed.store(!Registry().empty(),
+                                  std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status ConfigureFaultsFromEnv() {
+  const char* schedule = std::getenv("EGP_FAULTS");
+  if (schedule == nullptr) return Status::OK();
+  const Status configured = ConfigureFaults(schedule);
+  if (!configured.ok()) {
+    return Status(configured.code(),
+                  "EGP_FAULTS: " + configured.message());
+  }
+  return Status::OK();
+}
+
+void ClearFaults() {
+  MutexLock lock(&RegistryMutex());
+  Registry().clear();
+  fault_internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::string FaultReport() {
+  std::string out;
+  MutexLock lock(&RegistryMutex());
+  for (const FaultRule& rule : Registry()) {
+    out += StrFormat("%s %s calls=%llu injected=%llu\n", rule.site.c_str(),
+                     DescribeAction(rule).c_str(),
+                     static_cast<unsigned long long>(rule.calls),
+                     static_cast<unsigned long long>(rule.injected));
+  }
+  return out;
+}
+
+}  // namespace egp

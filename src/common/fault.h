@@ -1,0 +1,102 @@
+// Deterministic fault injection, always compiled in.
+//
+// Production code declares named *sites* ("socket.send", "store.fsync",
+// ...) at the exact syscall or decision point where an operator-visible
+// failure can originate. A *schedule* — set via the EGP_FAULTS
+// environment variable or egp_server's --faults flag — arms outcomes at
+// those sites:
+//
+//   socket.send=err:EPIPE@3;store.fsync=err:ENOSPC@1;catalog.load=fail:d2
+//
+// Grammar (entries joined by ';'):
+//
+//   site=action[@trigger]
+//
+//   action   err:NAME     fail the call with errno NAME (EPIPE, ENOSPC,
+//                         ... or a number)
+//            eintr        shorthand for err:EINTR (storms compose with
+//                         @every:N)
+//            short[:N]    clamp the I/O length to N bytes (default 1) —
+//                         a short read/write, not an error
+//            fail[:tok]   abstract failure (non-errno sites, e.g. one
+//                         dataset load); with :tok it fires only when
+//                         the caller's context string equals tok
+//   trigger  @N           the Nth matching call only
+//            @N+          every call from the Nth on
+//            @every:N     every Nth call (N, 2N, 3N, ...)
+//            @p:P[:S]     each call independently with probability P,
+//                         seeded by S — deterministic across runs
+//            (absent)     every call
+//
+// Cost when idle is one relaxed atomic load per site (FaultsEnabled() is
+// false unless a schedule is armed), so the sites stay in release
+// builds and the chaos suite tests the exact binary that ships.
+#ifndef EGP_COMMON_FAULT_H_
+#define EGP_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace egp {
+
+/// What an armed site tells its caller to do.
+struct FaultOutcome {
+  enum class Kind : uint8_t {
+    kNone = 0,  // proceed normally
+    kErrno,     // fail as if the syscall returned -1 with errno `err`
+    kShort,     // clamp the transfer length to `len` bytes
+    kFail,      // abstract failure (no errno semantics)
+  };
+  Kind kind = Kind::kNone;
+  int err = 0;
+  size_t len = 0;
+};
+
+namespace fault_internal {
+extern std::atomic<bool> g_armed;
+FaultOutcome Next(std::string_view site, std::string_view context);
+}  // namespace fault_internal
+
+/// True while any schedule is armed. Relaxed: a site racing with
+/// ConfigureFaults may miss the very first injection, which is fine —
+/// schedules are armed before the traffic they target.
+inline bool FaultsEnabled() {
+  return fault_internal::g_armed.load(std::memory_order_relaxed);
+}
+
+/// The per-site check. `context` lets a site expose which logical object
+/// the call is about (catalog.load passes the dataset name) so fail:tok
+/// schedules can target one of them.
+inline FaultOutcome FaultCheck(std::string_view site,
+                               std::string_view context = {}) {
+  if (!FaultsEnabled()) return FaultOutcome{};
+  return fault_internal::Next(site, context);
+}
+
+/// FaultCheck shaped as a Status for non-syscall sites: OK unless an
+/// injection fires (kShort is meaningless here and also maps to OK).
+Status FaultInjectStatus(std::string_view site,
+                         std::string_view context = {});
+
+/// Arms `schedule` (see the grammar above), replacing any previous one.
+/// An empty/blank schedule disarms everything.
+Status ConfigureFaults(std::string_view schedule);
+
+/// Arms the EGP_FAULTS environment variable's schedule; OK when unset.
+Status ConfigureFaultsFromEnv();
+
+/// Disarms everything and resets all counters.
+void ClearFaults();
+
+/// One line per armed rule: "site action calls=N injected=M". For logs
+/// and test assertions.
+std::string FaultReport();
+
+}  // namespace egp
+
+#endif  // EGP_COMMON_FAULT_H_

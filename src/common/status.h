@@ -22,6 +22,7 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -66,6 +67,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

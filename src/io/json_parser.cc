@@ -3,6 +3,7 @@
 #include <charconv>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/strings.h"
 
 namespace egp {
@@ -507,6 +508,7 @@ class Parser {
 
 Result<JsonValue> ParseJson(std::string_view text,
                             const JsonParseOptions& options) {
+  EGP_RETURN_IF_ERROR(FaultInjectStatus("json.parse"));
   return Parser(text, options).Parse();
 }
 

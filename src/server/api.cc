@@ -38,8 +38,23 @@ int HttpStatusFor(const Status& status) {
       return 409;
     case StatusCode::kUnimplemented:
       return 501;
+    case StatusCode::kUnavailable:
+      return 503;
     default:
       return 500;
+  }
+}
+
+/// Status for a request body that failed to parse: a malformed body is
+/// the client's fault (400), but an I/O or internal failure while
+/// parsing (fault injection, allocation) is ours (500).
+int HttpStatusForBody(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIOError:
+    case StatusCode::kInternal:
+      return 500;
+    default:
+      return 400;
   }
 }
 
@@ -377,6 +392,13 @@ Result<const Engine*> PreviewService::ResolveDataset(
   }
   const Engine* engine = catalog_.Find(name);
   if (engine == nullptr) {
+    // Distinguish "no such dataset" (404, client error) from "we know
+    // it but it failed to load" (503, degraded server).
+    if (const DatasetCatalog::FailedDataset* failed =
+            catalog_.FindFailed(name)) {
+      return Status::Unavailable("dataset '" + name +
+                                 "' failed to load: " + failed->error);
+    }
     return Status::NotFound("unknown dataset '" + name +
                             "' (see GET /v1/datasets)");
   }
@@ -430,7 +452,10 @@ HttpResponse PreviewService::Route(const HttpRequest& request,
 
 HttpResponse PreviewService::HandlePreview(const HttpRequest& request) {
   const auto doc = ParseJson(request.body);
-  if (!doc.ok()) return JsonErrorResponse(400, doc.status().message());
+  if (!doc.ok()) {
+    return JsonErrorResponse(HttpStatusForBody(doc.status()),
+                             doc.status().message());
+  }
   const auto parsed = ParsePreviewRequestJson(*doc);
   if (!parsed.ok()) return JsonErrorResponse(400, parsed.status().message());
 
@@ -475,7 +500,10 @@ HttpResponse PreviewService::HandlePreview(const HttpRequest& request) {
 
 HttpResponse PreviewService::HandleSuggest(const HttpRequest& request) {
   const auto doc = ParseJson(request.body);
-  if (!doc.ok()) return JsonErrorResponse(400, doc.status().message());
+  if (!doc.ok()) {
+    return JsonErrorResponse(HttpStatusForBody(doc.status()),
+                             doc.status().message());
+  }
   const auto parsed = ParseSuggestRequestJson(*doc);
   if (!parsed.ok()) return JsonErrorResponse(400, parsed.status().message());
 
@@ -515,7 +543,16 @@ HttpResponse PreviewService::HandleDatasets() const {
     body += ",\"relationships\":" + std::to_string(info.relationships);
     body += ",\"entityTypes\":" + std::to_string(info.entity_types);
     body += ",\"relationshipTypes\":" +
-            std::to_string(info.relationship_types) + "}";
+            std::to_string(info.relationship_types);
+    body += ",\"status\":\"loaded\"}";
+  }
+  for (const DatasetCatalog::FailedDataset& failed : catalog_.failed()) {
+    if (!first) body += ",";
+    first = false;
+    body += "{\"name\":" + Quoted(failed.name);
+    body += ",\"path\":" + Quoted(failed.path);
+    body += ",\"status\":\"failed\"";
+    body += ",\"error\":" + Quoted(failed.error) + "}";
   }
   body += "]}";
   HttpResponse response;
@@ -524,9 +561,29 @@ HttpResponse PreviewService::HandleDatasets() const {
 }
 
 HttpResponse PreviewService::HandleHealthz() const {
+  // Degraded (some datasets failed to load) still answers 200: the
+  // process is healthy and serving what it has — orchestrators should
+  // not kill it. The body carries the detail.
   HttpResponse response;
-  response.body = "{\"status\":\"ok\",\"version\":" + Quoted(version_) +
-                  ",\"datasets\":" + std::to_string(catalog_.size()) + "}";
+  std::string body =
+      std::string("{\"status\":") +
+      (catalog_.degraded() ? "\"degraded\"" : "\"ok\"") +
+      ",\"version\":" + Quoted(version_) +
+      ",\"datasets\":" + std::to_string(catalog_.size());
+  if (catalog_.degraded()) {
+    body += ",\"failedDatasets\":" + std::to_string(catalog_.failed().size());
+    body += ",\"failed\":[";
+    bool first = true;
+    for (const DatasetCatalog::FailedDataset& failed : catalog_.failed()) {
+      if (!first) body += ",";
+      first = false;
+      body += "{\"name\":" + Quoted(failed.name) +
+              ",\"error\":" + Quoted(failed.error) + "}";
+    }
+    body += "]";
+  }
+  body += "}";
+  response.body = std::move(body);
   return response;
 }
 
@@ -562,6 +619,13 @@ HttpResponse PreviewService::HandleMetrics() const {
                  "dataset=\"" + info.name + "\"",
                  static_cast<uint64_t>(stats.entries));
   }
+
+  AppendMetricHeader(&out, "egp_catalog_datasets_loaded", "gauge");
+  AppendMetric(&out, "egp_catalog_datasets_loaded", "",
+               static_cast<uint64_t>(catalog_.size()));
+  AppendMetricHeader(&out, "egp_catalog_datasets_failed", "gauge");
+  AppendMetric(&out, "egp_catalog_datasets_failed", "",
+               static_cast<uint64_t>(catalog_.failed().size()));
 
   {
     const AdmissionStats admission = admission_.stats();
@@ -601,6 +665,12 @@ HttpResponse PreviewService::HandleMetrics() const {
     AppendMetricHeader(&out, "egp_http_parse_errors_total", "counter");
     AppendMetric(&out, "egp_http_parse_errors_total", "",
                  stats.parse_errors);
+    AppendMetricHeader(&out, "egp_http_accept_overloads_total", "counter");
+    AppendMetric(&out, "egp_http_accept_overloads_total", "",
+                 stats.accept_overloads);
+    AppendMetricHeader(&out, "egp_http_overload_sheds_total", "counter");
+    AppendMetric(&out, "egp_http_overload_sheds_total", "",
+                 stats.overload_sheds);
   }
 
   HttpResponse response;

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "common/timer.h"
@@ -84,6 +85,11 @@ Result<DatasetCatalog> DatasetCatalog::Load(
   const auto load_one = [&](size_t i) {
     Timer timer;
     LoadSlot& slot = slots[i];
+    if (const Status fault = FaultInjectStatus("catalog.load", specs[i].name);
+        !fault.ok()) {
+      slot.engine = fault;
+      return;
+    }
     auto loaded = LoadGraphFileAuto(specs[i].path, options.snapshot);
     if (!loaded.ok()) {
       slot.engine = loaded.status();
@@ -110,17 +116,37 @@ Result<DatasetCatalog> DatasetCatalog::Load(
   }
 
   std::vector<std::pair<std::string, Engine>> engines;
+  std::vector<FailedDataset> failed;
   engines.reserve(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
     if (!slots[i].engine.ok()) {
-      return Status(slots[i].engine.status().code(),
-                    "dataset '" + specs[i].name + "': " +
-                        slots[i].engine.status().message());
+      const Status annotated(slots[i].engine.status().code(),
+                             "dataset '" + specs[i].name + "': " +
+                                 slots[i].engine.status().message());
+      if (!options.allow_partial) return annotated;
+      failed.push_back(FailedDataset{specs[i].name, specs[i].path,
+                                     std::string(annotated.message())});
+      continue;
     }
     engines.emplace_back(specs[i].name, std::move(slots[i].engine).value());
   }
+  if (engines.empty() && !failed.empty()) {
+    // Nothing left to serve: degraded-but-empty is just "down", so
+    // report it as the hard failure it is.
+    return Status(StatusCode::kIOError, failed.front().error);
+  }
   auto catalog = FromEngines(std::move(engines));
   if (!catalog.ok()) return catalog.status();
+  std::sort(failed.begin(), failed.end(),
+            [](const FailedDataset& a, const FailedDataset& b) {
+              return a.name < b.name;
+            });
+  catalog->failed_ = std::move(failed);
+  if (catalog->degraded()) {
+    // A degraded catalog never has an implicit default: a request that
+    // omits "dataset" must not silently land on whichever one survived.
+    catalog->default_name_.clear();
+  }
   // Replace the in-process placeholders with the on-disk facts.
   for (Info& info : catalog->infos_) {
     for (size_t i = 0; i < specs.size(); ++i) {
@@ -175,6 +201,14 @@ const Engine* DatasetCatalog::Find(const std::string& name) const {
 
 const Engine* DatasetCatalog::Default() const {
   return default_name_.empty() ? nullptr : Find(default_name_);
+}
+
+const DatasetCatalog::FailedDataset* DatasetCatalog::FindFailed(
+    const std::string& name) const {
+  for (const FailedDataset& f : failed_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
 }
 
 }  // namespace egp

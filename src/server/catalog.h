@@ -39,6 +39,12 @@ struct CatalogLoadOptions {
   unsigned load_threads = 0;
   /// How .egps snapshots are opened (mmap zero-copy by default).
   SnapshotOpenOptions snapshot;
+  /// When true (the default) a dataset that fails to load does not sink
+  /// the whole catalog: the healthy datasets serve and the failures are
+  /// reported via failed() (surfaced as "degraded" on /healthz). When
+  /// every dataset fails — or this is false (egp_server --strict-load) —
+  /// Load returns the first failure.
+  bool allow_partial = true;
 };
 
 class DatasetCatalog {
@@ -59,9 +65,18 @@ class DatasetCatalog {
     double load_seconds = 0.0;
   };
 
-  /// Loads every spec from disk; duplicate names, unloadable files, and
-  /// an empty spec list are errors. Datasets load concurrently per
-  /// `options.load_threads`.
+  /// A dataset that failed to load in a partial (degraded) catalog.
+  struct FailedDataset {
+    std::string name;
+    std::string path;
+    std::string error;
+  };
+
+  /// Loads every spec from disk; duplicate names and an empty spec list
+  /// are errors. An unloadable file is an error only when
+  /// `options.allow_partial` is false or every dataset fails — otherwise
+  /// the catalog comes up degraded (see failed()). Datasets load
+  /// concurrently per `options.load_threads`.
   static Result<DatasetCatalog> Load(const std::vector<DatasetSpec>& specs,
                                      const CatalogLoadOptions& options = {});
 
@@ -86,9 +101,18 @@ class DatasetCatalog {
   const std::vector<Info>& infos() const { return infos_; }
   size_t size() const { return infos_.size(); }
 
+  /// Datasets that failed to load (sorted by name); empty unless Load
+  /// ran with allow_partial and some-but-not-all datasets failed.
+  const std::vector<FailedDataset>& failed() const { return failed_; }
+  bool degraded() const { return !failed_.empty(); }
+  /// The failure record for `name`, or nullptr if it loaded (or was
+  /// never requested).
+  const FailedDataset* FindFailed(const std::string& name) const;
+
  private:
   std::map<std::string, Engine> engines_;
   std::vector<Info> infos_;
+  std::vector<FailedDataset> failed_;
   std::string default_name_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -52,12 +53,88 @@ Status HttpClient::SendBytes(std::string_view bytes) {
   return Status::OK();
 }
 
+namespace {
+
+/// Retry-After in milliseconds, when present as delta-seconds (the only
+/// form egp_server emits); 0 otherwise.
+int64_t RetryAfterMillis(const HttpClientResponse& response) {
+  const std::string* value = response.FindHeader("Retry-After");
+  if (value == nullptr) return 0;
+  char* end = nullptr;
+  const long seconds = std::strtol(value->c_str(), &end, 10);
+  if (end == value->c_str() || *end != '\0' || seconds < 0) return 0;
+  return static_cast<int64_t>(seconds) * 1000;
+}
+
+}  // namespace
+
+void HttpClient::BackoffSleep(int attempt, int64_t min_wait_ms) {
+  int64_t backoff = retry_.base_backoff_ms;
+  for (int i = 1; i < attempt && backoff < retry_.max_backoff_ms; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min<int64_t>(backoff, retry_.max_backoff_ms);
+  // Deterministic jitter in [backoff/2, backoff] (xorshift64*): spreads
+  // synchronized retries without making tests time-flaky.
+  jitter_state_ ^= jitter_state_ >> 12;
+  jitter_state_ ^= jitter_state_ << 25;
+  jitter_state_ ^= jitter_state_ >> 27;
+  const int64_t half = backoff / 2;
+  if (half > 0) {
+    backoff = half + static_cast<int64_t>(
+                         (jitter_state_ * 0x2545f4914f6cdd1dull) %
+                         static_cast<uint64_t>(half + 1));
+  }
+  // A server-stated Retry-After is a floor, still capped so a hostile
+  // value can't stall the caller.
+  backoff = std::max(backoff, min_wait_ms);
+  backoff = std::min<int64_t>(backoff, retry_.max_backoff_ms);
+  if (backoff > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
+}
+
+Result<HttpClientResponse> HttpClient::ExchangeOnce(std::string_view bytes,
+                                                    bool* connect_failure) {
+  // Two passes at most: a pooled keep-alive connection the server has
+  // meanwhile closed (ECONNRESET/EPIPE on the write, or EOF before any
+  // response byte) is replayed once on a fresh connection. A failure on
+  // a fresh connection is real and surfaces.
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool reused = fd_.valid();
+    const Status connected = EnsureConnected();
+    if (!connected.ok()) {
+      *connect_failure = true;
+      return connected;
+    }
+    const Status sent = SendBytes(bytes);  // resets fd_ on failure
+    if (!sent.ok()) {
+      if (reused && pass == 0) {
+        ++transparent_reconnects_;
+        continue;
+      }
+      return sent;
+    }
+    bool stale_candidate = false;
+    auto response = ReadResponse(&stale_candidate);
+    if (!response.ok()) {
+      fd_.Reset();
+      if (reused && stale_candidate && pass == 0) {
+        ++transparent_reconnects_;
+        continue;
+      }
+      return response;
+    }
+    if (!response->keep_alive) fd_.Reset();
+    return response;
+  }
+  return Status::Internal("unreachable: reconnect pass fell through");
+}
+
 Result<HttpClientResponse> HttpClient::Request(std::string_view method,
                                                std::string_view target,
                                                std::string_view body,
                                                std::string_view content_type) {
-  EGP_RETURN_IF_ERROR(EnsureConnected());
-
   std::string request;
   request.reserve(128 + body.size());
   request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
@@ -72,21 +149,40 @@ Result<HttpClientResponse> HttpClient::Request(std::string_view method,
   }
   request.append("\r\n").append(body);
 
-  EGP_RETURN_IF_ERROR(SendBytes(request));
-  auto response = ReadResponse();
-  if (!response.ok() || !response->keep_alive) fd_.Reset();
-  return response;
+  const bool idempotent = method == "GET" || method == "HEAD";
+  for (int attempt = 1;; ++attempt) {
+    bool connect_failure = false;
+    auto response = ExchangeOnce(request, &connect_failure);
+    if (response.ok()) {
+      if (response->status == 503 && retry_.retry_on_503 &&
+          attempt < retry_.max_attempts) {
+        ++retries_;
+        BackoffSleep(attempt, RetryAfterMillis(*response));
+        continue;
+      }
+      return response;
+    }
+    // A request that never reached the server is safe to replay for any
+    // method; otherwise only idempotent methods retry.
+    if ((idempotent || connect_failure) && attempt < retry_.max_attempts) {
+      ++retries_;
+      BackoffSleep(attempt, 0);
+      continue;
+    }
+    return response;
+  }
 }
 
 Result<HttpClientResponse> HttpClient::RawExchange(std::string_view bytes) {
   EGP_RETURN_IF_ERROR(EnsureConnected());
   EGP_RETURN_IF_ERROR(SendBytes(bytes));
-  auto response = ReadResponse();
+  bool ignored = false;
+  auto response = ReadResponse(&ignored);
   if (!response.ok() || !response->keep_alive) fd_.Reset();
   return response;
 }
 
-Result<HttpClientResponse> HttpClient::ReadResponse() {
+Result<HttpClientResponse> HttpClient::ReadResponse(bool* stale_candidate) {
   std::string buffer = std::move(leftover_);
   leftover_.clear();
   char chunk[16 * 1024];
@@ -102,6 +198,10 @@ Result<HttpClientResponse> HttpClient::ReadResponse() {
       return Status::IOError("timed out reading response head");
     }
     if (r.status != IoStatus::kOk) {
+      // Close/reset before a single response byte is the signature of a
+      // pooled connection the server reaped; anything later is a real
+      // mid-response failure.
+      if (buffer.empty()) *stale_candidate = true;
       return Status::IOError("connection closed mid-response");
     }
     buffer.append(chunk, r.bytes);

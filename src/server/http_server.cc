@@ -9,6 +9,9 @@
 #include <cerrno>
 #include <utility>
 
+#include "common/fault.h"
+#include "common/posix.h"
+
 namespace egp {
 namespace {
 
@@ -16,6 +19,14 @@ namespace {
 /// unconsumed, so a small batch only costs extra wakeups, never lost
 /// events.
 constexpr int kMaxEvents = 64;
+
+/// How long accepting stays paused after an fd-exhaustion storm the
+/// emergency-fd shed could not absorb.
+constexpr int kAcceptOverloadPauseMs = 100;
+
+bool IsResourceExhaustion(int err) {
+  return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM;
+}
 
 }  // namespace
 
@@ -59,6 +70,11 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(
   }
   server->wakeup_pipe_read_ = UniqueFd(pipe_fds[0]);
   server->wakeup_pipe_write_ = UniqueFd(pipe_fds[1]);
+
+  // Best effort: without the spare, an EMFILE storm falls back to
+  // pausing the accept path instead of shedding.
+  server->emergency_fd_ =
+      UniqueFd(PosixOpen("/dev/null", O_RDONLY | O_CLOEXEC));
 
   const int static_fds[3] = {server->listen_fd_.get(),
                              server->shutdown_pipe_read_.get(),
@@ -105,7 +121,7 @@ void HttpServer::Shutdown() {
   // draining_ is already visible.
   const char byte = 'q';
   [[maybe_unused]] const ssize_t n =
-      ::write(shutdown_pipe_write_.get(), &byte, 1);
+      PosixWrite(shutdown_pipe_write_.get(), &byte, 1);
 }
 
 void HttpServer::Wait() {
@@ -133,7 +149,14 @@ void HttpServer::Loop() {
   epoll_event events[kMaxEvents];
   for (;;) {
     const int timeout_ms = NextTimeoutMillis();
-    const int n = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, timeout_ms);
+    int n;
+    const FaultOutcome fault = FaultCheck("epoll.wait");
+    if (fault.kind == FaultOutcome::Kind::kErrno) {
+      errno = fault.err;
+      n = -1;
+    } else {
+      n = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, timeout_ms);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // epoll on our own fds failing is unrecoverable
@@ -143,14 +166,14 @@ void HttpServer::Loop() {
       const uint32_t mask = events[i].events;
       if (fd == shutdown_pipe_read_.get()) {
         char buf[64];
-        while (::read(fd, buf, sizeof(buf)) > 0) {
+        while (PosixRead(fd, buf, sizeof(buf)) > 0) {
         }
         BeginDrain();
         continue;
       }
       if (fd == wakeup_pipe_read_.get()) {
         char buf[64];
-        while (::read(fd, buf, sizeof(buf)) > 0) {
+        while (PosixRead(fd, buf, sizeof(buf)) > 0) {
         }
         DrainCompletions();
         continue;
@@ -195,14 +218,21 @@ void HttpServer::Loop() {
 void HttpServer::AcceptPending() {
   if (draining_.load(std::memory_order_acquire)) return;
   for (;;) {
-    const int raw =
-        ::accept4(listen_fd_.get(), nullptr, nullptr,
-                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int raw = PosixAccept4(listen_fd_.get(),
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC,
+                                 "socket.accept");
     if (raw < 0) {
-      if (errno == EINTR) continue;
-      // EAGAIN: backlog drained. Anything else (ECONNABORTED, EMFILE,
-      // ...) is transient for us: keep serving.
-      return;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // The handshake died before we got to it; the next one may be fine.
+      if (errno == ECONNABORTED || errno == EPROTO) continue;
+      if (IsResourceExhaustion(errno)) {
+        // Out of descriptors (or kernel memory). Left alone this would
+        // hot-spin: the backlog stays readable under level-triggered
+        // epoll while accept() keeps failing.
+        HandleAcceptOverload();
+        return;
+      }
+      return;  // anything else: leave the backlog for the next wakeup
     }
     auto conn = std::make_unique<Connection>(UniqueFd(raw),
                                              ++next_generation_,
@@ -242,12 +272,76 @@ void HttpServer::AcceptPending() {
   }
 }
 
+void HttpServer::HandleAcceptOverload() {
+  {
+    MutexLock lock(&mu_);
+    ++stats_.accept_overloads;
+  }
+  bool shed = false;
+  if (emergency_fd_.valid()) {
+    // Release the reserved descriptor, use the freed slot to accept one
+    // pending connection, answer it 503, close it, and re-arm the spare.
+    // The client gets a real answer instead of hanging in the backlog
+    // until its own timeout.
+    emergency_fd_.Reset();
+    const int raw = PosixAccept4(listen_fd_.get(),
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (raw >= 0) {
+      UniqueFd conn(raw);
+      HttpResponse response;
+      response.status = 503;
+      response.body = JsonErrorBody(503, "server out of file descriptors");
+      response.headers.emplace_back("Retry-After", "1");
+      const std::string bytes =
+          SerializeResponse(response, /*keep_alive=*/false);
+      // One best-effort non-blocking write; holding the connection for a
+      // slow reader would defeat the point of shedding it.
+      (void)PosixSend(conn.get(), bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      shed = true;
+      {
+        MutexLock lock(&mu_);
+        ++stats_.rejected_connections;
+        ++stats_.overload_sheds;
+      }
+    }
+    emergency_fd_ = UniqueFd(PosixOpen("/dev/null", O_RDONLY | O_CLOEXEC));
+  }
+  if (!shed || !emergency_fd_.valid()) {
+    // Could not shed (or could not re-arm the spare): back off so the
+    // always-readable listen fd doesn't spin the loop.
+    PauseAccepting(kAcceptOverloadPauseMs);
+  }
+}
+
+void HttpServer::PauseAccepting(int pause_ms) {
+  if (accept_paused_ || !listen_fd_.valid()) return;
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
+  accept_paused_ = true;
+  accept_resume_ms_ = MonotonicMillis() + pause_ms;
+}
+
+void HttpServer::MaybeResumeAccepting(int64_t now_ms) {
+  if (!accept_paused_ || now_ms < accept_resume_ms_) return;
+  accept_paused_ = false;
+  accept_resume_ms_ = kNoDeadline;
+  if (!listen_fd_.valid()) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_.get();
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev);
+  // Level-triggered: a still-pending backlog re-reports on the next
+  // epoll_wait; nothing more to do here.
+}
+
 void HttpServer::BeginDrain() {
   draining_.store(true, std::memory_order_release);
   if (listen_fd_.valid()) {
+    // ENOENT when accepting was paused (already deleted) is harmless.
     ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
     listen_fd_.Reset();  // new connects fail immediately
   }
+  accept_paused_ = false;
+  accept_resume_ms_ = kNoDeadline;
   // Idle keep-alive connections close now; anything mid-exchange finishes
   // its current request (with Connection: close — CompleteRequest and
   // BeginNextRequest both observe draining_).
@@ -264,7 +358,8 @@ void HttpServer::BeginDrain() {
 void HttpServer::OnReadable(Connection* conn) {
   char buf[16 * 1024];
   for (;;) {
-    const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    const ssize_t n =
+        PosixRecv(conn->fd.get(), buf, sizeof(buf), 0, "socket.recv");
     if (n > 0) {
       const HttpRequestParser::State state =
           conn->parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
@@ -282,8 +377,8 @@ void HttpServer::OnReadable(Connection* conn) {
       CloseConnection(conn);
       return;
     }
+    // EINTR is retried inside PosixRecv.
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-    if (errno == EINTR) continue;
     CloseConnection(conn);
     return;
   }
@@ -390,7 +485,7 @@ void HttpServer::PushCompletion(Completion completion) {
   // loop is waking up regardless and drains the queue inline.
   const char byte = 'c';
   [[maybe_unused]] const ssize_t n =
-      ::write(wakeup_pipe_write_.get(), &byte, 1);
+      PosixWrite(wakeup_pipe_write_.get(), &byte, 1);
 }
 
 void HttpServer::DrainCompletions() {
@@ -452,9 +547,9 @@ void HttpServer::SendResponse(Connection* conn, const HttpResponse& response,
 
 void HttpServer::FlushOutbox(Connection* conn) {
   while (conn->outbox_sent < conn->outbox.size()) {
-    const ssize_t n =
-        ::send(conn->fd.get(), conn->outbox.data() + conn->outbox_sent,
-               conn->outbox.size() - conn->outbox_sent, MSG_NOSIGNAL);
+    const ssize_t n = PosixSend(
+        conn->fd.get(), conn->outbox.data() + conn->outbox_sent,
+        conn->outbox.size() - conn->outbox_sent, MSG_NOSIGNAL, "socket.send");
     if (n > 0) {
       conn->outbox_sent += static_cast<size_t>(n);
       continue;
@@ -463,7 +558,6 @@ void HttpServer::FlushOutbox(Connection* conn) {
       SetEpoll(conn, EPOLLOUT);  // resume when the socket drains
       return;
     }
-    if (n < 0 && errno == EINTR) continue;
     CloseConnection(conn);  // peer reset mid-response
     return;
   }
@@ -544,14 +638,21 @@ int HttpServer::NextTimeoutMillis() {
   while (!timers_.empty() && !TimerEntryLive(timers_.top())) {
     timers_.pop();
   }
-  if (timers_.empty()) return -1;  // epoll_wait blocks until an event
-  const int64_t remaining = timers_.top().deadline_ms - MonotonicMillis();
+  int64_t next = kNoDeadline;
+  if (!timers_.empty()) next = timers_.top().deadline_ms;
+  if (accept_paused_ &&
+      (next == kNoDeadline || accept_resume_ms_ < next)) {
+    next = accept_resume_ms_;
+  }
+  if (next == kNoDeadline) return -1;  // epoll_wait blocks until an event
+  const int64_t remaining = next - MonotonicMillis();
   if (remaining <= 0) return 0;
   return static_cast<int>(std::min<int64_t>(remaining, 60'000));
 }
 
 void HttpServer::ExpireDeadlines() {
   const int64_t now = MonotonicMillis();
+  MaybeResumeAccepting(now);
   for (;;) {
     while (!timers_.empty() && !TimerEntryLive(timers_.top())) {
       timers_.pop();

@@ -86,6 +86,9 @@ struct HttpServerStats {
   uint64_t handled_requests = 0;      // responses queued (any status)
   uint64_t parse_errors = 0;          // 4xx/5xx from the parser itself
   uint64_t timed_out_connections = 0;  // read or write deadline expiries
+  uint64_t accept_overloads = 0;  // accept() hit EMFILE/ENFILE/ENOBUFS
+  uint64_t overload_sheds = 0;    // connections answered 503 via the
+                                  // emergency fd during an overload
 };
 
 class HttpServer {
@@ -174,6 +177,9 @@ class HttpServer {
 
   void Loop();
   void AcceptPending();
+  void HandleAcceptOverload();
+  void PauseAccepting(int pause_ms);
+  void MaybeResumeAccepting(int64_t now_ms);
   void BeginDrain();
   void OnReadable(Connection* conn);
   void OnWritable(Connection* conn);
@@ -202,6 +208,10 @@ class HttpServer {
 
   UniqueFd epoll_fd_;
   UniqueFd listen_fd_;
+  /// Reserved descriptor (open on /dev/null) released during an EMFILE
+  /// accept storm so one pending connection can still be accepted and
+  /// shed with a 503 instead of dangling in the backlog.
+  UniqueFd emergency_fd_;
   UniqueFd shutdown_pipe_read_;
   UniqueFd shutdown_pipe_write_;
   UniqueFd wakeup_pipe_read_;
@@ -214,6 +224,11 @@ class HttpServer {
   // ---- Loop-thread state (no locking: one owner).
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;
   size_t admitted_connections_ = 0;  // excludes 503-reject writers
+  /// While an fd-exhaustion storm persists the listen fd leaves epoll
+  /// (level-triggered readiness would hot-spin the loop) until
+  /// accept_resume_ms_; ExpireDeadlines re-arms it.
+  bool accept_paused_ = false;
+  int64_t accept_resume_ms_ = kNoDeadline;
   uint64_t next_generation_ = 0;
   std::priority_queue<TimerEntry, std::vector<TimerEntry>,
                       std::greater<TimerEntry>>

@@ -14,6 +14,9 @@
 #include <climits>
 #include <cstring>
 
+#include "common/fault.h"
+#include "common/posix.h"
+
 namespace egp {
 namespace {
 
@@ -119,18 +122,12 @@ Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
 }
 
 Result<UniqueFd> AcceptConnection(int listen_fd) {
-  for (;;) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd >= 0) {
-      UniqueFd conn(fd);
-      SetCloexec(fd);
-      SetNoDelay(fd);
-      SetNonBlocking(fd);
-      return conn;
-    }
-    if (errno == EINTR) continue;
-    return ErrnoStatus("accept", errno);
-  }
+  const int fd = PosixAccept4(listen_fd, SOCK_CLOEXEC, "socket.accept");
+  if (fd < 0) return ErrnoStatus("accept", errno);
+  UniqueFd conn(fd);
+  SetNoDelay(fd);
+  SetNonBlocking(fd);
+  return conn;
 }
 
 Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
@@ -141,6 +138,14 @@ Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+
+  const FaultOutcome fault = FaultCheck("socket.connect");
+  if (fault.kind == FaultOutcome::Kind::kErrno ||
+      fault.kind == FaultOutcome::Kind::kFail) {
+    const int err =
+        fault.kind == FaultOutcome::Kind::kErrno ? fault.err : EIO;
+    return ErrnoStatus("connect " + host + ":" + std::to_string(port), err);
   }
 
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
@@ -182,12 +187,13 @@ IoResult RecvSomeUntil(int fd, char* buf, size_t len, int64_t deadline_ms) {
   for (;;) {
     const IoResult wait = PollUntil(fd, POLLIN, deadline_ms);
     if (wait.status != IoStatus::kOk) return wait;
-    const ssize_t n = ::recv(fd, buf, len, 0);
+    const ssize_t n = PosixRecv(fd, buf, len, 0, "socket.recv");
     if (n > 0) return IoResult{IoStatus::kOk, static_cast<size_t>(n), 0};
     if (n == 0) return IoResult{IoStatus::kEof, 0, 0};
     // EAGAIN after POLLIN is a spurious wakeup on a non-blocking socket:
-    // re-poll (against the same deadline) rather than spin.
-    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    // re-poll (against the same deadline) rather than spin. EINTR is
+    // retried inside PosixRecv.
+    if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
     return IoResult{IoStatus::kError, 0, errno};
   }
 }
@@ -199,13 +205,13 @@ IoResult SendAllUntil(int fd, std::string_view data, int64_t deadline_ms) {
     if (wait.status != IoStatus::kOk) {
       return IoResult{wait.status, sent, wait.error};
     }
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
+    const ssize_t n = PosixSend(fd, data.data() + sent, data.size() - sent,
+                                MSG_NOSIGNAL, "socket.send");
     if (n >= 0) {
       sent += static_cast<size_t>(n);
       continue;
     }
-    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
     return IoResult{IoStatus::kError, sent, errno};
   }
   return IoResult{IoStatus::kOk, sent, 0};

@@ -9,10 +9,14 @@
 #include <cstring>
 #include <utility>
 
+#include "common/fault.h"
+#include "common/posix.h"
+
 namespace egp {
 
 Result<MappedFile> MappedFile::Open(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  const int fd = PosixOpen(path.c_str(), O_RDONLY | O_CLOEXEC, 0,
+                           "store.open");
   if (fd < 0) {
     return Status::IOError("cannot open for mapping: " + path + ": " +
                            std::strerror(errno));
@@ -31,7 +35,13 @@ Result<MappedFile> MappedFile::Open(const std::string& path) {
   MappedFile file;
   file.size_ = static_cast<size_t>(st.st_size);
   if (file.size_ > 0) {
-    void* map = ::mmap(nullptr, file.size_, PROT_READ, MAP_SHARED, fd, 0);
+    void* map = MAP_FAILED;
+    if (const FaultOutcome fault = FaultCheck("store.mmap");
+        fault.kind != FaultOutcome::Kind::kNone) {
+      errno = fault.kind == FaultOutcome::Kind::kErrno ? fault.err : EIO;
+    } else {
+      map = ::mmap(nullptr, file.size_, PROT_READ, MAP_SHARED, fd, 0);
+    }
     if (map == MAP_FAILED) {
       const int err = errno;
       ::close(fd);

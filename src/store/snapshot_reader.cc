@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/strings.h"
 #include "store/format.h"
 #include "store/mapped_file.h"
@@ -589,6 +590,9 @@ Result<StoredGraph> OpenSnapshot(const std::string& path,
     stored.zero_copy = true;
     return stored;
   }
+  // The stream path reads through stdio; the injectable site covers the
+  // open (the mmap path gets its coverage inside MappedFile::Open).
+  EGP_RETURN_IF_ERROR(FaultInjectStatus("store.open", path));
   CFile file;
   EGP_ASSIGN_OR_RETURN(file, CFile::OpenRegular(path));
   auto buffer = std::make_shared<std::vector<uint8_t>>(file.size());

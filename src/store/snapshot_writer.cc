@@ -7,15 +7,64 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <ostream>
 #include <vector>
 
+#include "common/fault.h"
+#include "common/posix.h"
 #include "common/strings.h"
 #include "store/format.h"
 
 namespace egp {
 namespace {
+
+/// Destination for the serialized snapshot bytes. Two implementations:
+/// an ostream (the in-memory/test path) and a raw fd (the durable
+/// file path, where writes go through the EINTR-retrying, fault-
+/// injectable PosixWrite).
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual Status Write(const void* data, size_t size) = 0;
+};
+
+class OstreamSink final : public ByteSink {
+ public:
+  explicit OstreamSink(std::ostream& out) : out_(out) {}
+  Status Write(const void* data, size_t size) override {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    if (!out_) return Status::IOError("snapshot write failed");
+    return Status::OK();
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+class FdSink final : public ByteSink {
+ public:
+  explicit FdSink(int fd) : fd_(fd) {}
+  Status Write(const void* data, size_t size) override {
+    // write(2) may be short (and the injector forces it to be): loop
+    // until the buffer drains or a real error surfaces.
+    const char* p = static_cast<const char*>(data);
+    size_t remaining = size;
+    while (remaining > 0) {
+      const ssize_t n = PosixWrite(fd_, p, remaining, "store.write");
+      if (n < 0) {
+        return Status::IOError(std::string("snapshot write failed: ") +
+                               std::strerror(errno));
+      }
+      p += n;
+      remaining -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+};
 
 /// One section payload as a list of contiguous chunks; length and
 /// checksum are computed over the concatenation, so large arrays are
@@ -89,10 +138,9 @@ constexpr char kPadding[8] = {0};
 
 size_t AlignUp8(size_t value) { return (value + 7) & ~size_t{7}; }
 
-}  // namespace
-
-Status WriteSnapshot(const EntityGraph& graph, const FrozenGraph& frozen,
-                     std::ostream& out) {
+/// Stages, lays out, and emits the whole snapshot into `sink`.
+Status EmitSnapshot(const EntityGraph& graph, const FrozenGraph& frozen,
+                    ByteSink& sink) {
   if constexpr (std::endian::native != std::endian::little) {
     return Status::Unimplemented(
         ".egps snapshots are little-endian only; this host is big-endian");
@@ -203,39 +251,37 @@ Status WriteSnapshot(const EntityGraph& graph, const FrozenGraph& frozen,
       Fnv1a64(toc.data(), toc.size() * sizeof(SectionEntry));
 
   // --- Emit --------------------------------------------------------------
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  out.write(reinterpret_cast<const char*>(toc.data()),
-            toc.size() * sizeof(SectionEntry));
+  EGP_RETURN_IF_ERROR(sink.Write(&header, sizeof(header)));
+  EGP_RETURN_IF_ERROR(
+      sink.Write(toc.data(), toc.size() * sizeof(SectionEntry)));
   size_t written = sizeof(header) + toc.size() * sizeof(SectionEntry);
   for (size_t i = 0; i < sections.size(); ++i) {
     if (written < toc[i].offset) {
-      out.write(kPadding, toc[i].offset - written);
+      EGP_RETURN_IF_ERROR(sink.Write(kPadding, toc[i].offset - written));
       written = toc[i].offset;
     }
     for (const auto& [data, size] : sections[i].chunks) {
-      out.write(reinterpret_cast<const char*>(data), size);
+      EGP_RETURN_IF_ERROR(sink.Write(data, size));
       written += size;
     }
   }
   if (written < header.file_bytes) {
-    out.write(kPadding, header.file_bytes - written);
+    EGP_RETURN_IF_ERROR(sink.Write(kPadding, header.file_bytes - written));
   }
-  out.flush();
-  if (!out) return Status::IOError("snapshot write failed");
   return Status::OK();
 }
 
-namespace {
-
 /// fsyncs `path` (a file or directory) so the write/rename is durable
-/// before we report success.
+/// before we report success. No fault site: by the time the directory
+/// sync runs the rename is already visible, so a failure here could not
+/// honor "old snapshot left intact" anyway.
 Status SyncPath(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return Status::IOError("cannot open for fsync: " + path + ": " +
                            std::strerror(errno));
   }
-  const int rc = ::fsync(fd);
+  const int rc = PosixFsync(fd);
   const int fsync_errno = errno;  // close() may clobber errno
   ::close(fd);
   if (rc != 0) {
@@ -247,6 +293,15 @@ Status SyncPath(const std::string& path) {
 
 }  // namespace
 
+Status WriteSnapshot(const EntityGraph& graph, const FrozenGraph& frozen,
+                     std::ostream& out) {
+  OstreamSink sink(out);
+  EGP_RETURN_IF_ERROR(EmitSnapshot(graph, frozen, sink));
+  out.flush();
+  if (!out) return Status::IOError("snapshot write failed");
+  return Status::OK();
+}
+
 Status WriteSnapshotFile(const EntityGraph& graph, const FrozenGraph& frozen,
                          const std::string& path) {
   // Write temp + fsync + rename + fsync(dir), never truncate in place:
@@ -254,23 +309,41 @@ Status WriteSnapshotFile(const EntityGraph& graph, const FrozenGraph& frozen,
   // (the old inode survives the rename untouched), and neither a crash,
   // a full disk, nor a power loss mid-replace may destroy the previous
   // good snapshot — the data blocks are durable before the rename
-  // becomes visible.
+  // becomes visible. Every failure path removes the temp file.
   const std::string temp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = PosixOpen(temp.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644,
+                           "store.open");
+  if (fd < 0) {
+    return Status::IOError("cannot open for writing: " + temp + ": " +
+                           std::strerror(errno));
+  }
   {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open for writing: " + temp);
-    const Status written = WriteSnapshot(graph, frozen, out);
+    FdSink sink(fd);
+    const Status written = EmitSnapshot(graph, frozen, sink);
     if (!written.ok()) {
-      out.close();
+      ::close(fd);
       std::remove(temp.c_str());
       return written;
     }
   }
-  const Status synced = SyncPath(temp);
-  if (!synced.ok()) {
+  if (PosixFsync(fd, "store.fsync") != 0) {
+    const Status failed = Status::IOError("fsync failed: " + temp + ": " +
+                                          std::strerror(errno));
+    ::close(fd);
     std::remove(temp.c_str());
-    return synced;
+    return failed;
+  }
+  ::close(fd);
+  if (const FaultOutcome fault = FaultCheck("store.rename");
+      fault.kind != FaultOutcome::Kind::kNone) {
+    errno = fault.kind == FaultOutcome::Kind::kErrno ? fault.err : EIO;
+    const Status failed = Status::IOError(
+        "cannot rename " + temp + " to " + path + ": " +
+        std::strerror(errno));
+    std::remove(temp.c_str());
+    return failed;
   }
   if (std::rename(temp.c_str(), path.c_str()) != 0) {
     const Status failed = Status::IOError(

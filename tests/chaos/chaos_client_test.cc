@@ -1,0 +1,251 @@
+// HttpClient resilience: transparent replay over a stale keep-alive
+// connection, capped-backoff retries on connect failure, opt-in 503
+// retries honoring Retry-After, and the idempotent-only retry rule for
+// responses that died mid-body.
+#include "server/http_client.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "server/http_server.h"
+#include "server/socket.h"
+
+namespace egp {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A scripted one-thread HTTP "server": for each entry in `scripts`, it
+/// accepts one connection, reads until it has seen `\r\n\r\n`, writes
+/// the scripted bytes verbatim, and closes (or keeps the socket open
+/// for the next script entry when `keep_open` marks it). Lets tests
+/// speak protocol violations a real HttpServer never would.
+class ScriptedServer {
+ public:
+  struct Exchange {
+    std::string response;  // raw bytes to write after one request
+    bool keep_open = false;  // serve the next exchange on this socket
+  };
+
+  explicit ScriptedServer(std::vector<Exchange> script)
+      : script_(std::move(script)) {
+    auto listener = ListenTcp("127.0.0.1", 0, 8, &port_);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    listener_ = std::move(listener).value();
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~ScriptedServer() {
+    listener_.Reset();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  uint16_t port() const { return port_; }
+  int exchanges_served() const {
+    return served_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void Run() {
+    UniqueFd conn;
+    for (const Exchange& exchange : script_) {
+      if (!conn.valid()) {
+        auto accepted = WaitAccept();
+        if (!accepted.ok()) return;
+        conn = std::move(accepted).value();
+      }
+      std::string request;
+      char buf[1024];
+      while (request.find("\r\n\r\n") == std::string::npos) {
+        const IoResult got = RecvSome(conn.get(), buf, sizeof buf, 5'000);
+        if (got.status != IoStatus::kOk) return;
+        request.append(buf, got.bytes);
+      }
+      (void)SendAll(conn.get(), exchange.response, 5'000);
+      served_.fetch_add(1, std::memory_order_release);
+      if (!exchange.keep_open) conn.Reset();
+    }
+  }
+
+  Result<UniqueFd> WaitAccept() {
+    const IoResult ready = WaitReadable(listener_.get(), 5'000);
+    if (ready.status != IoStatus::kOk) {
+      return Status::IOError("listener closed or timed out");
+    }
+    return AcceptConnection(listener_.get());
+  }
+
+  std::vector<Exchange> script_;
+  uint16_t port_ = 0;
+  UniqueFd listener_;
+  std::thread thread_;
+  std::atomic<int> served_{0};
+};
+
+std::string SmallResponse(const std::string& body,
+                          bool keep_alive,
+                          const std::string& extra_headers = {}) {
+  return "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n"
+         "Content-Length: " + std::to_string(body.size()) + "\r\n" +
+         extra_headers +
+         (keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n") +
+         "\r\n" + body;
+}
+
+TEST(ChaosClientTest, StaleKeepAliveConnectionIsReplayedTransparently) {
+  // Exchange 1 promises keep-alive but the server closes the socket
+  // anyway (a server-side idle timeout, from the client's view). The
+  // client's second request finds the pooled connection dead before any
+  // response byte and must replay it on a fresh connection — even with
+  // retries disabled, because no response was ever in flight.
+  ScriptedServer server({
+      {SmallResponse("one", /*keep_alive=*/true), /*keep_open=*/false},
+      {SmallResponse("two", /*keep_alive=*/true), /*keep_open=*/true},
+  });
+  HttpClient client("127.0.0.1", server.port(), 5'000);
+
+  const auto first = client.Get("/a");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->body, "one");
+  EXPECT_TRUE(first->keep_alive);
+  EXPECT_TRUE(client.connected());  // pooled — and already dead
+
+  // Give the scripted server time to close; the client must not notice
+  // until it tries to reuse the connection.
+  std::this_thread::sleep_for(50ms);
+
+  const auto second = client.Get("/b");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->body, "two");
+  EXPECT_EQ(client.transparent_reconnects(), 1u);
+  EXPECT_EQ(client.retries(), 0u);  // not a policy retry
+}
+
+TEST(ChaosClientTest, ConnectFailureRetriesWithBackoff) {
+  ScriptedServer server({
+      {SmallResponse("hi", /*keep_alive=*/false), /*keep_open=*/false},
+  });
+  // The first connect attempt is refused by injection; the retry policy
+  // covers it (connect failures are safe to retry for any method).
+  ASSERT_TRUE(ConfigureFaults("socket.connect=err:ECONNREFUSED@1").ok());
+  HttpClient client("127.0.0.1", server.port(), 5'000);
+  HttpRetryOptions retry;
+  retry.max_attempts = 3;
+  retry.base_backoff_ms = 1;
+  retry.max_backoff_ms = 5;
+  client.set_retry_options(retry);
+
+  const auto response = client.Post("/job", "{}");  // POST: connect-only retry
+  ClearFaults();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->body, "hi");
+  EXPECT_EQ(client.retries(), 1u);
+}
+
+TEST(ChaosClientTest, ConnectFailureWithoutRetryPolicyFailsFast) {
+  ASSERT_TRUE(ConfigureFaults("socket.connect=err:ECONNREFUSED").ok());
+  HttpClient client("127.0.0.1", 1, 200);  // port never dialed: injection
+  const auto response = client.Get("/");
+  ClearFaults();
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(client.retries(), 0u);
+}
+
+TEST(ChaosClientTest, OptIn503RetryHonorsRetryAfter) {
+  // A real HttpServer whose handler sheds the first two requests.
+  std::atomic<int> hits{0};
+  auto started = HttpServer::Start(
+      [&hits](const HttpRequest&) {
+        HttpResponse response;
+        if (hits.fetch_add(1) < 2) {
+          response.status = 503;
+          response.headers.emplace_back("Retry-After", "0");
+        } else {
+          response.body = "ok";
+          response.content_type = "text/plain";
+        }
+        return response;
+      },
+      HttpServerOptions{});
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  auto server = std::move(started).value();
+
+  // Default policy: a 503 is a semantic answer, surfaced as-is.
+  HttpClient plain("127.0.0.1", server->port(), 5'000);
+  const auto shed = plain.Get("/");
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed->status, 503);
+  EXPECT_EQ(plain.retries(), 0u);
+
+  // Opt-in: retried (with Retry-After: 0 the backoff floor is ~instant)
+  // until the handler relents.
+  HttpClient retrying("127.0.0.1", server->port(), 5'000);
+  HttpRetryOptions retry;
+  retry.max_attempts = 3;
+  retry.base_backoff_ms = 1;
+  retry.max_backoff_ms = 10;
+  retry.retry_on_503 = true;
+  retrying.set_retry_options(retry);
+  const auto response = retrying.Get("/");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "ok");
+  EXPECT_GE(retrying.retries(), 1u);
+}
+
+TEST(ChaosClientTest, MidBodyCloseRetriesIdempotentRequestsOnly) {
+  // The server dies mid-body on the first exchange (headers promise 5
+  // bytes, only 2 arrive before close). Bytes DID arrive, so this is
+  // not a stale-pool case: only the retry policy may replay it, and
+  // only for idempotent methods.
+  const std::string truncated =
+      "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n"
+      "Content-Length: 5\r\nConnection: keep-alive\r\n\r\nhe";
+  ScriptedServer server({
+      {truncated, /*keep_open=*/false},
+      {SmallResponse("hello", /*keep_alive=*/false), /*keep_open=*/false},
+  });
+  HttpClient client("127.0.0.1", server.port(), 2'000);
+  HttpRetryOptions retry;
+  retry.max_attempts = 2;
+  retry.base_backoff_ms = 1;
+  retry.max_backoff_ms = 5;
+  client.set_retry_options(retry);
+
+  const auto response = client.Get("/doc");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->body, "hello");
+  EXPECT_EQ(client.retries(), 1u);
+  EXPECT_EQ(client.transparent_reconnects(), 0u);
+}
+
+TEST(ChaosClientTest, MidBodyCloseDoesNotRetryPost) {
+  const std::string truncated =
+      "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n"
+      "Content-Length: 5\r\nConnection: keep-alive\r\n\r\nhe";
+  ScriptedServer server({
+      {truncated, /*keep_open=*/false},
+      {SmallResponse("hello", /*keep_alive=*/false), /*keep_open=*/false},
+  });
+  HttpClient client("127.0.0.1", server.port(), 2'000);
+  HttpRetryOptions retry;
+  retry.max_attempts = 3;
+  retry.base_backoff_ms = 1;
+  client.set_retry_options(retry);
+
+  // The POST reached the server (bytes came back); replaying it could
+  // double-apply. It must fail instead.
+  const auto response = client.Post("/job", "{}");
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(client.retries(), 0u);
+  EXPECT_EQ(server.exchanges_served(), 1);
+}
+
+}  // namespace
+}  // namespace egp

@@ -1,0 +1,255 @@
+// The fault-injection registry itself: schedule grammar, trigger
+// semantics, context-token filtering, determinism of the probabilistic
+// trigger, and the Posix* wrappers' handling of injected EINTR and
+// short transfers.
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/posix.h"
+
+namespace egp {
+namespace {
+
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ClearFaults(); }
+};
+
+TEST_F(FaultRegistryTest, AcceptsTheDocumentedGrammar) {
+  EXPECT_TRUE(ConfigureFaults("socket.send=err:EPIPE@3").ok());
+  EXPECT_TRUE(ConfigureFaults("store.fsync=err:ENOSPC@1").ok());
+  EXPECT_TRUE(ConfigureFaults("catalog.load=fail:dataset2").ok());
+  EXPECT_TRUE(ConfigureFaults("a=eintr;b=short;c=short:7;d=fail").ok());
+  EXPECT_TRUE(ConfigureFaults("x=err:EIO@2+").ok());
+  EXPECT_TRUE(ConfigureFaults("x=err:EIO@every:4").ok());
+  EXPECT_TRUE(ConfigureFaults("x=err:EIO@p:0.25:99").ok());
+  EXPECT_TRUE(ConfigureFaults("x=err:5").ok());  // numeric errno
+  // Whitespace around entries and a trailing ';' are tolerated.
+  EXPECT_TRUE(ConfigureFaults(" a=eintr ; b=short ;").ok());
+}
+
+TEST_F(FaultRegistryTest, RejectsMalformedSchedules) {
+  EXPECT_FALSE(ConfigureFaults("noequals").ok());
+  EXPECT_FALSE(ConfigureFaults("bad site=err:EIO").ok());   // space in site
+  EXPECT_FALSE(ConfigureFaults("a/b=err:EIO").ok());        // bad site char
+  EXPECT_FALSE(ConfigureFaults("=err:EIO").ok());           // empty site
+  EXPECT_FALSE(ConfigureFaults("x=explode").ok());          // unknown action
+  EXPECT_FALSE(ConfigureFaults("x=err:ENOTANERRNO").ok());  // bad errno
+  EXPECT_FALSE(ConfigureFaults("x=err:EIO@").ok());         // empty trigger
+  EXPECT_FALSE(ConfigureFaults("x=err:EIO@0").ok());        // zero count
+  EXPECT_FALSE(ConfigureFaults("x=err:EIO@every:0").ok());
+  EXPECT_FALSE(ConfigureFaults("x=err:EIO@p:1.5").ok());    // p out of range
+  EXPECT_FALSE(ConfigureFaults("x=err:EIO@p:huh").ok());
+  EXPECT_FALSE(ConfigureFaults("x=eintr:3").ok());          // eintr takes none
+  // A bad schedule must not leave a previous good one half-replaced.
+  ASSERT_TRUE(ConfigureFaults("x=err:EIO@1").ok());
+  ASSERT_FALSE(ConfigureFaults("y=bogus").ok());
+  EXPECT_EQ(FaultCheck("x").kind, FaultOutcome::Kind::kErrno);
+}
+
+TEST_F(FaultRegistryTest, ArmingAndDisarming) {
+  EXPECT_FALSE(FaultsEnabled());
+  EXPECT_EQ(FaultCheck("x").kind, FaultOutcome::Kind::kNone);
+  ASSERT_TRUE(ConfigureFaults("x=err:EIO").ok());
+  EXPECT_TRUE(FaultsEnabled());
+  ASSERT_TRUE(ConfigureFaults("").ok());  // empty schedule disarms
+  EXPECT_FALSE(FaultsEnabled());
+  ASSERT_TRUE(ConfigureFaults("x=err:EIO").ok());
+  ClearFaults();
+  EXPECT_FALSE(FaultsEnabled());
+  EXPECT_EQ(FaultCheck("x").kind, FaultOutcome::Kind::kNone);
+}
+
+TEST_F(FaultRegistryTest, NthTriggerFiresExactlyOnce) {
+  ASSERT_TRUE(ConfigureFaults("x=err:EPIPE@3").ok());
+  std::vector<FaultOutcome::Kind> kinds;
+  for (int i = 0; i < 6; ++i) kinds.push_back(FaultCheck("x").kind);
+  const std::vector<FaultOutcome::Kind> want = {
+      FaultOutcome::Kind::kNone,  FaultOutcome::Kind::kNone,
+      FaultOutcome::Kind::kErrno, FaultOutcome::Kind::kNone,
+      FaultOutcome::Kind::kNone,  FaultOutcome::Kind::kNone};
+  EXPECT_EQ(kinds, want);
+  // Unrelated sites never fire and don't advance x's counter.
+  EXPECT_EQ(FaultCheck("y").kind, FaultOutcome::Kind::kNone);
+}
+
+TEST_F(FaultRegistryTest, FromNthAndEveryNthTriggers) {
+  ASSERT_TRUE(ConfigureFaults("x=err:EIO@3+").ok());
+  int fired = 0;
+  for (int i = 1; i <= 6; ++i) {
+    const bool hit = FaultCheck("x").kind == FaultOutcome::Kind::kErrno;
+    EXPECT_EQ(hit, i >= 3) << "call " << i;
+    fired += hit;
+  }
+  EXPECT_EQ(fired, 4);
+
+  ASSERT_TRUE(ConfigureFaults("x=err:EIO@every:3").ok());
+  for (int i = 1; i <= 9; ++i) {
+    const bool hit = FaultCheck("x").kind == FaultOutcome::Kind::kErrno;
+    EXPECT_EQ(hit, i % 3 == 0) << "call " << i;
+  }
+}
+
+TEST_F(FaultRegistryTest, AbsentTriggerMeansEveryCall) {
+  ASSERT_TRUE(ConfigureFaults("x=err:EPIPE").ok());
+  for (int i = 0; i < 4; ++i) {
+    const FaultOutcome outcome = FaultCheck("x");
+    EXPECT_EQ(outcome.kind, FaultOutcome::Kind::kErrno);
+    EXPECT_EQ(outcome.err, EPIPE);
+  }
+}
+
+TEST_F(FaultRegistryTest, ProbabilisticTriggerIsDeterministic) {
+  const auto run = [](const char* schedule) {
+    EXPECT_TRUE(ConfigureFaults(schedule).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(FaultCheck("x").kind != FaultOutcome::Kind::kNone);
+    }
+    return fired;
+  };
+  const std::vector<bool> first = run("x=err:EIO@p:0.5:42");
+  const std::vector<bool> second = run("x=err:EIO@p:0.5:42");
+  EXPECT_EQ(first, second);  // same seed, same decision sequence
+  const int count = static_cast<int>(
+      std::count(first.begin(), first.end(), true));
+  EXPECT_GT(count, 0);
+  EXPECT_LT(count, 200);
+  // A different seed replays a different (but equally fixed) sequence.
+  const std::vector<bool> other = run("x=err:EIO@p:0.5:43");
+  EXPECT_NE(first, other);
+}
+
+TEST_F(FaultRegistryTest, EintrAliasAndShortLengths) {
+  ASSERT_TRUE(ConfigureFaults("x=eintr").ok());
+  const FaultOutcome eintr = FaultCheck("x");
+  EXPECT_EQ(eintr.kind, FaultOutcome::Kind::kErrno);
+  EXPECT_EQ(eintr.err, EINTR);
+
+  ASSERT_TRUE(ConfigureFaults("x=short").ok());
+  EXPECT_EQ(FaultCheck("x").len, 1u);  // default clamp
+  ASSERT_TRUE(ConfigureFaults("x=short:5").ok());
+  const FaultOutcome clamped = FaultCheck("x");
+  EXPECT_EQ(clamped.kind, FaultOutcome::Kind::kShort);
+  EXPECT_EQ(clamped.len, 5u);
+}
+
+TEST_F(FaultRegistryTest, FailTokenTargetsOneContext) {
+  ASSERT_TRUE(ConfigureFaults("catalog.load=fail:dataset2").ok());
+  EXPECT_TRUE(FaultInjectStatus("catalog.load", "dataset1").ok());
+  const Status hit = FaultInjectStatus("catalog.load", "dataset2");
+  EXPECT_FALSE(hit.ok());
+  EXPECT_NE(hit.message().find("catalog.load"), std::string::npos);
+  EXPECT_TRUE(FaultInjectStatus("catalog.load", "dataset3").ok());
+  // Tokenless fail matches every context.
+  ASSERT_TRUE(ConfigureFaults("catalog.load=fail").ok());
+  EXPECT_FALSE(FaultInjectStatus("catalog.load", "anything").ok());
+  EXPECT_FALSE(FaultInjectStatus("catalog.load").ok());
+}
+
+TEST_F(FaultRegistryTest, InjectStatusMapsErrnoAndIgnoresShort) {
+  ASSERT_TRUE(ConfigureFaults("x=err:ENOSPC").ok());
+  const Status status = FaultInjectStatus("x");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(std::strerror(ENOSPC)), std::string::npos);
+  // kShort has no meaning for a Status-shaped site.
+  ASSERT_TRUE(ConfigureFaults("x=short:4").ok());
+  EXPECT_TRUE(FaultInjectStatus("x").ok());
+}
+
+TEST_F(FaultRegistryTest, ConfiguresFromEnvironment) {
+  ASSERT_EQ(::setenv("EGP_FAULTS", "x=err:EPIPE@1", 1), 0);
+  ASSERT_TRUE(ConfigureFaultsFromEnv().ok());
+  EXPECT_TRUE(FaultsEnabled());
+  EXPECT_EQ(FaultCheck("x").err, EPIPE);
+
+  ASSERT_EQ(::setenv("EGP_FAULTS", "x=bogus", 1), 0);
+  const Status bad = ConfigureFaultsFromEnv();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.message().find("EGP_FAULTS"), std::string::npos);
+
+  ASSERT_EQ(::unsetenv("EGP_FAULTS"), 0);
+  EXPECT_TRUE(ConfigureFaultsFromEnv().ok());  // unset: no-op, still OK
+}
+
+TEST_F(FaultRegistryTest, ReportCountsCallsAndInjections) {
+  ASSERT_TRUE(ConfigureFaults("x=err:EIO@2").ok());
+  FaultCheck("x");
+  FaultCheck("x");
+  FaultCheck("x");
+  const std::string report = FaultReport();
+  EXPECT_NE(report.find("x "), std::string::npos);
+  EXPECT_NE(report.find("calls=3"), std::string::npos);
+  EXPECT_NE(report.find("injected=1"), std::string::npos);
+}
+
+// --- Posix* wrapper behavior under injection -----------------------------
+
+class PipeFixture : public FaultRegistryTest {
+ protected:
+  void SetUp() override { ASSERT_EQ(::pipe(fds_), 0); }
+  void TearDown() override {
+    FaultRegistryTest::TearDown();
+    ::close(fds_[0]);
+    ::close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(PipeFixture, InjectedEintrIsRetriedInsideTheWrapper) {
+  // Every second call at the site is interrupted; the wrapper's retry
+  // loop absorbs each storm and the caller sees only full transfers.
+  ASSERT_TRUE(ConfigureFaults(
+      "pipe.write=eintr@every:2;pipe.read=eintr@every:2").ok());
+  const char message[] = "hello";
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(PosixWrite(fds_[1], message, sizeof message, "pipe.write"),
+              static_cast<ssize_t>(sizeof message));
+    char buf[sizeof message] = {};
+    ASSERT_EQ(PosixRead(fds_[0], buf, sizeof buf, "pipe.read"),
+              static_cast<ssize_t>(sizeof buf));
+    EXPECT_STREQ(buf, message);
+  }
+}
+
+TEST_F(PipeFixture, InjectedErrnoPreemptsTheSyscall) {
+  ASSERT_TRUE(ConfigureFaults("pipe.write=err:ENOSPC@1").ok());
+  errno = 0;
+  EXPECT_EQ(PosixWrite(fds_[1], "x", 1, "pipe.write"), -1);
+  EXPECT_EQ(errno, ENOSPC);
+  // The fault consumed; the next write reaches the real pipe.
+  EXPECT_EQ(PosixWrite(fds_[1], "x", 1, "pipe.write"), 1);
+  char c = 0;
+  EXPECT_EQ(PosixRead(fds_[0], &c, 1), 1);
+  EXPECT_EQ(c, 'x');
+}
+
+TEST_F(PipeFixture, ShortClampsTheTransferLength) {
+  ASSERT_TRUE(ConfigureFaults("pipe.write=short:2").ok());
+  EXPECT_EQ(PosixWrite(fds_[1], "abcdef", 6, "pipe.write"), 2);
+  ClearFaults();
+  char buf[8] = {};
+  ASSERT_TRUE(ConfigureFaults("pipe.read=short").ok());
+  EXPECT_EQ(PosixRead(fds_[0], buf, sizeof buf, "pipe.read"), 1);
+  EXPECT_EQ(buf[0], 'a');
+  ClearFaults();
+  EXPECT_EQ(PosixRead(fds_[0], buf, sizeof buf), 1);  // the other byte
+  EXPECT_EQ(buf[0], 'b');
+}
+
+TEST_F(PipeFixture, NullSiteNeverInjects) {
+  ASSERT_TRUE(ConfigureFaults("pipe.write=err:EIO").ok());
+  EXPECT_EQ(PosixWrite(fds_[1], "x", 1), 1);  // no site: untouched
+}
+
+}  // namespace
+}  // namespace egp

@@ -112,11 +112,47 @@ TEST(DatasetCatalogTest, ParallelLoadMatchesSequential) {
     EXPECT_EQ(serial->infos()[i].entities, parallel->infos()[i].entities);
     EXPECT_EQ(serial->infos()[i].storage, parallel->infos()[i].storage);
   }
-  // A failing dataset still names itself under parallel load.
+  // A failing dataset degrades the catalog by default: the healthy ones
+  // still serve, the failure names itself, and the implicit default is
+  // gone.
   specs.push_back(DatasetSpec{"broken", "/no/such/file.nt"});
-  const auto failed = DatasetCatalog::Load(specs, fanout);
+  const auto degraded = DatasetCatalog::Load(specs, fanout);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->degraded());
+  EXPECT_EQ(degraded->size(), 8u);
+  ASSERT_EQ(degraded->failed().size(), 1u);
+  EXPECT_EQ(degraded->failed()[0].name, "broken");
+  EXPECT_NE(degraded->failed()[0].error.find("broken"), std::string::npos);
+  EXPECT_NE(degraded->FindFailed("broken"), nullptr);
+  EXPECT_EQ(degraded->FindFailed("d0"), nullptr);
+  EXPECT_EQ(degraded->Find("broken"), nullptr);
+  EXPECT_NE(degraded->Find("d0"), nullptr);
+  // Strict mode keeps the old all-or-nothing contract.
+  CatalogLoadOptions strict = fanout;
+  strict.allow_partial = false;
+  const auto failed = DatasetCatalog::Load(specs, strict);
   ASSERT_FALSE(failed.ok());
   EXPECT_NE(failed.status().message().find("broken"), std::string::npos);
+}
+
+TEST(DatasetCatalogTest, DegradedSingleSurvivorHasNoDefault) {
+  // One loaded + one failed: requests must still name the dataset; the
+  // survivor must not silently become the default.
+  const auto catalog = DatasetCatalog::Load(
+      {DatasetSpec{"good", EGP_SAMPLE_NT},
+       DatasetSpec{"bad", "/no/such/file.nt"}});
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  EXPECT_TRUE(catalog->degraded());
+  EXPECT_EQ(catalog->size(), 1u);
+  EXPECT_EQ(catalog->Default(), nullptr);
+  EXPECT_TRUE(catalog->default_name().empty());
+  EXPECT_NE(catalog->Find("good"), nullptr);
+}
+
+TEST(DatasetCatalogTest, AllDatasetsFailingIsAnError) {
+  const auto catalog = DatasetCatalog::Load(
+      {DatasetSpec{"x", "/no/such/a.nt"}, DatasetSpec{"y", "/no/such/b.nt"}});
+  ASSERT_FALSE(catalog.ok());
 }
 
 TEST(DatasetCatalogTest, LoadErrorsNameTheDataset) {

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "io/graph_io.h"
@@ -48,6 +49,11 @@ int Fail(const Status& status) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (const egp::Status faults = egp::ConfigureFaultsFromEnv();
+      !faults.ok()) {
+    std::fprintf(stderr, "egp_compile: %s\n", faults.ToString().c_str());
+    return 2;
+  }
   std::string input, output;
   long threads = 0;
   bool verify = false;

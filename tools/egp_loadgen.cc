@@ -5,7 +5,7 @@
 //               [--body JSON | --body-file PATH] [--no-keepalive]
 //               [--timeout-ms N] [--json]
 //               [--slow-connections N] [--trickle-bytes B]
-//               [--trickle-interval-ms I]
+//               [--trickle-interval-ms I] [--abort-connections N]
 //
 // Opens N concurrent connections; each issues M requests back-to-back
 // (keep-alive by default) and records per-request latency. Prints
@@ -21,12 +21,21 @@
 // flag in CI is that the run still exits 0 (every request completes,
 // none 408s) while well-behaved connections stay fast.
 //
+// Rude-client mix: --abort-connections N adds N threads that each loop
+// --requests times connecting, sending a *partial* request (complete
+// headers, a Content-Length that never arrives), and slamming the
+// connection shut with SO_LINGER(0) — an RST mid-request. The server
+// must absorb these without crashing, leaking descriptors, or corrupting
+// its stats; aborts are reported separately and never count as failures.
+//
 // The default body is a small POST /v1/preview request against the
 // catalog's default dataset — point --body/--body-file elsewhere for
 // other workloads.
 //
 // Exit codes: 0 all requests succeeded (HTTP 2xx), 1 any failure,
 // 2 bad usage.
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +49,7 @@
 #include "common/stat_util.h"
 #include "common/timer.h"
 #include "server/http_client.h"
+#include "server/socket.h"
 
 namespace {
 
@@ -51,7 +61,8 @@ const char kUsage[] =
     "                   [--body JSON | --body-file PATH] [--no-keepalive]\n"
     "                   [--timeout-ms N] [--json]\n"
     "                   [--slow-connections N] [--trickle-bytes B]\n"
-    "                   [--trickle-interval-ms I]\n";
+    "                   [--trickle-interval-ms I]\n"
+    "                   [--abort-connections N]\n";
 
 const char kDefaultBody[] =
     R"({"k":2,"n":4,"sample":{"rows":2,"seed":7}})";
@@ -88,6 +99,7 @@ int main(int argc, char** argv) {
   long slow_connections = -1;  // -1: all connections, when trickling is on
   long trickle_bytes = 0;      // 0: no trickling
   long trickle_interval_ms = 25;
+  long abort_connections = 0;  // RST-mid-request clients
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -160,6 +172,10 @@ int main(int argc, char** argv) {
       if (!next_long(0, 60'000, &trickle_interval_ms)) {
         return UsageError("bad --trickle-interval-ms");
       }
+    } else if (arg == "--abort-connections") {
+      if (!next_long(0, 4096, &abort_connections)) {
+        return UsageError("bad --abort-connections");
+      }
     } else {
       return UsageError("unknown argument '" + arg + "'");
     }
@@ -202,6 +218,33 @@ int main(int argc, char** argv) {
       }
     });
   }
+  // RST clients run alongside the measured load: connect, send a request
+  // head whose advertised body never arrives, then close with
+  // SO_LINGER(0) so the kernel sends RST instead of FIN. The server sees
+  // a reset mid-request on every one of these.
+  std::vector<uint64_t> aborted_per_thread(
+      static_cast<size_t>(abort_connections), 0);
+  for (long c = 0; c < abort_connections; ++c) {
+    workers.emplace_back([&, c] {
+      const std::string partial =
+          "POST " + target + " HTTP/1.1\r\nHost: " + host +
+          "\r\nContent-Type: application/json\r\n"
+          "Content-Length: 1048576\r\n\r\n{";
+      for (long r = 0; r < requests; ++r) {
+        auto conn = ConnectTcp(host, static_cast<uint16_t>(port),
+                               static_cast<int>(timeout_ms));
+        if (!conn.ok()) continue;
+        (void)SendAll(conn->get(), partial, static_cast<int>(timeout_ms));
+        struct linger lg;
+        lg.l_onoff = 1;
+        lg.l_linger = 0;
+        ::setsockopt(conn->get(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+        conn->Reset();  // close() now fires the RST
+        ++aborted_per_thread[static_cast<size_t>(c)];
+      }
+    });
+  }
+
   for (std::thread& worker : workers) worker.join();
   const double wall_seconds = wall.ElapsedSeconds();
 
@@ -214,6 +257,8 @@ int main(int argc, char** argv) {
     failures += result.failures;
     bad_statuses += result.bad_statuses;
   }
+  uint64_t aborted = 0;
+  for (const uint64_t n : aborted_per_thread) aborted += n;
   std::sort(latencies.begin(), latencies.end());
   const uint64_t completed = latencies.size();
   const double rps =
@@ -225,15 +270,18 @@ int main(int argc, char** argv) {
   if (json_output) {
     std::printf(
         "{\"connections\":%ld,\"slow_connections\":%ld,"
+        "\"abort_connections\":%ld,"
         "\"requests_per_connection\":%ld,"
         "\"completed\":%llu,\"failures\":%llu,\"bad_statuses\":%llu,"
+        "\"aborted\":%llu,"
         "\"wall_seconds\":%.6f,\"throughput_rps\":%.2f,"
         "\"latency_ms\":{\"mean\":%.3f,\"p50\":%.3f,\"p90\":%.3f,"
         "\"p99\":%.3f,\"max\":%.3f}}\n",
-        connections, slow_connections, requests,
+        connections, slow_connections, abort_connections, requests,
         static_cast<unsigned long long>(completed),
         static_cast<unsigned long long>(failures),
-        static_cast<unsigned long long>(bad_statuses), wall_seconds, rps,
+        static_cast<unsigned long long>(bad_statuses),
+        static_cast<unsigned long long>(aborted), wall_seconds, rps,
         mean, Percentile(latencies, 0.50), Percentile(latencies, 0.90),
         Percentile(latencies, 0.99),
         latencies.empty() ? 0.0 : latencies.back());
@@ -244,6 +292,12 @@ int main(int argc, char** argv) {
       std::printf("slow      : %ld connection(s) trickling %ld byte(s) "
                   "every %ld ms\n",
                   slow_connections, trickle_bytes, trickle_interval_ms);
+    }
+    if (abort_connections > 0) {
+      std::printf("aborted   : %llu RST-mid-request connection(s) from %ld "
+                  "thread(s)\n",
+                  static_cast<unsigned long long>(aborted),
+                  abort_connections);
     }
     std::printf("completed : %llu (%llu transport failure(s), %llu non-2xx)\n",
                 static_cast<unsigned long long>(completed),

@@ -8,6 +8,7 @@
 //              [--max-requests-per-connection N] [--cache-capacity N]
 //              [--max-cold-builds N] [--max-cold-queue N]
 //              [--cold-queue-timeout-ms N] [--retry-after-s N]
+//              [--strict-load] [--faults SCHEDULE]
 //
 // Serves the JSON API of src/server/api.h (POST /v1/preview, POST
 // /v1/suggest, GET /v1/datasets, GET /healthz, GET /metrics) over the
@@ -28,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
+#include "common/posix.h"
 #include "server/api.h"
 #include "server/catalog.h"
 #include "server/http_server.h"
@@ -51,6 +54,7 @@ const char kUsage[] =
     "                  [--cache-capacity N]\n"
     "                  [--max-cold-builds N] [--max-cold-queue N]\n"
     "                  [--cold-queue-timeout-ms N] [--retry-after-s N]\n"
+    "                  [--strict-load] [--faults SCHEDULE]\n"
     "\n"
     "  --dataset name=path   load an entity graph (.egps snapshot, .nt,\n"
     "                        or .egt — detected by content) as 'name';\n"
@@ -89,6 +93,13 @@ const char kUsage[] =
     "                        (default 2000)\n"
     "  --retry-after-s N     Retry-After stamped on shed 503s\n"
     "                        (default 1)\n"
+    "  --strict-load         exit 1 if any dataset fails to load (the\n"
+    "                        default serves the healthy ones and reports\n"
+    "                        'degraded' on /healthz)\n"
+    "  --faults SCHEDULE     arm deterministic fault injection (see\n"
+    "                        src/common/fault.h for the grammar); the\n"
+    "                        EGP_FAULTS env var does the same, the flag\n"
+    "                        wins\n"
     "\n"
     "endpoints: POST /v1/preview, POST /v1/suggest, GET /v1/datasets,\n"
     "           GET /healthz, GET /metrics\n";
@@ -107,7 +118,8 @@ void OnTerminateSignal(int /*signum*/) {
   // thread after Wait() returns.
   if (g_shutdown_fd >= 0) {
     const char byte = 'q';
-    [[maybe_unused]] ssize_t n = write(g_shutdown_fd, &byte, 1);
+    // No fault site: this must stay async-signal-safe and reliable.
+    [[maybe_unused]] ssize_t n = PosixWrite(g_shutdown_fd, &byte, 1);
   }
 }
 
@@ -117,6 +129,8 @@ struct ServerArgs {
   HttpServerOptions http;
   CatalogLoadOptions catalog;
   AdmissionOptions admission;
+  std::string faults;
+  bool faults_given = false;
   bool ok = false;
   int exit_code = 0;
 };
@@ -142,8 +156,12 @@ ServerArgs ParseArgs(int argc, char** argv) {
       args.exit_code = UsageError("unexpected argument '" + arg + "'");
       return args;
     }
-    if (arg == "--no-mmap") {  // the only valueless flag
+    if (arg == "--no-mmap") {
       args.catalog.snapshot.mode = SnapshotOpenOptions::Mode::kStream;
+      continue;
+    }
+    if (arg == "--strict-load") {
+      args.catalog.allow_partial = false;
       continue;
     }
     std::string name = arg.substr(2);
@@ -226,6 +244,9 @@ ServerArgs ParseArgs(int argc, char** argv) {
     } else if (name == "retry-after-s") {
       if (!parse_long(0, 86400, &parsed)) return args;
       args.admission.retry_after_seconds = static_cast<int>(parsed);
+    } else if (name == "faults") {
+      args.faults = value;
+      args.faults_given = true;
     } else {
       args.exit_code = UsageError("unknown flag '--" + name + "'");
       return args;
@@ -249,6 +270,15 @@ int main(int argc, char** argv) {
   ServerArgs args = ParseArgs(argc, argv);
   if (!args.ok) return args.exit_code;
 
+  // --faults wins over EGP_FAULTS so a test harness env can be
+  // overridden per invocation.
+  const Status faults = args.faults_given ? ConfigureFaults(args.faults)
+                                          : ConfigureFaultsFromEnv();
+  if (!faults.ok()) {
+    std::fprintf(stderr, "egp_server: %s\n", faults.ToString().c_str());
+    return 2;
+  }
+
   auto catalog = DatasetCatalog::Load(args.datasets, args.catalog);
   if (!catalog.ok()) {
     std::fprintf(stderr, "egp_server: %s\n",
@@ -262,6 +292,12 @@ int main(int argc, char** argv) {
                  info.name.c_str(), info.path.c_str(), info.storage.c_str(),
                  info.load_seconds * 1e3, info.entities, info.relationships,
                  info.entity_types);
+  }
+  for (const DatasetCatalog::FailedDataset& failed : catalog->failed()) {
+    std::fprintf(stderr,
+                 "DEGRADED: dataset '%s' from %s failed to load: %s\n",
+                 failed.name.c_str(), failed.path.c_str(),
+                 failed.error.c_str());
   }
 
   PreviewService service(std::move(catalog).value(), EGP_VERSION_STRING,

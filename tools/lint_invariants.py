@@ -3,7 +3,7 @@
 
 Scope: first-party C++ under src/, tools/, bench/ (tests are exempt —
 they deliberately poke at internals, e.g. raw sockets for misbehaving
-clients). Four rule families, each born from a real bug class here:
+clients). Five rule families, each born from a real bug class here:
 
   blocking-io   The event-loop serving core must never block on a
                 socket. The convenience blocking wrappers (SendAll,
@@ -15,6 +15,12 @@ clients). Four rule families, each born from a real bug class here:
                 base. std::chrono::system_clock jumps with NTP/clock
                 changes — a deadline on it can fire early, late, or
                 never (PR 6 fixed exactly this bug class).
+
+  naked-syscall Raw accept/read/write/recv/send/fsync calls skip both
+                the EINTR retry loop and the fault-injection sites; all
+                of them go through the Posix* wrappers in
+                src/common/posix.h (PR 8 audited and fixed several
+                unretried EINTR paths).
 
   naked-mutex   All locking goes through egp::Mutex / egp::MutexLock /
                 egp::CondVar (src/common/mutex.h), which carry the
@@ -49,6 +55,20 @@ BLOCKING_IO_ALLOWED = {
     "src/server/socket.h",     # declares them
     "src/server/socket.cc",    # defines them
     "src/server/http_client.cc",  # a client: blocking by design
+    "tools/egp_loadgen.cc",    # RST clients block by design (a tool)
+}
+
+# ---------------------------------------------------------------------------
+# Rule: naked-syscall
+# ---------------------------------------------------------------------------
+# Bare interruptible syscalls. Matches `read(`, `::read(` etc., but not
+# member calls (`.read(`, `->send(`), qualified names (`file.read(`),
+# other identifiers ending in the name (`fread(`, `pread(`,
+# `SendAll(`), or the Posix* wrappers themselves.
+NAKED_SYSCALL_RE = re.compile(
+    r"(?:::\s*|(?<![\w.:>]))(accept4?|read|write|fsync|recv|send)\s*\(")
+NAKED_SYSCALL_ALLOWED = {
+    "src/common/posix.h",  # the wrappers wrap the real syscalls
 }
 
 # ---------------------------------------------------------------------------
@@ -121,6 +141,13 @@ def scan_file(rel_path: str, findings: list) -> None:
                     f"{rel_path}:{lineno}: [blocking-io] blocking {m.group(1)}() "
                     f"outside the socket/client layer — use the deadline-based "
                     f"*Until form or non-blocking I/O")
+        if rel_path not in NAKED_SYSCALL_ALLOWED:
+            m = NAKED_SYSCALL_RE.search(line)
+            if m:
+                findings.append(
+                    f"{rel_path}:{lineno}: [naked-syscall] raw {m.group(1)}() "
+                    f"skips EINTR retry and fault injection — use "
+                    f"Posix{m.group(1).capitalize()} from common/posix.h")
         if rel_path not in SYSTEM_CLOCK_ALLOWED and SYSTEM_CLOCK_RE.search(line):
             findings.append(
                 f"{rel_path}:{lineno}: [system-clock] system_clock in a "
