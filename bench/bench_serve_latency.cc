@@ -13,7 +13,16 @@
 //                       [--connections 1,8,64,256+1024s] [--requests 200]
 //                       [--warmup 20] [--workers 0] [--rows 2]
 //                       [--trickle-bytes 16] [--trickle-interval-ms 50]
-//                       [--out FILE]
+//                       [--access-log PATH] [--out FILE]
+//
+// The measured runs serve with tracing AND the access log on (to
+// --access-log, default /dev/null: the serialization and write are
+// real, the bytes are discarded) — the committed trajectory must price
+// the observability the production config pays for. Afterwards the
+// largest hot-only run is repeated against a second server with
+// tracing off, and the document records the delta as
+// "tracing_overhead" — the standing answer to "what does tracing
+// cost?".
 //
 // Each --connections item is a run spec: a count of well-behaved
 // (measured) connections, optionally followed by +Ns trickling slow
@@ -48,6 +57,7 @@
 #include "common/strings.h"
 #include "common/timer.h"
 #include "datagen/generator.h"
+#include "server/access_log.h"
 #include "server/api.h"
 #include "server/http_client.h"
 #include "server/http_server.h"
@@ -72,6 +82,7 @@ struct Options {
   int rows = 2;
   size_t trickle_bytes = 16;
   int trickle_interval_ms = 50;
+  std::string access_log = "/dev/null";
   std::string out;
 };
 
@@ -303,14 +314,30 @@ int Run(const Options& options) {
     return 1;
   }
 
-  // ---- Boot the real server on an ephemeral port.
+  // ---- Boot the real server on an ephemeral port, with the
+  // observability of a production config: tracing on and every trace
+  // written through the access log (default /dev/null — the
+  // serialization and write are paid, the bytes are discarded).
   PreviewService service(std::move(catalog).value(), "bench");
+  AccessLogOptions access_log_options;
+  access_log_options.path = options.access_log;
+  auto access_log = AccessLog::Open(access_log_options);
+  if (!access_log.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 access_log.status().ToString().c_str());
+    return 1;
+  }
   HttpServerOptions server_options;
   server_options.workers = options.workers;
   server_options.max_connections = 8192;
   // The 1k+-connection runs open their sockets in one burst before the
   // start barrier; the default backlog would refuse part of the storm.
   server_options.listen_backlog = 4096;
+  server_options.tracing = true;
+  server_options.trace_sink = [log = access_log->get()](
+                                  const RequestTrace& trace) {
+    log->Write(trace);
+  };
   auto server = HttpServer::Start(
       [&service](const HttpRequest& request) {
         return service.Handle(request);
@@ -373,6 +400,44 @@ int Run(const Options& options) {
   (*server)->Shutdown();
   (*server)->Wait();
 
+  // ---- Tracing on/off A/B: repeat the largest hot-only run against a
+  // second server with tracing disabled (same engines, already-warm
+  // prepared cache) and record the delta.
+  const RunResult* traced_baseline = nullptr;
+  for (const RunResult& run : runs) {
+    if (run.spec.slow != 0 || run.spec.cold != 0) continue;
+    if (traced_baseline == nullptr ||
+        run.spec.hot > traced_baseline->spec.hot) {
+      traced_baseline = &run;
+    }
+  }
+  RunResult untraced;
+  if (traced_baseline != nullptr) {
+    HttpServerOptions untraced_options = server_options;
+    untraced_options.tracing = false;
+    untraced_options.trace_sink = nullptr;
+    auto off_server = HttpServer::Start(
+        [&service](const HttpRequest& request) {
+          return service.Handle(request);
+        },
+        untraced_options);
+    if (!off_server.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   off_server.status().ToString().c_str());
+      return 1;
+    }
+    service.AttachServer(off_server->get());
+    untraced = DriveLoad((*off_server)->port(), traced_baseline->spec,
+                         options.requests, options.rows, options.domains,
+                         options.trickle_bytes, options.trickle_interval_ms);
+    std::fprintf(stderr,
+                 "[tracing off, c=%d] p99 %.3f ms vs traced %.3f ms\n",
+                 traced_baseline->spec.hot, untraced.p99_ms,
+                 traced_baseline->p99_ms);
+    (*off_server)->Shutdown();
+    (*off_server)->Wait();
+  }
+
   // ---- Emit the document.
   std::string json = "{\n  \"bench\": \"bench_serve_latency\",\n";
   json += "  \"hardware_threads\": " + std::to_string(HardwareThreads()) +
@@ -384,6 +449,8 @@ int Run(const Options& options) {
   json += "  \"scale\": " + StrFormat("%g", options.scale) + ",\n";
   json += "  \"requests_per_connection\": " +
           std::to_string(options.requests) + ",\n";
+  json += "  \"tracing\": true,\n";
+  json += "  \"access_log\": \"" + options.access_log + "\",\n";
   json += "  \"datasets\": [\n";
   for (size_t i = 0; i < dataset_lines.size(); ++i) {
     const DatasetLine& line = dataset_lines[i];
@@ -417,7 +484,28 @@ int Run(const Options& options) {
     json += ", \"max_ms\": " + StrFormat("%.3f", run.max_ms) + "}";
     json += i + 1 < runs.size() ? ",\n" : "\n";
   }
-  json += "  ]\n}\n";
+  json += "  ]";
+  if (traced_baseline != nullptr && untraced.completed > 0) {
+    json += ",\n  \"tracing_overhead\": {\n";
+    json += "    \"connections\": " +
+            std::to_string(traced_baseline->spec.hot) + ",\n";
+    json += "    \"traced_p50_ms\": " +
+            StrFormat("%.3f", traced_baseline->p50_ms) + ",\n";
+    json += "    \"traced_p99_ms\": " +
+            StrFormat("%.3f", traced_baseline->p99_ms) + ",\n";
+    json += "    \"traced_rps\": " +
+            StrFormat("%.2f", traced_baseline->throughput_rps) + ",\n";
+    json += "    \"untraced_p50_ms\": " +
+            StrFormat("%.3f", untraced.p50_ms) + ",\n";
+    json += "    \"untraced_p99_ms\": " +
+            StrFormat("%.3f", untraced.p99_ms) + ",\n";
+    json += "    \"untraced_rps\": " +
+            StrFormat("%.2f", untraced.throughput_rps) + ",\n";
+    json += "    \"p99_delta_ms\": " +
+            StrFormat("%.3f", traced_baseline->p99_ms - untraced.p99_ms) +
+            "\n  }";
+  }
+  json += "\n}\n";
 
   if (options.out.empty()) {
     std::fputs(json.c_str(), stdout);
@@ -527,6 +615,8 @@ int main(int argc, char** argv) {
       options.trickle_bytes = static_cast<size_t>(std::atoi(value()));
     } else if (arg == "--trickle-interval-ms") {
       options.trickle_interval_ms = std::atoi(value());
+    } else if (arg == "--access-log") {
+      options.access_log = value();
     } else if (arg == "--out") {
       options.out = value();
     } else {
@@ -535,7 +625,7 @@ int main(int argc, char** argv) {
                    "[--scale S] [--connections c1,c2+Ns+Mc] [--requests N] "
                    "[--warmup N] [--workers N] [--rows N] "
                    "[--trickle-bytes B] [--trickle-interval-ms I] "
-                   "[--out FILE]\n");
+                   "[--access-log PATH] [--out FILE]\n");
       return 2;
     }
   }

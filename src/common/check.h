@@ -3,8 +3,9 @@
 #define EGP_COMMON_CHECK_H_
 
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
+
+#include "common/logging.h"
 
 namespace egp {
 namespace internal {
@@ -18,7 +19,10 @@ class CheckFailureStream {
             << " ";
   }
   [[noreturn]] ~CheckFailureStream() {
-    std::cerr << stream_.str() << std::endl;
+    // Through the logger so the failure lands in the same serialized
+    // stderr stream as everything else (kError is never level-gated
+    // out: it is the highest level).
+    EGP_LOG(Error) << stream_.str();
     std::abort();
   }
   template <typename T>

@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
 
 #include "common/mutex.h"
@@ -37,6 +38,30 @@ const char* LevelName(LogLevel level) {
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
+
+bool ParseLogLevel(std::string_view name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warning" || name == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool InitLogLevelFromEnv() {
+  const char* value = std::getenv("EGP_LOG_LEVEL");
+  if (value == nullptr) return true;
+  LogLevel level;
+  if (!ParseLogLevel(value, &level)) return false;
+  SetLogLevel(level);
+  return true;
+}
 
 namespace internal {
 

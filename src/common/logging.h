@@ -4,6 +4,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace egp {
 
@@ -12,6 +13,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Process-wide minimum level; messages below it are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug"/"info"/"warning"/"error" (case-sensitive; "warn" is
+/// accepted for "warning"). Returns false on anything else.
+bool ParseLogLevel(std::string_view name, LogLevel* level);
+
+/// Applies the EGP_LOG_LEVEL environment variable, when set and valid.
+/// Returns false (leaving the level unchanged) when the value does not
+/// parse. Called by the binaries at startup; an explicit --log-level
+/// flag wins by being applied after this.
+bool InitLogLevelFromEnv();
 
 namespace internal {
 

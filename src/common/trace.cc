@@ -1,0 +1,49 @@
+#include "common/trace.h"
+
+#include <ctime>
+
+namespace egp {
+namespace {
+
+thread_local RequestTrace* t_current_trace = nullptr;
+
+}  // namespace
+
+int64_t MonotonicNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+RequestTrace* CurrentRequestTrace() { return t_current_trace; }
+
+ScopedRequestTrace::ScopedRequestTrace(RequestTrace* trace)
+    : previous_(t_current_trace) {
+  t_current_trace = trace;
+}
+
+ScopedRequestTrace::~ScopedRequestTrace() { t_current_trace = previous_; }
+
+TraceIdGenerator::TraceIdGenerator(uint64_t seed) : rng_(seed) {}
+
+void TraceIdGenerator::Reseed(uint64_t seed) {
+  MutexLock lock(&mu_);
+  rng_ = Rng(seed);
+}
+
+std::string TraceIdGenerator::Next() {
+  uint64_t value;
+  {
+    MutexLock lock(&mu_);
+    value = rng_.Next();
+  }
+  static const char kHex[] = "0123456789abcdef";
+  std::string id(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    id[static_cast<size_t>(i)] = kHex[value & 0xF];
+    value >>= 4;
+  }
+  return id;
+}
+
+}  // namespace egp

@@ -2,10 +2,14 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 
 #include "common/strings.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "io/json_export.h"
+#include "server/access_log.h"
+#include "server/process_stats.h"
 
 namespace egp {
 namespace {
@@ -181,6 +185,24 @@ Status ParseMeasures(const JsonValue& doc, MeasureSelection* measures) {
     }
   }
   return Status::OK();
+}
+
+/// Value of `key` in an application/x-www-form-urlencoded query string,
+/// or empty. No percent-decoding: the debug endpoint's parameters are
+/// plain numbers.
+std::string_view QueryParam(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    const std::string_view pair =
+        query.substr(0, amp == std::string_view::npos ? query.size() : amp);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return {};
 }
 
 Result<DisplayBudget> ParseBudget(const JsonValue& field) {
@@ -422,7 +444,8 @@ HttpResponse PreviewService::Route(const HttpRequest& request,
   const bool post = request.method == "POST";
 
   if (path == "/healthz" || path == "/v1/datasets" || path == "/metrics" ||
-      path == "/v1/preview" || path == "/v1/suggest") {
+      path == "/v1/preview" || path == "/v1/suggest" ||
+      path == "/v1/debug/requests") {
     *endpoint = std::string(path);
   }
   if (path == "/healthz") {
@@ -432,6 +455,10 @@ HttpResponse PreviewService::Route(const HttpRequest& request,
   if (path == "/metrics") {
     if (!get) return JsonErrorResponse(405, "use GET /metrics");
     return HandleMetrics();
+  }
+  if (path == "/v1/debug/requests") {
+    if (!get) return JsonErrorResponse(405, "use GET /v1/debug/requests");
+    return HandleDebugRequests(request);
   }
   if (path == "/v1/datasets") {
     if (!get) return JsonErrorResponse(405, "use GET /v1/datasets");
@@ -465,6 +492,8 @@ HttpResponse PreviewService::HandlePreview(const HttpRequest& request) {
     return JsonErrorResponse(HttpStatusForDataset(engine.status()),
                              engine.status().message());
   }
+  RequestTrace* trace = CurrentRequestTrace();
+  if (trace != nullptr) trace->dataset = dataset;
 
   // Cost-based admission: a prepared measure configuration is hot
   // (discovery only — the flat connection cap bounds it); an unprepared
@@ -475,8 +504,13 @@ HttpResponse PreviewService::HandlePreview(const HttpRequest& request) {
   if ((*engine)->IsPrepared(parsed->request.measures)) {
     admission_.RecordHot();
   } else {
+    Timer admission_timer;
     ticket = admission_.AcquireCold();
+    if (trace != nullptr) {
+      trace->admission_seconds = admission_timer.ElapsedSeconds();
+    }
     if (!ticket.admitted()) {
+      if (trace != nullptr) trace->outcome = "shed";
       HttpResponse shed = JsonErrorResponse(
           503, "cold preview capacity exhausted (schema build slots and "
                "queue are full); retry shortly");
@@ -590,28 +624,32 @@ HttpResponse PreviewService::HandleHealthz() const {
 HttpResponse PreviewService::HandleMetrics() const {
   std::string out = metrics_.PrometheusText();
 
-  AppendMetricHeader(&out, "egp_prepared_cache_hits_total", "counter");
+  AppendMetricHeader(&out, "egp_prepared_cache_hits_total", "counter",
+                     "Prepared-schema cache hits, by dataset.");
   for (const DatasetCatalog::Info& info : catalog_.infos()) {
     const Engine* engine = catalog_.Find(info.name);
     const Engine::CacheStats stats = engine->cache_stats();
     AppendMetric(&out, "egp_prepared_cache_hits_total",
                  "dataset=\"" + info.name + "\"", stats.hits);
   }
-  AppendMetricHeader(&out, "egp_prepared_cache_misses_total", "counter");
+  AppendMetricHeader(&out, "egp_prepared_cache_misses_total", "counter",
+                     "Prepared-schema cache misses, by dataset.");
   for (const DatasetCatalog::Info& info : catalog_.infos()) {
     const Engine::CacheStats stats =
         catalog_.Find(info.name)->cache_stats();
     AppendMetric(&out, "egp_prepared_cache_misses_total",
                  "dataset=\"" + info.name + "\"", stats.misses);
   }
-  AppendMetricHeader(&out, "egp_prepared_cache_evictions_total", "counter");
+  AppendMetricHeader(&out, "egp_prepared_cache_evictions_total", "counter",
+                     "Prepared-schema cache evictions, by dataset.");
   for (const DatasetCatalog::Info& info : catalog_.infos()) {
     const Engine::CacheStats stats =
         catalog_.Find(info.name)->cache_stats();
     AppendMetric(&out, "egp_prepared_cache_evictions_total",
                  "dataset=\"" + info.name + "\"", stats.evictions);
   }
-  AppendMetricHeader(&out, "egp_prepared_cache_entries", "gauge");
+  AppendMetricHeader(&out, "egp_prepared_cache_entries", "gauge",
+                     "Prepared schemas currently cached, by dataset.");
   for (const DatasetCatalog::Info& info : catalog_.infos()) {
     const Engine::CacheStats stats =
         catalog_.Find(info.name)->cache_stats();
@@ -620,30 +658,38 @@ HttpResponse PreviewService::HandleMetrics() const {
                  static_cast<uint64_t>(stats.entries));
   }
 
-  AppendMetricHeader(&out, "egp_catalog_datasets_loaded", "gauge");
+  AppendMetricHeader(&out, "egp_catalog_datasets_loaded", "gauge",
+                     "Datasets serving from the catalog.");
   AppendMetric(&out, "egp_catalog_datasets_loaded", "",
                static_cast<uint64_t>(catalog_.size()));
-  AppendMetricHeader(&out, "egp_catalog_datasets_failed", "gauge");
+  AppendMetricHeader(&out, "egp_catalog_datasets_failed", "gauge",
+                     "Datasets that failed to load.");
   AppendMetric(&out, "egp_catalog_datasets_failed", "",
                static_cast<uint64_t>(catalog_.failed().size()));
 
   {
     const AdmissionStats admission = admission_.stats();
-    AppendMetricHeader(&out, "egp_admission_hot_total", "counter");
+    AppendMetricHeader(&out, "egp_admission_hot_total", "counter",
+                       "Previews admitted on the hot (cached) path.");
     AppendMetric(&out, "egp_admission_hot_total", "", admission.hot_admitted);
-    AppendMetricHeader(&out, "egp_admission_cold_admitted_total", "counter");
+    AppendMetricHeader(&out, "egp_admission_cold_admitted_total", "counter",
+                       "Cold previews granted a build slot.");
     AppendMetric(&out, "egp_admission_cold_admitted_total", "",
                  admission.cold_admitted);
-    AppendMetricHeader(&out, "egp_admission_cold_queued_total", "counter");
+    AppendMetricHeader(&out, "egp_admission_cold_queued_total", "counter",
+                       "Cold previews that waited in the build queue.");
     AppendMetric(&out, "egp_admission_cold_queued_total", "",
                  admission.cold_queued);
-    AppendMetricHeader(&out, "egp_admission_cold_shed_total", "counter");
+    AppendMetricHeader(&out, "egp_admission_cold_shed_total", "counter",
+                       "Cold previews shed with 503.");
     AppendMetric(&out, "egp_admission_cold_shed_total", "",
                  admission.cold_shed);
-    AppendMetricHeader(&out, "egp_admission_cold_inflight", "gauge");
+    AppendMetricHeader(&out, "egp_admission_cold_inflight", "gauge",
+                       "Cold builds currently holding a slot.");
     AppendMetric(&out, "egp_admission_cold_inflight", "",
                  static_cast<uint64_t>(admission.cold_inflight));
-    AppendMetricHeader(&out, "egp_admission_cold_queue_depth", "gauge");
+    AppendMetricHeader(&out, "egp_admission_cold_queue_depth", "gauge",
+                       "Cold builds currently queued for a slot.");
     AppendMetric(&out, "egp_admission_cold_queue_depth", "",
                  static_cast<uint64_t>(admission.cold_queue_depth));
   }
@@ -651,31 +697,122 @@ HttpResponse PreviewService::HandleMetrics() const {
   if (const HttpServer* server = server_.load(std::memory_order_acquire)) {
     const HttpServerStats stats = server->stats();
     AppendMetricHeader(&out, "egp_http_connections_accepted_total",
-                       "counter");
+                       "counter", "Connections accepted.");
     AppendMetric(&out, "egp_http_connections_accepted_total", "",
                  stats.accepted_connections);
     AppendMetricHeader(&out, "egp_http_connections_rejected_total",
-                       "counter");
+                       "counter", "Connections 503'd at the cap.");
     AppendMetric(&out, "egp_http_connections_rejected_total", "",
                  stats.rejected_connections);
     AppendMetricHeader(&out, "egp_http_connections_timed_out_total",
-                       "counter");
+                       "counter", "Connections closed by an I/O deadline.");
     AppendMetric(&out, "egp_http_connections_timed_out_total", "",
                  stats.timed_out_connections);
-    AppendMetricHeader(&out, "egp_http_parse_errors_total", "counter");
+    AppendMetricHeader(&out, "egp_http_parse_errors_total", "counter",
+                       "Requests rejected by the HTTP parser.");
     AppendMetric(&out, "egp_http_parse_errors_total", "",
                  stats.parse_errors);
-    AppendMetricHeader(&out, "egp_http_accept_overloads_total", "counter");
+    AppendMetricHeader(&out, "egp_http_accept_overloads_total", "counter",
+                       "Accept failures from fd or memory exhaustion.");
     AppendMetric(&out, "egp_http_accept_overloads_total", "",
                  stats.accept_overloads);
-    AppendMetricHeader(&out, "egp_http_overload_sheds_total", "counter");
+    AppendMetricHeader(&out, "egp_http_overload_sheds_total", "counter",
+                       "Connections shed via the emergency descriptor.");
     AppendMetric(&out, "egp_http_overload_sheds_total", "",
                  stats.overload_sheds);
+
+    const HttpServerRuntimeStats runtime = server->runtime_stats();
+    AppendHistogram(
+        &out, "egp_loop_lag_seconds",
+        "Event-loop pass duration (epoll wake until back to waiting).",
+        runtime.loop_lag);
+    AppendMetricHeader(&out, "egp_connections", "gauge",
+                       "Open connections by lifecycle phase.");
+    AppendMetric(&out, "egp_connections", "phase=\"reading\"",
+                 static_cast<uint64_t>(runtime.connections_reading));
+    AppendMetric(&out, "egp_connections", "phase=\"handling\"",
+                 static_cast<uint64_t>(runtime.connections_handling));
+    AppendMetric(&out, "egp_connections", "phase=\"writing\"",
+                 static_cast<uint64_t>(runtime.connections_writing));
+    AppendMetricHeader(&out, "egp_timer_heap_depth", "gauge",
+                       "Deadline-timer heap entries (incl. stale).");
+    AppendMetric(&out, "egp_timer_heap_depth", "",
+                 static_cast<uint64_t>(runtime.timer_heap_depth));
+    AppendMetricHeader(&out, "egp_completion_queue_depth", "gauge",
+                       "Handler results awaiting the event loop.");
+    AppendMetric(&out, "egp_completion_queue_depth", "",
+                 static_cast<uint64_t>(runtime.completion_queue_depth));
   }
+
+  if (const FlightRecorder* recorder =
+          recorder_.load(std::memory_order_acquire)) {
+    AppendMetricHeader(&out, "egp_flight_recorder_traces_total", "counter",
+                       "Request traces recorded (ring overwrites count).");
+    AppendMetric(&out, "egp_flight_recorder_traces_total", "",
+                 recorder->recorded());
+  }
+
+  const ProcessStats process = ReadProcessStats();
+  AppendMetricHeader(&out, "egp_process_resident_bytes", "gauge",
+                     "Resident set size from /proc/self/statm.");
+  AppendMetric(&out, "egp_process_resident_bytes", "",
+               process.resident_bytes);
+  AppendMetricHeader(&out, "egp_process_open_fds", "gauge",
+                     "Open file descriptors.");
+  AppendMetric(&out, "egp_process_open_fds", "", process.open_fds);
+  AppendMetricHeader(&out, "egp_process_uptime_seconds", "gauge",
+                     "Seconds since process start.");
+  AppendMetric(&out, "egp_process_uptime_seconds", "",
+               process.uptime_seconds);
 
   HttpResponse response;
   response.content_type = "text/plain; version=0.0.4; charset=utf-8";
   response.body = std::move(out);
+  return response;
+}
+
+HttpResponse PreviewService::HandleDebugRequests(
+    const HttpRequest& request) const {
+  const FlightRecorder* recorder =
+      recorder_.load(std::memory_order_acquire);
+  if (recorder == nullptr) {
+    return JsonErrorResponse(503, "flight recorder not attached");
+  }
+  const std::string_view query = request.Query();
+  double min_ms = 0.0;
+  int status = 0;
+  if (const std::string_view raw = QueryParam(query, "min_ms");
+      !raw.empty()) {
+    const std::string text(raw);
+    char* end = nullptr;
+    min_ms = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || !(min_ms >= 0)) {
+      return JsonErrorResponse(400, "min_ms must be a number >= 0");
+    }
+  }
+  if (const std::string_view raw = QueryParam(query, "status");
+      !raw.empty()) {
+    const std::string text(raw);
+    char* end = nullptr;
+    const long parsed = std::strtol(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || parsed < 100 || parsed > 599) {
+      return JsonErrorResponse(400, "status must be an HTTP status code");
+    }
+    status = static_cast<int>(parsed);
+  }
+
+  std::string body = "{\"recorded\":" + std::to_string(recorder->recorded());
+  body += ",\"capacity\":" + std::to_string(recorder->capacity());
+  body += ",\"requests\":[";
+  bool first = true;
+  for (const RequestTrace& trace : recorder->Snapshot(min_ms, status)) {
+    if (!first) body += ",";
+    first = false;
+    body += RequestTraceToJson(trace);
+  }
+  body += "]}";
+  HttpResponse response;
+  response.body = std::move(body);
   return response;
 }
 

@@ -11,7 +11,12 @@
 //   GET  /healthz      liveness
 //   GET  /metrics      Prometheus text: request counters, latency
 //                      histogram, per-dataset Engine prepared-cache
-//                      hits/misses/evictions, transport counters
+//                      hits/misses/evictions, transport counters,
+//                      event-loop lag, connection-phase and process
+//                      gauges
+//   GET  /v1/debug/requests  the flight recorder's retained traces
+//                      (last N completed requests), newest first;
+//                      ?min_ms= and ?status= filter
 //
 // Request bodies go through the strict src/io JSON parser (depth limits,
 // duplicate-key rejection, UTF-8 validation) and unknown fields are
@@ -28,6 +33,7 @@
 #include "io/json_parser.h"
 #include "server/admission.h"
 #include "server/catalog.h"
+#include "server/flight_recorder.h"
 #include "server/http.h"
 #include "server/http_server.h"
 #include "server/metrics.h"
@@ -76,6 +82,13 @@ class PreviewService {
     server_.store(server, std::memory_order_release);
   }
 
+  /// Lets GET /v1/debug/requests serve the flight recorder's ring (and
+  /// /metrics its recorded counter). Until attached the endpoint
+  /// answers 503. The recorder must outlive this service.
+  void AttachFlightRecorder(const FlightRecorder* recorder) {
+    recorder_.store(recorder, std::memory_order_release);
+  }
+
   const DatasetCatalog& catalog() const { return catalog_; }
   ServerMetrics& metrics() { return metrics_; }
   /// The cold-build gate (exposed so tests can assert shed behavior
@@ -89,6 +102,7 @@ class PreviewService {
   HttpResponse HandleDatasets() const;
   HttpResponse HandleHealthz() const;
   HttpResponse HandleMetrics() const;
+  HttpResponse HandleDebugRequests(const HttpRequest& request) const;
 
   /// Resolves a request's dataset name against the catalog.
   Result<const Engine*> ResolveDataset(const std::string& name,
@@ -99,6 +113,7 @@ class PreviewService {
   ServerMetrics metrics_;
   AdmissionController admission_;
   std::atomic<const HttpServer*> server_{nullptr};
+  std::atomic<const FlightRecorder*> recorder_{nullptr};
 };
 
 }  // namespace egp

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/fault.h"
+#include "common/logging.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "common/timer.h"
@@ -93,6 +94,9 @@ Result<DatasetCatalog> DatasetCatalog::Load(
     auto loaded = LoadGraphFileAuto(specs[i].path, options.snapshot);
     if (!loaded.ok()) {
       slot.engine = loaded.status();
+      EGP_LOG(Warning) << "dataset '" << specs[i].name << "' failed to load"
+                       << " path=" << specs[i].path << ": "
+                       << loaded.status().message();
       return;
     }
     slot.storage = GraphStorageName(loaded->storage);
@@ -102,6 +106,9 @@ Result<DatasetCatalog> DatasetCatalog::Load(
                                  std::move(*loaded->frozen), options.engine)
             : Engine::FromGraph(std::move(loaded->graph), options.engine);
     slot.load_seconds = timer.ElapsedSeconds();
+    EGP_LOG(Info) << "dataset '" << specs[i].name << "' loaded path="
+                  << specs[i].path << " storage=" << slot.storage
+                  << " seconds=" << slot.load_seconds;
   };
   size_t load_threads = options.load_threads == 0
                             ? std::min<size_t>(specs.size(), Threads())

@@ -1,0 +1,39 @@
+#include "server/flight_recorder.h"
+
+namespace egp {
+
+void FlightRecorder::Record(const RequestTrace& trace) {
+  MutexLock lock(&mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(trace);
+  } else {
+    ring_[next_] = trace;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<RequestTrace> FlightRecorder::Snapshot(double min_ms,
+                                                   int status) const {
+  MutexLock lock(&mu_);
+  std::vector<RequestTrace> out;
+  out.reserve(ring_.size());
+  // Walk the ring newest -> oldest. `next_` is the oldest slot once the
+  // ring has wrapped; before wrapping the vector is in insertion order.
+  const size_t n = ring_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t slot = (next_ + n - 1 - i) % n;
+    const RequestTrace& trace = ring_[slot];
+    if (trace.total_seconds * 1e3 < min_ms) continue;
+    if (status > 0 && trace.status != status) continue;
+    out.push_back(trace);
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  MutexLock lock(&mu_);
+  return recorded_;
+}
+
+}  // namespace egp

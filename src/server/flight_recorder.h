@@ -1,0 +1,53 @@
+// In-memory flight recorder: a fixed-size ring of the last N completed
+// RequestTraces, exposed at GET /v1/debug/requests so a stuck or slow
+// production node can be diagnosed without restarting it (and without
+// having had debug logging on in advance).
+//
+// Lock-light: Record() copies one trace into the ring under a short
+// mutex hold; the serving path never allocates inside the lock beyond
+// the string moves of the copy. Snapshot() (the debug endpoint, rare)
+// copies matching entries out.
+#ifndef EGP_SERVER_FLIGHT_RECORDER_H_
+#define EGP_SERVER_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/trace.h"
+
+namespace egp {
+
+class FlightRecorder {
+ public:
+  /// `capacity` traces are retained; the oldest is overwritten.
+  explicit FlightRecorder(size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Record(const RequestTrace& trace);
+
+  /// Retained traces, newest first, filtered: only entries with
+  /// total latency >= `min_ms` (0: all) and, when `status` > 0, that
+  /// exact HTTP status.
+  std::vector<RequestTrace> Snapshot(double min_ms = 0.0,
+                                     int status = 0) const;
+
+  /// Traces ever recorded (not just retained); for tests and /metrics.
+  uint64_t recorded() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  std::vector<RequestTrace> ring_ EGP_GUARDED_BY(mu_);
+  size_t next_ EGP_GUARDED_BY(mu_) = 0;  // ring slot the next trace takes
+  uint64_t recorded_ EGP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace egp
+
+#endif  // EGP_SERVER_FLIGHT_RECORDER_H_

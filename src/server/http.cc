@@ -143,6 +143,7 @@ HttpRequestParser::State HttpRequestParser::Feed(std::string_view data) {
     request_.body.append(buffer_, 0, take);
     buffer_.erase(0, take);
     body_needed_ -= take;
+    message_bytes_ += take;
   }
   state_ = body_needed_ == 0 ? State::kComplete : State::kNeedMore;
   return state_;
@@ -241,6 +242,7 @@ HttpRequestParser::State HttpRequestParser::ParseHead() {
 
   buffer_.erase(0, head_end + 4);
   head_done_ = true;
+  message_bytes_ = head_end + 4;
   body_needed_ = content_length;
   request_.body.reserve(content_length);
   return State::kNeedMore;
@@ -251,6 +253,7 @@ HttpRequest HttpRequestParser::Take() {
   request_ = HttpRequest{};
   head_done_ = false;
   body_needed_ = 0;
+  message_bytes_ = 0;
   state_ = State::kNeedMore;
   return request;
 }

@@ -81,6 +81,11 @@ class HttpRequestParser {
     return state_ == State::kNeedMore && buffer_.empty() && !head_done_;
   }
 
+  /// Wire bytes consumed by the message being parsed (head incl. the
+  /// blank line, plus body so far). Read before Take(), which resets it;
+  /// feeds RequestTrace::bytes_in.
+  size_t message_bytes() const { return message_bytes_; }
+
  private:
   State Fail(int status, std::string message);
   State ParseHead();
@@ -90,6 +95,7 @@ class HttpRequestParser {
   std::string buffer_;       // unconsumed input
   bool head_done_ = false;   // request line + headers parsed
   size_t body_needed_ = 0;   // Content-Length remaining to buffer
+  size_t message_bytes_ = 0;  // consumed bytes of the current message
   HttpRequest request_;
   int error_status_ = 0;
   std::string error_message_;

@@ -88,6 +88,8 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(
     }
   }
 
+  server->trace_ids_.Reseed(options.trace_id_seed);
+
   const unsigned workers =
       options.workers == 0 ? std::max(2u, Threads()) : options.workers;
   if (workers > 1) {
@@ -142,6 +144,29 @@ HttpServerStats HttpServer::stats() const {
   return stats_;
 }
 
+HttpServerRuntimeStats HttpServer::runtime_stats() const {
+  HttpServerRuntimeStats stats;
+  stats.loop_lag = loop_lag_.snapshot();
+  stats.connections_reading = phase_counts_[0].load(std::memory_order_relaxed);
+  stats.connections_handling =
+      phase_counts_[1].load(std::memory_order_relaxed);
+  stats.connections_writing = phase_counts_[2].load(std::memory_order_relaxed);
+  stats.timer_heap_depth = timer_depth_.load(std::memory_order_relaxed);
+  {
+    MutexLock lock(&completion_mu_);
+    stats.completion_queue_depth = completions_.size();
+  }
+  return stats;
+}
+
+void HttpServer::SetPhase(Connection* conn, Connection::Phase phase) {
+  phase_counts_[static_cast<size_t>(conn->phase)].fetch_sub(
+      1, std::memory_order_relaxed);
+  conn->phase = phase;
+  phase_counts_[static_cast<size_t>(phase)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
 // ---------------------------------------------------------------------------
 // Event loop. Everything below runs on the loop thread unless noted.
 
@@ -161,6 +186,9 @@ void HttpServer::Loop() {
       if (errno == EINTR) continue;
       break;  // epoll on our own fds failing is unrecoverable
     }
+    // Loop lag: how long this pass keeps the loop away from epoll_wait —
+    // the queueing delay every other ready event is paying right now.
+    const int64_t pass_start_ns = MonotonicNanos();
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       const uint32_t mask = events[i].events;
@@ -203,6 +231,9 @@ void HttpServer::Loop() {
     // wakeup write that raced with this pass can't strand a response
     // until the next unrelated event.
     DrainCompletions();
+    loop_lag_.Observe(
+        static_cast<double>(MonotonicNanos() - pass_start_ns) * 1e-9);
+    timer_depth_.store(timers_.size(), std::memory_order_relaxed);
     if (draining_.load(std::memory_order_acquire) && connections_.empty()) {
       break;
     }
@@ -239,6 +270,9 @@ void HttpServer::AcceptPending() {
                                              options_.limits);
     Connection* c = conn.get();
     connections_.emplace(raw, std::move(conn));
+    phase_counts_[static_cast<size_t>(c->phase)].fetch_add(
+        1, std::memory_order_relaxed);
+    c->request_start_ns = MonotonicNanos();
 
     if (admitted_connections_ >= options_.max_connections) {
       // Backpressure: queue a 503 as a plain non-blocking write. A slow
@@ -253,7 +287,7 @@ void HttpServer::AcceptPending() {
       response.status = 503;
       response.body = JsonErrorBody(503, "server at connection capacity");
       response.headers.emplace_back("Retry-After", "1");
-      c->phase = Connection::Phase::kWriting;
+      SetPhase(c, Connection::Phase::kWriting);
       c->close_after_write = true;
       c->outbox = SerializeResponse(response, /*keep_alive=*/false);
       ArmDeadline(c, std::min(1'000, options_.write_timeout_ms));
@@ -400,6 +434,7 @@ void HttpServer::OnDeadline(Connection* conn) {
         return;
       }
       // Mid-request gets a 408; silence would leave the client guessing.
+      if (options_.tracing) BeginTrace(conn, nullptr, "read_timeout", 408);
       HttpResponse timeout;
       timeout.status = 408;
       timeout.body = JsonErrorBody(408, "timed out reading request");
@@ -412,6 +447,7 @@ void HttpServer::OnDeadline(Connection* conn) {
         MutexLock lock(&mu_);
         ++stats_.timed_out_connections;
       }
+      if (conn->trace != nullptr) conn->trace->outcome = "write_timeout";
       CloseConnection(conn);
       return;
     }
@@ -423,11 +459,12 @@ void HttpServer::OnDeadline(Connection* conn) {
 }
 
 void HttpServer::DispatchRequest(Connection* conn) {
+  const size_t message_bytes = conn->parser.message_bytes();
   // shared_ptr because ThreadPool::Submit takes std::function, which
   // demands copyable captures.
   auto request = std::make_shared<HttpRequest>(conn->parser.Take());
   ++conn->served;
-  conn->phase = Connection::Phase::kHandling;
+  SetPhase(conn, Connection::Phase::kHandling);
   conn->request_was_head = request->method == "HEAD";
   conn->request_keep_alive =
       request->KeepAlive() &&
@@ -437,22 +474,93 @@ void HttpServer::DispatchRequest(Connection* conn) {
   // would otherwise busy-loop the poll while the handler runs.
   SetEpoll(conn, 0);
 
+  if (options_.tracing) {
+    BeginTrace(conn, request.get(), "ok", 0);
+    conn->trace->bytes_in = message_bytes;
+  }
+
   if (pool_ != nullptr) {
     const int fd = conn->fd.get();
     const uint64_t generation = conn->generation;
-    pool_->Submit([this, fd, generation, request] {
+    // The task shares the trace with the connection: the pool thread owns
+    // its handler-side fields until the completion is queued (the
+    // completion mutex orders the handback).
+    pool_->Submit([this, fd, generation, request, trace = conn->trace] {
       Completion completion;
       completion.fd = fd;
       completion.generation = generation;
-      completion.response = RunHandler(*request);
+      if (trace != nullptr) {
+        const int64_t start_ns = MonotonicNanos();
+        trace->queue_seconds =
+            static_cast<double>(start_ns - trace->dispatch_ns) * 1e-9;
+        ScopedRequestTrace scope(trace.get());
+        completion.response = RunHandler(*request);
+        // The admission wait is reported as its own phase, not as
+        // handler compute.
+        trace->handler_seconds =
+            static_cast<double>(MonotonicNanos() - start_ns) * 1e-9 -
+            trace->admission_seconds;
+      } else {
+        completion.response = RunHandler(*request);
+      }
       PushCompletion(std::move(completion));
     });
   } else {
     // workers == 1: inline on the loop thread (ThreadPool(1) has no
     // workers, a submitted task would never run).
-    const HttpResponse response = RunHandler(*request);
+    HttpResponse response;
+    if (conn->trace != nullptr) {
+      RequestTrace* trace = conn->trace.get();
+      const int64_t start_ns = MonotonicNanos();
+      trace->queue_seconds =
+          static_cast<double>(start_ns - trace->dispatch_ns) * 1e-9;
+      ScopedRequestTrace scope(trace);
+      response = RunHandler(*request);
+      trace->handler_seconds =
+          static_cast<double>(MonotonicNanos() - start_ns) * 1e-9 -
+          trace->admission_seconds;
+    } else {
+      response = RunHandler(*request);
+    }
     CompleteRequest(conn, response);
   }
+}
+
+void HttpServer::BeginTrace(Connection* conn, const HttpRequest* request,
+                            std::string_view outcome, int status) {
+  auto trace = std::make_shared<RequestTrace>();
+  const std::string* id =
+      request != nullptr ? request->FindHeader("X-Request-Id") : nullptr;
+  trace->id = id != nullptr && !id->empty() ? *id : trace_ids_.Next();
+  if (request != nullptr) {
+    trace->method = request->method;
+    trace->path = std::string(request->Path());
+  }
+  trace->outcome = std::string(outcome);
+  trace->status = status;
+  trace->start_ns = conn->request_start_ns;
+  const int64_t now_ns = MonotonicNanos();
+  trace->dispatch_ns = now_ns;
+  trace->read_seconds =
+      static_cast<double>(now_ns - conn->request_start_ns) * 1e-9;
+  conn->trace = std::move(trace);
+}
+
+void HttpServer::FinishTrace(Connection* conn) {
+  if (conn->trace == nullptr) return;
+  RequestTrace& trace = *conn->trace;
+  const int64_t now_ns = MonotonicNanos();
+  if (conn->flush_start_ns != 0) {
+    trace.flush_seconds =
+        static_cast<double>(now_ns - conn->flush_start_ns) * 1e-9;
+  }
+  trace.total_seconds = static_cast<double>(now_ns - trace.start_ns) * 1e-9;
+  // Transport-level outcomes ("parse_error", "shed", ...) were set at
+  // their source; a plain error status is classified here.
+  if (trace.outcome == "ok" && trace.status >= 400) trace.outcome = "error";
+  if (options_.trace_sink) options_.trace_sink(trace);
+  conn->trace.reset();
+  conn->flush_start_ns = 0;
 }
 
 HttpResponse HttpServer::RunHandler(const HttpRequest& request) {
@@ -507,8 +615,7 @@ void HttpServer::DrainCompletions() {
   }
 }
 
-void HttpServer::CompleteRequest(Connection* conn,
-                                 const HttpResponse& response) {
+void HttpServer::CompleteRequest(Connection* conn, HttpResponse& response) {
   {
     MutexLock lock(&mu_);
     ++stats_.handled_requests;
@@ -526,6 +633,9 @@ void HttpServer::FailParse(Connection* conn) {
     ++stats_.parse_errors;
     ++stats_.handled_requests;
   }
+  if (options_.tracing) {
+    BeginTrace(conn, nullptr, "parse_error", conn->parser.error_status());
+  }
   HttpResponse error;
   error.status = conn->parser.error_status();
   error.body =
@@ -533,11 +643,24 @@ void HttpServer::FailParse(Connection* conn) {
   SendResponse(conn, error, /*keep=*/false, /*omit_body=*/false);
 }
 
-void HttpServer::SendResponse(Connection* conn, const HttpResponse& response,
+void HttpServer::SendResponse(Connection* conn, HttpResponse& response,
                               bool keep, bool omit_body) {
-  conn->phase = Connection::Phase::kWriting;
+  SetPhase(conn, Connection::Phase::kWriting);
   conn->close_after_write = !keep || response.close_connection;
-  conn->outbox = SerializeResponse(response, keep, omit_body);
+  if (conn->trace != nullptr) {
+    RequestTrace& trace = *conn->trace;
+    trace.status = response.status;
+    response.headers.emplace_back("X-Request-Id", trace.id);
+    const int64_t serialize_start_ns = MonotonicNanos();
+    conn->outbox = SerializeResponse(response, keep, omit_body);
+    const int64_t flush_start_ns = MonotonicNanos();
+    trace.serialize_seconds =
+        static_cast<double>(flush_start_ns - serialize_start_ns) * 1e-9;
+    trace.bytes_out = conn->outbox.size();
+    conn->flush_start_ns = flush_start_ns;
+  } else {
+    conn->outbox = SerializeResponse(response, keep, omit_body);
+  }
   conn->outbox_sent = 0;
   // One absolute budget for the whole response: progress (a trickle-
   // reading peer taking a byte at a time) does not restart it.
@@ -561,7 +684,9 @@ void HttpServer::FlushOutbox(Connection* conn) {
     CloseConnection(conn);  // peer reset mid-response
     return;
   }
-  // Fully flushed.
+  // Fully flushed: the request is over — finalize and emit its trace
+  // before the connection moves on (or goes away).
+  FinishTrace(conn);
   if (conn->close_after_write) {
     CloseConnection(conn);
     return;
@@ -575,7 +700,8 @@ void HttpServer::BeginNextRequest(Connection* conn) {
     CloseConnection(conn);
     return;
   }
-  conn->phase = Connection::Phase::kReading;
+  SetPhase(conn, Connection::Phase::kReading);
+  conn->request_start_ns = MonotonicNanos();
   conn->outbox.clear();
   conn->outbox_sent = 0;
   ArmDeadline(conn, options_.read_timeout_ms);
@@ -591,6 +717,14 @@ void HttpServer::BeginNextRequest(Connection* conn) {
 
 void HttpServer::CloseConnection(Connection* conn) {
   SetEpoll(conn, 0);
+  if (conn->trace != nullptr) {
+    // A live trace here means the exchange never completed; unless a more
+    // specific outcome was already recorded, the peer went away.
+    if (conn->trace->outcome == "ok") conn->trace->outcome = "disconnect";
+    FinishTrace(conn);
+  }
+  phase_counts_[static_cast<size_t>(conn->phase)].fetch_sub(
+      1, std::memory_order_relaxed);
   if (conn->counted) --admitted_connections_;
   connections_.erase(conn->fd.get());  // destroys conn, closes the fd
 }

@@ -40,6 +40,7 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -47,7 +48,9 @@
 #include "common/mutex.h"
 #include "common/parallel.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "server/http.h"
+#include "server/metrics.h"
 #include "server/socket.h"
 
 namespace egp {
@@ -77,6 +80,18 @@ struct HttpServerOptions {
   /// Requests served on one connection before it is closed.
   size_t max_requests_per_connection = 1'000;
   HttpParserLimits limits;
+  /// Per-request tracing: every request gets a RequestTrace (ID taken
+  /// from the X-Request-Id header, else generated deterministically),
+  /// the ID is echoed as X-Request-Id on the response, and the finished
+  /// trace goes to `trace_sink`. Cheap enough to leave on (measured in
+  /// BENCH_serve.json); turn off only for A/B overhead runs.
+  bool tracing = true;
+  /// Seed for generated trace IDs (deterministic by design).
+  uint64_t trace_id_seed = 0x7261636554726163ull;
+  /// Receives each finalized trace on the event-loop thread (access
+  /// log + flight recorder wiring). Must be fast and non-blocking; may
+  /// be empty.
+  std::function<void(const RequestTrace&)> trace_sink;
 };
 
 /// Counters for /metrics and tests; all monotone since Start().
@@ -89,6 +104,20 @@ struct HttpServerStats {
   uint64_t accept_overloads = 0;  // accept() hit EMFILE/ENFILE/ENOBUFS
   uint64_t overload_sheds = 0;    // connections answered 503 via the
                                   // emergency fd during an overload
+};
+
+/// Event-loop introspection for /metrics: how the loop itself is doing,
+/// as opposed to what it served (HttpServerStats). All cheap to scrape.
+struct HttpServerRuntimeStats {
+  /// Duration of one event-processing pass (epoll wake -> back to
+  /// epoll_wait): the latency tax every ready event pays before the
+  /// loop gets back to waiting.
+  LatencyHistogram::Snapshot loop_lag;
+  size_t connections_reading = 0;
+  size_t connections_handling = 0;
+  size_t connections_writing = 0;
+  size_t timer_heap_depth = 0;        // incl. lazily-deleted stale entries
+  size_t completion_queue_depth = 0;  // handler results awaiting the loop
 };
 
 class HttpServer {
@@ -131,6 +160,7 @@ class HttpServer {
   }
 
   HttpServerStats stats() const;
+  HttpServerRuntimeStats runtime_stats() const;
 
  private:
   /// Per-connection state, owned and touched by the loop thread only.
@@ -151,6 +181,13 @@ class HttpServer {
     int64_t deadline_ms = kNoDeadline;  // armed absolute deadline
     bool in_epoll = false;
     uint32_t epoll_events = 0;
+    /// Trace of the in-flight request. shared_ptr: the pool-thread task
+    /// holds a reference while it fills in the handler-side timings (the
+    /// loop thread does not touch it during kHandling; the completion
+    /// queue's mutex orders the handoff back).
+    std::shared_ptr<RequestTrace> trace;
+    int64_t request_start_ns = 0;  // began owing the current request
+    int64_t flush_start_ns = 0;    // response fully serialized
 
     Connection(UniqueFd fd_in, uint64_t generation_in,
                const HttpParserLimits& limits)
@@ -185,10 +222,14 @@ class HttpServer {
   void OnWritable(Connection* conn);
   void OnDeadline(Connection* conn);
   void DispatchRequest(Connection* conn);
-  void CompleteRequest(Connection* conn, const HttpResponse& response);
+  void CompleteRequest(Connection* conn, HttpResponse& response);
   void FailParse(Connection* conn);
-  void SendResponse(Connection* conn, const HttpResponse& response, bool keep,
+  void SendResponse(Connection* conn, HttpResponse& response, bool keep,
                     bool omit_body);
+  void BeginTrace(Connection* conn, const HttpRequest* request,
+                  std::string_view outcome, int status);
+  void FinishTrace(Connection* conn);
+  void SetPhase(Connection* conn, Connection::Phase phase);
   void FlushOutbox(Connection* conn);
   void BeginNextRequest(Connection* conn);
   void CloseConnection(Connection* conn);
@@ -221,6 +262,13 @@ class HttpServer {
 
   std::atomic<bool> draining_{false};
 
+  // ---- Introspection (atomics: written by the loop thread, scraped by
+  // any thread via runtime_stats()).
+  TraceIdGenerator trace_ids_;
+  LatencyHistogram loop_lag_;
+  std::atomic<size_t> phase_counts_[3]{};  // indexed by Connection::Phase
+  std::atomic<size_t> timer_depth_{0};
+
   // ---- Loop-thread state (no locking: one owner).
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;
   size_t admitted_connections_ = 0;  // excludes 503-reject writers
@@ -235,7 +283,7 @@ class HttpServer {
       timers_;
 
   // ---- Cross-thread state.
-  Mutex completion_mu_;
+  mutable Mutex completion_mu_;
   std::vector<Completion> completions_ EGP_GUARDED_BY(completion_mu_);
 
   mutable Mutex mu_;  // stats + loop lifecycle flags

@@ -79,7 +79,8 @@ uint64_t ServerMetrics::total_requests() const {
 }
 
 void AppendMetricHeader(std::string* out, std::string_view name,
-                        std::string_view type) {
+                        std::string_view type, std::string_view help) {
+  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
   out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
 }
 
@@ -97,11 +98,28 @@ void AppendMetric(std::string* out, std::string_view name,
   out->append(" ").append(std::to_string(value)).append("\n");
 }
 
+void AppendHistogram(std::string* out, std::string_view name,
+                     std::string_view help,
+                     const LatencyHistogram::Snapshot& snap) {
+  AppendMetricHeader(out, name, "histogram", help);
+  const std::string bucket_name = std::string(name) + "_bucket";
+  for (size_t i = 0; i < LatencyHistogram::kBounds.size(); ++i) {
+    AppendMetric(out, bucket_name,
+                 "le=\"" + StrFormat("%g", LatencyHistogram::kBounds[i]) +
+                     "\"",
+                 snap.cumulative[i]);
+  }
+  AppendMetric(out, bucket_name, "le=\"+Inf\"", snap.count);
+  AppendMetric(out, std::string(name) + "_sum", "", snap.sum_seconds);
+  AppendMetric(out, std::string(name) + "_count", "", snap.count);
+}
+
 std::string ServerMetrics::PrometheusText() const {
   std::string out;
   out.reserve(2048);
 
-  AppendMetricHeader(&out, "egp_http_requests_total", "counter");
+  AppendMetricHeader(&out, "egp_http_requests_total", "counter",
+                     "Requests served, by endpoint and status.");
   for (const RequestCount& rc : request_counts()) {
     AppendMetric(&out, "egp_http_requests_total",
                  "endpoint=\"" + rc.endpoint +
@@ -109,20 +127,9 @@ std::string ServerMetrics::PrometheusText() const {
                  rc.count);
   }
 
-  const LatencyHistogram::Snapshot snap = latency_.snapshot();
-  AppendMetricHeader(&out, "egp_http_request_duration_seconds", "histogram");
-  for (size_t i = 0; i < LatencyHistogram::kBounds.size(); ++i) {
-    AppendMetric(&out, "egp_http_request_duration_seconds_bucket",
-                 "le=\"" + StrFormat("%g", LatencyHistogram::kBounds[i]) +
-                     "\"",
-                 snap.cumulative[i]);
-  }
-  AppendMetric(&out, "egp_http_request_duration_seconds_bucket", "le=\"+Inf\"",
-               snap.count);
-  AppendMetric(&out, "egp_http_request_duration_seconds_sum", "",
-               snap.sum_seconds);
-  AppendMetric(&out, "egp_http_request_duration_seconds_count", "",
-               snap.count);
+  AppendHistogram(&out, "egp_http_request_duration_seconds",
+                  "End-to-end request handling latency.",
+                  latency_.snapshot());
   return out;
 }
 

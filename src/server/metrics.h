@@ -80,14 +80,21 @@ class ServerMetrics {
   LatencyHistogram latency_;
 };
 
-/// Appends one "# TYPE name type" header followed by samples; tiny
+/// Appends "# HELP name help" and "# TYPE name type" headers; tiny
 /// helpers so ad-hoc gauges (cache stats, uptime) format consistently.
+/// The exposition-grammar ctest rejects series missing either header.
 void AppendMetricHeader(std::string* out, std::string_view name,
-                        std::string_view type);
+                        std::string_view type, std::string_view help);
 void AppendMetric(std::string* out, std::string_view name,
                   std::string_view labels, double value);
 void AppendMetric(std::string* out, std::string_view name,
                   std::string_view labels, uint64_t value);
+
+/// Appends one full histogram family (headers, per-bound `_bucket`
+/// samples, `+Inf`, `_sum`, `_count`) from a snapshot.
+void AppendHistogram(std::string* out, std::string_view name,
+                     std::string_view help,
+                     const LatencyHistogram::Snapshot& snap);
 
 }  // namespace egp
 

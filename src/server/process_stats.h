@@ -1,0 +1,22 @@
+// Process-level gauges for /metrics: resident memory, open descriptor
+// count, and uptime. Read straight from /proc (Linux); on failure each
+// field degrades to its zero value rather than erroring the scrape.
+#ifndef EGP_SERVER_PROCESS_STATS_H_
+#define EGP_SERVER_PROCESS_STATS_H_
+
+#include <cstdint>
+
+namespace egp {
+
+struct ProcessStats {
+  uint64_t resident_bytes = 0;  // RSS from /proc/self/statm
+  uint64_t open_fds = 0;        // entries in /proc/self/fd
+  double uptime_seconds = 0.0;  // since the process-stats clock anchor
+};
+
+/// Snapshot of the current process. Cheap enough for every scrape.
+ProcessStats ReadProcessStats();
+
+}  // namespace egp
+
+#endif  // EGP_SERVER_PROCESS_STATS_H_

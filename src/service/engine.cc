@@ -5,9 +5,11 @@
 #include <future>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/mutex.h"
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/apriori.h"
 #include "core/beam_search.h"
 #include "core/dynamic_programming.h"
@@ -214,9 +216,20 @@ Result<std::shared_ptr<const PreparedSchema>> Engine::PreparedInternal(
   if (builder) {
     // The expensive part runs without the lock; only same-configuration
     // requesters wait (on the future), everyone else proceeds.
+    Timer build_timer;
     auto built = PreparedSchema::Create(
         state.schema, measures, state.graph ? &*state.graph : nullptr,
         state.BuildPool(), state.frozen ? &*state.frozen : nullptr);
+    if (RequestTrace* trace = CurrentRequestTrace()) {
+      EGP_LOG(Debug) << "cold prepared-schema build key=" << key
+                     << " trace=" << trace->id << " seconds="
+                     << build_timer.ElapsedSeconds()
+                     << (built.ok() ? "" : " (failed)");
+    } else {
+      EGP_LOG(Debug) << "cold prepared-schema build key=" << key
+                     << " seconds=" << build_timer.ElapsedSeconds()
+                     << (built.ok() ? "" : " (failed)");
+    }
     PreparedResult result =
         built.ok() ? PreparedResult(std::make_shared<const PreparedSchema>(
                          std::move(built).value()))
@@ -332,6 +345,21 @@ Result<PreviewResponse> Engine::Preview(const PreviewRequest& request) const {
     if (!materialized.ok()) return materialized.status();
     response.materialized = std::move(materialized).value();
     response.sample_seconds = sample_timer.ElapsedSeconds();
+  }
+
+  // Annotate the in-flight request trace (if the transport attached
+  // one): the access log and flight recorder get the engine-side phase
+  // breakdown without any signature plumbing.
+  if (RequestTrace* trace = CurrentRequestTrace()) {
+    trace->cache_hit = response.prepared_cache_hit;
+    trace->prepare_seconds = response.prepare_seconds;
+    trace->discover_seconds = response.discover_seconds;
+    trace->sample_seconds = response.sample_seconds;
+    const PrepareTimings& phases = response.prepare_timings;
+    trace->prepare_key_seconds = phases.key_seconds;
+    trace->prepare_nonkey_seconds = phases.nonkey_seconds;
+    trace->prepare_distance_seconds = phases.distance_seconds;
+    trace->prepare_candidate_sort_seconds = phases.candidate_sort_seconds;
   }
   return response;
 }

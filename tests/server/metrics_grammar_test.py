@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Grammar ctest for GET /metrics: boots the real egp_server binary on
+an ephemeral port against the shipped sample dataset, scrapes /metrics
+over HTTP (before and after serving a preview, so counters have moved),
+and runs tools/validate_metrics.py over the live exposition text.
+
+usage: metrics_grammar_test.py <egp_server> <sample.nt> <validate_metrics.py>
+"""
+
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+
+def wait_for_port(proc, deadline_s=30.0):
+    """Tails the server's stdout for its listening line."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit("server exited before printing its port")
+        sys.stderr.write(line)
+        m = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+        if m:
+            return int(m.group(1))
+    raise SystemExit("timed out waiting for the server's listening line")
+
+
+def fetch(port, path, body=None):
+    url = f"http://127.0.0.1:{port}{path}"
+    request = urllib.request.Request(
+        url, data=body,
+        headers={"Content-Type": "application/json"} if body else {})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
+def main():
+    if len(sys.argv) != 4:
+        raise SystemExit(__doc__)
+    server_path, sample_nt, validator = sys.argv[1:4]
+    proc = subprocess.Popen(
+        [server_path, "--dataset", "sample=" + sample_nt,
+         "--port", "0", "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    try:
+        port = wait_for_port(proc)
+        # Move the counters and histograms off their initial state so
+        # the validator sees populated series, not just zeros.
+        fetch(port, "/v1/preview",
+              body=b'{"k":2,"n":6,"sample":{"rows":2,"seed":5}}')
+        exposition = fetch(port, "/metrics")
+    finally:
+        proc.terminate()
+        proc.wait(timeout=15)
+
+    for series in ("egp_http_requests_total", "egp_loop_lag_seconds_bucket",
+                   "egp_connections{", "egp_process_resident_bytes",
+                   "egp_process_open_fds", "egp_process_uptime_seconds"):
+        if series not in exposition:
+            raise SystemExit(f"/metrics is missing {series!r}")
+
+    result = subprocess.run(
+        [sys.executable, validator], input=exposition,
+        capture_output=True, text=True)
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    if result.returncode != 0:
+        raise SystemExit("validate_metrics.py rejected the live exposition")
+    print("metrics_grammar_test: live /metrics output passed the grammar "
+          "validator")
+
+
+if __name__ == "__main__":
+    main()

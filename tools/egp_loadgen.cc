@@ -76,6 +76,11 @@ struct WorkerResult {
   std::vector<double> latencies_ms;
   uint64_t failures = 0;       // transport errors
   uint64_t bad_statuses = 0;   // non-2xx responses
+  // The worker's slowest completed request, with the server-echoed
+  // X-Request-Id so the tail can be looked up in the access log and
+  // GET /v1/debug/requests.
+  double slowest_ms = -1.0;
+  std::string slowest_request_id;
 };
 
 /// egp::Quantile with the all-requests-failed case mapped to 0.
@@ -210,7 +215,13 @@ int main(int argc, char** argv) {
           client.Disconnect();
           continue;
         }
-        result.latencies_ms.push_back(timer.ElapsedMillis());
+        const double elapsed_ms = timer.ElapsedMillis();
+        result.latencies_ms.push_back(elapsed_ms);
+        if (elapsed_ms > result.slowest_ms) {
+          result.slowest_ms = elapsed_ms;
+          const std::string* id = response->FindHeader("X-Request-Id");
+          result.slowest_request_id = id == nullptr ? "" : *id;
+        }
         if (response->status < 200 || response->status >= 300) {
           ++result.bad_statuses;
         }
@@ -251,11 +262,17 @@ int main(int argc, char** argv) {
   std::vector<double> latencies;
   uint64_t failures = 0;
   uint64_t bad_statuses = 0;
+  double slowest_ms = -1.0;
+  std::string slowest_request_id;
   for (WorkerResult& result : results) {
     latencies.insert(latencies.end(), result.latencies_ms.begin(),
                      result.latencies_ms.end());
     failures += result.failures;
     bad_statuses += result.bad_statuses;
+    if (result.slowest_ms > slowest_ms) {
+      slowest_ms = result.slowest_ms;
+      slowest_request_id = result.slowest_request_id;
+    }
   }
   uint64_t aborted = 0;
   for (const uint64_t n : aborted_per_thread) aborted += n;
@@ -276,7 +293,8 @@ int main(int argc, char** argv) {
         "\"aborted\":%llu,"
         "\"wall_seconds\":%.6f,\"throughput_rps\":%.2f,"
         "\"latency_ms\":{\"mean\":%.3f,\"p50\":%.3f,\"p90\":%.3f,"
-        "\"p99\":%.3f,\"max\":%.3f}}\n",
+        "\"p99\":%.3f,\"max\":%.3f},"
+        "\"slowest_ms\":%.3f,\"slowest_request_id\":\"%s\"}\n",
         connections, slow_connections, abort_connections, requests,
         static_cast<unsigned long long>(completed),
         static_cast<unsigned long long>(failures),
@@ -284,7 +302,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(aborted), wall_seconds, rps,
         mean, Percentile(latencies, 0.50), Percentile(latencies, 0.90),
         Percentile(latencies, 0.99),
-        latencies.empty() ? 0.0 : latencies.back());
+        latencies.empty() ? 0.0 : latencies.back(),
+        slowest_ms < 0 ? 0.0 : slowest_ms, slowest_request_id.c_str());
   } else {
     std::printf("%ld connection(s) x %ld request(s) -> %s %s\n", connections,
                 requests, method.c_str(), target.c_str());
@@ -309,6 +328,11 @@ int main(int argc, char** argv) {
                 mean, Percentile(latencies, 0.50),
                 Percentile(latencies, 0.90), Percentile(latencies, 0.99),
                 latencies.empty() ? 0.0 : latencies.back());
+    if (slowest_ms >= 0) {
+      std::printf("slowest   : %.3f ms  X-Request-Id %s\n", slowest_ms,
+                  slowest_request_id.empty() ? "(none)"
+                                             : slowest_request_id.c_str());
+    }
   }
   return failures == 0 && bad_statuses == 0 ? 0 : 1;
 }

@@ -9,10 +9,13 @@
 //              [--max-cold-builds N] [--max-cold-queue N]
 //              [--cold-queue-timeout-ms N] [--retry-after-s N]
 //              [--strict-load] [--faults SCHEDULE]
+//              [--log-level LEVEL] [--access-log PATH|stderr]
+//              [--slow-request-ms N] [--flight-recorder N]
 //
 // Serves the JSON API of src/server/api.h (POST /v1/preview, POST
-// /v1/suggest, GET /v1/datasets, GET /healthz, GET /metrics) over the
-// listener + worker-pool transport of src/server/http_server.h.
+// /v1/suggest, GET /v1/datasets, GET /healthz, GET /metrics, GET
+// /v1/debug/requests) over the listener + worker-pool transport of
+// src/server/http_server.h.
 //
 // --port 0 binds an ephemeral port; the chosen one is printed on the
 // "listening" line (machine-parsed by the integration smoke test).
@@ -30,9 +33,12 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/logging.h"
 #include "common/posix.h"
+#include "server/access_log.h"
 #include "server/api.h"
 #include "server/catalog.h"
+#include "server/flight_recorder.h"
 #include "server/http_server.h"
 
 #ifndef EGP_VERSION_STRING
@@ -55,6 +61,8 @@ const char kUsage[] =
     "                  [--max-cold-builds N] [--max-cold-queue N]\n"
     "                  [--cold-queue-timeout-ms N] [--retry-after-s N]\n"
     "                  [--strict-load] [--faults SCHEDULE]\n"
+    "                  [--log-level LEVEL] [--access-log PATH|stderr]\n"
+    "                  [--slow-request-ms N] [--flight-recorder N]\n"
     "\n"
     "  --dataset name=path   load an entity graph (.egps snapshot, .nt,\n"
     "                        or .egt — detected by content) as 'name';\n"
@@ -100,9 +108,19 @@ const char kUsage[] =
     "                        src/common/fault.h for the grammar); the\n"
     "                        EGP_FAULTS env var does the same, the flag\n"
     "                        wins\n"
+    "  --log-level LEVEL     minimum log level: debug, info, warning, or\n"
+    "                        error (default info); the EGP_LOG_LEVEL env\n"
+    "                        var does the same, the flag wins\n"
+    "  --access-log DEST     write one JSON line per completed request\n"
+    "                        to DEST (a file path, appended, or the\n"
+    "                        literal 'stderr'); off unless given\n"
+    "  --slow-request-ms N   requests at or above N ms log at warning\n"
+    "                        level instead of info (default: never)\n"
+    "  --flight-recorder N   retain the last N request traces for GET\n"
+    "                        /v1/debug/requests (default 256)\n"
     "\n"
     "endpoints: POST /v1/preview, POST /v1/suggest, GET /v1/datasets,\n"
-    "           GET /healthz, GET /metrics\n";
+    "           GET /healthz, GET /metrics, GET /v1/debug/requests\n";
 
 int UsageError(const std::string& message) {
   std::fprintf(stderr, "egp_server: %s\n%s", message.c_str(), kUsage);
@@ -131,6 +149,11 @@ struct ServerArgs {
   AdmissionOptions admission;
   std::string faults;
   bool faults_given = false;
+  LogLevel log_level = LogLevel::kInfo;
+  bool log_level_given = false;
+  AccessLogOptions access_log;
+  bool access_log_given = false;
+  size_t flight_recorder = 256;
   bool ok = false;
   int exit_code = 0;
 };
@@ -247,6 +270,28 @@ ServerArgs ParseArgs(int argc, char** argv) {
     } else if (name == "faults") {
       args.faults = value;
       args.faults_given = true;
+    } else if (name == "log-level") {
+      if (!ParseLogLevel(value, &args.log_level)) {
+        args.exit_code = UsageError(
+            "flag '--log-level' expects debug, info, warning, or error, "
+            "got '" + value + "'");
+        return args;
+      }
+      args.log_level_given = true;
+    } else if (name == "access-log") {
+      if (value.empty()) {
+        args.exit_code = UsageError(
+            "flag '--access-log' expects a path or 'stderr'");
+        return args;
+      }
+      args.access_log.path = value;
+      args.access_log_given = true;
+    } else if (name == "slow-request-ms") {
+      if (!parse_long(0, 3600 * 1000, &parsed)) return args;
+      args.access_log.slow_request_ms = static_cast<double>(parsed);
+    } else if (name == "flight-recorder") {
+      if (!parse_long(1, 1 << 20, &parsed)) return args;
+      args.flight_recorder = static_cast<size_t>(parsed);
     } else {
       args.exit_code = UsageError("unknown flag '--" + name + "'");
       return args;
@@ -267,8 +312,15 @@ ServerArgs ParseArgs(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // EGP_LOG_LEVEL applies first; an explicit --log-level below wins.
+  if (!InitLogLevelFromEnv()) {
+    std::fprintf(stderr,
+                 "egp_server: ignoring invalid EGP_LOG_LEVEL (expected "
+                 "debug, info, warning, or error)\n");
+  }
   ServerArgs args = ParseArgs(argc, argv);
   if (!args.ok) return args.exit_code;
+  if (args.log_level_given) SetLogLevel(args.log_level);
 
   // --faults wins over EGP_FAULTS so a test harness env can be
   // overridden per invocation.
@@ -302,6 +354,27 @@ int main(int argc, char** argv) {
 
   PreviewService service(std::move(catalog).value(), EGP_VERSION_STRING,
                          args.admission);
+
+  // Observability wiring: every finished trace lands in the flight
+  // recorder; the access log is opt-in. Both outlive the server (the
+  // trace sink runs on the loop thread until the drain completes).
+  FlightRecorder recorder(args.flight_recorder);
+  std::unique_ptr<AccessLog> access_log;
+  if (args.access_log_given) {
+    auto opened = AccessLog::Open(args.access_log);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "egp_server: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    access_log = std::move(opened).value();
+  }
+  args.http.trace_sink = [&recorder,
+                          log = access_log.get()](const RequestTrace& trace) {
+    recorder.Record(trace);
+    if (log != nullptr) log->Write(trace);
+  };
+
   auto server = HttpServer::Start(
       [&service](const HttpRequest& request) {
         return service.Handle(request);
@@ -313,6 +386,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   service.AttachServer(server->get());
+  service.AttachFlightRecorder(&recorder);
 
   g_shutdown_fd = (*server)->shutdown_fd();
   struct sigaction action;

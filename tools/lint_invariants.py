@@ -3,7 +3,7 @@
 
 Scope: first-party C++ under src/, tools/, bench/ (tests are exempt —
 they deliberately poke at internals, e.g. raw sockets for misbehaving
-clients). Five rule families, each born from a real bug class here:
+clients). Six rule families, each born from a real bug class here:
 
   blocking-io   The event-loop serving core must never block on a
                 socket. The convenience blocking wrappers (SendAll,
@@ -26,6 +26,15 @@ clients). Five rule families, each born from a real bug class here:
                 egp::CondVar (src/common/mutex.h), which carry the
                 Clang thread-safety annotations. A naked std::mutex is
                 invisible to the -Wthread-safety proof.
+
+  no-naked-stderr
+                Library code (src/) must not write to stderr directly:
+                fprintf(stderr, ...) / std::cerr bypass the level gate
+                and interleave unpredictably with the logger and the
+                access log. Everything goes through EGP_LOG from
+                common/logging.h (whose implementation is the single
+                allowed writer). Tools and benches own their process
+                stderr and are exempt.
 
   layering      Modules form a DAG; an #include against the arrow
                 (core/ including server/, say) couples the algorithm
@@ -87,6 +96,16 @@ NAKED_MUTEX_RE = re.compile(
 )
 NAKED_MUTEX_ALLOWED = {
     "src/common/mutex.h",  # the one wrapper over the standard primitives
+}
+
+# ---------------------------------------------------------------------------
+# Rule: no-naked-stderr
+# ---------------------------------------------------------------------------
+# Direct stderr writes in library code. Applies to src/ only: tools and
+# benches write their own process stderr (usage errors, progress).
+NAKED_STDERR_RE = re.compile(r"\bfprintf\s*\(\s*stderr\b|\bstd::cerr\b")
+NAKED_STDERR_ALLOWED = {
+    "src/common/logging.cc",  # the logger is the single stderr writer
 }
 
 # ---------------------------------------------------------------------------
@@ -158,6 +177,13 @@ def scan_file(rel_path: str, findings: list) -> None:
                 f"{rel_path}:{lineno}: [naked-mutex] raw standard-library "
                 f"locking — use egp::Mutex/MutexLock/CondVar from "
                 f"common/mutex.h (they carry the thread-safety annotations)")
+        if (rel_path.startswith("src/")
+                and rel_path not in NAKED_STDERR_ALLOWED
+                and NAKED_STDERR_RE.search(line)):
+            findings.append(
+                f"{rel_path}:{lineno}: [no-naked-stderr] direct stderr "
+                f"write in library code bypasses the level gate — use "
+                f"EGP_LOG from common/logging.h")
         if module is not None:
             for inc in QUOTED_INCLUDE_RE.findall(line):
                 target = inc.split("/", 1)[0]

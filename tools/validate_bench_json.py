@@ -60,6 +60,15 @@ def check_serve(doc) -> None:
                 "cold clients made no progress"
             assert run["cold_errors"] == 0, \
                 f"{run['cold_errors']} cold request(s) failed"
+    overhead = doc.get("tracing_overhead")
+    if overhead is not None:
+        # Structural only — the on/off delta itself is noise-bound on
+        # shared runners, so no ratio gate here; the committed
+        # trajectory documents it, humans judge it.
+        assert overhead["connections"] >= 1, "bad overhead run"
+        for field in ("traced_p50_ms", "traced_p99_ms", "traced_rps",
+                      "untraced_p50_ms", "untraced_p99_ms", "untraced_rps"):
+            assert overhead[field] > 0, f"non-positive {field}"
     print(f"OK: {len(doc['runs'])} run(s) over "
           f"{len(doc['datasets'])} dataset(s)")
 

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition grammar validator for GET /metrics.
+
+Checks the invariants a scraper relies on, over text read from a file
+argument (or stdin):
+
+  * every sample belongs to a family announced by BOTH a `# HELP` and a
+    `# TYPE` line, in that order, before its first sample;
+  * `# TYPE` names one of counter/gauge/histogram;
+  * no duplicate series (same name + label set twice);
+  * sample values parse as numbers; counters are non-negative;
+  * every histogram has `_bucket` samples with an `le` label, cumulative
+    counts that are monotone in ascending bound order, a final
+    `le="+Inf"` bucket, and `_sum`/`_count` samples with
+    `_count` == the `+Inf` bucket.
+
+Exit status 0 when clean; 1 with `metrics:<lineno>: message` findings.
+Used by the metrics_grammar ctest and the CI smoke job against a live
+server's scrape output.
+"""
+
+import math
+import re
+import sys
+
+HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.+)$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (\w+)$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})? (\S+)$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+VALID_TYPES = {"counter", "gauge", "histogram"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name: str, types: dict) -> str:
+    """The declared family a sample name belongs to: histogram samples
+    carry _bucket/_sum/_count suffixes on the family name."""
+    if name in types:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return name
+
+
+def parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def validate(text: str) -> list:
+    findings = []
+    helps = {}   # family -> lineno of # HELP
+    types = {}   # family -> declared type
+    seen_series = {}  # (name, labels) -> lineno
+    samples = []  # (lineno, name, labels_dict, value)
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = HELP_RE.match(line)
+            if m:
+                if m.group(1) in helps:
+                    findings.append(
+                        f"metrics:{lineno}: duplicate # HELP for "
+                        f"{m.group(1)}")
+                helps[m.group(1)] = lineno
+                continue
+            m = TYPE_RE.match(line)
+            if m:
+                name, mtype = m.groups()
+                if name in types:
+                    findings.append(
+                        f"metrics:{lineno}: duplicate # TYPE for {name}")
+                if mtype not in VALID_TYPES:
+                    findings.append(
+                        f"metrics:{lineno}: invalid type '{mtype}' for "
+                        f"{name}")
+                if name not in helps:
+                    findings.append(
+                        f"metrics:{lineno}: # TYPE {name} without a "
+                        f"preceding # HELP")
+                types[name] = mtype
+                continue
+            findings.append(f"metrics:{lineno}: malformed comment line: "
+                            f"{line!r}")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            findings.append(f"metrics:{lineno}: malformed sample line: "
+                            f"{line!r}")
+            continue
+        name, raw_labels, raw_value = m.groups()
+        labels = {}
+        if raw_labels:
+            consumed = ",".join(
+                f'{k}="{v}"' for k, v in LABEL_RE.findall(raw_labels))
+            if consumed != raw_labels:
+                findings.append(
+                    f"metrics:{lineno}: malformed label set "
+                    f"{{{raw_labels}}}")
+            labels = dict(LABEL_RE.findall(raw_labels))
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            findings.append(
+                f"metrics:{lineno}: non-numeric value {raw_value!r} for "
+                f"{name}")
+            continue
+
+        family = family_of(name, types)
+        if family not in types:
+            findings.append(
+                f"metrics:{lineno}: sample {name} has no # TYPE header")
+        elif family not in helps:
+            findings.append(
+                f"metrics:{lineno}: sample {name} has no # HELP header")
+        elif types[family] == "counter" and value < 0:
+            findings.append(
+                f"metrics:{lineno}: counter {name} is negative ({value})")
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_series:
+            findings.append(
+                f"metrics:{lineno}: duplicate series {name} "
+                f"(first at line {seen_series[key]})")
+        seen_series[key] = lineno
+        samples.append((lineno, name, labels, value))
+
+    # Histogram shape checks.
+    for family, mtype in types.items():
+        if mtype != "histogram":
+            continue
+        buckets = []  # (le, value, lineno)
+        sums = [s for s in samples if s[1] == family + "_sum"]
+        counts = [s for s in samples if s[1] == family + "_count"]
+        for lineno, name, labels, value in samples:
+            if name != family + "_bucket":
+                continue
+            if "le" not in labels:
+                findings.append(
+                    f"metrics:{lineno}: {name} sample without an le label")
+                continue
+            try:
+                buckets.append((parse_value(labels["le"]), value, lineno))
+            except ValueError:
+                findings.append(
+                    f"metrics:{lineno}: unparseable le "
+                    f"{labels['le']!r} on {name}")
+        if not buckets:
+            findings.append(f"metrics: histogram {family} has no _bucket "
+                            f"samples")
+            continue
+        ordered = sorted(buckets, key=lambda b: b[0])
+        if [b[0] for b in buckets] != [b[0] for b in ordered]:
+            findings.append(
+                f"metrics: histogram {family} buckets are not in "
+                f"ascending le order")
+        for (lo, lo_v, _), (hi, hi_v, hi_line) in zip(ordered, ordered[1:]):
+            if hi_v < lo_v:
+                findings.append(
+                    f"metrics:{hi_line}: histogram {family} bucket "
+                    f'le="{hi:g}" count {hi_v:g} < le="{lo:g}" count '
+                    f"{lo_v:g} (cumulative counts must be monotone)")
+        if ordered[-1][0] != math.inf:
+            findings.append(
+                f"metrics: histogram {family} lacks an le=\"+Inf\" bucket")
+        if not sums:
+            findings.append(f"metrics: histogram {family} lacks _sum")
+        if not counts:
+            findings.append(f"metrics: histogram {family} lacks _count")
+        elif ordered[-1][0] == math.inf and counts[0][3] != ordered[-1][1]:
+            findings.append(
+                f"metrics:{counts[0][0]}: histogram {family} _count "
+                f"({counts[0][3]:g}) != +Inf bucket ({ordered[-1][1]:g})")
+        if sums and counts and counts[0][3] == 0 and sums[0][3] != 0:
+            findings.append(
+                f"metrics:{sums[0][0]}: histogram {family} has _sum "
+                f"{sums[0][3]:g} with zero _count")
+
+    return findings
+
+
+def main() -> int:
+    if len(sys.argv) > 2:
+        print("usage: validate_metrics.py [exposition.txt] (default stdin)",
+              file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    findings = validate(text)
+    for finding in findings:
+        print(finding)
+    families = len(re.findall(r"^# TYPE ", text, re.MULTILINE))
+    print(f"validate_metrics: {families} families checked, "
+          f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
