@@ -22,7 +22,10 @@
 // largest hot-only run is repeated against a second server with
 // tracing off, and the document records the delta as
 // "tracing_overhead" — the standing answer to "what does tracing
-// cost?".
+// cost?". The same spec then runs once more with the 99 Hz sampling
+// CPU profiler live for the whole window, recorded as
+// "profiler_overhead" (gated to <=10% p99 by validate_bench_json.py on
+// adequately-sized runs).
 //
 // Each --connections item is a run spec: a count of well-behaved
 // (measured) connections, optionally followed by +Ns trickling slow
@@ -53,6 +56,7 @@
 
 #include "common/mutex.h"
 #include "common/parallel.h"
+#include "common/profiler.h"
 #include "common/stat_util.h"
 #include "common/strings.h"
 #include "common/timer.h"
@@ -438,6 +442,53 @@ int Run(const Options& options) {
     (*off_server)->Wait();
   }
 
+  // ---- Profiler on/off A/B: the same largest hot-only spec against a
+  // third server (identical config to the traced baseline) with the
+  // sampling profiler collecting at 99 Hz for the whole run, so the
+  // delta isolates SIGPROF delivery + handler cost under live load.
+  // The acceptance gate lives in validate_bench_json.py (p99 within
+  // 10% of baseline for adequately-sized runs).
+  constexpr int kProfileHz = 99;
+  RunResult profiled;
+  uint64_t profiler_samples = 0;
+  bool profiler_ran = false;
+  if (traced_baseline != nullptr) {
+    auto prof_server = HttpServer::Start(
+        [&service](const HttpRequest& request) {
+          return service.Handle(request);
+        },
+        server_options);
+    if (!prof_server.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   prof_server.status().ToString().c_str());
+      return 1;
+    }
+    service.AttachServer(prof_server->get());
+    // The loop thread and handler-pool workers registered themselves at
+    // Start; arm their timers now and sample for the whole run.
+    const Status prof_start = Profiler::Global().Start(kProfileHz);
+    if (!prof_start.ok()) {
+      std::fprintf(stderr, "warning: profiler A/B skipped: %s\n",
+                   prof_start.ToString().c_str());
+    } else {
+      profiled = DriveLoad((*prof_server)->port(), traced_baseline->spec,
+                           options.requests, options.rows, options.domains,
+                           options.trickle_bytes,
+                           options.trickle_interval_ms);
+      const auto prof = Profiler::Global().Stop();
+      if (prof.ok()) profiler_samples = prof->samples;
+      profiler_ran = profiled.completed > 0;
+      std::fprintf(stderr,
+                   "[profiler %d Hz, c=%d] p99 %.3f ms vs baseline %.3f ms "
+                   "(%llu samples)\n",
+                   kProfileHz, traced_baseline->spec.hot, profiled.p99_ms,
+                   traced_baseline->p99_ms,
+                   static_cast<unsigned long long>(profiler_samples));
+    }
+    (*prof_server)->Shutdown();
+    (*prof_server)->Wait();
+  }
+
   // ---- Emit the document.
   std::string json = "{\n  \"bench\": \"bench_serve_latency\",\n";
   json += "  \"hardware_threads\": " + std::to_string(HardwareThreads()) +
@@ -503,6 +554,30 @@ int Run(const Options& options) {
             StrFormat("%.2f", untraced.throughput_rps) + ",\n";
     json += "    \"p99_delta_ms\": " +
             StrFormat("%.3f", traced_baseline->p99_ms - untraced.p99_ms) +
+            "\n  }";
+  }
+  if (traced_baseline != nullptr && profiler_ran) {
+    json += ",\n  \"profiler_overhead\": {\n";
+    json += "    \"connections\": " +
+            std::to_string(traced_baseline->spec.hot) + ",\n";
+    json += "    \"hz\": " + std::to_string(kProfileHz) + ",\n";
+    json += "    \"completed\": " + std::to_string(profiled.completed) +
+            ",\n";
+    json += "    \"samples\": " + std::to_string(profiler_samples) + ",\n";
+    json += "    \"baseline_p50_ms\": " +
+            StrFormat("%.3f", traced_baseline->p50_ms) + ",\n";
+    json += "    \"baseline_p99_ms\": " +
+            StrFormat("%.3f", traced_baseline->p99_ms) + ",\n";
+    json += "    \"baseline_rps\": " +
+            StrFormat("%.2f", traced_baseline->throughput_rps) + ",\n";
+    json += "    \"profiled_p50_ms\": " + StrFormat("%.3f", profiled.p50_ms) +
+            ",\n";
+    json += "    \"profiled_p99_ms\": " + StrFormat("%.3f", profiled.p99_ms) +
+            ",\n";
+    json += "    \"profiled_rps\": " +
+            StrFormat("%.2f", profiled.throughput_rps) + ",\n";
+    json += "    \"p99_delta_ms\": " +
+            StrFormat("%.3f", profiled.p99_ms - traced_baseline->p99_ms) +
             "\n  }";
   }
   json += "\n}\n";

@@ -16,14 +16,28 @@
 // lambdas: the analysis checks the loop body in the surrounding
 // (annotated) function, whereas a lambda predicate would be analyzed
 // out of context and flag every guarded read inside it.
+//
+// Because every lock in the tree goes through this one class, it is
+// also the contention-telemetry choke point: a Mutex constructed with a
+// site label (`Mutex mu_{"engine.prepared_cache"};`) records wait times
+// on contended acquisitions and 1-in-N sampled hold times into
+// common/lock_stats.h, surfaced as egp_mutex_* metrics and
+// /v1/debug/locks. Unlabeled mutexes pay one branch per Lock/Unlock;
+// compiling with -DEGP_MUTEX_TELEMETRY=0 removes even that.
 #ifndef EGP_COMMON_MUTEX_H_
 #define EGP_COMMON_MUTEX_H_
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
+#include "common/lock_stats.h"
 #include "common/thread_annotations.h"
+
+#ifndef EGP_MUTEX_TELEMETRY
+#define EGP_MUTEX_TELEMETRY 1
+#endif
 
 namespace egp {
 
@@ -33,16 +47,87 @@ class CondVar;
 class EGP_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Labeled constructor: contention at this lock is recorded under
+  /// `site` (a string literal) in lock_stats. Telemetry-free if the
+  /// site table is full or EGP_MUTEX_TELEMETRY is 0.
+  explicit Mutex(const char* site)
+#if EGP_MUTEX_TELEMETRY
+      : site_(RegisterLockSite(site)) {
+  }
+#else
+  {
+    (void)site;
+  }
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() EGP_ACQUIRE() { mu_.lock(); }
-  void Unlock() EGP_RELEASE() { mu_.unlock(); }
-  bool TryLock() EGP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() EGP_ACQUIRE() {
+#if EGP_MUTEX_TELEMETRY
+    // try_lock first: on the uncontended path this is the same atomic
+    // exchange a plain lock() starts with, so the fast path stays fast
+    // and only genuine contention pays for a second clock read.
+    if (mu_.try_lock()) {
+      AfterAcquire();
+      return;
+    }
+    if (site_ != nullptr && LockTelemetryEnabled()) {
+      const int64_t wait_start = LockStatsNanos();
+      mu_.lock();
+      RecordLockWait(site_, LockStatsNanos() - wait_start);
+    } else {
+      mu_.lock();
+    }
+    AfterAcquire();
+#else
+    mu_.lock();
+#endif
+  }
+
+  void Unlock() EGP_RELEASE() {
+#if EGP_MUTEX_TELEMETRY
+    BeforeRelease();
+#endif
+    mu_.unlock();
+  }
+
+  bool TryLock() EGP_TRY_ACQUIRE(true) {
+#if EGP_MUTEX_TELEMETRY
+    if (!mu_.try_lock()) return false;
+    AfterAcquire();
+    return true;
+#else
+    return mu_.try_lock();
+#endif
+  }
 
  private:
   friend class CondVar;
+
+#if EGP_MUTEX_TELEMETRY
+  // Both run strictly inside the critical section (after acquiring /
+  // before releasing mu_), so hold_start_ns_ is effectively guarded by
+  // the mutex itself.
+  void AfterAcquire() {
+    hold_start_ns_ = 0;
+    if (site_ != nullptr && LockTelemetryEnabled() &&
+        ShouldSampleHold(site_)) {
+      hold_start_ns_ = LockStatsNanos();
+    }
+  }
+  void BeforeRelease() {
+    if (hold_start_ns_ != 0) {
+      RecordLockHold(site_, LockStatsNanos() - hold_start_ns_);
+      hold_start_ns_ = 0;
+    }
+  }
+#endif
+
   std::mutex mu_;
+#if EGP_MUTEX_TELEMETRY
+  LockSite* const site_ = nullptr;
+  int64_t hold_start_ns_ = 0;  // nonzero only while a sampled hold runs
+#endif
 };
 
 /// RAII scope: acquires on construction, releases on destruction.
@@ -71,12 +156,20 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   /// Atomically releases `mu`, waits, and reacquires before returning.
+  /// A sampled hold segment ends at the wait (the lock is genuinely
+  /// released) and a fresh sampling decision runs on reacquisition.
   void Wait(Mutex& mu) EGP_REQUIRES(mu) {
+#if EGP_MUTEX_TELEMETRY
+    mu.BeforeRelease();
+#endif
     // Adopt the externally held lock for the wait, then hand ownership
     // back (release()) so the caller's MutexLock remains the one owner.
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+#if EGP_MUTEX_TELEMETRY
+    mu.AfterAcquire();
+#endif
   }
 
   /// Waits until notified or `deadline` (steady_clock — deadline paths
@@ -85,9 +178,15 @@ class CondVar {
   /// way.
   bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
       EGP_REQUIRES(mu) {
+#if EGP_MUTEX_TELEMETRY
+    mu.BeforeRelease();
+#endif
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     const std::cv_status status = cv_.wait_until(lock, deadline);
     lock.release();
+#if EGP_MUTEX_TELEMETRY
+    mu.AfterAcquire();
+#endif
     return status == std::cv_status::no_timeout;
   }
 

@@ -5,6 +5,8 @@
 #include <exception>
 #include <stdexcept>
 
+#include "common/profiler.h"
+
 namespace egp {
 namespace {
 
@@ -68,6 +70,9 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WorkerLoop() {
+  // Pool workers run PreparedSchema builds — the CPU-heavy phase the
+  // sampling profiler most needs to see.
+  Profiler::RegisterCurrentThread();
   for (;;) {
     std::function<void()> task;
     {

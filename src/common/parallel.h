@@ -81,7 +81,7 @@ class ThreadPool {
   void WorkerLoop();
 
   const unsigned parallelism_;
-  Mutex mu_;
+  Mutex mu_{"threadpool.queue"};
   CondVar work_available_;
   std::deque<std::function<void()>> queue_ EGP_GUARDED_BY(mu_);
   bool stopping_ EGP_GUARDED_BY(mu_) = false;

@@ -1,0 +1,474 @@
+#include "common/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/trace.h"
+
+// glibc exposes the SIGEV_THREAD_ID target tid through a union member;
+// the conventional accessor macro is absent from older headers.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+namespace egp {
+namespace {
+
+// 32 frames reaches from a scoring leaf back through ParallelFor, the
+// pool, and the loop dispatch; deeper tails fold into their prefix.
+constexpr int kMaxDepth = 32;
+// 8192 samples per thread per window: 82 CPU-seconds at the default
+// 99 Hz, comfortably above the 60 s window cap. ~2 MiB per thread,
+// allocated at first Start (never in the handler) and kept for reuse.
+constexpr uint32_t kRingCapacity = 8192;
+
+struct ProfSample {
+  void* pc[kMaxDepth];
+  int32_t depth;
+  uint8_t phase;
+};
+
+struct ThreadState {
+  pid_t tid = 0;
+  timer_t timer{};
+  bool timer_ok = false;           // per-thread CPU timer created
+  ProfSample* ring = nullptr;      // published to the handler via `active`
+  std::atomic<uint32_t> count{0};  // samples written this window
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<bool> active{false};
+};
+
+// The handler reads only these two thread_locals (both trivially
+// initialized — safe to touch from a signal at any point in the
+// thread's life) plus the atomics inside ThreadState.
+thread_local ThreadState* t_prof_state = nullptr;
+
+Mutex g_registry_mu{"profiler.registry"};
+std::vector<ThreadState*>& Registry() {
+  static std::vector<ThreadState*>* threads = new std::vector<ThreadState*>();
+  return *threads;
+}
+bool g_window_active EGP_GUARDED_BY(g_registry_mu) = false;
+int g_window_hz EGP_GUARDED_BY(g_registry_mu) = 0;
+bool g_using_setitimer EGP_GUARDED_BY(g_registry_mu) = false;
+bool g_sigaction_installed EGP_GUARDED_BY(g_registry_mu) = false;
+
+std::atomic<uint64_t> g_windows_total{0};
+std::atomic<uint64_t> g_samples_total{0};
+std::atomic<uint64_t> g_dropped_total{0};
+std::atomic<bool> g_collect_busy{false};
+std::atomic<bool> g_active_flag{false};  // lock-free mirror for stats()
+
+// ---------------------------------------------------------------------------
+// Signal handler — THE async-signal-safe zone. Audit checklist:
+//   * errno saved/restored (backtrace can clobber it)
+//   * no allocation: the ring was allocated in Start, backtrace's
+//     libgcc unwinder state was primed in Start (first call may dlopen)
+//   * no locks: thread_local read, relaxed/acquire atomic loads, ring
+//     slot write, release store to publish — nothing else
+//   * reentrancy-safe: SIGPROF is not re-entered (kernel masks it while
+//     the handler runs; SA_NODEFER not set)
+//   * CurrentTracePhase() is a plain thread_local read (common/trace.cc)
+// ---------------------------------------------------------------------------
+void ProfilerSignalHandler(int /*signo*/, siginfo_t* /*info*/,
+                           void* /*ucontext*/) {
+  const int saved_errno = errno;
+  ThreadState* state = t_prof_state;
+  // acquire pairs with the release store of `active` in StartLocked,
+  // which happens after the ring pointer is written: seeing active==true
+  // guarantees seeing the ring.
+  if (state != nullptr && state->active.load(std::memory_order_acquire)) {
+    const uint32_t index = state->count.load(std::memory_order_relaxed);
+    if (state->ring != nullptr && index < kRingCapacity) {
+      ProfSample& sample = state->ring[index];
+      // The two leaf-most frames are always this handler and the kernel
+      // signal trampoline (__restore_rt) — capture then drop them, so
+      // folded stacks start at the interrupted frame. (The handler has
+      // internal linkage, so dladdr cannot strip it by name later.)
+      void* raw[kMaxDepth + 2];
+      int depth = backtrace(raw, kMaxDepth + 2);
+      const int skip = depth < 2 ? depth : 2;
+      depth -= skip;
+      for (int i = 0; i < depth; ++i) sample.pc[i] = raw[i + skip];
+      sample.depth = depth;
+      sample.phase = static_cast<uint8_t>(CurrentTracePhase());
+      // release pairs with the acquire read in StopLocked's drain: a
+      // published index means a fully written sample.
+      state->count.store(index + 1, std::memory_order_release);
+    } else {
+      state->dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  errno = saved_errno;
+}
+
+void InstallSigactionLocked() EGP_REQUIRES(g_registry_mu) {
+  if (g_sigaction_installed) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = &ProfilerSignalHandler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGPROF, &sa, nullptr);
+  g_sigaction_installed = true;
+}
+
+// Unregisters and tears down on thread exit. Ordering matters: clear
+// t_prof_state first (a signal landing mid-teardown then sees nullptr
+// and touches nothing), then delete the timer, then free.
+struct ThreadStateOwner {
+  ThreadState* state = nullptr;
+  ~ThreadStateOwner() {
+    if (state == nullptr) return;
+    MutexLock lock(&g_registry_mu);
+    t_prof_state = nullptr;
+    state->active.store(false, std::memory_order_release);
+    if (state->timer_ok) {
+      timer_delete(state->timer);
+      state->timer_ok = false;
+    }
+    auto& threads = Registry();
+    threads.erase(std::remove(threads.begin(), threads.end(), state),
+                  threads.end());
+    std::free(state->ring);
+    delete state;
+  }
+};
+thread_local ThreadStateOwner t_prof_owner;
+
+void ArmLocked(ThreadState* state, int hz) EGP_REQUIRES(g_registry_mu) {
+  if (state->ring == nullptr) {
+    state->ring = static_cast<ProfSample*>(
+        std::calloc(kRingCapacity, sizeof(ProfSample)));
+  }
+  state->count.store(0, std::memory_order_relaxed);
+  state->dropped.store(0, std::memory_order_relaxed);
+  // Publish the ring before any sample can fire.
+  state->active.store(state->ring != nullptr, std::memory_order_release);
+  if (state->timer_ok) {
+    const long interval_ns = 1'000'000'000L / hz;
+    struct itimerspec spec;
+    spec.it_interval.tv_sec = 0;
+    spec.it_interval.tv_nsec = interval_ns;
+    spec.it_value = spec.it_interval;
+    timer_settime(state->timer, 0, &spec, nullptr);
+  }
+}
+
+void DisarmLocked(ThreadState* state) EGP_REQUIRES(g_registry_mu) {
+  if (state->timer_ok) {
+    struct itimerspec spec;
+    std::memset(&spec, 0, sizeof(spec));
+    timer_settime(state->timer, 0, &spec, nullptr);
+  }
+  state->active.store(false, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Offline symbolization (runs in Stop, ordinary code, may allocate).
+// ---------------------------------------------------------------------------
+
+// dladdr resolves through the dynamic symbol table only, which is why
+// CMake links executables with -rdynamic: without it every egp:: frame
+// would degrade to "module+0x…".
+std::string SymbolizeFrame(void* pc) {
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    // Folded format: ';' separates frames, the last ' ' separates the
+    // count. Trim the argument list and flatten the leftovers so frame
+    // names can't collide with the grammar.
+    const size_t paren = name.find('(');
+    if (paren != std::string::npos) name.resize(paren);
+    for (char& c : name) {
+      if (c == ';' || c == ' ' || c == '\n') c = '_';
+    }
+    return name;
+  }
+  char buf[64];
+  if (dladdr(pc, &info) != 0 && info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    base = base != nullptr ? base + 1 : info.dli_fname;
+    std::snprintf(buf, sizeof(buf), "%.32s+0x%zx", base,
+                  static_cast<size_t>(static_cast<char*>(pc) -
+                                      static_cast<char*>(info.dli_fbase)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "0x%zx", reinterpret_cast<size_t>(pc));
+  }
+  return buf;
+}
+
+bool IsHandlerFrame(void* pc) {
+  Dl_info info;
+  if (dladdr(pc, &info) == 0) return false;
+  // The signal trampoline sits between the handler and the interrupted
+  // frame; the handler itself is internal-linkage, so match it by the
+  // nearest-symbol address dladdr reports for frames inside it.
+  if (info.dli_sname != nullptr &&
+      std::strcmp(info.dli_sname, "__restore_rt") == 0) {
+    return true;
+  }
+  return info.dli_saddr ==
+         reinterpret_cast<void*>(&ProfilerSignalHandler);
+}
+
+struct PendingSamples {
+  std::vector<ProfSample> samples;
+  uint64_t dropped = 0;
+  int threads = 0;
+};
+
+ProfileResult FoldSamples(PendingSamples pending, int hz) {
+  std::unordered_map<void*, std::string> symbols;
+  auto symbol_of = [&symbols](void* pc) -> const std::string& {
+    auto it = symbols.find(pc);
+    if (it == symbols.end()) {
+      it = symbols.emplace(pc, SymbolizeFrame(pc)).first;
+    }
+    return it->second;
+  };
+
+  std::map<std::string, uint64_t> folded_counts;
+  for (const ProfSample& sample : pending.samples) {
+    const int depth = std::min<int>(sample.depth, kMaxDepth);
+    if (depth <= 0) continue;
+    // Skip the handler + trampoline frames at the leaf end; everything
+    // at or inside them is profiler overhead, not profiled code.
+    int begin = 0;
+    for (int i = 0; i < depth && i < 6; ++i) {
+      if (IsHandlerFrame(sample.pc[i])) begin = i + 1;
+    }
+    TracePhase phase = TracePhase::kIdle;
+    if (sample.phase < kTracePhaseCount) {
+      phase = static_cast<TracePhase>(sample.phase);
+    }
+    std::string line = TracePhaseName(phase);
+    for (int i = depth - 1; i >= begin; --i) {  // root first, leaf last
+      line += ';';
+      line += symbol_of(sample.pc[i]);
+    }
+    ++folded_counts[line];
+  }
+
+  // Hottest stacks first: humans read the top of the response, and
+  // egp_prof.py's top-N is a head of this ordering.
+  std::vector<std::pair<std::string, uint64_t>> lines(folded_counts.begin(),
+                                                      folded_counts.end());
+  std::sort(lines.begin(), lines.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  ProfileResult result;
+  result.hz = hz;
+  result.dropped = pending.dropped;
+  result.threads = pending.threads;
+  for (const auto& [stack, count] : lines) {
+    result.samples += count;
+    result.folded += stack;
+    result.folded += ' ';
+    result.folded += std::to_string(count);
+    result.folded += '\n';
+  }
+  return result;
+}
+
+void SleepMonotonic(double seconds) {
+  struct timespec deadline;
+  clock_gettime(CLOCK_MONOTONIC, &deadline);
+  const auto whole = static_cast<time_t>(seconds);
+  const auto frac =
+      static_cast<long>((seconds - static_cast<double>(whole)) * 1e9);
+  deadline.tv_sec += whole;
+  deadline.tv_nsec += frac;
+  if (deadline.tv_nsec >= 1'000'000'000L) {
+    deadline.tv_nsec -= 1'000'000'000L;
+    ++deadline.tv_sec;
+  }
+  while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &deadline, nullptr) ==
+         EINTR) {
+  }
+}
+
+}  // namespace
+
+Profiler& Profiler::Global() {
+  static Profiler* instance = new Profiler();
+  return *instance;
+}
+
+void Profiler::RegisterCurrentThread() {
+  if (t_prof_state != nullptr) return;
+  auto* state = new ThreadState();
+  state->tid = static_cast<pid_t>(syscall(SYS_gettid));
+
+  struct sigevent sev;
+  std::memset(&sev, 0, sizeof(sev));
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGPROF;
+  sev.sigev_notify_thread_id = state->tid;
+  // Created by the thread itself, so CLOCK_THREAD_CPUTIME_ID is *this*
+  // thread's CPU clock. Created disarmed; Start arms.
+  state->timer_ok =
+      timer_create(CLOCK_THREAD_CPUTIME_ID, &sev, &state->timer) == 0;
+
+  MutexLock lock(&g_registry_mu);
+  Registry().push_back(state);
+  t_prof_state = state;
+  t_prof_owner.state = state;
+  // A thread spawned mid-window joins the window.
+  if (g_window_active) ArmLocked(state, g_window_hz);
+}
+
+Status Profiler::Start(int hz) {
+  if (hz < kMinHz || hz > kMaxHz) {
+    return Status::InvalidArgument("profiler hz must be in [" +
+                                   std::to_string(kMinHz) + ", " +
+                                   std::to_string(kMaxHz) + "]");
+  }
+  // Force-load the libgcc unwinder outside the handler: the first
+  // backtrace() call may dlopen/allocate, which must never happen in
+  // signal context.
+  void* prime[4];
+  (void)backtrace(prime, 4);
+
+  MutexLock lock(&g_registry_mu);
+  if (g_window_active) {
+    return Status::Unavailable("a profile window is already active");
+  }
+  auto& threads = Registry();
+  if (threads.empty()) {
+    return Status::FailedPrecondition(
+        "no threads registered with the profiler");
+  }
+  InstallSigactionLocked();
+
+  bool any_timer = false;
+  for (ThreadState* state : threads) {
+    ArmLocked(state, hz);
+    any_timer = any_timer || state->timer_ok;
+  }
+  if (!any_timer) {
+    // Per-thread CPU timers unavailable: process-wide ITIMER_PROF still
+    // delivers SIGPROF against total process CPU; samples land on
+    // whichever (registered) thread the kernel picks.
+    struct itimerval val;
+    val.it_interval.tv_sec = 0;
+    val.it_interval.tv_usec = static_cast<suseconds_t>(1'000'000 / hz);
+    val.it_value = val.it_interval;
+    g_using_setitimer = setitimer(ITIMER_PROF, &val, nullptr) == 0;
+    if (!g_using_setitimer) {
+      for (ThreadState* state : threads) DisarmLocked(state);
+      return Status::Internal("profiler: no usable timer mechanism");
+    }
+  }
+  g_window_active = true;
+  g_window_hz = hz;
+  g_active_flag.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<ProfileResult> Profiler::Stop() {
+  PendingSamples pending;
+  int hz = 0;
+  {
+    MutexLock lock(&g_registry_mu);
+    if (!g_window_active) {
+      return Status::FailedPrecondition("profiler is not running");
+    }
+    if (g_using_setitimer) {
+      struct itimerval off;
+      std::memset(&off, 0, sizeof(off));
+      setitimer(ITIMER_PROF, &off, nullptr);
+      g_using_setitimer = false;
+    }
+    for (ThreadState* state : Registry()) {
+      DisarmLocked(state);
+    }
+    for (ThreadState* state : Registry()) {
+      ++pending.threads;
+      // acquire pairs with the handler's release publish: every index
+      // below `count` is a fully written sample.
+      const uint32_t count = state->count.load(std::memory_order_acquire);
+      pending.dropped += state->dropped.load(std::memory_order_relaxed);
+      for (uint32_t i = 0; i < count && state->ring != nullptr; ++i) {
+        pending.samples.push_back(state->ring[i]);
+      }
+      state->count.store(0, std::memory_order_relaxed);
+      state->dropped.store(0, std::memory_order_relaxed);
+    }
+    hz = g_window_hz;
+    g_window_active = false;
+    g_window_hz = 0;
+    g_active_flag.store(false, std::memory_order_relaxed);
+  }  // symbolize outside the lock: dladdr/demangle are not cheap
+
+  ProfileResult result = FoldSamples(std::move(pending), hz);
+  g_windows_total.fetch_add(1, std::memory_order_relaxed);
+  g_samples_total.fetch_add(result.samples, std::memory_order_relaxed);
+  g_dropped_total.fetch_add(result.dropped, std::memory_order_relaxed);
+  return result;
+}
+
+Result<ProfileResult> Profiler::Collect(double seconds, int hz) {
+  if (!(seconds > 0) || seconds > kMaxWindowSeconds) {
+    return Status::InvalidArgument(
+        "profile seconds must be in (0, " +
+        std::to_string(static_cast<int>(kMaxWindowSeconds)) + "]");
+  }
+  // One collector at a time; the flag (not the registry mutex) guards
+  // the whole Start-sleep-Stop span so we never sleep holding a lock.
+  bool expected = false;
+  if (!g_collect_busy.compare_exchange_strong(expected, true)) {
+    return Status::Unavailable("a profile collection is already in progress");
+  }
+  Status started = Start(hz);
+  if (!started.ok()) {
+    g_collect_busy.store(false);
+    return started;
+  }
+  SleepMonotonic(seconds);
+  Result<ProfileResult> result = Stop();
+  g_collect_busy.store(false);
+  if (result.ok()) result.value().seconds = seconds;
+  return result;
+}
+
+bool Profiler::active() const {
+  return g_active_flag.load(std::memory_order_relaxed);
+}
+
+ProfilerStats Profiler::stats() const {
+  ProfilerStats stats;
+  stats.active = g_active_flag.load(std::memory_order_relaxed);
+  stats.windows_total = g_windows_total.load(std::memory_order_relaxed);
+  stats.samples_total = g_samples_total.load(std::memory_order_relaxed);
+  stats.dropped_total = g_dropped_total.load(std::memory_order_relaxed);
+  MutexLock lock(&g_registry_mu);
+  stats.registered_threads = static_cast<int>(Registry().size());
+  return stats;
+}
+
+}  // namespace egp

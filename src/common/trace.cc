@@ -7,6 +7,11 @@ namespace {
 
 thread_local RequestTrace* t_current_trace = nullptr;
 
+// Plain trivially-initialized thread_local: with the static TLS model
+// (all egp code links into the executable) the slot exists from thread
+// start, so reading it from a signal handler is safe.
+thread_local TracePhase t_current_phase = TracePhase::kIdle;
+
 }  // namespace
 
 int64_t MonotonicNanos() {
@@ -23,6 +28,39 @@ ScopedRequestTrace::ScopedRequestTrace(RequestTrace* trace)
 }
 
 ScopedRequestTrace::~ScopedRequestTrace() { t_current_trace = previous_; }
+
+const char* TracePhaseName(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kIdle:
+      return "idle";
+    case TracePhase::kRead:
+      return "read";
+    case TracePhase::kAdmission:
+      return "admission";
+    case TracePhase::kHandler:
+      return "handler";
+    case TracePhase::kPrepare:
+      return "prepare";
+    case TracePhase::kDiscover:
+      return "discover";
+    case TracePhase::kSample:
+      return "sample";
+    case TracePhase::kSerialize:
+      return "serialize";
+    case TracePhase::kFlush:
+      return "flush";
+  }
+  return "idle";
+}
+
+TracePhase CurrentTracePhase() { return t_current_phase; }
+
+ScopedTracePhase::ScopedTracePhase(TracePhase phase)
+    : previous_(t_current_phase) {
+  t_current_phase = phase;
+}
+
+ScopedTracePhase::~ScopedTracePhase() { t_current_phase = previous_; }
 
 TraceIdGenerator::TraceIdGenerator(uint64_t seed) : rng_(seed) {}
 

@@ -79,6 +79,49 @@ struct RequestTrace {
 /// to annotate without plumbing a parameter through every signature.
 RequestTrace* CurrentRequestTrace();
 
+/// What this thread is doing *right now*, at request-phase granularity.
+/// Maintained by ScopedTracePhase at the same places the RequestTrace
+/// phase timers run, but independent of whether tracing is on: the
+/// sampling profiler (common/profiler.h) reads it from its SIGPROF
+/// handler to tag each CPU sample, so flamegraphs split by phase.
+///
+/// kIdle is the resting state (event-loop wait, pool queue wait, any
+/// thread outside a phase scope).
+enum class TracePhase : uint8_t {
+  kIdle = 0,
+  kRead,
+  kAdmission,
+  kHandler,
+  kPrepare,
+  kDiscover,
+  kSample,
+  kSerialize,
+  kFlush,
+};
+inline constexpr int kTracePhaseCount = 9;
+
+/// Stable lowercase name ("idle", "read", ...) for folded-stack output
+/// and tests. Out-of-range values map to "idle".
+const char* TracePhaseName(TracePhase phase);
+
+/// This thread's current phase. Async-signal-safe by construction: a
+/// plain thread_local read with no lazy initialization (the profiler's
+/// signal handler calls this).
+TracePhase CurrentTracePhase();
+
+/// RAII scope setting this thread's phase; restores the previous phase
+/// (phases nest — prepare/discover/sample run inside handler).
+class ScopedTracePhase {
+ public:
+  explicit ScopedTracePhase(TracePhase phase);
+  ~ScopedTracePhase();
+  ScopedTracePhase(const ScopedTracePhase&) = delete;
+  ScopedTracePhase& operator=(const ScopedTracePhase&) = delete;
+
+ private:
+  TracePhase previous_;
+};
+
 /// RAII scope installing `trace` as this thread's current trace;
 /// restores the previous value (normally nullptr) on destruction.
 class ScopedRequestTrace {
@@ -105,7 +148,7 @@ class TraceIdGenerator {
   void Reseed(uint64_t seed);
 
  private:
-  Mutex mu_;
+  Mutex mu_{"trace_ids"};
   Rng rng_ EGP_GUARDED_BY(mu_);
 };
 

@@ -132,6 +132,25 @@ class PreparedSchema {
   /// types (= 2|Es| counting both directions).
   size_t TotalCandidates() const;
 
+  /// Rough resident size of the prepared state: scored candidates with
+  /// prefix sums, key scores, and the n×n distance matrix. Approximate
+  /// by design (the schema graph copy's internals are not walked) — for
+  /// cache introspection (/v1/debug/cache), not accounting.
+  size_t ApproximateBytes() const {
+    size_t bytes = sizeof(*this);
+    bytes += key_scores_.capacity() * sizeof(double);
+    for (const TypeCandidates& tc : candidates_) {
+      bytes += sizeof(TypeCandidates);
+      bytes += tc.sorted.capacity() * sizeof(NonKeyCandidate);
+      bytes += tc.prefix.capacity() * sizeof(double);
+    }
+    if (distances_ != nullptr) {
+      bytes += distances_->num_types() * distances_->num_types() *
+               sizeof(uint32_t);
+    }
+    return bytes;
+  }
+
  private:
   PreparedSchema() = default;
 

@@ -59,7 +59,7 @@ class AccessLog {
       : options_(options), stream_(stream), owns_stream_(owns_stream) {}
 
   const AccessLogOptions options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"access_log"};
   std::FILE* stream_ EGP_GUARDED_BY(mu_);
   const bool owns_stream_;
   uint64_t lines_ EGP_GUARDED_BY(mu_) = 0;

@@ -106,7 +106,7 @@ class AdmissionController {
   void Release();
 
   const AdmissionOptions options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"admission"};
   CondVar slot_freed_;
   size_t cold_inflight_ EGP_GUARDED_BY(mu_) = 0;
   size_t waiting_ EGP_GUARDED_BY(mu_) = 0;

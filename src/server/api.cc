@@ -1,9 +1,12 @@
 #include "server/api.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
 
+#include "common/lock_stats.h"
+#include "common/profiler.h"
 #include "common/strings.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -428,24 +431,40 @@ Result<const Engine*> PreviewService::ResolveDataset(
   return engine;
 }
 
+void PreviewService::EnableProfiler(int default_hz) {
+  if (default_hz < Profiler::kMinHz) default_hz = Profiler::kDefaultHz;
+  if (default_hz > Profiler::kMaxHz) default_hz = Profiler::kMaxHz;
+  profiler_default_hz_.store(default_hz, std::memory_order_relaxed);
+  profiler_enabled_.store(true, std::memory_order_release);
+}
+
 HttpResponse PreviewService::Handle(const HttpRequest& request) {
   Timer timer;
   std::string endpoint = "other";
-  HttpResponse response = Route(request, &endpoint);
+  std::string dataset;
+  HttpResponse response = Route(request, &endpoint, &dataset);
   response.headers.emplace_back("Server", "egp/" + version_);
-  metrics_.RecordRequest(endpoint, response.status, timer.ElapsedSeconds());
+  const double seconds = timer.ElapsedSeconds();
+  metrics_.RecordRequest(endpoint, response.status, seconds);
+  // Dataset-scoped series only for names that resolved against the
+  // catalog — arbitrary client strings must not mint label values.
+  if (!dataset.empty()) {
+    metrics_.RecordDataset(dataset, response.status, seconds);
+  }
   return response;
 }
 
 HttpResponse PreviewService::Route(const HttpRequest& request,
-                                   std::string* endpoint) {
+                                   std::string* endpoint,
+                                   std::string* dataset) {
   const std::string_view path = request.Path();
   const bool get = request.method == "GET" || request.method == "HEAD";
   const bool post = request.method == "POST";
 
   if (path == "/healthz" || path == "/v1/datasets" || path == "/metrics" ||
       path == "/v1/preview" || path == "/v1/suggest" ||
-      path == "/v1/debug/requests") {
+      path == "/v1/debug/requests" || path == "/v1/debug/locks" ||
+      path == "/v1/debug/cache" || path == "/v1/debug/profile") {
     *endpoint = std::string(path);
   }
   if (path == "/healthz") {
@@ -460,24 +479,37 @@ HttpResponse PreviewService::Route(const HttpRequest& request,
     if (!get) return JsonErrorResponse(405, "use GET /v1/debug/requests");
     return HandleDebugRequests(request);
   }
+  if (path == "/v1/debug/locks") {
+    if (!get) return JsonErrorResponse(405, "use GET /v1/debug/locks");
+    return HandleDebugLocks();
+  }
+  if (path == "/v1/debug/cache") {
+    if (!get) return JsonErrorResponse(405, "use GET /v1/debug/cache");
+    return HandleDebugCache();
+  }
+  if (path == "/v1/debug/profile") {
+    if (!get) return JsonErrorResponse(405, "use GET /v1/debug/profile");
+    return HandleDebugProfile(request);
+  }
   if (path == "/v1/datasets") {
     if (!get) return JsonErrorResponse(405, "use GET /v1/datasets");
     return HandleDatasets();
   }
   if (path == "/v1/preview") {
     if (!post) return JsonErrorResponse(405, "use POST /v1/preview");
-    return HandlePreview(request);
+    return HandlePreview(request, dataset);
   }
   if (path == "/v1/suggest") {
     if (!post) return JsonErrorResponse(405, "use POST /v1/suggest");
-    return HandleSuggest(request);
+    return HandleSuggest(request, dataset);
   }
   return JsonErrorResponse(
       404, "no such endpoint (have: GET /healthz, GET /metrics, GET "
            "/v1/datasets, POST /v1/preview, POST /v1/suggest)");
 }
 
-HttpResponse PreviewService::HandlePreview(const HttpRequest& request) {
+HttpResponse PreviewService::HandlePreview(const HttpRequest& request,
+                                           std::string* dataset_out) {
   const auto doc = ParseJson(request.body);
   if (!doc.ok()) {
     return JsonErrorResponse(HttpStatusForBody(doc.status()),
@@ -492,6 +524,7 @@ HttpResponse PreviewService::HandlePreview(const HttpRequest& request) {
     return JsonErrorResponse(HttpStatusForDataset(engine.status()),
                              engine.status().message());
   }
+  *dataset_out = dataset;
   RequestTrace* trace = CurrentRequestTrace();
   if (trace != nullptr) trace->dataset = dataset;
 
@@ -504,6 +537,7 @@ HttpResponse PreviewService::HandlePreview(const HttpRequest& request) {
   if ((*engine)->IsPrepared(parsed->request.measures)) {
     admission_.RecordHot();
   } else {
+    const ScopedTracePhase profiled_phase(TracePhase::kAdmission);
     Timer admission_timer;
     ticket = admission_.AcquireCold();
     if (trace != nullptr) {
@@ -532,7 +566,8 @@ HttpResponse PreviewService::HandlePreview(const HttpRequest& request) {
   return response;
 }
 
-HttpResponse PreviewService::HandleSuggest(const HttpRequest& request) {
+HttpResponse PreviewService::HandleSuggest(const HttpRequest& request,
+                                           std::string* dataset_out) {
   const auto doc = ParseJson(request.body);
   if (!doc.ok()) {
     return JsonErrorResponse(HttpStatusForBody(doc.status()),
@@ -547,6 +582,7 @@ HttpResponse PreviewService::HandleSuggest(const HttpRequest& request) {
     return JsonErrorResponse(HttpStatusForDataset(engine.status()),
                              engine.status().message());
   }
+  *dataset_out = dataset;
   const auto suggestion =
       (*engine)->Suggest(parsed->budget, parsed->measures);
   if (!suggestion.ok()) {
@@ -752,6 +788,72 @@ HttpResponse PreviewService::HandleMetrics() const {
                  recorder->recorded());
   }
 
+  {
+    const std::vector<LockSiteSnapshot> sites = SnapshotLockSites();
+    if (!sites.empty()) {
+      AppendMetricHeader(&out, "egp_mutex_acquisitions_total", "counter",
+                         "Labeled-mutex acquisitions, by site.");
+      for (const LockSiteSnapshot& site : sites) {
+        AppendMetric(&out, "egp_mutex_acquisitions_total",
+                     "site=\"" + std::string(site.name) + "\"",
+                     site.acquisitions);
+      }
+      AppendMetricHeader(&out, "egp_mutex_contentions_total", "counter",
+                         "Acquisitions that found the lock held, by site.");
+      for (const LockSiteSnapshot& site : sites) {
+        AppendMetric(&out, "egp_mutex_contentions_total",
+                     "site=\"" + std::string(site.name) + "\"",
+                     site.contentions);
+      }
+      // Hand-rolled histogram: lock-wait bounds differ from the request
+      // LatencyHistogram's, so AppendHistogramSamples does not apply.
+      AppendMetricHeader(&out, "egp_mutex_wait_seconds", "histogram",
+                         "Contended lock-wait time, by site.");
+      for (const LockSiteSnapshot& site : sites) {
+        const std::string prefix = "site=\"" + std::string(site.name) + "\"";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i + 1 < kLockWaitBucketCount; ++i) {
+          cumulative += site.wait_buckets[i];
+          AppendMetric(&out, "egp_mutex_wait_seconds_bucket",
+                       prefix + ",le=\"" +
+                           StrFormat("%g", kLockWaitBounds[i]) + "\"",
+                       cumulative);
+        }
+        // +Inf and _count derive from the bucket sums (not the separate
+        // contentions counter) so a scrape racing RecordLockWait still
+        // sees a self-consistent, monotone histogram.
+        cumulative += site.wait_buckets[kLockWaitBucketCount - 1];
+        AppendMetric(&out, "egp_mutex_wait_seconds_bucket",
+                     prefix + ",le=\"+Inf\"", cumulative);
+        AppendMetric(&out, "egp_mutex_wait_seconds_sum", prefix,
+                     site.wait_seconds);
+        AppendMetric(&out, "egp_mutex_wait_seconds_count", prefix,
+                     cumulative);
+      }
+    }
+  }
+
+  {
+    const ProfilerStats prof = Profiler::Global().stats();
+    AppendMetricHeader(&out, "egp_profiler_windows_total", "counter",
+                       "Completed profiling windows.");
+    AppendMetric(&out, "egp_profiler_windows_total", "", prof.windows_total);
+    AppendMetricHeader(&out, "egp_profiler_samples_total", "counter",
+                       "Stack samples captured across all windows.");
+    AppendMetric(&out, "egp_profiler_samples_total", "", prof.samples_total);
+    AppendMetricHeader(&out, "egp_profiler_dropped_total", "counter",
+                       "Samples dropped to full per-thread rings.");
+    AppendMetric(&out, "egp_profiler_dropped_total", "", prof.dropped_total);
+    AppendMetricHeader(&out, "egp_profiler_active", "gauge",
+                       "1 while a profiling window is collecting.");
+    AppendMetric(&out, "egp_profiler_active", "",
+                 static_cast<uint64_t>(prof.active ? 1 : 0));
+    AppendMetricHeader(&out, "egp_profiler_threads", "gauge",
+                       "Threads registered for profiling signals.");
+    AppendMetric(&out, "egp_profiler_threads", "",
+                 static_cast<uint64_t>(prof.registered_threads));
+  }
+
   const ProcessStats process = ReadProcessStats();
   AppendMetricHeader(&out, "egp_process_resident_bytes", "gauge",
                      "Resident set size from /proc/self/statm.");
@@ -800,12 +902,26 @@ HttpResponse PreviewService::HandleDebugRequests(
     }
     status = static_cast<int>(parsed);
   }
+  FlightRecorder::Filter filter;
+  filter.min_ms = min_ms;
+  filter.status = status;
+  if (const std::string_view raw = QueryParam(query, "limit");
+      !raw.empty()) {
+    const std::string text(raw);
+    char* end = nullptr;
+    const long parsed = std::strtol(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || parsed < 0) {
+      return JsonErrorResponse(400, "limit must be a non-negative integer");
+    }
+    filter.limit = static_cast<size_t>(parsed);
+  }
+  filter.dataset = std::string(QueryParam(query, "dataset"));
 
   std::string body = "{\"recorded\":" + std::to_string(recorder->recorded());
   body += ",\"capacity\":" + std::to_string(recorder->capacity());
   body += ",\"requests\":[";
   bool first = true;
-  for (const RequestTrace& trace : recorder->Snapshot(min_ms, status)) {
+  for (const RequestTrace& trace : recorder->Snapshot(filter)) {
     if (!first) body += ",";
     first = false;
     body += RequestTraceToJson(trace);
@@ -813,6 +929,130 @@ HttpResponse PreviewService::HandleDebugRequests(
   body += "]}";
   HttpResponse response;
   response.body = std::move(body);
+  return response;
+}
+
+HttpResponse PreviewService::HandleDebugLocks() const {
+  std::vector<LockSiteSnapshot> sites = SnapshotLockSites();
+  std::sort(sites.begin(), sites.end(),
+            [](const LockSiteSnapshot& a, const LockSiteSnapshot& b) {
+              if (a.wait_seconds != b.wait_seconds) {
+                return a.wait_seconds > b.wait_seconds;
+              }
+              return a.contentions > b.contentions;
+            });
+  std::string body = "{\"sites\":[";
+  bool first = true;
+  for (const LockSiteSnapshot& site : sites) {
+    if (!first) body += ",";
+    first = false;
+    body += "{\"site\":" + Quoted(site.name);
+    body += ",\"acquisitions\":" + std::to_string(site.acquisitions);
+    body += ",\"contentions\":" + std::to_string(site.contentions);
+    body += ",\"waitSeconds\":" + Number(site.wait_seconds);
+    body += ",\"maxWaitSeconds\":" + Number(site.max_wait_seconds);
+    body += ",\"holdSamples\":" + std::to_string(site.hold_samples);
+    body += ",\"holdSeconds\":" + Number(site.hold_seconds);
+    body += ",\"maxHoldSeconds\":" + Number(site.max_hold_seconds);
+    body += "}";
+  }
+  body += "]}";
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse PreviewService::HandleDebugCache() const {
+  std::string body = "{\"datasets\":[";
+  bool first_dataset = true;
+  for (const DatasetCatalog::Info& info : catalog_.infos()) {
+    const Engine* engine = catalog_.Find(info.name);
+    if (engine == nullptr) continue;
+    if (!first_dataset) body += ",";
+    first_dataset = false;
+    const Engine::CacheStats stats = engine->cache_stats();
+    body += "{\"dataset\":" + Quoted(info.name);
+    body += ",\"hits\":" + std::to_string(stats.hits);
+    body += ",\"misses\":" + std::to_string(stats.misses);
+    body += ",\"evictions\":" + std::to_string(stats.evictions);
+    body += ",\"entries\":[";
+    bool first_entry = true;
+    for (const Engine::CacheEntryInfo& entry : engine->cache_entries()) {
+      if (!first_entry) body += ",";
+      first_entry = false;
+      body += "{\"measures\":" + Quoted(entry.measures);
+      body += ",\"ready\":" + std::string(entry.ready ? "true" : "false");
+      body += ",\"building\":" +
+              std::string(entry.building ? "true" : "false");
+      body += ",\"hits\":" + std::to_string(entry.hits);
+      body += ",\"ageSeconds\":" + Number(entry.age_seconds);
+      body += ",\"idleSeconds\":" + Number(entry.idle_seconds);
+      body += ",\"approxBytes\":" + std::to_string(entry.approx_bytes);
+      body += "}";
+    }
+    body += "]}";
+  }
+  body += "]}";
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse PreviewService::HandleDebugProfile(
+    const HttpRequest& request) const {
+  if (!profiler_enabled_.load(std::memory_order_acquire)) {
+    return JsonErrorResponse(
+        503, "profiler disabled; start the server with --profiler");
+  }
+  const std::string_view query = request.Query();
+  double seconds = 2.0;
+  if (const std::string_view raw = QueryParam(query, "seconds");
+      !raw.empty()) {
+    const std::string text(raw);
+    char* end = nullptr;
+    seconds = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || !(seconds > 0) ||
+        seconds > Profiler::kMaxWindowSeconds) {
+      return JsonErrorResponse(
+          400, StrFormat("seconds must be a number in (0, %g]",
+                         Profiler::kMaxWindowSeconds));
+    }
+  }
+  int hz = profiler_default_hz_.load(std::memory_order_relaxed);
+  if (const std::string_view raw = QueryParam(query, "hz"); !raw.empty()) {
+    const std::string text(raw);
+    char* end = nullptr;
+    const long parsed = std::strtol(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || parsed < Profiler::kMinHz ||
+        parsed > Profiler::kMaxHz) {
+      return JsonErrorResponse(
+          400, StrFormat("hz must be an integer in [%d, %d]",
+                         Profiler::kMinHz, Profiler::kMaxHz));
+    }
+    hz = static_cast<int>(parsed);
+  }
+
+  // Collect blocks this handler thread for the whole window; the event
+  // loop keeps serving other requests meanwhile. Concurrent collections
+  // are refused inside Collect (Unavailable → 503).
+  const auto result = Profiler::Global().Collect(seconds, hz);
+  if (!result.ok()) {
+    return JsonErrorResponse(HttpStatusFor(result.status()),
+                             result.status().message());
+  }
+  HttpResponse response;
+  response.content_type = "text/plain; charset=utf-8";
+  response.headers.emplace_back("X-Egp-Profile-Samples",
+                                std::to_string(result->samples));
+  response.headers.emplace_back("X-Egp-Profile-Dropped",
+                                std::to_string(result->dropped));
+  response.headers.emplace_back("X-Egp-Profile-Hz",
+                                std::to_string(result->hz));
+  response.headers.emplace_back("X-Egp-Profile-Seconds",
+                                StrFormat("%g", result->seconds));
+  response.headers.emplace_back("X-Egp-Profile-Threads",
+                                std::to_string(result->threads));
+  response.body = result->folded;
   return response;
 }
 

@@ -16,7 +16,18 @@
 //                      gauges
 //   GET  /v1/debug/requests  the flight recorder's retained traces
 //                      (last N completed requests), newest first;
-//                      ?min_ms= and ?status= filter
+//                      ?min_ms=, ?status=, ?limit= and ?dataset= filter
+//   GET  /v1/debug/locks     lock-contention telemetry per labeled
+//                      Mutex site (common/lock_stats.h), most-contended
+//                      first
+//   GET  /v1/debug/cache     per-dataset prepared-cache contents:
+//                      measure configuration, readiness, hit count,
+//                      age, approximate bytes
+//   GET  /v1/debug/profile   runs the sampling CPU profiler for
+//                      ?seconds=N (default 2) at ?hz=H (default from
+//                      --profile-hz) and returns folded stacks for
+//                      flamegraph.pl; 503 unless the server runs with
+//                      --profiler, 503 while another collection runs
 //
 // Request bodies go through the strict src/io JSON parser (depth limits,
 // duplicate-key rejection, UTF-8 validation) and unknown fields are
@@ -89,6 +100,10 @@ class PreviewService {
     recorder_.store(recorder, std::memory_order_release);
   }
 
+  /// Arms GET /v1/debug/profile (the egp_server --profiler flag).
+  /// `default_hz` is the rate used when the request omits ?hz=.
+  void EnableProfiler(int default_hz);
+
   const DatasetCatalog& catalog() const { return catalog_; }
   ServerMetrics& metrics() { return metrics_; }
   /// The cold-build gate (exposed so tests can assert shed behavior
@@ -96,13 +111,19 @@ class PreviewService {
   AdmissionController& admission() { return admission_; }
 
  private:
-  HttpResponse Route(const HttpRequest& request, std::string* endpoint);
-  HttpResponse HandlePreview(const HttpRequest& request);
-  HttpResponse HandleSuggest(const HttpRequest& request);
+  HttpResponse Route(const HttpRequest& request, std::string* endpoint,
+                     std::string* dataset);
+  HttpResponse HandlePreview(const HttpRequest& request,
+                             std::string* dataset_out);
+  HttpResponse HandleSuggest(const HttpRequest& request,
+                             std::string* dataset_out);
   HttpResponse HandleDatasets() const;
   HttpResponse HandleHealthz() const;
   HttpResponse HandleMetrics() const;
   HttpResponse HandleDebugRequests(const HttpRequest& request) const;
+  HttpResponse HandleDebugLocks() const;
+  HttpResponse HandleDebugCache() const;
+  HttpResponse HandleDebugProfile(const HttpRequest& request) const;
 
   /// Resolves a request's dataset name against the catalog.
   Result<const Engine*> ResolveDataset(const std::string& name,
@@ -114,6 +135,8 @@ class PreviewService {
   AdmissionController admission_;
   std::atomic<const HttpServer*> server_{nullptr};
   std::atomic<const FlightRecorder*> recorder_{nullptr};
+  std::atomic<bool> profiler_enabled_{false};
+  std::atomic<int> profiler_default_hz_{99};
 };
 
 }  // namespace egp

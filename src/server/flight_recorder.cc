@@ -13,8 +13,8 @@ void FlightRecorder::Record(const RequestTrace& trace) {
   ++recorded_;
 }
 
-std::vector<RequestTrace> FlightRecorder::Snapshot(double min_ms,
-                                                   int status) const {
+std::vector<RequestTrace> FlightRecorder::Snapshot(
+    const Filter& filter) const {
   MutexLock lock(&mu_);
   std::vector<RequestTrace> out;
   out.reserve(ring_.size());
@@ -22,10 +22,12 @@ std::vector<RequestTrace> FlightRecorder::Snapshot(double min_ms,
   // ring has wrapped; before wrapping the vector is in insertion order.
   const size_t n = ring_.size();
   for (size_t i = 0; i < n; ++i) {
+    if (filter.limit > 0 && out.size() >= filter.limit) break;
     const size_t slot = (next_ + n - 1 - i) % n;
     const RequestTrace& trace = ring_[slot];
-    if (trace.total_seconds * 1e3 < min_ms) continue;
-    if (status > 0 && trace.status != status) continue;
+    if (trace.total_seconds * 1e3 < filter.min_ms) continue;
+    if (filter.status > 0 && trace.status != filter.status) continue;
+    if (!filter.dataset.empty() && trace.dataset != filter.dataset) continue;
     out.push_back(trace);
   }
   return out;

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/mutex.h"
@@ -30,11 +31,25 @@ class FlightRecorder {
 
   void Record(const RequestTrace& trace);
 
-  /// Retained traces, newest first, filtered: only entries with
-  /// total latency >= `min_ms` (0: all) and, when `status` > 0, that
-  /// exact HTTP status.
+  /// Snapshot filters, all conjunctive. Defaults match everything.
+  struct Filter {
+    double min_ms = 0.0;       // keep traces with total latency >= this
+    int status = 0;            // > 0: keep only this exact HTTP status
+    std::string dataset;       // non-empty: keep only this dataset
+    size_t limit = 0;          // > 0: at most this many (newest) traces
+  };
+
+  /// Retained traces, newest first, filtered.
+  std::vector<RequestTrace> Snapshot(const Filter& filter) const;
+
+  /// Convenience overload for the common min_ms/status pair.
   std::vector<RequestTrace> Snapshot(double min_ms = 0.0,
-                                     int status = 0) const;
+                                     int status = 0) const {
+    Filter filter;
+    filter.min_ms = min_ms;
+    filter.status = status;
+    return Snapshot(filter);
+  }
 
   /// Traces ever recorded (not just retained); for tests and /metrics.
   uint64_t recorded() const;
@@ -42,7 +57,7 @@ class FlightRecorder {
 
  private:
   const size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"flight_recorder"};
   std::vector<RequestTrace> ring_ EGP_GUARDED_BY(mu_);
   size_t next_ EGP_GUARDED_BY(mu_) = 0;  // ring slot the next trace takes
   uint64_t recorded_ EGP_GUARDED_BY(mu_) = 0;

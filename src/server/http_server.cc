@@ -11,6 +11,7 @@
 
 #include "common/fault.h"
 #include "common/posix.h"
+#include "common/profiler.h"
 
 namespace egp {
 namespace {
@@ -171,6 +172,8 @@ void HttpServer::SetPhase(Connection* conn, Connection::Phase phase) {
 // Event loop. Everything below runs on the loop thread unless noted.
 
 void HttpServer::Loop() {
+  // The loop thread carries read/serialize/flush work — profile it.
+  Profiler::RegisterCurrentThread();
   epoll_event events[kMaxEvents];
   for (;;) {
     const int timeout_ms = NextTimeoutMillis();
@@ -390,6 +393,7 @@ void HttpServer::BeginDrain() {
 }
 
 void HttpServer::OnReadable(Connection* conn) {
+  const ScopedTracePhase profiled_phase(TracePhase::kRead);
   char buf[16 * 1024];
   for (;;) {
     const ssize_t n =
@@ -565,6 +569,7 @@ void HttpServer::FinishTrace(Connection* conn) {
 
 HttpResponse HttpServer::RunHandler(const HttpRequest& request) {
   // Runs on a pool thread (or the loop thread in inline mode).
+  const ScopedTracePhase profiled_phase(TracePhase::kHandler);
   try {
     return handler_(request);
   } catch (const std::exception& e) {
@@ -645,6 +650,7 @@ void HttpServer::FailParse(Connection* conn) {
 
 void HttpServer::SendResponse(Connection* conn, HttpResponse& response,
                               bool keep, bool omit_body) {
+  const ScopedTracePhase profiled_phase(TracePhase::kSerialize);
   SetPhase(conn, Connection::Phase::kWriting);
   conn->close_after_write = !keep || response.close_connection;
   if (conn->trace != nullptr) {
@@ -669,6 +675,7 @@ void HttpServer::SendResponse(Connection* conn, HttpResponse& response,
 }
 
 void HttpServer::FlushOutbox(Connection* conn) {
+  const ScopedTracePhase profiled_phase(TracePhase::kFlush);
   while (conn->outbox_sent < conn->outbox.size()) {
     const ssize_t n = PosixSend(
         conn->fd.get(), conn->outbox.data() + conn->outbox_sent,

@@ -283,10 +283,10 @@ class HttpServer {
       timers_;
 
   // ---- Cross-thread state.
-  mutable Mutex completion_mu_;
+  mutable Mutex completion_mu_{"http.completions"};
   std::vector<Completion> completions_ EGP_GUARDED_BY(completion_mu_);
 
-  mutable Mutex mu_;  // stats + loop lifecycle flags
+  mutable Mutex mu_{"http.stats"};  // stats + loop lifecycle flags
   CondVar idle_;      // loop_exited_ flipped
   /// Thread spawned (stays false when Start fails early). Written once
   /// by Start before the thread exists, then read-only — but guarded

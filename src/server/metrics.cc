@@ -60,6 +60,41 @@ void ServerMetrics::RecordRequest(std::string_view endpoint, int status,
   ++counts_[{std::string(endpoint), status}];
 }
 
+void ServerMetrics::RecordDataset(std::string_view dataset, int status,
+                                  double seconds) {
+  LatencyHistogram* histogram = nullptr;
+  {
+    MutexLock lock(&mu_);
+    ++dataset_counts_[{std::string(dataset), status}];
+    auto& slot = dataset_latency_[std::string(dataset)];
+    if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+    histogram = slot.get();
+  }
+  histogram->Observe(seconds);  // atomics only; no need to hold mu_
+}
+
+std::vector<ServerMetrics::DatasetCount> ServerMetrics::dataset_counts()
+    const {
+  MutexLock lock(&mu_);
+  std::vector<DatasetCount> out;
+  out.reserve(dataset_counts_.size());
+  for (const auto& [key, count] : dataset_counts_) {
+    out.push_back(DatasetCount{key.first, key.second, count});
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, LatencyHistogram::Snapshot>>
+ServerMetrics::dataset_latency() const {
+  MutexLock lock(&mu_);
+  std::vector<std::pair<std::string, LatencyHistogram::Snapshot>> out;
+  out.reserve(dataset_latency_.size());
+  for (const auto& [dataset, histogram] : dataset_latency_) {
+    out.emplace_back(dataset, histogram->snapshot());
+  }
+  return out;
+}
+
 std::vector<ServerMetrics::RequestCount> ServerMetrics::request_counts()
     const {
   MutexLock lock(&mu_);
@@ -102,16 +137,25 @@ void AppendHistogram(std::string* out, std::string_view name,
                      std::string_view help,
                      const LatencyHistogram::Snapshot& snap) {
   AppendMetricHeader(out, name, "histogram", help);
+  AppendHistogramSamples(out, name, "", snap);
+}
+
+void AppendHistogramSamples(std::string* out, std::string_view name,
+                            std::string_view label_prefix,
+                            const LatencyHistogram::Snapshot& snap) {
   const std::string bucket_name = std::string(name) + "_bucket";
+  const std::string prefix =
+      label_prefix.empty() ? std::string() : std::string(label_prefix) + ",";
   for (size_t i = 0; i < LatencyHistogram::kBounds.size(); ++i) {
     AppendMetric(out, bucket_name,
-                 "le=\"" + StrFormat("%g", LatencyHistogram::kBounds[i]) +
+                 prefix + "le=\"" + StrFormat("%g", LatencyHistogram::kBounds[i]) +
                      "\"",
                  snap.cumulative[i]);
   }
-  AppendMetric(out, bucket_name, "le=\"+Inf\"", snap.count);
-  AppendMetric(out, std::string(name) + "_sum", "", snap.sum_seconds);
-  AppendMetric(out, std::string(name) + "_count", "", snap.count);
+  AppendMetric(out, bucket_name, prefix + "le=\"+Inf\"", snap.count);
+  AppendMetric(out, std::string(name) + "_sum", label_prefix,
+               snap.sum_seconds);
+  AppendMetric(out, std::string(name) + "_count", label_prefix, snap.count);
 }
 
 std::string ServerMetrics::PrometheusText() const {
@@ -130,6 +174,32 @@ std::string ServerMetrics::PrometheusText() const {
   AppendHistogram(&out, "egp_http_request_duration_seconds",
                   "End-to-end request handling latency.",
                   latency_.snapshot());
+
+  // Dataset-scoped series appear once the first dataset request lands;
+  // a headed histogram family with zero series would fail the
+  // exposition-grammar check, so both families are emitted only when
+  // non-empty.
+  const auto by_dataset = dataset_counts();
+  if (!by_dataset.empty()) {
+    AppendMetricHeader(&out, "egp_requests_total", "counter",
+                       "Dataset-scoped requests, by dataset and status.");
+    for (const DatasetCount& dc : by_dataset) {
+      AppendMetric(&out, "egp_requests_total",
+                   "dataset=\"" + dc.dataset +
+                       "\",status=\"" + std::to_string(dc.status) + "\"",
+                   dc.count);
+    }
+  }
+  const auto dataset_histograms = dataset_latency();
+  if (!dataset_histograms.empty()) {
+    AppendMetricHeader(&out, "egp_dataset_request_duration_seconds",
+                       "histogram",
+                       "Dataset-scoped request latency, by dataset.");
+    for (const auto& [dataset, snap] : dataset_histograms) {
+      AppendHistogramSamples(&out, "egp_dataset_request_duration_seconds",
+                             "dataset=\"" + dataset + "\"", snap);
+    }
+  }
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -60,12 +61,28 @@ class ServerMetrics {
   /// ("/v1/preview"), not the raw target (no per-query-string series).
   void RecordRequest(std::string_view endpoint, int status, double seconds);
 
+  /// Records one dataset-scoped request (preview/suggest after dataset
+  /// resolution) under egp_requests_total{dataset=,status=} plus a
+  /// per-dataset latency histogram. Dataset names come from the catalog
+  /// (a bounded set), so per-dataset series cannot explode.
+  void RecordDataset(std::string_view dataset, int status, double seconds);
+
   struct RequestCount {
     std::string endpoint;
     int status = 0;
     uint64_t count = 0;
   };
   std::vector<RequestCount> request_counts() const;
+
+  struct DatasetCount {
+    std::string dataset;
+    int status = 0;
+    uint64_t count = 0;
+  };
+  std::vector<DatasetCount> dataset_counts() const;
+  std::vector<std::pair<std::string, LatencyHistogram::Snapshot>>
+  dataset_latency() const;
+
   LatencyHistogram::Snapshot latency() const { return latency_.snapshot(); }
   uint64_t total_requests() const;
 
@@ -75,8 +92,15 @@ class ServerMetrics {
   std::string PrometheusText() const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"metrics.requests"};
   std::map<std::pair<std::string, int>, uint64_t> counts_ EGP_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, int>, uint64_t> dataset_counts_
+      EGP_GUARDED_BY(mu_);
+  // unique_ptr: LatencyHistogram is an array of atomics (immovable), and
+  // Observe() must run outside mu_ — the pointer is stable across
+  // rehashing inserts of other datasets.
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> dataset_latency_
+      EGP_GUARDED_BY(mu_);
   LatencyHistogram latency_;
 };
 
@@ -95,6 +119,15 @@ void AppendMetric(std::string* out, std::string_view name,
 void AppendHistogram(std::string* out, std::string_view name,
                      std::string_view help,
                      const LatencyHistogram::Snapshot& snap);
+
+/// Appends one labeled series of an already-headed histogram family:
+/// `_bucket{<label_prefix>,le=...}` samples plus `_sum`/`_count` carrying
+/// `label_prefix` (e.g. `dataset="paper"`). For families with one series
+/// per dataset/site: emit the header once (AppendMetricHeader, type
+/// histogram), then call this per label set.
+void AppendHistogramSamples(std::string* out, std::string_view name,
+                            std::string_view label_prefix,
+                            const LatencyHistogram::Snapshot& snap);
 
 }  // namespace egp
 

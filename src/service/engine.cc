@@ -1,5 +1,6 @@
 #include "service/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -38,6 +39,19 @@ std::string MeasureCacheKey(const MeasureSelection& measures) {
   key += '\x1f';
   AppendExactDouble(&key, measures.walk.tolerance);
   return key;
+}
+
+/// Human-readable form of a cache key for /v1/debug/cache — same
+/// information as MeasureCacheKey, readable instead of collision-proof.
+std::string MeasureDisplay(const MeasureSelection& measures) {
+  std::string out = "key=" + measures.key + " nonkey=" + measures.nonkey;
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), " walk(smoothing=%g,iters=%ld,tol=%g)",
+                measures.walk.smoothing,
+                static_cast<long>(measures.walk.max_iterations),
+                measures.walk.tolerance);
+  out += buffer;
+  return out;
 }
 
 }  // namespace
@@ -90,12 +104,18 @@ struct Engine::State {
     std::shared_future<Result<std::shared_ptr<const PreparedSchema>>> future;
     uint64_t last_used = 0;   // LRU tick for capacity eviction
     uint64_t generation = 0;  // which insert this is, for failure cleanup
+    // Introspection (/v1/debug/cache): what this entry is, how hot it
+    // is, and when it arrived / was last hit (MonotonicNanos).
+    std::string display;
+    uint64_t hits = 0;
+    int64_t inserted_ns = 0;
+    int64_t last_used_ns = 0;
   };
 
   // Guards the cache map, the LRU tick, and the hit/miss counters. The
   // cached PreparedSchema instances themselves are immutable and shared
   // out as shared_ptr<const>, so only the map needs the lock.
-  mutable Mutex mu;
+  mutable Mutex mu{"engine.prepared_cache"};
   mutable std::map<std::string, Entry> cache EGP_GUARDED_BY(mu);
   mutable uint64_t tick EGP_GUARDED_BY(mu) = 0;
   mutable uint64_t hits EGP_GUARDED_BY(mu) = 0;
@@ -159,6 +179,42 @@ Result<std::shared_ptr<const PreparedSchema>> Engine::Prepared(
   return PreparedInternal(measures, nullptr);
 }
 
+std::vector<Engine::CacheEntryInfo> Engine::cache_entries() const {
+  State& state = *state_;
+  const int64_t now = MonotonicNanos();
+  std::vector<std::pair<uint64_t, CacheEntryInfo>> ordered;
+  {
+    MutexLock lock(&state.mu);
+    ordered.reserve(state.cache.size());
+    for (const auto& [key, entry] : state.cache) {
+      (void)key;
+      CacheEntryInfo info;
+      info.measures = entry.display;
+      info.hits = entry.hits;
+      info.age_seconds = static_cast<double>(now - entry.inserted_ns) * 1e-9;
+      info.idle_seconds = static_cast<double>(now - entry.last_used_ns) * 1e-9;
+      const bool ready = entry.future.wait_for(std::chrono::seconds(0)) ==
+                         std::future_status::ready;
+      info.building = !ready;
+      if (ready) {
+        const auto& result = entry.future.get();
+        info.ready = result.ok();
+        if (result.ok()) info.approx_bytes = result.value()->ApproximateBytes();
+      }
+      ordered.emplace_back(entry.last_used, std::move(info));
+    }
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<CacheEntryInfo> out;
+  out.reserve(ordered.size());
+  for (auto& [tick, info] : ordered) {
+    (void)tick;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
 bool Engine::IsPrepared(const MeasureSelection& measures) const {
   const std::string key = MeasureCacheKey(measures);
   State& state = *state_;
@@ -191,6 +247,8 @@ Result<std::shared_ptr<const PreparedSchema>> Engine::PreparedInternal(
       ++state.hits;
       if (cache_hit != nullptr) *cache_hit = true;
       it->second.last_used = ++state.tick;
+      ++it->second.hits;
+      it->second.last_used_ns = MonotonicNanos();
       future = it->second.future;
     } else {
       ++state.misses;
@@ -208,7 +266,14 @@ Result<std::shared_ptr<const PreparedSchema>> Engine::PreparedInternal(
       }
       future = promise.get_future().share();
       my_generation = ++state.tick;
-      state.cache[key] = State::Entry{future, my_generation, my_generation};
+      State::Entry entry;
+      entry.future = future;
+      entry.last_used = my_generation;
+      entry.generation = my_generation;
+      entry.display = MeasureDisplay(measures);
+      entry.inserted_ns = MonotonicNanos();
+      entry.last_used_ns = entry.inserted_ns;
+      state.cache[key] = std::move(entry);
       builder = true;
     }
   }
@@ -216,6 +281,7 @@ Result<std::shared_ptr<const PreparedSchema>> Engine::PreparedInternal(
   if (builder) {
     // The expensive part runs without the lock; only same-configuration
     // requesters wait (on the future), everyone else proceeds.
+    const ScopedTracePhase profiled_phase(TracePhase::kPrepare);
     Timer build_timer;
     auto built = PreparedSchema::Create(
         state.schema, measures, state.graph ? &*state.graph : nullptr,
@@ -311,22 +377,25 @@ Result<PreviewResponse> Engine::Preview(const PreviewRequest& request) const {
   }
   Timer discover_timer;
   Result<egp::Preview> preview = Status::Internal("unset");
-  if (algorithm == "bf") {
-    preview = BruteForceDiscover(*prepared, response.size, response.distance,
-                                 BruteForceOptions{}, &response.stats);
-  } else if (algorithm == "dp") {
-    if (response.distance.mode != DistanceMode::kNone) {
-      return Status::InvalidArgument(
-          "the dynamic-programming algorithm only solves the concise "
-          "space; distance constraints lack its optimal substructure");
+  {
+    const ScopedTracePhase profiled_phase(TracePhase::kDiscover);
+    if (algorithm == "bf") {
+      preview = BruteForceDiscover(*prepared, response.size, response.distance,
+                                   BruteForceOptions{}, &response.stats);
+    } else if (algorithm == "dp") {
+      if (response.distance.mode != DistanceMode::kNone) {
+        return Status::InvalidArgument(
+            "the dynamic-programming algorithm only solves the concise "
+            "space; distance constraints lack its optimal substructure");
+      }
+      preview = DynamicProgrammingDiscover(*prepared, response.size);
+    } else if (algorithm == "apriori") {
+      preview = AprioriDiscover(*prepared, response.size, response.distance,
+                                AprioriOptions{}, &response.stats);
+    } else {
+      preview = BeamSearchDiscover(*prepared, response.size, response.distance,
+                                   BeamSearchOptions{}, &response.stats);
     }
-    preview = DynamicProgrammingDiscover(*prepared, response.size);
-  } else if (algorithm == "apriori") {
-    preview = AprioriDiscover(*prepared, response.size, response.distance,
-                              AprioriOptions{}, &response.stats);
-  } else {
-    preview = BeamSearchDiscover(*prepared, response.size, response.distance,
-                                 BeamSearchOptions{}, &response.stats);
   }
   if (!preview.ok()) return preview.status();
   response.discover_seconds = discover_timer.ElapsedSeconds();
@@ -334,6 +403,7 @@ Result<PreviewResponse> Engine::Preview(const PreviewRequest& request) const {
   response.score = response.preview.Score(*prepared);
 
   if (request.sample_rows > 0) {
+    const ScopedTracePhase profiled_phase(TracePhase::kSample);
     Timer sample_timer;
     TupleSamplerOptions sampler;
     sampler.rows_per_table = request.sample_rows;

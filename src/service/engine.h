@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "core/advisor.h"
@@ -189,6 +190,22 @@ class Engine {
     size_t entries = 0;
   };
   CacheStats cache_stats() const;
+
+  /// One prepared-cache entry, for GET /v1/debug/cache: which measure
+  /// configurations are resident, how hot each one is, how old it is,
+  /// and roughly what it costs in memory. `ready` is false while the
+  /// build is still in flight (approx_bytes is then 0).
+  struct CacheEntryInfo {
+    std::string measures;      // human-readable configuration
+    bool ready = false;        // build finished successfully
+    bool building = false;     // future not yet fulfilled
+    uint64_t hits = 0;         // cache hits served by this entry
+    double age_seconds = 0;    // since insertion
+    double idle_seconds = 0;   // since last hit (== age when never hit)
+    size_t approx_bytes = 0;   // PreparedSchema::ApproximateBytes()
+  };
+  /// Current cache contents, most-recently-used first. Thread-safe.
+  std::vector<CacheEntryInfo> cache_entries() const;
 
  private:
   struct State;

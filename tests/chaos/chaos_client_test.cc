@@ -5,6 +5,7 @@
 #include "server/http_client.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <atomic>
 #include <chrono>
@@ -42,7 +43,10 @@ class ScriptedServer {
   }
 
   ~ScriptedServer() {
-    listener_.Reset();
+    // Wake the thread out of WaitAccept without invalidating the fd it
+    // is concurrently reading (Reset() here raced the server thread's
+    // listener_.get()); the UniqueFd closes after the join.
+    ::shutdown(listener_.get(), SHUT_RDWR);
     if (thread_.joinable()) thread_.join();
   }
 

@@ -7,9 +7,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/lock_stats.h"
 #include "gtest/gtest.h"
 
 namespace egp {
@@ -125,6 +127,83 @@ TEST(CondVarTest, WaitForTimesOut) {
   CondVar cv;
   MutexLock lock(&mu);
   EXPECT_FALSE(cv.WaitFor(mu, std::chrono::milliseconds(10)));
+}
+
+TEST(LockStatsTest, RegisterDedupsByName) {
+  LockSite* a = RegisterLockSite("mutex_test.dedup");
+  LockSite* b = RegisterLockSite("mutex_test.dedup");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+TEST(LockStatsTest, LabeledMutexCountsAcquisitions) {
+  LockSite* site = RegisterLockSite("mutex_test.acquisitions");
+  ASSERT_NE(site, nullptr);
+  const uint64_t before = site->acquisitions.load();
+  Mutex mu{"mutex_test.acquisitions"};
+  for (int i = 0; i < 10; ++i) {
+    MutexLock lock(&mu);
+  }
+  EXPECT_EQ(site->acquisitions.load(), before + 10);
+}
+
+TEST(LockStatsTest, ContentionRecordsWaitHistogram) {
+  LockSite* site = RegisterLockSite("mutex_test.contention");
+  ASSERT_NE(site, nullptr);
+  const uint64_t contentions_before = site->contentions.load();
+  Mutex mu{"mutex_test.contention"};
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    MutexLock lock(&mu);
+    held.store(true);
+    // Hold long enough that the main thread's Lock() reliably takes the
+    // contended (timed) path.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+  while (!held.load()) std::this_thread::yield();
+  {
+    MutexLock lock(&mu);
+  }
+  holder.join();
+  EXPECT_GE(site->contentions.load(), contentions_before + 1);
+  EXPECT_GT(site->wait_nanos.load(), 0u);
+  // The wait landed in exactly one histogram bucket per contention.
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < kLockWaitBucketCount; ++i) {
+    bucket_total += site->wait_buckets[i].load();
+  }
+  EXPECT_EQ(bucket_total, site->contentions.load());
+}
+
+TEST(LockStatsTest, SnapshotCarriesSiteNames) {
+  RegisterLockSite("mutex_test.snapshot");
+  bool found = false;
+  for (const LockSiteSnapshot& snap : SnapshotLockSites()) {
+    ASSERT_NE(snap.name, nullptr);
+    if (std::string_view(snap.name) == "mutex_test.snapshot") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LockStatsTest, RuntimeGateStopsWaitRecording) {
+  LockSite* site = RegisterLockSite("mutex_test.gate");
+  ASSERT_NE(site, nullptr);
+  SetLockTelemetryEnabled(false);
+  const uint64_t contentions_before = site->contentions.load();
+  Mutex mu{"mutex_test.gate"};
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    MutexLock lock(&mu);
+    held.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+  while (!held.load()) std::this_thread::yield();
+  {
+    MutexLock lock(&mu);
+  }
+  holder.join();
+  SetLockTelemetryEnabled(true);
+  EXPECT_EQ(site->contentions.load(), contentions_before);
 }
 
 TEST(CondVarTest, WaitUntilReturnsTrueWhenNotified) {

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/profiler.h"
 #include "datagen/paper_example.h"
 #include "io/json_export.h"
 
@@ -359,6 +360,145 @@ TEST(PreviewServiceTest, ColdRequestsQueueForAFreedSlot) {
   EXPECT_EQ(stats.cold_queued, 1u);
   EXPECT_EQ(stats.cold_shed, 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Observability endpoints: per-dataset metrics, debug filters, lock and
+// cache introspection, and the profiler endpoint's gating.
+// ---------------------------------------------------------------------------
+
+TEST(PreviewServiceTest, PerDatasetMetricsOnResolvedRequestsOnly) {
+  PreviewService service = MakeService();
+  service.Handle(Post("/v1/preview", R"({"dataset":"paper","k":2,"n":4})"));
+  // Unknown dataset: resolution fails, so no dataset label is minted.
+  service.Handle(Post("/v1/preview", R"({"dataset":"nope","k":2,"n":4})"));
+  const HttpResponse metrics = service.Handle(Get("/metrics"));
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find(
+                "egp_requests_total{dataset=\"paper\",status=\"200\"} 1"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_EQ(metrics.body.find("dataset=\"nope\""), std::string::npos);
+  EXPECT_NE(metrics.body.find("egp_dataset_request_duration_seconds_count{"
+                              "dataset=\"paper\"} 1"),
+            std::string::npos);
+  // The lock-site families are always present once any labeled mutex
+  // has been constructed.
+  EXPECT_NE(metrics.body.find("egp_mutex_contentions_total{site="),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find(
+                "# TYPE egp_mutex_wait_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("# TYPE egp_profiler_windows_total counter"),
+            std::string::npos);
+}
+
+TEST(PreviewServiceTest, DebugRequestsLimitAndDatasetFilters) {
+  PreviewService service = MakeService();
+  FlightRecorder recorder(16);
+  service.AttachFlightRecorder(&recorder);
+  for (int i = 0; i < 5; ++i) {
+    RequestTrace trace;
+    trace.id = "t" + std::to_string(i);
+    trace.status = 200;
+    trace.dataset = i % 2 == 0 ? "paper" : "other";
+    trace.total_seconds = 0.001;
+    recorder.Record(trace);
+  }
+
+  const HttpResponse limited =
+      service.Handle(Get("/v1/debug/requests?limit=2"));
+  ASSERT_EQ(limited.status, 200);
+  EXPECT_NE(limited.body.find("\"t4\""), std::string::npos);
+  EXPECT_NE(limited.body.find("\"t3\""), std::string::npos);
+  EXPECT_EQ(limited.body.find("\"t2\""), std::string::npos);
+
+  const HttpResponse filtered =
+      service.Handle(Get("/v1/debug/requests?dataset=paper"));
+  ASSERT_EQ(filtered.status, 200);
+  EXPECT_NE(filtered.body.find("\"t0\""), std::string::npos);
+  EXPECT_NE(filtered.body.find("\"t4\""), std::string::npos);
+  EXPECT_EQ(filtered.body.find("\"t1\""), std::string::npos);
+
+  // Garbage is rejected loudly, not coerced.
+  EXPECT_EQ(service.Handle(Get("/v1/debug/requests?limit=abc")).status, 400);
+  EXPECT_EQ(service.Handle(Get("/v1/debug/requests?limit=-1")).status, 400);
+  EXPECT_EQ(service.Handle(Get("/v1/debug/requests?limit=2x")).status, 400);
+}
+
+TEST(PreviewServiceTest, DebugLocksListsLabeledSites) {
+  PreviewService service = MakeService();
+  service.Handle(Post("/v1/preview", R"({"k":2,"n":4})"));
+  const HttpResponse response = service.Handle(Get("/v1/debug/locks"));
+  ASSERT_EQ(response.status, 200);
+  // Sites touched by the request path above must be present.
+  EXPECT_NE(response.body.find("\"metrics.requests\""), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"engine.prepared_cache\""),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"acquisitions\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"waitSeconds\""), std::string::npos);
+}
+
+TEST(PreviewServiceTest, DebugCacheShowsPreparedEntries) {
+  PreviewService service = MakeService();
+  const HttpResponse empty = service.Handle(Get("/v1/debug/cache"));
+  ASSERT_EQ(empty.status, 200);
+  EXPECT_NE(empty.body.find("\"dataset\":\"paper\""), std::string::npos);
+  EXPECT_NE(empty.body.find("\"entries\":[]"), std::string::npos);
+
+  service.Handle(Post("/v1/preview", R"({"k":2,"n":4})"));
+  service.Handle(Post("/v1/preview", R"({"k":3,"n":4})"));  // cache hit
+  const HttpResponse warm = service.Handle(Get("/v1/debug/cache"));
+  ASSERT_EQ(warm.status, 200);
+  EXPECT_NE(warm.body.find("\"measures\":\"key=coverage nonkey=coverage"),
+            std::string::npos)
+      << warm.body;
+  EXPECT_NE(warm.body.find("\"ready\":true"), std::string::npos);
+  EXPECT_NE(warm.body.find("\"hits\":1"), std::string::npos);
+  EXPECT_NE(warm.body.find("\"approxBytes\":"), std::string::npos);
+}
+
+TEST(PreviewServiceTest, ProfileEndpointGatedBehindFlag) {
+  PreviewService service = MakeService();
+  const HttpResponse disabled =
+      service.Handle(Get("/v1/debug/profile?seconds=1"));
+  EXPECT_EQ(disabled.status, 503);
+  EXPECT_NE(disabled.body.find("--profiler"), std::string::npos);
+
+  service.EnableProfiler(99);
+  // Parameter validation happens before any window starts.
+  EXPECT_EQ(service.Handle(Get("/v1/debug/profile?seconds=abc")).status,
+            400);
+  EXPECT_EQ(service.Handle(Get("/v1/debug/profile?seconds=0")).status, 400);
+  EXPECT_EQ(service.Handle(Get("/v1/debug/profile?seconds=61")).status, 400);
+  EXPECT_EQ(service.Handle(Get("/v1/debug/profile?hz=0")).status, 400);
+  EXPECT_EQ(service.Handle(Get("/v1/debug/profile?hz=1001")).status, 400);
+  EXPECT_EQ(service.Handle(Get("/v1/debug/profile?hz=9x")).status, 400);
+}
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define EGP_TEST_TSAN 1
+#endif
+#endif
+#ifndef EGP_TEST_TSAN
+// Skipped under TSan: the SIGPROF handler's backtrace() is outside what
+// TSan supports; the signal path is covered by the plain and ASan runs.
+TEST(PreviewServiceTest, ProfileEndpointCollectsWhenEnabled) {
+  PreviewService service = MakeService();
+  service.EnableProfiler(99);
+  Profiler::RegisterCurrentThread();
+  const HttpResponse response =
+      service.Handle(Get("/v1/debug/profile?seconds=0.1&hz=100"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_EQ(response.content_type.rfind("text/plain", 0), 0u);
+  const std::string* samples = FindHeader(response, "X-Egp-Profile-Samples");
+  ASSERT_NE(samples, nullptr);
+  const std::string* hz = FindHeader(response, "X-Egp-Profile-Hz");
+  ASSERT_NE(hz, nullptr);
+  EXPECT_EQ(*hz, "100");
+}
+#endif
 
 }  // namespace
 }  // namespace egp

@@ -1,0 +1,154 @@
+// FlightRecorder (server/flight_recorder.h): ring wraparound ordering,
+// the recorded-vs-retained counters, the Filter combinations the debug
+// endpoint exposes, and scrape-while-recording safety (the case the
+// server hits whenever /v1/debug/requests races live traffic; run under
+// TSan by the sanitized suite).
+#include "server/flight_recorder.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace egp {
+namespace {
+
+RequestTrace MakeTrace(int sequence, double total_seconds = 0.001,
+                       int status = 200, const std::string& dataset = "") {
+  RequestTrace trace;
+  trace.id = "trace-" + std::to_string(sequence);
+  trace.status = status;
+  trace.total_seconds = total_seconds;
+  trace.dataset = dataset;
+  return trace;
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsNewestCapacityTraces) {
+  constexpr size_t kCapacity = 8;
+  constexpr int kExtra = 5;
+  FlightRecorder recorder(kCapacity);
+  for (int i = 0; i < static_cast<int>(kCapacity) + kExtra; ++i) {
+    recorder.Record(MakeTrace(i));
+  }
+  EXPECT_EQ(recorder.recorded(), kCapacity + kExtra);
+  EXPECT_EQ(recorder.capacity(), kCapacity);
+
+  const std::vector<RequestTrace> traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), kCapacity);
+  // Newest first: ids count down from the last recorded; the first
+  // kExtra traces were overwritten.
+  for (size_t i = 0; i < traces.size(); ++i) {
+    const int expected = static_cast<int>(kCapacity) + kExtra - 1 -
+                         static_cast<int>(i);
+    EXPECT_EQ(traces[i].id, "trace-" + std::to_string(expected));
+  }
+}
+
+TEST(FlightRecorderTest, BeforeWraparoundRetainsEverything) {
+  FlightRecorder recorder(16);
+  for (int i = 0; i < 5; ++i) recorder.Record(MakeTrace(i));
+  const std::vector<RequestTrace> traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 5u);
+  EXPECT_EQ(traces.front().id, "trace-4");  // newest first
+  EXPECT_EQ(traces.back().id, "trace-0");
+}
+
+TEST(FlightRecorderTest, LimitTakesNewest) {
+  FlightRecorder recorder(16);
+  for (int i = 0; i < 10; ++i) recorder.Record(MakeTrace(i));
+  FlightRecorder::Filter filter;
+  filter.limit = 3;
+  const std::vector<RequestTrace> traces = recorder.Snapshot(filter);
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces[0].id, "trace-9");
+  EXPECT_EQ(traces[2].id, "trace-7");
+}
+
+TEST(FlightRecorderTest, DatasetFilterIsExact) {
+  FlightRecorder recorder(16);
+  recorder.Record(MakeTrace(0, 0.001, 200, "music"));
+  recorder.Record(MakeTrace(1, 0.001, 200, "movies"));
+  recorder.Record(MakeTrace(2, 0.001, 200, "music"));
+  FlightRecorder::Filter filter;
+  filter.dataset = "music";
+  const std::vector<RequestTrace> traces = recorder.Snapshot(filter);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].id, "trace-2");
+  EXPECT_EQ(traces[1].id, "trace-0");
+}
+
+TEST(FlightRecorderTest, FiltersAreConjunctive) {
+  FlightRecorder recorder(16);
+  recorder.Record(MakeTrace(0, 0.500, 200, "music"));   // slow, 200
+  recorder.Record(MakeTrace(1, 0.500, 503, "music"));   // slow, 503
+  recorder.Record(MakeTrace(2, 0.0001, 503, "music"));  // fast, 503
+  recorder.Record(MakeTrace(3, 0.500, 503, "movies"));  // other dataset
+  FlightRecorder::Filter filter;
+  filter.min_ms = 100;
+  filter.status = 503;
+  filter.dataset = "music";
+  const std::vector<RequestTrace> traces = recorder.Snapshot(filter);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].id, "trace-1");
+}
+
+TEST(FlightRecorderTest, LimitAppliesAfterOtherFilters) {
+  FlightRecorder recorder(16);
+  for (int i = 0; i < 8; ++i) {
+    recorder.Record(MakeTrace(i, 0.001, i % 2 == 0 ? 200 : 500));
+  }
+  FlightRecorder::Filter filter;
+  filter.status = 500;
+  filter.limit = 2;
+  const std::vector<RequestTrace> traces = recorder.Snapshot(filter);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].id, "trace-7");
+  EXPECT_EQ(traces[1].id, "trace-5");
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordAndSnapshot) {
+  // Writers hammer the ring past several wraparounds while readers
+  // scrape; every snapshot must be internally consistent (full traces,
+  // newest-first by construction) and the run must be data-race free
+  // (the property the TSan suite checks).
+  constexpr size_t kCapacity = 32;
+  constexpr int kWriters = 3;
+  constexpr int kTracesPerWriter = 2'000;
+  FlightRecorder recorder(kCapacity);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&recorder, w] {
+      for (int i = 0; i < kTracesPerWriter; ++i) {
+        recorder.Record(
+            MakeTrace(w * kTracesPerWriter + i, 0.001, 200, "paper"));
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<RequestTrace> traces = recorder.Snapshot();
+      EXPECT_LE(traces.size(), kCapacity);
+      for (const RequestTrace& trace : traces) {
+        // A torn copy would show a default-constructed or mixed trace.
+        EXPECT_EQ(trace.status, 200);
+        EXPECT_EQ(trace.dataset, "paper");
+        EXPECT_EQ(trace.id.rfind("trace-", 0), 0u);
+      }
+    }
+  });
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<uint64_t>(kWriters) * kTracesPerWriter);
+  EXPECT_EQ(recorder.Snapshot().size(), kCapacity);
+}
+
+}  // namespace
+}  // namespace egp

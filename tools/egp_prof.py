@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Client for the in-process sampling profiler (GET /v1/debug/profile).
+
+Works on the folded-stack format the endpoint returns — one
+`phase;frame;frame;... count` line per distinct stack, directly
+consumable by flamegraph.pl — and needs nothing beyond the standard
+library.
+
+  fetch   collect one profile window from a live server
+  merge   sum several .folded files into one (stacks are keyed by the
+          full fold, counts add)
+  top     render the hottest stacks, leaf frames, or phase breakdown
+
+Examples:
+
+  # 5 s at 200 Hz from a server started with --profiler
+  egp_prof.py fetch --url http://127.0.0.1:8080 --seconds 5 --hz 200 \
+      -o web.folded
+
+  # combine windows taken during different load phases
+  egp_prof.py merge warm.folded cold.folded -o all.folded
+
+  # where does the time go?
+  egp_prof.py top all.folded                # hottest full stacks
+  egp_prof.py top --by leaf -n 15 all.folded
+  egp_prof.py top --by phase all.folded
+
+  # or render a flamegraph with the standard tool
+  flamegraph.pl all.folded > profile.svg
+"""
+
+import argparse
+import sys
+import urllib.error
+import urllib.parse
+import urllib.request
+
+
+def read_folded(path):
+    """path ('-' = stdin) -> dict stack -> count."""
+    stacks = {}
+    stream = sys.stdin if path == "-" else open(path, encoding="utf-8")
+    with stream if path != "-" else stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            stack, sep, count = line.rpartition(" ")
+            if not sep or not count.isdigit():
+                raise ValueError(
+                    f"{path}:{lineno}: not a folded-stack line: {line!r}")
+            stacks[stack] = stacks.get(stack, 0) + int(count)
+    return stacks
+
+
+def write_folded(stacks, out):
+    for stack, count in sorted(stacks.items(),
+                               key=lambda kv: (-kv[1], kv[0])):
+        out.write(f"{stack} {count}\n")
+
+
+def cmd_fetch(args):
+    query = urllib.parse.urlencode(
+        {"seconds": args.seconds, "hz": args.hz})
+    url = args.url.rstrip("/") + "/v1/debug/profile?" + query
+    try:
+        # The window runs server-side for the full duration before the
+        # response starts; pad the socket timeout generously.
+        with urllib.request.urlopen(url,
+                                    timeout=args.seconds + 30) as response:
+            body = response.read().decode("utf-8")
+            headers = response.headers
+    except urllib.error.HTTPError as e:
+        print(f"egp_prof: {url}: HTTP {e.code}: "
+              f"{e.read().decode('utf-8', 'replace')}", file=sys.stderr)
+        return 1
+    except urllib.error.URLError as e:
+        print(f"egp_prof: {url}: {e.reason}", file=sys.stderr)
+        return 1
+    out = sys.stdout if args.output == "-" else open(
+        args.output, "w", encoding="utf-8")
+    with out if args.output != "-" else out:
+        out.write(body)
+    print(f"egp_prof: {headers.get('X-Egp-Profile-Samples', '?')} samples "
+          f"({headers.get('X-Egp-Profile-Dropped', '?')} dropped) from "
+          f"{headers.get('X-Egp-Profile-Threads', '?')} threads over "
+          f"{headers.get('X-Egp-Profile-Seconds', '?')} s at "
+          f"{headers.get('X-Egp-Profile-Hz', '?')} Hz", file=sys.stderr)
+    return 0
+
+
+def cmd_merge(args):
+    merged = {}
+    for path in args.inputs:
+        for stack, count in read_folded(path).items():
+            merged[stack] = merged.get(stack, 0) + count
+    out = sys.stdout if args.output == "-" else open(
+        args.output, "w", encoding="utf-8")
+    with out if args.output != "-" else out:
+        write_folded(merged, out)
+    return 0
+
+
+def cmd_top(args):
+    stacks = {}
+    for path in args.inputs:
+        for stack, count in read_folded(path).items():
+            stacks[stack] = stacks.get(stack, 0) + count
+    total = sum(stacks.values())
+    if total == 0:
+        print("egp_prof: no samples", file=sys.stderr)
+        return 1
+
+    if args.by == "stack":
+        rows = stacks.items()
+    else:
+        grouped = {}
+        for stack, count in stacks.items():
+            frames = stack.split(";")
+            if args.by == "phase":
+                key = frames[0]          # the synthetic phase root
+            else:                        # leaf
+                key = frames[-1]
+            grouped[key] = grouped.get(key, 0) + count
+        rows = grouped.items()
+
+    rows = sorted(rows, key=lambda kv: (-kv[1], kv[0]))[:args.limit]
+    width = max(len(str(count)) for _, count in rows)
+    for stack, count in rows:
+        print(f"{count:>{width}}  {100.0 * count / total:5.1f}%  {stack}")
+    print(f"egp_prof: {total} samples, {len(stacks)} distinct stacks",
+          file=sys.stderr)
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fetch = sub.add_parser("fetch", help="collect a window from a server")
+    fetch.add_argument("--url", required=True,
+                       help="server base URL, e.g. http://127.0.0.1:8080")
+    fetch.add_argument("--seconds", type=float, default=2.0)
+    fetch.add_argument("--hz", type=int, default=99)
+    fetch.add_argument("-o", "--output", default="-",
+                       help="output .folded path (default stdout)")
+    fetch.set_defaults(func=cmd_fetch)
+
+    merge = sub.add_parser("merge", help="sum .folded files")
+    merge.add_argument("inputs", nargs="+", help=".folded files ('-' stdin)")
+    merge.add_argument("-o", "--output", default="-")
+    merge.set_defaults(func=cmd_merge)
+
+    top = sub.add_parser("top", help="hottest stacks / leaves / phases")
+    top.add_argument("inputs", nargs="+", help=".folded files ('-' stdin)")
+    top.add_argument("-n", "--limit", type=int, default=20)
+    top.add_argument("--by", choices=["stack", "leaf", "phase"],
+                     default="stack")
+    top.set_defaults(func=cmd_top)
+
+    args = parser.parse_args()
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as e:
+        print(f"egp_prof: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

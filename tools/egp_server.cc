@@ -11,11 +11,13 @@
 //              [--strict-load] [--faults SCHEDULE]
 //              [--log-level LEVEL] [--access-log PATH|stderr]
 //              [--slow-request-ms N] [--flight-recorder N]
+//              [--profiler] [--profile-hz N]
 //
 // Serves the JSON API of src/server/api.h (POST /v1/preview, POST
 // /v1/suggest, GET /v1/datasets, GET /healthz, GET /metrics, GET
-// /v1/debug/requests) over the listener + worker-pool transport of
-// src/server/http_server.h.
+// /v1/debug/requests, /v1/debug/locks, /v1/debug/cache, and — with
+// --profiler — /v1/debug/profile) over the listener + worker-pool
+// transport of src/server/http_server.h.
 //
 // --port 0 binds an ephemeral port; the chosen one is printed on the
 // "listening" line (machine-parsed by the integration smoke test).
@@ -35,6 +37,7 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/posix.h"
+#include "common/profiler.h"
 #include "server/access_log.h"
 #include "server/api.h"
 #include "server/catalog.h"
@@ -63,6 +66,7 @@ const char kUsage[] =
     "                  [--strict-load] [--faults SCHEDULE]\n"
     "                  [--log-level LEVEL] [--access-log PATH|stderr]\n"
     "                  [--slow-request-ms N] [--flight-recorder N]\n"
+    "                  [--profiler] [--profile-hz N]\n"
     "\n"
     "  --dataset name=path   load an entity graph (.egps snapshot, .nt,\n"
     "                        or .egt — detected by content) as 'name';\n"
@@ -118,9 +122,16 @@ const char kUsage[] =
     "                        level instead of info (default: never)\n"
     "  --flight-recorder N   retain the last N request traces for GET\n"
     "                        /v1/debug/requests (default 256)\n"
+    "  --profiler            arm GET /v1/debug/profile (the sampling CPU\n"
+    "                        profiler); off by default — the endpoint\n"
+    "                        then answers 503\n"
+    "  --profile-hz N        sampling rate when /v1/debug/profile omits\n"
+    "                        ?hz= (default 99)\n"
     "\n"
     "endpoints: POST /v1/preview, POST /v1/suggest, GET /v1/datasets,\n"
-    "           GET /healthz, GET /metrics, GET /v1/debug/requests\n";
+    "           GET /healthz, GET /metrics, GET /v1/debug/requests,\n"
+    "           GET /v1/debug/locks, GET /v1/debug/cache,\n"
+    "           GET /v1/debug/profile\n";
 
 int UsageError(const std::string& message) {
   std::fprintf(stderr, "egp_server: %s\n%s", message.c_str(), kUsage);
@@ -154,6 +165,8 @@ struct ServerArgs {
   AccessLogOptions access_log;
   bool access_log_given = false;
   size_t flight_recorder = 256;
+  bool profiler = false;
+  int profile_hz = 99;
   bool ok = false;
   int exit_code = 0;
 };
@@ -185,6 +198,10 @@ ServerArgs ParseArgs(int argc, char** argv) {
     }
     if (arg == "--strict-load") {
       args.catalog.allow_partial = false;
+      continue;
+    }
+    if (arg == "--profiler") {
+      args.profiler = true;
       continue;
     }
     std::string name = arg.substr(2);
@@ -292,6 +309,11 @@ ServerArgs ParseArgs(int argc, char** argv) {
     } else if (name == "flight-recorder") {
       if (!parse_long(1, 1 << 20, &parsed)) return args;
       args.flight_recorder = static_cast<size_t>(parsed);
+    } else if (name == "profile-hz") {
+      if (!parse_long(Profiler::kMinHz, Profiler::kMaxHz, &parsed)) {
+        return args;
+      }
+      args.profile_hz = static_cast<int>(parsed);
     } else {
       args.exit_code = UsageError("unknown flag '--" + name + "'");
       return args;
@@ -354,6 +376,12 @@ int main(int argc, char** argv) {
 
   PreviewService service(std::move(catalog).value(), EGP_VERSION_STRING,
                          args.admission);
+  if (args.profiler) {
+    // The main thread mostly sits in Wait(), but register it anyway so
+    // startup work and signal handling show up when profiled.
+    Profiler::RegisterCurrentThread();
+    service.EnableProfiler(args.profile_hz);
+  }
 
   // Observability wiring: every finished trace lands in the flight
   // recorder; the access log is opt-in. Both outlive the server (the

@@ -69,6 +69,24 @@ def check_serve(doc) -> None:
         for field in ("traced_p50_ms", "traced_p99_ms", "traced_rps",
                       "untraced_p50_ms", "untraced_p99_ms", "untraced_rps"):
             assert overhead[field] > 0, f"non-positive {field}"
+    prof = doc.get("profiler_overhead")
+    if prof is not None:
+        assert prof["connections"] >= 1, "bad profiler overhead run"
+        assert prof["hz"] >= 1, "bad profiler hz"
+        assert prof["samples"] >= 0, "missing profiler sample count"
+        for field in ("baseline_p50_ms", "baseline_p99_ms", "baseline_rps",
+                      "profiled_p50_ms", "profiled_p99_ms", "profiled_rps"):
+            assert prof[field] > 0, f"non-positive {field}"
+        # The acceptance gate: sampling at 99 Hz must cost <=10% p99.
+        # Only enforced on adequately-sized runs — CI smoke runs issue a
+        # handful of requests and their percentiles are pure noise, so
+        # those get the structural checks alone.
+        if prof.get("completed", 0) >= 1000:
+            limit = 1.10 * prof["baseline_p99_ms"]
+            assert prof["profiled_p99_ms"] <= limit, (
+                f"profiler overhead gate: profiled p99 "
+                f"{prof['profiled_p99_ms']} ms exceeds 110% of baseline "
+                f"{prof['baseline_p99_ms']} ms")
     print(f"OK: {len(doc['runs'])} run(s) over "
           f"{len(doc['datasets'])} dataset(s)")
 

@@ -12,7 +12,9 @@ argument (or stdin):
   * every histogram has `_bucket` samples with an `le` label, cumulative
     counts that are monotone in ascending bound order, a final
     `le="+Inf"` bucket, and `_sum`/`_count` samples with
-    `_count` == the `+Inf` bucket.
+    `_count` == the `+Inf` bucket. Multi-series histogram families
+    (per-dataset latency, per-site lock waits) are checked one series at
+    a time, grouped by their non-`le` labels.
 
 Exit status 0 when clean; 1 with `metrics:<lineno>: message` findings.
 Used by the metrics_grammar ctest and the CI smoke job against a live
@@ -135,56 +137,82 @@ def validate(text: str) -> list:
         seen_series[key] = lineno
         samples.append((lineno, name, labels, value))
 
-    # Histogram shape checks.
+    # Histogram shape checks, one series (= one non-le label set) at a
+    # time: a family like egp_mutex_wait_seconds{site=...} interleaves
+    # several independent bucket ladders in one exposition.
     for family, mtype in types.items():
         if mtype != "histogram":
             continue
-        buckets = []  # (le, value, lineno)
-        sums = [s for s in samples if s[1] == family + "_sum"]
-        counts = [s for s in samples if s[1] == family + "_count"]
+        def series_key(labels):
+            return tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+        series = {}  # non-le labels -> {"buckets": [], "sum": .., "count": ..}
         for lineno, name, labels, value in samples:
-            if name != family + "_bucket":
-                continue
-            if "le" not in labels:
-                findings.append(
-                    f"metrics:{lineno}: {name} sample without an le label")
-                continue
-            try:
-                buckets.append((parse_value(labels["le"]), value, lineno))
-            except ValueError:
-                findings.append(
-                    f"metrics:{lineno}: unparseable le "
-                    f"{labels['le']!r} on {name}")
-        if not buckets:
-            findings.append(f"metrics: histogram {family} has no _bucket "
-                            f"samples")
+            if name == family + "_bucket":
+                entry = series.setdefault(
+                    series_key(labels), {"buckets": [], "sum": None,
+                                         "count": None})
+                if "le" not in labels:
+                    findings.append(
+                        f"metrics:{lineno}: {name} sample without an le "
+                        f"label")
+                    continue
+                try:
+                    entry["buckets"].append(
+                        (parse_value(labels["le"]), value, lineno))
+                except ValueError:
+                    findings.append(
+                        f"metrics:{lineno}: unparseable le "
+                        f"{labels['le']!r} on {name}")
+            elif name in (family + "_sum", family + "_count"):
+                entry = series.setdefault(
+                    series_key(labels), {"buckets": [], "sum": None,
+                                         "count": None})
+                kind = "sum" if name.endswith("_sum") else "count"
+                entry[kind] = (lineno, value)
+        if not series:
+            findings.append(f"metrics: histogram {family} has no samples")
             continue
-        ordered = sorted(buckets, key=lambda b: b[0])
-        if [b[0] for b in buckets] != [b[0] for b in ordered]:
-            findings.append(
-                f"metrics: histogram {family} buckets are not in "
-                f"ascending le order")
-        for (lo, lo_v, _), (hi, hi_v, hi_line) in zip(ordered, ordered[1:]):
-            if hi_v < lo_v:
+        for key, entry in series.items():
+            where = family + (
+                "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+                if key else "")
+            buckets = entry["buckets"]
+            if not buckets:
                 findings.append(
-                    f"metrics:{hi_line}: histogram {family} bucket "
-                    f'le="{hi:g}" count {hi_v:g} < le="{lo:g}" count '
-                    f"{lo_v:g} (cumulative counts must be monotone)")
-        if ordered[-1][0] != math.inf:
-            findings.append(
-                f"metrics: histogram {family} lacks an le=\"+Inf\" bucket")
-        if not sums:
-            findings.append(f"metrics: histogram {family} lacks _sum")
-        if not counts:
-            findings.append(f"metrics: histogram {family} lacks _count")
-        elif ordered[-1][0] == math.inf and counts[0][3] != ordered[-1][1]:
-            findings.append(
-                f"metrics:{counts[0][0]}: histogram {family} _count "
-                f"({counts[0][3]:g}) != +Inf bucket ({ordered[-1][1]:g})")
-        if sums and counts and counts[0][3] == 0 and sums[0][3] != 0:
-            findings.append(
-                f"metrics:{sums[0][0]}: histogram {family} has _sum "
-                f"{sums[0][3]:g} with zero _count")
+                    f"metrics: histogram {where} has no _bucket samples")
+                continue
+            ordered = sorted(buckets, key=lambda b: b[0])
+            if [b[0] for b in buckets] != [b[0] for b in ordered]:
+                findings.append(
+                    f"metrics: histogram {where} buckets are not in "
+                    f"ascending le order")
+            for (lo, lo_v, _), (hi, hi_v, hi_line) in zip(ordered,
+                                                          ordered[1:]):
+                if hi_v < lo_v:
+                    findings.append(
+                        f"metrics:{hi_line}: histogram {where} bucket "
+                        f'le="{hi:g}" count {hi_v:g} < le="{lo:g}" count '
+                        f"{lo_v:g} (cumulative counts must be monotone)")
+            if ordered[-1][0] != math.inf:
+                findings.append(
+                    f"metrics: histogram {where} lacks an le=\"+Inf\" "
+                    f"bucket")
+            if entry["sum"] is None:
+                findings.append(f"metrics: histogram {where} lacks _sum")
+            if entry["count"] is None:
+                findings.append(f"metrics: histogram {where} lacks _count")
+            elif (ordered[-1][0] == math.inf
+                  and entry["count"][1] != ordered[-1][1]):
+                findings.append(
+                    f"metrics:{entry['count'][0]}: histogram {where} "
+                    f"_count ({entry['count'][1]:g}) != +Inf bucket "
+                    f"({ordered[-1][1]:g})")
+            if (entry["sum"] is not None and entry["count"] is not None
+                    and entry["count"][1] == 0 and entry["sum"][1] != 0):
+                findings.append(
+                    f"metrics:{entry['sum'][0]}: histogram {where} has "
+                    f"_sum {entry['sum'][1]:g} with zero _count")
 
     return findings
 
